@@ -1,0 +1,21 @@
+//! §8.6: sensitivity of Alpenhorn to the cost and size of the IBE scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alpenhorn_bench::{calibrated_model, print_header};
+use alpenhorn_sim::experiments::crypto_sensitivity_table;
+use alpenhorn_sim::experiments::crypto_sensitivity::request_size_table;
+
+fn print_sensitivity(_c: &mut Criterion) {
+    print_header(
+        "Crypto strength sensitivity",
+        "Section 8.6: request is 244 B + IBE ciphertext; IBE cost changes have \
+         linear or sub-linear impact",
+    );
+    println!("{}", request_size_table().render());
+    let model = calibrated_model();
+    println!("{}", crypto_sensitivity_table(&model.costs).render());
+}
+
+criterion_group!(benches, print_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 6: client bandwidth of the add-friend protocol vs round duration,
+//! for 100K / 1M / 10M users.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alpenhorn_bench::{calibrated_model, print_header};
+use alpenhorn_sim::experiments::figure_6;
+use alpenhorn_sim::CostModel;
+
+fn print_figure_6(_c: &mut Criterion) {
+    print_header(
+        "Figure 6: add-friend client bandwidth",
+        "e.g. ~7.4 MB mailbox for 1M users; 0.5-2.5 KB/s depending on round duration",
+    );
+    let measured = calibrated_model();
+    println!("Using request sizes from this implementation and measured costs:\n");
+    println!("{}", figure_6(&measured, 3).render());
+    println!("Using the paper's per-operation reference costs:\n");
+    println!("{}", figure_6(&CostModel::paper_reference(), 3).render());
+}
+
+criterion_group!(benches, print_figure_6);
+criterion_main!(benches);

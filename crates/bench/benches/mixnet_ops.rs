@@ -1,0 +1,75 @@
+//! Mixnet micro-benchmarks: onion wrapping/peeling, noise sampling, shuffling
+//! and Bloom-filter construction. These are the per-operation costs that the
+//! cost model (Figures 8-9) is calibrated from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use alpenhorn_bloom::{BloomFilter, BloomParams};
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::dh::DhSecret;
+use alpenhorn_mixnet::onion::{peel_layer, wrap_onion};
+use alpenhorn_mixnet::NoiseConfig;
+use alpenhorn_wire::ADD_FRIEND_REQUEST_LEN;
+use rand::RngCore;
+
+fn bench_onion(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_seed_bytes([1u8; 32]);
+    let secrets: Vec<DhSecret> = (0..3).map(|_| DhSecret::generate(&mut rng)).collect();
+    let publics: Vec<_> = secrets.iter().map(|s| s.public()).collect();
+    let payload = vec![0u8; ADD_FRIEND_REQUEST_LEN];
+
+    let mut group = c.benchmark_group("onion");
+    group.sample_size(20);
+    group.bench_function("wrap_3_hops", |b| {
+        b.iter(|| wrap_onion(&payload, &publics, &mut rng))
+    });
+    let wrapped = wrap_onion(&payload, &publics, &mut rng);
+    group.bench_function("peel_one_layer", |b| {
+        b.iter(|| peel_layer(&wrapped, &secrets[0], 0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_noise_and_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixing");
+    group.sample_size(20);
+
+    let noise = NoiseConfig::paper_add_friend();
+    let mut rng = ChaChaRng::from_seed_bytes([2u8; 32]);
+    group.bench_function("laplace_noise_sample", |b| {
+        b.iter(|| noise.sample_count(&mut rng))
+    });
+
+    group.bench_function("shuffle_10k_messages", |b| {
+        b.iter_batched(
+            || {
+                (0..10_000u32)
+                    .map(|i| i.to_be_bytes().to_vec())
+                    .collect::<Vec<_>>()
+            },
+            |mut batch| {
+                let mut rng = ChaChaRng::from_seed_bytes([3u8; 32]);
+                rng.shuffle(&mut batch);
+                batch
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("bloom_build_10k_tokens", |b| {
+        b.iter(|| {
+            let mut rng = ChaChaRng::from_seed_bytes([4u8; 32]);
+            let mut filter = BloomFilter::new(BloomParams::paper_default(10_000));
+            let mut token = [0u8; 32];
+            for _ in 0..10_000 {
+                rng.fill_bytes(&mut token);
+                filter.insert(&token);
+            }
+            filter
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_onion, bench_noise_and_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shared helpers for the Alpenhorn benchmark harness.
+//!
+//! Each benchmark target regenerates one figure or measurement from §8 of the
+//! paper (see DESIGN.md §5 for the full index). Targets print paper-style
+//! tables to stdout in addition to any Criterion measurements, so that
+//! `cargo bench` output can be pasted into EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+use alpenhorn_sim::costmodel::MeasuredCosts;
+use alpenhorn_sim::CostModel;
+
+/// Number of calibration iterations used by the figure benches. High enough
+/// for stable medians of the pairing operations, low enough to keep
+/// `cargo bench` runtimes reasonable.
+pub const CALIBRATION_ITERATIONS: usize = 64;
+
+/// Calibrates the cost model on this machine.
+pub fn calibrated_model() -> CostModel {
+    CostModel::new(MeasuredCosts::measure(CALIBRATION_ITERATIONS))
+}
+
+/// Prints a standard header identifying a benchmark target.
+pub fn print_header(title: &str, paper_reference: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("(paper reference: {paper_reference})");
+    println!();
+}

@@ -1,0 +1,340 @@
+//! Bloom filter encoding of Alpenhorn dialing mailboxes.
+//!
+//! §5.2 of the paper: the last mixnet server encodes the set of dial tokens
+//! destined to one dialing mailbox as a Bloom filter, which clients download
+//! instead of the raw token list. Alpenhorn tunes the filter to roughly 48
+//! bits per element, giving a false-positive rate around 1e-10 (about one
+//! phantom call per decade per user) and *no* false negatives, so calls are
+//! never missed.
+//!
+//! The filter hashes elements with the double-hashing technique (two
+//! independent 64-bit hashes derived from SHA-256, combined as
+//! `h1 + i * h2`), which is standard and sufficient for the pseudorandom
+//! 256-bit dial tokens stored here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use alpenhorn_crypto::sha256::Sha256;
+
+/// Parameters of a Bloom filter: number of bits and number of hash functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BloomParams {
+    /// Total number of bits in the filter (at least 1).
+    pub bits: usize,
+    /// Number of hash functions (at least 1).
+    pub hashes: u32,
+}
+
+impl BloomParams {
+    /// Chooses parameters for an expected number of elements using the
+    /// paper's sizing rule of `bits_per_element` bits per element (48 in the
+    /// deployment described in §5.2) and the optimal number of hash
+    /// functions `k = bits_per_element * ln 2`.
+    pub fn for_elements(expected_elements: usize, bits_per_element: usize) -> Self {
+        let bits = (expected_elements.max(1)) * bits_per_element.max(1);
+        let hashes = ((bits_per_element as f64) * core::f64::consts::LN_2).round() as u32;
+        BloomParams {
+            bits,
+            hashes: hashes.max(1),
+        }
+    }
+
+    /// The paper's configuration: 48 bits per element.
+    pub fn paper_default(expected_elements: usize) -> Self {
+        Self::for_elements(expected_elements, 48)
+    }
+
+    /// Theoretical false-positive probability when `n` elements are inserted.
+    pub fn false_positive_rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let k = self.hashes as f64;
+        let m = self.bits as f64;
+        let fill = 1.0 - (-(k * n as f64) / m).exp();
+        fill.powf(k)
+    }
+
+    /// Size of the encoded filter in bytes (excluding the header).
+    pub fn byte_len(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+}
+
+/// A Bloom filter over arbitrary byte strings.
+///
+/// # Examples
+///
+/// ```
+/// use alpenhorn_bloom::{BloomFilter, BloomParams};
+///
+/// let mut filter = BloomFilter::new(BloomParams::paper_default(1000));
+/// filter.insert(b"dial token");
+/// assert!(filter.contains(b"dial token"));
+/// assert!(!filter.contains(b"a different token"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    params: BloomParams,
+    bits: Vec<u8>,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with the given parameters.
+    pub fn new(params: BloomParams) -> Self {
+        assert!(params.bits > 0, "bloom filter must have at least one bit");
+        assert!(params.hashes > 0, "bloom filter needs at least one hash");
+        BloomFilter {
+            bits: vec![0u8; params.byte_len()],
+            params,
+            inserted: 0,
+        }
+    }
+
+    /// The filter's parameters.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of elements inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Derives the two base hashes for double hashing.
+    fn base_hashes(item: &[u8]) -> (u64, u64) {
+        let mut h = Sha256::new();
+        h.update(b"alpenhorn-bloom-v1");
+        h.update(item);
+        let digest = h.finalize();
+        let h1 = u64::from_be_bytes(digest[0..8].try_into().expect("8 bytes"));
+        let h2 = u64::from_be_bytes(digest[8..16].try_into().expect("8 bytes"));
+        // h2 must be odd so that it is coprime with power-of-two moduli and
+        // never collapses the probe sequence to a single position.
+        (h1, h2 | 1)
+    }
+
+    /// The bit index probed by hash function `i` for `item`.
+    fn bit_index(&self, h1: u64, h2: u64, i: u32) -> usize {
+        let combined = h1.wrapping_add(h2.wrapping_mul(i as u64));
+        (combined % self.params.bits as u64) as usize
+    }
+
+    /// Inserts an element.
+    pub fn insert(&mut self, item: &[u8]) {
+        let (h1, h2) = Self::base_hashes(item);
+        for i in 0..self.params.hashes {
+            let idx = self.bit_index(h1, h2, i);
+            self.bits[idx / 8] |= 1 << (idx % 8);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests whether an element may be in the set.
+    ///
+    /// Returns `true` for every inserted element (no false negatives) and
+    /// `false` for non-members except with the configured false-positive
+    /// probability.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        let (h1, h2) = Self::base_hashes(item);
+        for i in 0..self.params.hashes {
+            let idx = self.bit_index(h1, h2, i);
+            if self.bits[idx / 8] & (1 << (idx % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Merges another filter with identical parameters into this one (set union).
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            self.params, other.params,
+            "cannot union filters with different parameters"
+        );
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        self.inserted += other.inserted;
+    }
+
+    /// Fraction of bits that are set (useful for diagnostics).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|b| b.count_ones()).sum();
+        set as f64 / self.params.bits as f64
+    }
+
+    /// Serializes the filter: bit count, hash count, inserted count, then the bit array.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.bits.len());
+        out.extend_from_slice(&(self.params.bits as u64).to_be_bytes());
+        out.extend_from_slice(&self.params.hashes.to_be_bytes());
+        out.extend_from_slice(&self.inserted.to_be_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Deserializes a filter produced by [`BloomFilter::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Option<BloomFilter> {
+        if buf.len() < 20 {
+            return None;
+        }
+        let bits = u64::from_be_bytes(buf[0..8].try_into().ok()?) as usize;
+        let hashes = u32::from_be_bytes(buf[8..12].try_into().ok()?);
+        let inserted = u64::from_be_bytes(buf[12..20].try_into().ok()?);
+        let params = BloomParams { bits, hashes };
+        if bits == 0 || hashes == 0 || buf.len() != 20 + params.byte_len() {
+            return None;
+        }
+        Some(BloomFilter {
+            params,
+            bits: buf[20..].to_vec(),
+            inserted,
+        })
+    }
+
+    /// Total size of the serialized filter in bytes. This is what a client
+    /// downloads per dialing mailbox per round (Figure 7's bandwidth driver).
+    pub fn encoded_len(&self) -> usize {
+        20 + self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn params_paper_default() {
+        let p = BloomParams::paper_default(1000);
+        assert_eq!(p.bits, 48_000);
+        // 48 * ln 2 ≈ 33 hash functions.
+        assert_eq!(p.hashes, 33);
+        assert!(p.false_positive_rate(1000) < 1e-9);
+    }
+
+    #[test]
+    fn no_false_negatives_small() {
+        let mut f = BloomFilter::new(BloomParams::paper_default(100));
+        let items: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            assert!(f.contains(item));
+        }
+        assert_eq!(f.inserted(), 100);
+    }
+
+    #[test]
+    fn few_false_positives_at_paper_parameters() {
+        let mut f = BloomFilter::new(BloomParams::paper_default(1000));
+        for i in 0..1000u32 {
+            f.insert(format!("member-{i}").as_bytes());
+        }
+        let mut fp = 0;
+        for i in 0..10_000u32 {
+            if f.contains(format!("non-member-{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        // With a 1e-10 theoretical rate, zero false positives are expected in
+        // a 10k probe sample.
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn false_positive_rate_monotone_in_load() {
+        let p = BloomParams::paper_default(1000);
+        assert!(p.false_positive_rate(500) < p.false_positive_rate(2000));
+        assert_eq!(p.false_positive_rate(0), 0.0);
+    }
+
+    #[test]
+    fn union_contains_both_sets() {
+        let params = BloomParams::paper_default(10);
+        let mut a = BloomFilter::new(params);
+        let mut b = BloomFilter::new(params);
+        a.insert(b"from-a");
+        b.insert(b"from-b");
+        a.union(&b);
+        assert!(a.contains(b"from-a"));
+        assert!(a.contains(b"from-b"));
+        assert_eq!(a.inserted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn union_mismatched_params_panics() {
+        let mut a = BloomFilter::new(BloomParams::paper_default(10));
+        let b = BloomFilter::new(BloomParams::paper_default(20));
+        a.union(&b);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut f = BloomFilter::new(BloomParams::paper_default(50));
+        for i in 0..50u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.encoded_len());
+        let g = BloomFilter::from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+        for i in 0..50u32 {
+            assert!(g.contains(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[0u8; 19]).is_none());
+        // Valid header but truncated body.
+        let f = BloomFilter::new(BloomParams::paper_default(100));
+        let mut bytes = f.to_bytes();
+        bytes.pop();
+        assert!(BloomFilter::from_bytes(&bytes).is_none());
+        // Zero bits.
+        let mut zeros = vec![0u8; 20];
+        zeros[8..12].copy_from_slice(&1u32.to_be_bytes());
+        assert!(BloomFilter::from_bytes(&zeros).is_none());
+    }
+
+    #[test]
+    fn paper_mailbox_size_matches_section_8_2() {
+        // §8.2: 125,000 dial tokens at 48 bits per token is a 0.75 MB filter.
+        let params = BloomParams::paper_default(125_000);
+        let mb = params.byte_len() as f64 / 1e6;
+        assert!((mb - 0.75).abs() < 0.01, "got {mb} MB");
+    }
+
+    #[test]
+    fn fill_ratio_reasonable() {
+        let mut f = BloomFilter::new(BloomParams::paper_default(1000));
+        assert_eq!(f.fill_ratio(), 0.0);
+        for i in 0..1000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        // Optimal fill for a Bloom filter is about 50%.
+        let fill = f.fill_ratio();
+        assert!(fill > 0.3 && fill < 0.7, "fill {fill}");
+    }
+
+    #[test]
+    fn randomized_no_false_negatives() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let params = BloomParams::for_elements(500, 48);
+        let mut f = BloomFilter::new(params);
+        let items: Vec<[u8; 32]> = (0..500).map(|_| rng.gen()).collect();
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            assert!(f.contains(item));
+        }
+    }
+}

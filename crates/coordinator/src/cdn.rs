@@ -1,0 +1,164 @@
+//! Simulated content-distribution network for mailbox downloads.
+//!
+//! The paper's prototype relies on a CDN (such as Akamai) to serve mailbox
+//! contents to many clients (§7). The CDN is untrusted — mailbox contents
+//! are public state — and only matters for bandwidth offload. This module
+//! stores each round's mailboxes and tracks how many bytes have been served,
+//! which the evaluation harness uses for the client-bandwidth figures.
+
+use std::collections::HashMap;
+
+use alpenhorn_bloom::BloomFilter;
+use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes};
+use alpenhorn_wire::{MailboxId, Round};
+
+/// The simulated CDN.
+#[derive(Default)]
+pub struct Cdn {
+    add_friend: HashMap<u64, AddFriendMailboxes>,
+    dialing: HashMap<u64, DialingMailboxes>,
+    bytes_served: u64,
+    downloads: u64,
+}
+
+impl Cdn {
+    /// Creates an empty CDN.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the add-friend mailboxes for `round`.
+    pub fn publish_add_friend(&mut self, round: Round, mailboxes: AddFriendMailboxes) {
+        self.add_friend.insert(round.0, mailboxes);
+    }
+
+    /// Publishes the dialing mailboxes for `round`.
+    pub fn publish_dialing(&mut self, round: Round, mailboxes: DialingMailboxes) {
+        self.dialing.insert(round.0, mailboxes);
+    }
+
+    /// Downloads one add-friend mailbox: the list of IBE ciphertexts.
+    pub fn fetch_add_friend_mailbox(
+        &mut self,
+        round: Round,
+        mailbox: MailboxId,
+    ) -> Option<Vec<Vec<u8>>> {
+        let boxes = self.add_friend.get(&round.0)?;
+        let contents = boxes.mailbox(mailbox).to_vec();
+        let bytes: usize = contents.iter().map(|c| c.len()).sum();
+        self.bytes_served += bytes as u64;
+        self.downloads += 1;
+        Some(contents)
+    }
+
+    /// Downloads one dialing mailbox: the Bloom filter of dial tokens.
+    pub fn fetch_dialing_mailbox(
+        &mut self,
+        round: Round,
+        mailbox: MailboxId,
+    ) -> Option<BloomFilter> {
+        let boxes = self.dialing.get(&round.0)?;
+        let filter = boxes.mailbox(mailbox)?.clone();
+        self.bytes_served += filter.encoded_len() as u64;
+        self.downloads += 1;
+        Some(filter)
+    }
+
+    /// Size in bytes of one add-friend mailbox (without downloading it).
+    pub fn add_friend_mailbox_size(&self, round: Round, mailbox: MailboxId) -> Option<usize> {
+        self.add_friend
+            .get(&round.0)
+            .map(|b| b.mailbox_bytes(mailbox))
+    }
+
+    /// Size in bytes of one dialing mailbox (without downloading it).
+    pub fn dialing_mailbox_size(&self, round: Round, mailbox: MailboxId) -> Option<usize> {
+        self.dialing.get(&round.0).map(|b| b.mailbox_bytes(mailbox))
+    }
+
+    /// Removes mailboxes older than `keep_from` (the paper keeps mailbox
+    /// contents "for a relatively long time", §5.1, but not forever).
+    pub fn expire_before(&mut self, keep_from: Round) {
+        self.add_friend.retain(|r, _| *r >= keep_from.0);
+        self.dialing.retain(|r, _| *r >= keep_from.0);
+    }
+
+    /// Total bytes served to clients so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Total number of mailbox downloads served.
+    pub fn downloads(&self) -> u64 {
+        self.downloads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_wire::{AddFriendEnvelope, DialRequest, DialToken};
+
+    fn add_friend_boxes() -> AddFriendMailboxes {
+        let batch = vec![
+            AddFriendEnvelope {
+                mailbox: MailboxId(0),
+                ciphertext: vec![1u8; AddFriendEnvelope::CIPHERTEXT_LEN],
+            }
+            .encode(),
+            AddFriendEnvelope {
+                mailbox: MailboxId(1),
+                ciphertext: vec![2u8; AddFriendEnvelope::CIPHERTEXT_LEN],
+            }
+            .encode(),
+        ];
+        AddFriendMailboxes::from_batch(&batch, 2)
+    }
+
+    fn dialing_boxes() -> DialingMailboxes {
+        let batch = vec![DialRequest {
+            mailbox: MailboxId(0),
+            token: DialToken([7u8; 32]),
+        }
+        .encode()];
+        DialingMailboxes::from_batch(&batch, 1)
+    }
+
+    #[test]
+    fn publish_and_fetch_add_friend() {
+        let mut cdn = Cdn::new();
+        cdn.publish_add_friend(Round(3), add_friend_boxes());
+        let contents = cdn.fetch_add_friend_mailbox(Round(3), MailboxId(0)).unwrap();
+        assert_eq!(contents.len(), 1);
+        assert_eq!(cdn.downloads(), 1);
+        assert_eq!(cdn.bytes_served(), AddFriendEnvelope::CIPHERTEXT_LEN as u64);
+        assert_eq!(
+            cdn.add_friend_mailbox_size(Round(3), MailboxId(0)),
+            Some(AddFriendEnvelope::CIPHERTEXT_LEN)
+        );
+        assert!(cdn.fetch_add_friend_mailbox(Round(9), MailboxId(0)).is_none());
+    }
+
+    #[test]
+    fn publish_and_fetch_dialing() {
+        let mut cdn = Cdn::new();
+        cdn.publish_dialing(Round(5), dialing_boxes());
+        let filter = cdn.fetch_dialing_mailbox(Round(5), MailboxId(0)).unwrap();
+        assert!(filter.contains(&[7u8; 32]));
+        assert!(cdn.bytes_served() > 0);
+        assert!(cdn.fetch_dialing_mailbox(Round(5), MailboxId(3)).is_none());
+        assert!(cdn.dialing_mailbox_size(Round(5), MailboxId(0)).unwrap() > 0);
+    }
+
+    #[test]
+    fn expiration_removes_old_rounds() {
+        let mut cdn = Cdn::new();
+        cdn.publish_add_friend(Round(1), add_friend_boxes());
+        cdn.publish_add_friend(Round(2), add_friend_boxes());
+        cdn.publish_dialing(Round(1), dialing_boxes());
+        cdn.expire_before(Round(2));
+        assert!(cdn.fetch_add_friend_mailbox(Round(1), MailboxId(0)).is_none());
+        assert!(cdn.fetch_add_friend_mailbox(Round(2), MailboxId(0)).is_some());
+        assert!(cdn.fetch_dialing_mailbox(Round(1), MailboxId(0)).is_none());
+    }
+}

@@ -1,0 +1,605 @@
+//! A complete in-process Alpenhorn deployment.
+//!
+//! [`Cluster`] wires together the PKG servers, the mixnet chain(s), the entry
+//! server's batching role, the simulated mail system, and the CDN. Clients
+//! (the `alpenhorn` crate) interact with a cluster exactly as they would with
+//! a remote deployment:
+//!
+//! 1. register an identity with every PKG (confirmation emails),
+//! 2. at the start of an add-friend round, extract identity keys and learn
+//!    the round's aggregated master public key and onion keys,
+//! 3. submit exactly one fixed-size onion per round (real or cover),
+//! 4. after the round closes, download their mailbox from the CDN and scan it.
+
+use alpenhorn_ibe::anytrust::aggregate_master_publics;
+use alpenhorn_ibe::bf::MasterPublic;
+use alpenhorn_ibe::dh::DhPublic;
+use alpenhorn_ibe::sig::{Signature, VerifyingKey};
+use alpenhorn_mixnet::{MailboxPolicy, MixChain, NoiseConfig, RoundStats};
+use alpenhorn_pkg::{ExtractResponse, PkgServer, SimulatedMail};
+use alpenhorn_wire::{AddFriendEnvelope, Identity, Round, DIAL_REQUEST_LEN, ONION_LAYER_OVERHEAD};
+
+use crate::cdn::Cdn;
+use crate::error::CoordinatorError;
+use crate::rounds::RoundTiming;
+
+/// Configuration for building a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of PKG servers (the paper co-locates one PKG per mixnet server).
+    pub num_pkgs: usize,
+    /// Number of mixnet servers in the chain.
+    pub num_mix_servers: usize,
+    /// Noise configuration for add-friend rounds.
+    pub add_friend_noise: NoiseConfig,
+    /// Noise configuration for dialing rounds.
+    pub dialing_noise: NoiseConfig,
+    /// Mailbox sizing policy.
+    pub mailbox_policy: MailboxPolicy,
+    /// Round durations (used for latency/bandwidth reporting, not enforced
+    /// in-process).
+    pub timing: RoundTiming,
+    /// Master seed for all server randomness (reproducible experiments).
+    pub seed: [u8; 32],
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_pkgs: 3,
+            num_mix_servers: 3,
+            add_friend_noise: NoiseConfig::light(),
+            dialing_noise: NoiseConfig::light(),
+            mailbox_policy: MailboxPolicy::default(),
+            timing: RoundTiming::default(),
+            seed: [0u8; 32],
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's deployment parameters (3 servers, §8.1 noise), scaled-down
+    /// noise is NOT applied — use this for cost-model calibration, not for
+    /// in-process end-to-end runs with many simulated clients.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            num_pkgs: 3,
+            num_mix_servers: 3,
+            add_friend_noise: NoiseConfig::paper_add_friend(),
+            dialing_noise: NoiseConfig::paper_dialing(),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// A small, fast configuration for tests and examples.
+    pub fn test(seed: u8) -> Self {
+        ClusterConfig {
+            num_pkgs: 3,
+            num_mix_servers: 3,
+            add_friend_noise: NoiseConfig::deterministic(2.0),
+            dialing_noise: NoiseConfig::deterministic(3.0),
+            mailbox_policy: MailboxPolicy {
+                add_friend_target: 100,
+                dialing_target: 100,
+            },
+            timing: RoundTiming::default(),
+            seed: [seed; 32],
+        }
+    }
+}
+
+/// Everything a client needs to participate in an open add-friend round.
+#[derive(Debug, Clone)]
+pub struct AddFriendRoundInfo {
+    /// The round number.
+    pub round: Round,
+    /// Onion public keys of the mixnet servers, in chain order.
+    pub onion_keys: Vec<DhPublic>,
+    /// Each PKG's revealed master public key for the round.
+    pub pkg_publics: Vec<MasterPublic>,
+    /// The aggregated (Anytrust-IBE) master public key clients encrypt to.
+    pub master_public: MasterPublic,
+    /// Number of add-friend mailboxes this round.
+    pub num_mailboxes: u32,
+    /// The fixed size of a client submission (onion) this round.
+    pub onion_len: usize,
+}
+
+/// Everything a client needs to participate in an open dialing round.
+#[derive(Debug, Clone)]
+pub struct DialingRoundInfo {
+    /// The round number.
+    pub round: Round,
+    /// Onion public keys of the mixnet servers, in chain order.
+    pub onion_keys: Vec<DhPublic>,
+    /// Number of dialing mailboxes this round.
+    pub num_mailboxes: u32,
+    /// The fixed size of a client submission (onion) this round.
+    pub onion_len: usize,
+}
+
+struct OpenRound<Info> {
+    info: Info,
+    batch: Vec<Vec<u8>>,
+}
+
+/// An in-process Alpenhorn deployment.
+pub struct Cluster {
+    config: ClusterConfig,
+    pkgs: Vec<PkgServer>,
+    mail: SimulatedMail,
+    add_friend_chain: MixChain,
+    dialing_chain: MixChain,
+    cdn: Cdn,
+    open_add_friend: Option<OpenRound<AddFriendRoundInfo>>,
+    open_dialing: Option<OpenRound<DialingRoundInfo>>,
+    now: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster from the configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let pkgs = (0..config.num_pkgs)
+            .map(|i| {
+                let mut seed = config.seed;
+                seed[31] ^= i as u8;
+                seed[30] ^= 0xa5;
+                PkgServer::new(&format!("pkg-{i}"), seed)
+            })
+            .collect();
+        let mut add_seed = config.seed;
+        add_seed[29] ^= 0x11;
+        let mut dial_seed = config.seed;
+        dial_seed[29] ^= 0x22;
+        Cluster {
+            pkgs,
+            mail: SimulatedMail::new(),
+            add_friend_chain: MixChain::new(config.num_mix_servers, config.add_friend_noise, add_seed),
+            dialing_chain: MixChain::new(config.num_mix_servers, config.dialing_noise, dial_seed),
+            cdn: Cdn::new(),
+            open_add_friend: None,
+            open_dialing: None,
+            now: 0,
+            config,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The simulated wall-clock time in seconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance_time(&mut self, seconds: u64) {
+        self.now += seconds;
+    }
+
+    /// The simulated email system (clients read confirmation tokens here).
+    pub fn mail(&self) -> &SimulatedMail {
+        &self.mail
+    }
+
+    /// The CDN serving mailbox downloads.
+    pub fn cdn(&mut self) -> &mut Cdn {
+        &mut self.cdn
+    }
+
+    /// The long-term verification keys of the PKGs, in order (these ship with
+    /// the client software).
+    pub fn pkg_verifying_keys(&self) -> Vec<VerifyingKey> {
+        self.pkgs.iter().map(|p| p.verifying_key()).collect()
+    }
+
+    /// Number of PKGs.
+    pub fn num_pkgs(&self) -> usize {
+        self.pkgs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Starts registration of `identity` under `signing_key` at every PKG
+    /// (each sends a confirmation email to the simulated inbox).
+    pub fn begin_registration(
+        &mut self,
+        identity: &Identity,
+        signing_key: VerifyingKey,
+    ) -> Result<(), CoordinatorError> {
+        let now = self.now;
+        for pkg in &mut self.pkgs {
+            pkg.begin_registration(identity, signing_key, now, &self.mail)?;
+        }
+        Ok(())
+    }
+
+    /// Completes registration at every PKG by reading the confirmation tokens
+    /// from the identity's (simulated) inbox — this plays the role of the
+    /// user clicking the links in the confirmation emails.
+    pub fn complete_registration_from_inbox(
+        &mut self,
+        identity: &Identity,
+    ) -> Result<(), CoordinatorError> {
+        let now = self.now;
+        for pkg in &mut self.pkgs {
+            let token = self
+                .mail
+                .latest_token(identity, pkg.name())
+                .ok_or(CoordinatorError::Pkg(alpenhorn_pkg::PkgError::NoPendingRegistration))?;
+            pkg.complete_registration(identity, token, now)?;
+        }
+        Ok(())
+    }
+
+    /// Deregisters `identity` at every PKG (signature checked by each PKG).
+    pub fn deregister(
+        &mut self,
+        identity: &Identity,
+        signature: &Signature,
+    ) -> Result<(), CoordinatorError> {
+        let now = self.now;
+        for pkg in &mut self.pkgs {
+            pkg.deregister(identity, signature, now)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Add-friend rounds
+    // ------------------------------------------------------------------
+
+    /// Opens add-friend `round`, sized for `expected_real_requests`.
+    ///
+    /// Runs the PKG commit-then-reveal exchange, verifies every opening
+    /// against its commitment, starts the mixnet round, and returns the
+    /// information clients need to participate.
+    pub fn begin_add_friend_round(
+        &mut self,
+        round: Round,
+        expected_real_requests: usize,
+    ) -> Result<AddFriendRoundInfo, CoordinatorError> {
+        if self.open_add_friend.is_some() {
+            return Err(CoordinatorError::RoundAlreadyOpen);
+        }
+        // Commit phase: collect all commitments before any reveal.
+        let commitments: Vec<_> = self.pkgs.iter_mut().map(|p| p.begin_round(round)).collect();
+        // Reveal phase: collect and verify openings.
+        let mut pkg_publics = Vec::with_capacity(self.pkgs.len());
+        for (i, pkg) in self.pkgs.iter_mut().enumerate() {
+            let (public, nonce) = pkg.reveal_round_key(round)?;
+            if !commitments[i].verify(&public.to_bytes(), &nonce) {
+                return Err(CoordinatorError::CommitmentMismatch { pkg_index: i });
+            }
+            pkg_publics.push(public);
+        }
+        let master_public = aggregate_master_publics(&pkg_publics);
+        let onion_keys = self.add_friend_chain.begin_round();
+        let num_mailboxes = self
+            .config
+            .mailbox_policy
+            .add_friend_mailboxes(expected_real_requests);
+        let onion_len = AddFriendEnvelope::ENCODED_LEN
+            + self.config.num_mix_servers * ONION_LAYER_OVERHEAD;
+        let info = AddFriendRoundInfo {
+            round,
+            onion_keys,
+            pkg_publics,
+            master_public,
+            num_mailboxes,
+            onion_len,
+        };
+        self.open_add_friend = Some(OpenRound {
+            info: info.clone(),
+            batch: Vec::new(),
+        });
+        Ok(info)
+    }
+
+    /// Extracts `identity`'s round key share from every PKG. The signature
+    /// must cover [`alpenhorn_pkg::server::extraction_request_message`] for
+    /// this identity and round.
+    pub fn extract_identity_keys(
+        &mut self,
+        identity: &Identity,
+        round: Round,
+        auth_signature: &Signature,
+    ) -> Result<Vec<ExtractResponse>, CoordinatorError> {
+        let now = self.now;
+        let mut out = Vec::with_capacity(self.pkgs.len());
+        for pkg in &mut self.pkgs {
+            out.push(pkg.extract(identity, round, auth_signature, now)?);
+        }
+        Ok(out)
+    }
+
+    /// Submits one client onion for the open add-friend round. The entry
+    /// server enforces the fixed request size (cover traffic must be
+    /// indistinguishable).
+    pub fn submit_add_friend(
+        &mut self,
+        round: Round,
+        onion: Vec<u8>,
+    ) -> Result<(), CoordinatorError> {
+        let open = self
+            .open_add_friend
+            .as_mut()
+            .ok_or(CoordinatorError::RoundNotOpen { requested: round })?;
+        if open.info.round != round {
+            return Err(CoordinatorError::RoundNotOpen { requested: round });
+        }
+        if onion.len() != open.info.onion_len {
+            return Err(CoordinatorError::WrongRequestSize {
+                expected: open.info.onion_len,
+                actual: onion.len(),
+            });
+        }
+        open.batch.push(onion);
+        Ok(())
+    }
+
+    /// Closes the open add-friend round: runs the mixnet, publishes the
+    /// mailboxes to the CDN, and returns the round statistics. PKG round keys
+    /// are destroyed afterwards (clients already extracted their shares while
+    /// the round was open).
+    pub fn close_add_friend_round(&mut self, round: Round) -> Result<RoundStats, CoordinatorError> {
+        let open = self
+            .open_add_friend
+            .take()
+            .ok_or(CoordinatorError::RoundNotOpen { requested: round })?;
+        if open.info.round != round {
+            self.open_add_friend = Some(open);
+            return Err(CoordinatorError::RoundNotOpen { requested: round });
+        }
+        let (mailboxes, stats) = self.add_friend_chain.run_add_friend_round(
+            open.batch,
+            open.info.num_mailboxes,
+            &open.info.onion_keys,
+        );
+        self.cdn.publish_add_friend(round, mailboxes);
+        self.add_friend_chain.end_round();
+        for pkg in &mut self.pkgs {
+            pkg.end_round();
+        }
+        Ok(stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Dialing rounds
+    // ------------------------------------------------------------------
+
+    /// Opens dialing `round`, sized for `expected_real_tokens`.
+    pub fn begin_dialing_round(
+        &mut self,
+        round: Round,
+        expected_real_tokens: usize,
+    ) -> Result<DialingRoundInfo, CoordinatorError> {
+        if self.open_dialing.is_some() {
+            return Err(CoordinatorError::RoundAlreadyOpen);
+        }
+        let onion_keys = self.dialing_chain.begin_round();
+        let num_mailboxes = self
+            .config
+            .mailbox_policy
+            .dialing_mailboxes(expected_real_tokens);
+        let onion_len = DIAL_REQUEST_LEN + self.config.num_mix_servers * ONION_LAYER_OVERHEAD;
+        let info = DialingRoundInfo {
+            round,
+            onion_keys,
+            num_mailboxes,
+            onion_len,
+        };
+        self.open_dialing = Some(OpenRound {
+            info: info.clone(),
+            batch: Vec::new(),
+        });
+        Ok(info)
+    }
+
+    /// Submits one client onion for the open dialing round.
+    pub fn submit_dialing(&mut self, round: Round, onion: Vec<u8>) -> Result<(), CoordinatorError> {
+        let open = self
+            .open_dialing
+            .as_mut()
+            .ok_or(CoordinatorError::RoundNotOpen { requested: round })?;
+        if open.info.round != round {
+            return Err(CoordinatorError::RoundNotOpen { requested: round });
+        }
+        if onion.len() != open.info.onion_len {
+            return Err(CoordinatorError::WrongRequestSize {
+                expected: open.info.onion_len,
+                actual: onion.len(),
+            });
+        }
+        open.batch.push(onion);
+        Ok(())
+    }
+
+    /// Closes the open dialing round: runs the mixnet, publishes the Bloom
+    /// filter mailboxes to the CDN, and returns the round statistics.
+    pub fn close_dialing_round(&mut self, round: Round) -> Result<RoundStats, CoordinatorError> {
+        let open = self
+            .open_dialing
+            .take()
+            .ok_or(CoordinatorError::RoundNotOpen { requested: round })?;
+        if open.info.round != round {
+            self.open_dialing = Some(open);
+            return Err(CoordinatorError::RoundNotOpen { requested: round });
+        }
+        let (mailboxes, stats) = self.dialing_chain.run_dialing_round(
+            open.batch,
+            open.info.num_mailboxes,
+            &open.info.onion_keys,
+        );
+        self.cdn.publish_dialing(round, mailboxes);
+        self.dialing_chain.end_round();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_crypto::ChaChaRng;
+    use alpenhorn_ibe::anytrust::aggregate_identity_keys;
+    use alpenhorn_ibe::bf::{decrypt, encrypt};
+    use alpenhorn_ibe::sig::SigningKey;
+    use alpenhorn_mixnet::onion::wrap_onion;
+    use alpenhorn_pkg::server::extraction_request_message;
+    use alpenhorn_wire::{DialRequest, DialToken, MailboxId};
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    fn register(cluster: &mut Cluster, who: &Identity, rng: &mut ChaChaRng) -> SigningKey {
+        let key = SigningKey::generate(rng);
+        cluster.begin_registration(who, key.verifying_key()).unwrap();
+        cluster.complete_registration_from_inbox(who).unwrap();
+        key
+    }
+
+    #[test]
+    fn end_to_end_add_friend_round() {
+        let mut cluster = Cluster::new(ClusterConfig::test(1));
+        let mut rng = ChaChaRng::from_seed_bytes([99u8; 32]);
+        let alice = id("alice@example.com");
+        let bob = id("bob@gmail.com");
+        let _alice_key = register(&mut cluster, &alice, &mut rng);
+        let bob_key = register(&mut cluster, &bob, &mut rng);
+
+        let round = Round(1);
+        let info = cluster.begin_add_friend_round(round, 10).unwrap();
+        assert_eq!(info.pkg_publics.len(), 3);
+        assert_eq!(info.onion_keys.len(), 3);
+
+        // Alice encrypts a message to Bob under the aggregated key and
+        // submits it through the mixnet to Bob's mailbox.
+        let payload = b"alice's friend request body".to_vec();
+        let ciphertext = encrypt(&info.master_public, bob.as_bytes(), &payload, &mut rng);
+        // Pad to the fixed envelope ciphertext size (the client crate builds
+        // real fixed-size requests; this test only checks transport).
+        let mut fixed = vec![0u8; AddFriendEnvelope::CIPHERTEXT_LEN];
+        fixed[..ciphertext.len()].copy_from_slice(&ciphertext);
+        let envelope = AddFriendEnvelope {
+            mailbox: MailboxId::for_recipient(&bob, info.num_mailboxes),
+            ciphertext: fixed,
+        };
+        let onion = wrap_onion(&envelope.encode(), &info.onion_keys, &mut rng);
+        cluster.submit_add_friend(round, onion).unwrap();
+
+        // Bob extracts his identity keys while the round is open.
+        let auth = bob_key.sign(&extraction_request_message(&bob, round));
+        let responses = cluster.extract_identity_keys(&bob, round, &auth).unwrap();
+        let bob_idk = aggregate_identity_keys(
+            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
+        );
+
+        let stats = cluster.close_add_friend_round(round).unwrap();
+        assert_eq!(stats.client_messages, 1);
+        assert!(stats.total_noise() > 0);
+
+        // Bob downloads his mailbox and trial-decrypts.
+        let mailbox = MailboxId::for_recipient(&bob, info.num_mailboxes);
+        let contents = cluster
+            .cdn()
+            .fetch_add_friend_mailbox(round, mailbox)
+            .unwrap();
+        let mut found = false;
+        for ct in &contents {
+            if let Ok(m) = decrypt(&bob_idk, &ct[..ciphertext.len()]) {
+                assert_eq!(m, payload);
+                found = true;
+            }
+        }
+        assert!(found, "Bob must find Alice's request among the noise");
+    }
+
+    #[test]
+    fn end_to_end_dialing_round() {
+        let mut cluster = Cluster::new(ClusterConfig::test(2));
+        let mut rng = ChaChaRng::from_seed_bytes([5u8; 32]);
+        let round = Round(4);
+        let info = cluster.begin_dialing_round(round, 10).unwrap();
+
+        let token = DialToken([0xabu8; 32]);
+        let req = DialRequest {
+            mailbox: MailboxId(0),
+            token,
+        };
+        let onion = wrap_onion(&req.encode(), &info.onion_keys, &mut rng);
+        cluster.submit_dialing(round, onion).unwrap();
+        let stats = cluster.close_dialing_round(round).unwrap();
+        assert_eq!(stats.client_messages, 1);
+
+        let filter = cluster
+            .cdn()
+            .fetch_dialing_mailbox(round, MailboxId(0))
+            .unwrap();
+        assert!(filter.contains(&token.0));
+    }
+
+    #[test]
+    fn entry_server_rejects_wrong_size_requests() {
+        let mut cluster = Cluster::new(ClusterConfig::test(3));
+        let round = Round(1);
+        let info = cluster.begin_add_friend_round(round, 10).unwrap();
+        assert!(matches!(
+            cluster.submit_add_friend(round, vec![0u8; info.onion_len - 1]),
+            Err(CoordinatorError::WrongRequestSize { .. })
+        ));
+        assert!(matches!(
+            cluster.submit_dialing(Round(1), vec![0u8; 10]),
+            Err(CoordinatorError::RoundNotOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn round_lifecycle_errors() {
+        let mut cluster = Cluster::new(ClusterConfig::test(4));
+        assert!(matches!(
+            cluster.close_add_friend_round(Round(1)),
+            Err(CoordinatorError::RoundNotOpen { .. })
+        ));
+        cluster.begin_add_friend_round(Round(1), 1).unwrap();
+        assert!(matches!(
+            cluster.begin_add_friend_round(Round(2), 1),
+            Err(CoordinatorError::RoundAlreadyOpen)
+        ));
+        // Closing the wrong round number fails and keeps the round open.
+        assert!(matches!(
+            cluster.close_add_friend_round(Round(2)),
+            Err(CoordinatorError::RoundNotOpen { .. })
+        ));
+        cluster.close_add_friend_round(Round(1)).unwrap();
+    }
+
+    #[test]
+    fn forward_secrecy_pkg_keys_destroyed_after_round() {
+        let mut cluster = Cluster::new(ClusterConfig::test(5));
+        let mut rng = ChaChaRng::from_seed_bytes([7u8; 32]);
+        let bob = id("bob@gmail.com");
+        let bob_key = register(&mut cluster, &bob, &mut rng);
+
+        let round = Round(1);
+        cluster.begin_add_friend_round(round, 1).unwrap();
+        cluster.close_add_friend_round(round).unwrap();
+
+        // After the round closes, extraction for it is impossible — even for
+        // the legitimate user, let alone an adversary compromising the PKGs.
+        let auth = bob_key.sign(&extraction_request_message(&bob, round));
+        assert!(cluster.extract_identity_keys(&bob, round, &auth).is_err());
+    }
+
+    #[test]
+    fn simulated_time_advances() {
+        let mut cluster = Cluster::new(ClusterConfig::test(6));
+        assert_eq!(cluster.now(), 0);
+        cluster.advance_time(86_400);
+        assert_eq!(cluster.now(), 86_400);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for coordinator operations.
+
+use alpenhorn_wire::Round;
+
+/// Errors returned by the entry server / cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinatorError {
+    /// An operation referred to a round that is not currently open.
+    RoundNotOpen {
+        /// The round that was requested.
+        requested: Round,
+    },
+    /// A round of this protocol is already open; close it first.
+    RoundAlreadyOpen,
+    /// A submitted request did not have the fixed size required this round.
+    WrongRequestSize {
+        /// Expected size in bytes.
+        expected: usize,
+        /// Actual size in bytes.
+        actual: usize,
+    },
+    /// The requested mailbox does not exist for that round.
+    UnknownMailbox,
+    /// A PKG returned an error.
+    Pkg(alpenhorn_pkg::PkgError),
+    /// A PKG's revealed round key did not match its prior commitment — the
+    /// server is misbehaving and the round must be aborted.
+    CommitmentMismatch {
+        /// Index of the offending PKG.
+        pkg_index: usize,
+    },
+}
+
+impl core::fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoordinatorError::RoundNotOpen { requested } => {
+                write!(f, "round {} is not open", requested.0)
+            }
+            CoordinatorError::RoundAlreadyOpen => write!(f, "a round is already open"),
+            CoordinatorError::WrongRequestSize { expected, actual } => {
+                write!(f, "request must be {expected} bytes, got {actual}")
+            }
+            CoordinatorError::UnknownMailbox => write!(f, "unknown mailbox"),
+            CoordinatorError::Pkg(e) => write!(f, "PKG error: {e}"),
+            CoordinatorError::CommitmentMismatch { pkg_index } => {
+                write!(f, "PKG {pkg_index} revealed a key that does not match its commitment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<alpenhorn_pkg::PkgError> for CoordinatorError {
+    fn from(e: alpenhorn_pkg::PkgError) -> Self {
+        CoordinatorError::Pkg(e)
+    }
+}

@@ -1,0 +1,209 @@
+//! The client's address book.
+//!
+//! §3.1 of the paper: each client maintains an address book of friends,
+//! consisting primarily of the keywheel table. This module tracks the
+//! per-friend metadata around the keywheel: the friend's long-term signing
+//! key (learned out-of-band or by trust-on-first-use) and the state of the
+//! friendship handshake.
+
+use std::collections::BTreeMap;
+
+use alpenhorn_wire::{Identity, SIGNING_PK_LEN};
+
+/// State of a friendship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FriendStatus {
+    /// We sent an add-friend request and are waiting for the reply.
+    OutgoingPending,
+    /// We received a request and have not yet accepted or rejected it.
+    IncomingPending,
+    /// Both sides exchanged requests; the keywheel is established.
+    Confirmed,
+}
+
+/// One address book entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FriendEntry {
+    /// The friend's email address.
+    pub identity: Identity,
+    /// The friend's long-term signing key, if known. Populated out-of-band
+    /// (business card), by trust-on-first-use from their first friend
+    /// request, or both (in which case they must agree).
+    pub long_term_key: Option<[u8; SIGNING_PK_LEN]>,
+    /// Whether the key was provided out-of-band (stronger than TOFU).
+    pub key_out_of_band: bool,
+    /// Current handshake status.
+    pub status: FriendStatus,
+}
+
+/// The address book: per-friend metadata (the keywheels themselves live in
+/// [`alpenhorn_keywheel::KeywheelTable`]).
+#[derive(Debug, Default)]
+pub struct AddressBook {
+    entries: BTreeMap<Identity, FriendEntry>,
+}
+
+impl AddressBook {
+    /// Creates an empty address book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the entry for `identity`, if present.
+    pub fn get(&self, identity: &Identity) -> Option<&FriendEntry> {
+        self.entries.get(identity)
+    }
+
+    /// Returns a mutable entry for `identity`, if present.
+    pub fn get_mut(&mut self, identity: &Identity) -> Option<&mut FriendEntry> {
+        self.entries.get_mut(identity)
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, entry: FriendEntry) {
+        self.entries.insert(entry.identity.clone(), entry);
+    }
+
+    /// Removes an entry (the paper's recommendation when a user wants to be
+    /// able to deny a past friendship). Returns whether it existed.
+    pub fn remove(&mut self, identity: &Identity) -> bool {
+        self.entries.remove(identity).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the address book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FriendEntry> {
+        self.entries.values()
+    }
+
+    /// All confirmed friends.
+    pub fn confirmed(&self) -> impl Iterator<Item = &FriendEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.status == FriendStatus::Confirmed)
+    }
+
+    /// Records a key for `identity` using trust-on-first-use semantics:
+    ///
+    /// * if no key is known, the new key is stored and `true` is returned;
+    /// * if a key is already known (out-of-band or TOFU), the new key must
+    ///   match it; a mismatch returns `false` and leaves the stored key
+    ///   untouched.
+    pub fn observe_key(&mut self, identity: &Identity, key: &[u8; SIGNING_PK_LEN]) -> bool {
+        match self.entries.get_mut(identity) {
+            Some(entry) => match &entry.long_term_key {
+                Some(known) => known == key,
+                None => {
+                    entry.long_term_key = Some(*key);
+                    true
+                }
+            },
+            None => {
+                self.insert(FriendEntry {
+                    identity: identity.clone(),
+                    long_term_key: Some(*key),
+                    key_out_of_band: false,
+                    status: FriendStatus::IncomingPending,
+                });
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    fn entry(s: &str, status: FriendStatus) -> FriendEntry {
+        FriendEntry {
+            identity: id(s),
+            long_term_key: None,
+            key_out_of_band: false,
+            status,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut book = AddressBook::new();
+        assert!(book.is_empty());
+        book.insert(entry("bob@gmail.com", FriendStatus::OutgoingPending));
+        assert_eq!(book.len(), 1);
+        assert_eq!(
+            book.get(&id("bob@gmail.com")).unwrap().status,
+            FriendStatus::OutgoingPending
+        );
+        assert!(book.remove(&id("bob@gmail.com")));
+        assert!(!book.remove(&id("bob@gmail.com")));
+    }
+
+    #[test]
+    fn confirmed_filter() {
+        let mut book = AddressBook::new();
+        book.insert(entry("a@x.com", FriendStatus::Confirmed));
+        book.insert(entry("b@x.com", FriendStatus::OutgoingPending));
+        book.insert(entry("c@x.com", FriendStatus::Confirmed));
+        let confirmed: Vec<_> = book.confirmed().map(|e| e.identity.clone()).collect();
+        assert_eq!(confirmed, vec![id("a@x.com"), id("c@x.com")]);
+    }
+
+    #[test]
+    fn tofu_first_key_accepted_second_must_match() {
+        let mut book = AddressBook::new();
+        let alice = id("alice@example.com");
+        assert!(book.observe_key(&alice, &[1u8; SIGNING_PK_LEN]));
+        // Same key again: fine.
+        assert!(book.observe_key(&alice, &[1u8; SIGNING_PK_LEN]));
+        // Different key: rejected, original kept.
+        assert!(!book.observe_key(&alice, &[2u8; SIGNING_PK_LEN]));
+        assert_eq!(
+            book.get(&alice).unwrap().long_term_key,
+            Some([1u8; SIGNING_PK_LEN])
+        );
+    }
+
+    #[test]
+    fn out_of_band_key_respected_by_observe() {
+        let mut book = AddressBook::new();
+        let bob = id("bob@gmail.com");
+        book.insert(FriendEntry {
+            identity: bob.clone(),
+            long_term_key: Some([7u8; SIGNING_PK_LEN]),
+            key_out_of_band: true,
+            status: FriendStatus::OutgoingPending,
+        });
+        assert!(!book.observe_key(&bob, &[8u8; SIGNING_PK_LEN]));
+        assert!(book.observe_key(&bob, &[7u8; SIGNING_PK_LEN]));
+    }
+
+    #[test]
+    fn existing_entry_without_key_learns_key() {
+        let mut book = AddressBook::new();
+        let carol = id("carol@x.org");
+        book.insert(entry("carol@x.org", FriendStatus::OutgoingPending));
+        assert!(book.observe_key(&carol, &[3u8; SIGNING_PK_LEN]));
+        assert_eq!(
+            book.get(&carol).unwrap().long_term_key,
+            Some([3u8; SIGNING_PK_LEN])
+        );
+        // Status was not clobbered.
+        assert_eq!(
+            book.get(&carol).unwrap().status,
+            FriendStatus::OutgoingPending
+        );
+    }
+}

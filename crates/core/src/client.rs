@@ -1,0 +1,712 @@
+//! The Alpenhorn client.
+//!
+//! Implements Algorithm 1 (the add-friend round) and the dialing protocol of
+//! §5 against an in-process [`Cluster`]. The client is round driven:
+//!
+//! * **Add-friend round**: [`Client::participate_add_friend`] extracts the
+//!   round's IBE identity keys from every PKG, verifies their attestations,
+//!   and submits exactly one fixed-size request (a real friend request if one
+//!   is queued, cover traffic otherwise). After the coordinator closes the
+//!   round, [`Client::process_add_friend_mailbox`] downloads the client's
+//!   mailbox, trial-decrypts every ciphertext, verifies signatures, updates
+//!   the address book and keywheels, and erases the round's identity keys.
+//! * **Dialing round**: [`Client::participate_dialing`] submits one (possibly
+//!   cover) dial token; [`Client::process_dialing_mailbox`] downloads the
+//!   round's Bloom filter, tests every (friend, intent) token, surfaces
+//!   incoming calls, and advances the keywheels (forward secrecy).
+
+use std::collections::{HashMap, VecDeque};
+
+use alpenhorn_coordinator::{AddFriendRoundInfo, Cluster, DialingRoundInfo};
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::anytrust::aggregate_identity_keys;
+use alpenhorn_ibe::bf::{decrypt as ibe_decrypt, encrypt as ibe_encrypt, IdentityPrivateKey};
+use alpenhorn_ibe::dh::{DhPublic, DhSecret};
+use alpenhorn_ibe::sig::{
+    aggregate_signatures, aggregate_verifying_keys, Signature, SigningKey, VerifyingKey,
+};
+use alpenhorn_keywheel::{KeywheelTable, SessionKey};
+use alpenhorn_mixnet::onion::wrap_onion;
+use alpenhorn_pkg::server::extraction_request_message;
+use alpenhorn_wire::{
+    AddFriendEnvelope, DialRequest, DialToken, FriendRequest, Identity, MailboxId, Round,
+    SIGNING_PK_LEN,
+};
+use rand::RngCore;
+
+use crate::addressbook::{AddressBook, FriendEntry, FriendStatus};
+use crate::error::ClientError;
+use crate::events::ClientEvent;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Number of application intents (§5.3). The client enumerates
+    /// `0..num_intents` tokens per friend when scanning dialing mailboxes.
+    pub num_intents: u32,
+    /// Whether to automatically accept incoming friend requests (the paper's
+    /// walkthrough behaviour). When false, requests wait for
+    /// [`Client::accept_friend_request`].
+    pub auto_accept_friends: bool,
+    /// How many dialing rounds in the future a newly proposed keywheel should
+    /// start (gives both sides time to finish the add-friend exchange).
+    pub dialing_round_slack: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            num_intents: 10,
+            auto_accept_friends: true,
+            dialing_round_slack: 2,
+        }
+    }
+}
+
+/// A queued outgoing add-friend transmission.
+enum OutgoingAddFriend {
+    /// We are initiating: first request to a new friend.
+    Initiate {
+        to: Identity,
+    },
+    /// We are replying to (confirming) a received request.
+    Reply {
+        to: Identity,
+        their_dh_key: [u8; alpenhorn_wire::DH_PK_LEN],
+        their_round: Round,
+    },
+}
+
+/// State about a request we sent and for which we await the confirmation.
+struct PendingOutgoing {
+    dh_secret: DhSecret,
+    proposed_round: Round,
+}
+
+/// A received friend request awaiting an accept/reject decision.
+struct PendingIncoming {
+    their_key: [u8; SIGNING_PK_LEN],
+    their_dh_key: [u8; alpenhorn_wire::DH_PK_LEN],
+    their_round: Round,
+}
+
+/// A queued outgoing call.
+struct OutgoingCall {
+    friend: Identity,
+    intent: u32,
+}
+
+/// The Alpenhorn client for one user.
+pub struct Client {
+    identity: Identity,
+    config: ClientConfig,
+    signing_key: SigningKey,
+    /// The PKGs' long-term verification keys (ship with the software, §3.3).
+    pkg_keys: Vec<VerifyingKey>,
+    registered: bool,
+
+    address_book: AddressBook,
+    keywheels: KeywheelTable,
+
+    /// Outgoing add-friend transmissions, one sent per round.
+    outgoing_add_friend: VecDeque<OutgoingAddFriend>,
+    /// Sent requests awaiting the friend's confirmation.
+    pending_outgoing: HashMap<Identity, PendingOutgoing>,
+    /// Received requests awaiting an application decision.
+    pending_incoming: HashMap<Identity, PendingIncoming>,
+    /// Outgoing calls, one placed per dialing round.
+    outgoing_calls: VecDeque<OutgoingCall>,
+
+    /// Identity keys for the currently open add-friend round (erased after
+    /// the mailbox is scanned, §4.4).
+    round_identity_key: Option<(Round, IdentityPrivateKey)>,
+    /// The PKG multi-signature over (identity, signing key, round) for the
+    /// current round, included in outgoing requests.
+    round_attestation: Option<(Round, Signature)>,
+    /// The client's view of the next dialing round (used to propose keywheel
+    /// start rounds).
+    next_dialing_round: Round,
+    /// The dial token this client itself sent in the current dialing round.
+    /// Dial tokens carry no direction, so when caller and callee happen to
+    /// share a mailbox the caller would otherwise see its own token and
+    /// report a phantom incoming call.
+    sent_dial_token: Option<(Round, DialToken)>,
+
+    rng: ChaChaRng,
+}
+
+impl Client {
+    /// Creates a client for `identity`, generating a fresh long-term signing
+    /// key. `pkg_keys` are the PKG verification keys distributed with the
+    /// application.
+    pub fn new(identity: Identity, pkg_keys: Vec<VerifyingKey>, config: ClientConfig, seed: [u8; 32]) -> Self {
+        let mut rng = ChaChaRng::from_seed_bytes(seed);
+        let signing_key = SigningKey::generate(&mut rng);
+        Client {
+            identity,
+            config,
+            signing_key,
+            pkg_keys,
+            registered: false,
+            address_book: AddressBook::new(),
+            keywheels: KeywheelTable::new(),
+            outgoing_add_friend: VecDeque::new(),
+            pending_outgoing: HashMap::new(),
+            pending_incoming: HashMap::new(),
+            outgoing_calls: VecDeque::new(),
+            round_identity_key: None,
+            round_attestation: None,
+            next_dialing_round: Round::FIRST,
+            sent_dial_token: None,
+            rng,
+        }
+    }
+
+    /// The client's own identity.
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    /// The client's long-term signing public key (the paper's
+    /// `MySigningKey()`), for sharing with friends out-of-band.
+    pub fn signing_public_key(&self) -> VerifyingKey {
+        self.signing_key.verifying_key()
+    }
+
+    /// The address book (read-only view).
+    pub fn address_book(&self) -> &AddressBook {
+        &self.address_book
+    }
+
+    /// The keywheel table (read-only view).
+    pub fn keywheels(&self) -> &KeywheelTable {
+        &self.keywheels
+    }
+
+    /// Whether registration has completed.
+    pub fn is_registered(&self) -> bool {
+        self.registered
+    }
+
+    /// Registers this client's identity and signing key with every PKG (the
+    /// paper's `Register(email)`), completing the email confirmation against
+    /// the cluster's simulated inbox.
+    pub fn register(&mut self, cluster: &mut Cluster) -> Result<(), ClientError> {
+        if self.registered {
+            // Registration is idempotent from the client's point of view; the
+            // PKGs already hold this key and re-running the email round trip
+            // would be a no-op.
+            return Ok(());
+        }
+        cluster.begin_registration(&self.identity, self.signing_key.verifying_key())?;
+        cluster.complete_registration_from_inbox(&self.identity)?;
+        self.registered = true;
+        Ok(())
+    }
+
+    /// Queues an add-friend request to `friend` (the paper's
+    /// `AddFriend(email, theirKey)`), optionally pinning the friend's
+    /// long-term key if it was obtained out-of-band.
+    pub fn add_friend(&mut self, friend: Identity, their_key: Option<VerifyingKey>) {
+        self.address_book.insert(FriendEntry {
+            identity: friend.clone(),
+            long_term_key: their_key.map(|k| k.to_bytes()),
+            key_out_of_band: their_key.is_some(),
+            status: FriendStatus::OutgoingPending,
+        });
+        self.outgoing_add_friend
+            .push_back(OutgoingAddFriend::Initiate { to: friend });
+    }
+
+    /// Queues a call to `friend` with the application-specific `intent` (the
+    /// paper's `Call(email, intent)`). The session key is surfaced in an
+    /// [`ClientEvent::OutgoingCallPlaced`] event when the call is actually
+    /// transmitted in the next dialing round.
+    pub fn call(&mut self, friend: Identity, intent: u32) -> Result<(), ClientError> {
+        if intent >= self.config.num_intents {
+            return Err(ClientError::InvalidIntent {
+                intent,
+                num_intents: self.config.num_intents,
+            });
+        }
+        if !self.keywheels.contains(&friend) {
+            return Err(ClientError::NotAFriend(friend));
+        }
+        self.outgoing_calls.push_back(OutgoingCall { friend, intent });
+        Ok(())
+    }
+
+    /// Accepts a pending incoming friend request, queueing the confirmation
+    /// request for the next add-friend round.
+    pub fn accept_friend_request(&mut self, from: &Identity) -> Result<(), ClientError> {
+        let pending = self
+            .pending_incoming
+            .remove(from)
+            .ok_or_else(|| ClientError::NoPendingRequest(from.clone()))?;
+        self.queue_reply(from.clone(), pending);
+        Ok(())
+    }
+
+    /// Rejects (drops) a pending incoming friend request.
+    pub fn reject_friend_request(&mut self, from: &Identity) -> Result<(), ClientError> {
+        self.pending_incoming
+            .remove(from)
+            .ok_or_else(|| ClientError::NoPendingRequest(from.clone()))?;
+        self.address_book.remove(from);
+        Ok(())
+    }
+
+    /// Removes a friend entirely: address book entry and keywheel are erased
+    /// (§3.2: after removal, Alpenhorn's guarantees again hide whether the
+    /// two users were ever friends).
+    pub fn remove_friend(&mut self, friend: &Identity) {
+        self.address_book.remove(friend);
+        self.keywheels.remove(friend);
+        self.pending_outgoing.remove(friend);
+        self.pending_incoming.remove(friend);
+    }
+
+    /// Wipes all per-friend secrets and pending state, and rotates the
+    /// long-term signing key. This is the client-compromise recovery path
+    /// (§9): after calling this the user must re-register (after
+    /// deregistering with the old key) and re-run add-friend with each friend.
+    pub fn reset_after_compromise(&mut self) {
+        let friends: Vec<Identity> = self.address_book.iter().map(|e| e.identity.clone()).collect();
+        for friend in friends {
+            self.keywheels.remove(&friend);
+        }
+        self.address_book = AddressBook::new();
+        self.pending_outgoing.clear();
+        self.pending_incoming.clear();
+        self.outgoing_add_friend.clear();
+        self.outgoing_calls.clear();
+        self.round_identity_key = None;
+        self.round_attestation = None;
+        self.signing_key = SigningKey::generate(&mut self.rng);
+        self.registered = false;
+    }
+
+    /// Signs a deregistration request for this identity (sent to the PKGs via
+    /// [`Cluster::deregister`]).
+    pub fn sign_deregistration(&self) -> Signature {
+        self.signing_key
+            .sign(&alpenhorn_pkg::server::deregistration_message(&self.identity))
+    }
+
+    // ------------------------------------------------------------------
+    // Add-friend rounds (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Participates in an open add-friend round: extracts identity keys from
+    /// the PKGs (step 1), then signs, encrypts, onion-wraps and submits one
+    /// request — real if one is queued, cover otherwise (steps 2-3).
+    pub fn participate_add_friend(
+        &mut self,
+        cluster: &mut Cluster,
+        info: &AddFriendRoundInfo,
+    ) -> Result<(), ClientError> {
+        if !self.registered {
+            return Err(ClientError::NotRegistered);
+        }
+
+        // Step 1: acquire identity keys and PKG attestations.
+        let auth = self
+            .signing_key
+            .sign(&extraction_request_message(&self.identity, info.round));
+        let responses = cluster.extract_identity_keys(&self.identity, info.round, &auth)?;
+        // Verify each PKG's attestation with its long-term key before
+        // trusting the aggregate (a malicious PKG returning garbage would
+        // otherwise break our own outgoing requests).
+        let attestation_msg = FriendRequest::pkg_attestation_message(
+            &self.identity,
+            &self.signing_key.verifying_key().to_bytes(),
+            info.round,
+        );
+        for (i, response) in responses.iter().enumerate() {
+            if i < self.pkg_keys.len() && !self.pkg_keys[i].verify(&attestation_msg, &response.attestation)
+            {
+                return Err(ClientError::Coordinator(
+                    alpenhorn_coordinator::CoordinatorError::CommitmentMismatch { pkg_index: i },
+                ));
+            }
+        }
+        let identity_key = aggregate_identity_keys(
+            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
+        );
+        let attestation = aggregate_signatures(
+            &responses.iter().map(|r| r.attestation).collect::<Vec<_>>(),
+        );
+        self.round_identity_key = Some((info.round, identity_key));
+        self.round_attestation = Some((info.round, attestation));
+
+        // Steps 2-3: build and submit exactly one fixed-size request.
+        let envelope = self.build_add_friend_envelope(info)?;
+        let onion = wrap_onion(&envelope.encode(), &info.onion_keys, &mut self.rng);
+        cluster.submit_add_friend(info.round, onion)?;
+        Ok(())
+    }
+
+    /// Builds this round's add-friend envelope: a real request if one is
+    /// queued, cover traffic otherwise.
+    fn build_add_friend_envelope(
+        &mut self,
+        info: &AddFriendRoundInfo,
+    ) -> Result<AddFriendEnvelope, ClientError> {
+        let Some(outgoing) = self.outgoing_add_friend.pop_front() else {
+            return Ok(AddFriendEnvelope::cover());
+        };
+        let (recipient, dialing_round, dh_public) = match outgoing {
+            OutgoingAddFriend::Initiate { to } => {
+                let dh_secret = DhSecret::generate(&mut self.rng);
+                let dh_public = dh_secret.public();
+                let proposed = self.propose_dialing_round();
+                self.pending_outgoing.insert(
+                    to.clone(),
+                    PendingOutgoing {
+                        dh_secret,
+                        proposed_round: proposed,
+                    },
+                );
+                (to, proposed, dh_public)
+            }
+            OutgoingAddFriend::Reply {
+                to,
+                their_dh_key,
+                their_round,
+            } => {
+                // Generate our ephemeral key, agree on the keywheel now, and
+                // tell the initiator the final start round.
+                let dh_secret = DhSecret::generate(&mut self.rng);
+                let dh_public = dh_secret.public();
+                let final_round = Round(their_round.0.max(self.propose_dialing_round().0));
+                let their_public = DhPublic::from_bytes(&their_dh_key)
+                    .map_err(|_| ClientError::NoPendingRequest(to.clone()))?;
+                let shared = dh_secret.shared_secret(&their_public);
+                self.keywheels.insert(to.clone(), shared, final_round);
+                if let Some(entry) = self.address_book.get_mut(&to) {
+                    entry.status = FriendStatus::Confirmed;
+                }
+                (to, final_round, dh_public)
+            }
+        };
+
+        let (_, attestation) = self
+            .round_attestation
+            .as_ref()
+            .expect("participate_add_friend sets the attestation before building");
+        let dialing_key = dh_public.to_bytes();
+        let sender_sig = self.signing_key.sign(&FriendRequest::signed_message_parts(
+            &self.identity,
+            &dialing_key,
+            dialing_round,
+        ));
+        let request = FriendRequest {
+            sender: self.identity.clone(),
+            sender_key: self.signing_key.verifying_key().to_bytes(),
+            sender_sig: sender_sig.to_bytes(),
+            pkg_sigs: attestation.to_bytes(),
+            pkg_round: info.round,
+            dialing_key,
+            dialing_round,
+        };
+        let plaintext = request.encode();
+        let ciphertext = ibe_encrypt(
+            &info.master_public,
+            recipient.as_bytes(),
+            &plaintext,
+            &mut self.rng,
+        );
+        debug_assert_eq!(ciphertext.len(), AddFriendEnvelope::CIPHERTEXT_LEN);
+        Ok(AddFriendEnvelope {
+            mailbox: MailboxId::for_recipient(&recipient, info.num_mailboxes),
+            ciphertext,
+        })
+    }
+
+    /// Downloads and scans this client's add-friend mailbox for the round
+    /// (steps 4-6 of Algorithm 1), then erases the round identity key.
+    pub fn process_add_friend_mailbox(
+        &mut self,
+        cluster: &mut Cluster,
+        info: &AddFriendRoundInfo,
+    ) -> Result<Vec<ClientEvent>, ClientError> {
+        let (key_round, identity_key) = self
+            .round_identity_key
+            .take()
+            .ok_or(ClientError::NotRegistered)?;
+        if key_round != info.round {
+            return Err(ClientError::Coordinator(
+                alpenhorn_coordinator::CoordinatorError::RoundNotOpen {
+                    requested: info.round,
+                },
+            ));
+        }
+        let mailbox = MailboxId::for_recipient(&self.identity, info.num_mailboxes);
+        let contents = cluster
+            .cdn()
+            .fetch_add_friend_mailbox(info.round, mailbox)
+            .ok_or(ClientError::MissingMailbox)?;
+
+        let mut events = Vec::new();
+        for ciphertext in &contents {
+            let Ok(plaintext) = ibe_decrypt(&identity_key, ciphertext) else {
+                continue; // Someone else's request, or noise.
+            };
+            let Ok(request) = FriendRequest::decode(&plaintext) else {
+                continue;
+            };
+            if let Some(event) = self.handle_friend_request(request) {
+                events.push(event);
+            }
+        }
+        // Forward secrecy: the round identity key is destroyed after the scan
+        // (dropping it here; the underlying scalar is not referenced again).
+        self.round_attestation = None;
+        Ok(events)
+    }
+
+    /// Validates and applies one decrypted friend request.
+    fn handle_friend_request(&mut self, request: FriendRequest) -> Option<ClientEvent> {
+        let from = request.sender.clone();
+        if from == self.identity {
+            return None;
+        }
+
+        // Verify the PKG multi-signature binding (sender, sender_key, round).
+        let multi_vk = aggregate_verifying_keys(&self.pkg_keys);
+        let attestation_msg = FriendRequest::pkg_attestation_message(
+            &from,
+            &request.sender_key,
+            request.pkg_round,
+        );
+        let Ok(pkg_sig) = Signature::from_bytes(&request.pkg_sigs) else {
+            return Some(self.reject(from, "malformed PKG multi-signature"));
+        };
+        if !multi_vk.verify(&attestation_msg, &pkg_sig) {
+            return Some(self.reject(from, "PKG multi-signature does not verify"));
+        }
+
+        // Verify the sender's own signature over the request.
+        let Ok(sender_key) = VerifyingKey::from_bytes(&request.sender_key) else {
+            return Some(self.reject(from, "malformed sender key"));
+        };
+        let Ok(sender_sig) = Signature::from_bytes(&request.sender_sig) else {
+            return Some(self.reject(from, "malformed sender signature"));
+        };
+        if !sender_key.verify(&request.sender_signed_message(), &sender_sig) {
+            return Some(self.reject(from, "sender signature does not verify"));
+        }
+
+        // Out-of-band / trust-on-first-use key check.
+        if !self.address_book.observe_key(&from, &request.sender_key) {
+            return Some(self.reject(from, "sender key conflicts with previously known key"));
+        }
+
+        if let Some(pending) = self.pending_outgoing.remove(&from) {
+            // This is the confirmation of a request we sent: compute the
+            // shared secret with our stored ephemeral secret.
+            let Ok(their_public) = DhPublic::from_bytes(&request.dialing_key) else {
+                return Some(self.reject(from, "malformed dialing key"));
+            };
+            let shared = pending.dh_secret.shared_secret(&their_public);
+            let final_round = Round(request.dialing_round.0.max(pending.proposed_round.0));
+            self.keywheels.insert(from.clone(), shared, final_round);
+            if let Some(entry) = self.address_book.get_mut(&from) {
+                entry.status = FriendStatus::Confirmed;
+            }
+            return Some(ClientEvent::FriendConfirmed {
+                friend: from,
+                dialing_round: final_round,
+            });
+        }
+
+        // A new incoming request (the paper's NewFriend callback).
+        let incoming = PendingIncoming {
+            their_key: request.sender_key,
+            their_dh_key: request.dialing_key,
+            their_round: request.dialing_round,
+        };
+        let auto = self.config.auto_accept_friends;
+        if auto {
+            self.queue_reply(from.clone(), incoming);
+        } else {
+            if let Some(entry) = self.address_book.get_mut(&from) {
+                entry.status = FriendStatus::IncomingPending;
+            }
+            self.pending_incoming.insert(from.clone(), incoming);
+        }
+        Some(ClientEvent::FriendRequestReceived {
+            from,
+            their_key: request.sender_key,
+            auto_accepted: auto,
+        })
+    }
+
+    fn reject(&mut self, from: Identity, reason: &str) -> ClientEvent {
+        ClientEvent::FriendRequestRejected {
+            from,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn queue_reply(&mut self, to: Identity, incoming: PendingIncoming) {
+        if self.address_book.get(&to).is_none() {
+            self.address_book.insert(FriendEntry {
+                identity: to.clone(),
+                long_term_key: Some(incoming.their_key),
+                key_out_of_band: false,
+                status: FriendStatus::IncomingPending,
+            });
+        }
+        self.outgoing_add_friend.push_back(OutgoingAddFriend::Reply {
+            to,
+            their_dh_key: incoming.their_dh_key,
+            their_round: incoming.their_round,
+        });
+    }
+
+    fn propose_dialing_round(&self) -> Round {
+        self.next_dialing_round.plus(self.config.dialing_round_slack)
+    }
+
+    // ------------------------------------------------------------------
+    // Dialing rounds (§5)
+    // ------------------------------------------------------------------
+
+    /// Participates in an open dialing round: submits one (possibly cover)
+    /// dial token through the mixnet. Returns the outgoing-call event if a
+    /// real call was placed.
+    pub fn participate_dialing(
+        &mut self,
+        cluster: &mut Cluster,
+        info: &DialingRoundInfo,
+    ) -> Result<Option<ClientEvent>, ClientError> {
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(info.round.0));
+
+        let mut event = None;
+        let request = match self.next_sendable_call(info.round) {
+            Some(call) => {
+                let token = self
+                    .keywheels
+                    .dial_token(&call.friend, info.round, call.intent)
+                    .ok_or_else(|| ClientError::NotAFriend(call.friend.clone()))??;
+                let session_key = self
+                    .keywheels
+                    .session_key(&call.friend, info.round, call.intent)
+                    .ok_or_else(|| ClientError::NotAFriend(call.friend.clone()))??;
+                event = Some(ClientEvent::OutgoingCallPlaced {
+                    friend: call.friend.clone(),
+                    intent: call.intent,
+                    session_key,
+                    round: info.round,
+                });
+                self.sent_dial_token = Some((info.round, token));
+                DialRequest {
+                    mailbox: MailboxId::for_recipient(&call.friend, info.num_mailboxes),
+                    token,
+                }
+            }
+            None => {
+                // Cover traffic: a random token to the cover mailbox.
+                let mut token = [0u8; 32];
+                self.rng.fill_bytes(&mut token);
+                DialRequest {
+                    mailbox: MailboxId::COVER,
+                    token: DialToken(token),
+                }
+            }
+        };
+        let onion = wrap_onion(&request.encode(), &info.onion_keys, &mut self.rng);
+        cluster.submit_dialing(info.round, onion)?;
+        Ok(event)
+    }
+
+    /// Pops the first queued call whose keywheel is usable in `round`
+    /// (keywheels established for a future round wait until it arrives).
+    fn next_sendable_call(&mut self, round: Round) -> Option<OutgoingCall> {
+        let mut deferred = VecDeque::new();
+        let mut chosen = None;
+        while let Some(call) = self.outgoing_calls.pop_front() {
+            let usable = self
+                .keywheels
+                .get(&call.friend)
+                .map(|w| w.round() <= round)
+                .unwrap_or(false);
+            if usable && chosen.is_none() {
+                chosen = Some(call);
+            } else {
+                deferred.push_back(call);
+            }
+        }
+        self.outgoing_calls = deferred;
+        chosen
+    }
+
+    /// Downloads the round's Bloom filter mailbox, scans it for calls from
+    /// any friend with any intent, and advances all keywheels past the round
+    /// (erasing old keys, §5.1).
+    pub fn process_dialing_mailbox(
+        &mut self,
+        cluster: &mut Cluster,
+        info: &DialingRoundInfo,
+    ) -> Result<Vec<ClientEvent>, ClientError> {
+        let mailbox = MailboxId::for_recipient(&self.identity, info.num_mailboxes);
+        let filter = cluster
+            .cdn()
+            .fetch_dialing_mailbox(info.round, mailbox)
+            .ok_or(ClientError::MissingMailbox)?;
+
+        let own_token = match self.sent_dial_token {
+            Some((round, token)) if round == info.round => Some(token),
+            _ => None,
+        };
+        let mut events = Vec::new();
+        for (friend, intent, token) in self
+            .keywheels
+            .expected_tokens(info.round, self.config.num_intents)
+        {
+            if own_token == Some(token) {
+                // Our own outgoing token for this round; not an incoming call.
+                continue;
+            }
+            if filter.contains(token.as_bytes()) {
+                let session_key: SessionKey = self
+                    .keywheels
+                    .session_key(&friend, info.round, intent)
+                    .expect("friend has a keywheel")?;
+                events.push(ClientEvent::IncomingCall {
+                    from: friend,
+                    intent,
+                    session_key,
+                    round: info.round,
+                });
+            }
+        }
+
+        // The round is fully handled (sent and scanned): advance keywheels so
+        // a later compromise cannot reconstruct this round's tokens.
+        self.keywheels.advance_to(info.round.next());
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(info.round.next().0));
+        Ok(events)
+    }
+
+    /// Gives up on a dialing round whose mailbox could not be fetched (§5.1:
+    /// after retrying for a while the client advances its keywheels anyway to
+    /// preserve forward secrecy, accepting that calls from that round are
+    /// lost).
+    pub fn abandon_dialing_round(&mut self, round: Round) {
+        self.keywheels.advance_to(round.next());
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(round.next().0));
+    }
+}
+
+impl core::fmt::Debug for Client {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Client")
+            .field("identity", &self.identity)
+            .field("registered", &self.registered)
+            .field("friends", &self.address_book.len())
+            .field("keywheels", &self.keywheels.len())
+            .finish()
+    }
+}

@@ -1,0 +1,411 @@
+//! Scenario tests for the client against an in-process cluster.
+
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_wire::{Identity, Round};
+
+use crate::client::{Client, ClientConfig};
+use crate::error::ClientError;
+use crate::events::ClientEvent;
+
+fn id(s: &str) -> Identity {
+    Identity::new(s).unwrap()
+}
+
+fn new_client(cluster: &mut Cluster, email: &str, seed: u8, config: ClientConfig) -> Client {
+    let mut client = Client::new(id(email), cluster.pkg_verifying_keys(), config, [seed; 32]);
+    client.register(cluster).unwrap();
+    client
+}
+
+/// Runs one complete add-friend round for the given clients and returns each
+/// client's events, in the same order as `clients`.
+fn run_add_friend_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<Vec<ClientEvent>> {
+    let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+    for client in clients.iter_mut() {
+        client.participate_add_friend(cluster, &info).unwrap();
+    }
+    cluster.close_add_friend_round(round).unwrap();
+    clients
+        .iter_mut()
+        .map(|c| c.process_add_friend_mailbox(cluster, &info).unwrap())
+        .collect()
+}
+
+/// Runs one complete dialing round and returns each client's events
+/// (participation events followed by mailbox events).
+fn run_dialing_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<Vec<ClientEvent>> {
+    let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+    let mut events: Vec<Vec<ClientEvent>> = Vec::new();
+    for client in clients.iter_mut() {
+        let mut mine = Vec::new();
+        if let Some(e) = client.participate_dialing(cluster, &info).unwrap() {
+            mine.push(e);
+        }
+        events.push(mine);
+    }
+    cluster.close_dialing_round(round).unwrap();
+    for (client, mine) in clients.iter_mut().zip(events.iter_mut()) {
+        mine.extend(client.process_dialing_mailbox(cluster, &info).unwrap());
+    }
+    events
+}
+
+/// Establishes a confirmed friendship between two clients (two add-friend
+/// rounds: request then confirmation).
+fn befriend(cluster: &mut Cluster, a: &mut Client, b: &mut Client, first_round: u64) -> Round {
+    let bob = b.identity().clone();
+    a.add_friend(bob, None);
+    run_add_friend_round(cluster, Round(first_round), &mut [a, b]);
+    let events = run_add_friend_round(cluster, Round(first_round + 1), &mut [a, b]);
+    // The initiator sees the confirmation in the second round.
+    let confirmed = events[0]
+        .iter()
+        .find_map(|e| match e {
+            ClientEvent::FriendConfirmed { dialing_round, .. } => Some(*dialing_round),
+            _ => None,
+        })
+        .expect("initiator should see FriendConfirmed");
+    confirmed
+}
+
+#[test]
+fn add_friend_handshake_confirms_both_sides() {
+    let mut cluster = Cluster::new(ClusterConfig::test(10));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 1, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 2, ClientConfig::default());
+
+    alice.add_friend(id("bob@gmail.com"), None);
+
+    // Round 1: Alice's request reaches Bob.
+    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    assert!(events[0].is_empty());
+    assert!(matches!(
+        events[1].as_slice(),
+        [ClientEvent::FriendRequestReceived { from, auto_accepted: true, .. }] if *from == id("alice@example.com")
+    ));
+
+    // Round 2: Bob's confirmation reaches Alice.
+    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    let confirmed_round = match events[0].as_slice() {
+        [ClientEvent::FriendConfirmed { friend, dialing_round }] if *friend == id("bob@gmail.com") => {
+            *dialing_round
+        }
+        other => panic!("expected FriendConfirmed, got {other:?}"),
+    };
+
+    // Both sides now have synchronized keywheels starting at the same round.
+    assert!(alice.keywheels().contains(&id("bob@gmail.com")));
+    assert!(bob.keywheels().contains(&id("alice@example.com")));
+    assert_eq!(
+        alice.keywheels().get(&id("bob@gmail.com")).unwrap().round(),
+        confirmed_round
+    );
+    assert_eq!(
+        bob.keywheels().get(&id("alice@example.com")).unwrap().round(),
+        confirmed_round
+    );
+    let a_token = alice
+        .keywheels()
+        .dial_token(&id("bob@gmail.com"), confirmed_round, 0)
+        .unwrap()
+        .unwrap();
+    let b_token = bob
+        .keywheels()
+        .dial_token(&id("alice@example.com"), confirmed_round, 0)
+        .unwrap()
+        .unwrap();
+    assert_eq!(a_token, b_token);
+}
+
+#[test]
+fn dialing_delivers_call_and_matching_session_keys() {
+    let mut cluster = Cluster::new(ClusterConfig::test(11));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 3, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 4, ClientConfig::default());
+    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+
+    alice.call(id("bob@gmail.com"), 2).unwrap();
+
+    // Run dialing rounds up to and including the keywheel start round.
+    let mut alice_key = None;
+    let mut bob_key = None;
+    for r in 1..=start.as_u64() {
+        let events = run_dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        for e in &events[0] {
+            if let ClientEvent::OutgoingCallPlaced { session_key, intent, .. } = e {
+                assert_eq!(*intent, 2);
+                alice_key = Some(*session_key);
+            }
+        }
+        for e in &events[1] {
+            if let ClientEvent::IncomingCall { from, intent, session_key, .. } = e {
+                assert_eq!(*from, id("alice@example.com"));
+                assert_eq!(*intent, 2);
+                bob_key = Some(*session_key);
+            }
+        }
+    }
+    let alice_key = alice_key.expect("alice placed the call");
+    let bob_key = bob_key.expect("bob received the call");
+    assert_eq!(alice_key, bob_key);
+}
+
+#[test]
+fn idle_clients_send_cover_traffic_and_receive_nothing() {
+    let mut cluster = Cluster::new(ClusterConfig::test(12));
+    let mut carol = new_client(&mut cluster, "carol@x.org", 5, ClientConfig::default());
+
+    let af = run_add_friend_round(&mut cluster, Round(1), &mut [&mut carol]);
+    assert!(af[0].is_empty());
+    let dial = run_dialing_round(&mut cluster, Round(1), &mut [&mut carol]);
+    assert!(dial[0].is_empty());
+}
+
+#[test]
+fn manual_accept_flow() {
+    let mut cluster = Cluster::new(ClusterConfig::test(13));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 6, ClientConfig::default());
+    let manual = ClientConfig {
+        auto_accept_friends: false,
+        ..ClientConfig::default()
+    };
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 7, manual);
+
+    alice.add_friend(id("bob@gmail.com"), None);
+    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    assert!(matches!(
+        events[1].as_slice(),
+        [ClientEvent::FriendRequestReceived { auto_accepted: false, .. }]
+    ));
+
+    // Without an accept, nothing is confirmed in round 2.
+    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    assert!(events[0].is_empty());
+
+    // Bob accepts; round 3 confirms.
+    bob.accept_friend_request(&id("alice@example.com")).unwrap();
+    let events = run_add_friend_round(&mut cluster, Round(3), &mut [&mut alice, &mut bob]);
+    assert!(events[0].iter().any(|e| e.is_friend_confirmed()));
+}
+
+#[test]
+fn reject_flow_discards_request() {
+    let mut cluster = Cluster::new(ClusterConfig::test(14));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 8, ClientConfig::default());
+    let manual = ClientConfig {
+        auto_accept_friends: false,
+        ..ClientConfig::default()
+    };
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 9, manual);
+
+    alice.add_friend(id("bob@gmail.com"), None);
+    run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    bob.reject_friend_request(&id("alice@example.com")).unwrap();
+    assert_eq!(
+        bob.reject_friend_request(&id("alice@example.com")),
+        Err(ClientError::NoPendingRequest(id("alice@example.com")))
+    );
+    // No confirmation ever arrives for Alice.
+    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    assert!(events[0].is_empty());
+    assert!(!bob.keywheels().contains(&id("alice@example.com")));
+}
+
+#[test]
+fn out_of_band_key_mismatch_is_rejected() {
+    let mut cluster = Cluster::new(ClusterConfig::test(15));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 10, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 11, ClientConfig::default());
+    let mut mallory = new_client(&mut cluster, "mallory@evil.com", 12, ClientConfig::default());
+
+    // Alice knows Bob's real key out-of-band, so a request from a different
+    // identity is unaffected, but if she had pinned the wrong key for Bob the
+    // reply would be rejected. Pin Mallory's key under Bob's entry to force a
+    // mismatch when Bob's real reply arrives.
+    alice.add_friend(id("bob@gmail.com"), Some(mallory.signing_public_key()));
+
+    run_add_friend_round(
+        &mut cluster,
+        Round(1),
+        &mut [&mut alice, &mut bob, &mut mallory],
+    );
+    let events = run_add_friend_round(
+        &mut cluster,
+        Round(2),
+        &mut [&mut alice, &mut bob, &mut mallory],
+    );
+    assert!(matches!(
+        events[0].as_slice(),
+        [ClientEvent::FriendRequestRejected { from, .. }] if *from == id("bob@gmail.com")
+    ));
+    assert!(!alice.keywheels().contains(&id("bob@gmail.com")));
+}
+
+#[test]
+fn call_requires_confirmed_friend_and_valid_intent() {
+    let mut cluster = Cluster::new(ClusterConfig::test(16));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 13, ClientConfig::default());
+    assert_eq!(
+        alice.call(id("stranger@x.com"), 0),
+        Err(ClientError::NotAFriend(id("stranger@x.com")))
+    );
+
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 14, ClientConfig::default());
+    befriend(&mut cluster, &mut alice, &mut bob, 1);
+    assert_eq!(
+        alice.call(id("bob@gmail.com"), 10),
+        Err(ClientError::InvalidIntent {
+            intent: 10,
+            num_intents: 10
+        })
+    );
+    assert!(alice.call(id("bob@gmail.com"), 9).is_ok());
+}
+
+#[test]
+fn unregistered_client_cannot_participate() {
+    let mut cluster = Cluster::new(ClusterConfig::test(17));
+    let mut ghost = Client::new(
+        id("ghost@x.com"),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [99u8; 32],
+    );
+    let info = cluster.begin_add_friend_round(Round(1), 1).unwrap();
+    assert_eq!(
+        ghost.participate_add_friend(&mut cluster, &info),
+        Err(ClientError::NotRegistered)
+    );
+    cluster.close_add_friend_round(Round(1)).unwrap();
+}
+
+#[test]
+fn remove_friend_erases_keywheel() {
+    let mut cluster = Cluster::new(ClusterConfig::test(18));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 15, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 16, ClientConfig::default());
+    befriend(&mut cluster, &mut alice, &mut bob, 1);
+
+    assert!(alice.keywheels().contains(&id("bob@gmail.com")));
+    alice.remove_friend(&id("bob@gmail.com"));
+    assert!(!alice.keywheels().contains(&id("bob@gmail.com")));
+    assert!(alice.address_book().get(&id("bob@gmail.com")).is_none());
+    assert_eq!(
+        alice.call(id("bob@gmail.com"), 0),
+        Err(ClientError::NotAFriend(id("bob@gmail.com")))
+    );
+}
+
+#[test]
+fn compromise_recovery_resets_state() {
+    let mut cluster = Cluster::new(ClusterConfig::test(19));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 17, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 18, ClientConfig::default());
+    befriend(&mut cluster, &mut alice, &mut bob, 1);
+
+    let old_key = alice.signing_public_key();
+    let dereg = alice.sign_deregistration();
+    cluster.deregister(&id("alice@example.com"), &dereg).unwrap();
+    alice.reset_after_compromise();
+
+    assert!(!alice.is_registered());
+    assert_ne!(alice.signing_public_key().to_bytes(), old_key.to_bytes());
+    assert!(alice.address_book().is_empty());
+    assert!(!alice.keywheels().contains(&id("bob@gmail.com")));
+
+    // Re-registration is blocked by the 30-day lockout, then succeeds.
+    assert!(alice.register(&mut cluster).is_err());
+    cluster.advance_time(31 * 24 * 60 * 60);
+    alice.register(&mut cluster).unwrap();
+    assert!(alice.is_registered());
+}
+
+#[test]
+fn simultaneous_add_friend_converges() {
+    // Both users add each other in the same round; both must end up with the
+    // same keywheel.
+    let mut cluster = Cluster::new(ClusterConfig::test(20));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 19, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 20, ClientConfig::default());
+
+    alice.add_friend(id("bob@gmail.com"), None);
+    bob.add_friend(id("alice@example.com"), None);
+
+    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    // Each sees the other's request as the confirmation of their own.
+    assert!(events[0].iter().any(|e| e.is_friend_confirmed()));
+    assert!(events[1].iter().any(|e| e.is_friend_confirmed()));
+
+    let a_wheel = alice.keywheels().get(&id("bob@gmail.com")).unwrap();
+    let b_wheel = bob.keywheels().get(&id("alice@example.com")).unwrap();
+    assert_eq!(a_wheel.round(), b_wheel.round());
+    let r = a_wheel.round();
+    assert_eq!(
+        a_wheel.dial_token(r, 1).unwrap(),
+        b_wheel.dial_token(r, 1).unwrap()
+    );
+}
+
+#[test]
+fn abandon_dialing_round_preserves_forward_secrecy() {
+    let mut cluster = Cluster::new(ClusterConfig::test(21));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 21, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 22, ClientConfig::default());
+    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+
+    // Alice gives up on the start round (e.g. mailbox never downloaded).
+    alice.abandon_dialing_round(start);
+    // Her keywheel has advanced: tokens for the abandoned round are gone.
+    assert!(alice
+        .keywheels()
+        .dial_token(&id("bob@gmail.com"), start, 0)
+        .unwrap()
+        .is_err());
+    // The next round still works and stays in sync with Bob.
+    let next = start.next();
+    assert_eq!(
+        alice
+            .keywheels()
+            .dial_token(&id("bob@gmail.com"), next, 0)
+            .unwrap()
+            .unwrap(),
+        bob.keywheels()
+            .dial_token(&id("alice@example.com"), next, 0)
+            .unwrap()
+            .unwrap()
+    );
+}
+
+#[test]
+fn queued_call_waits_for_keywheel_start_round() {
+    let mut cluster = Cluster::new(ClusterConfig::test(22));
+    let mut alice = new_client(&mut cluster, "alice@example.com", 23, ClientConfig::default());
+    let mut bob = new_client(&mut cluster, "bob@gmail.com", 24, ClientConfig::default());
+    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+    assert!(start.as_u64() > 1, "keywheel starts in the future");
+
+    alice.call(id("bob@gmail.com"), 0).unwrap();
+    // Round 1 is before the keywheel start: the call is deferred and Bob
+    // receives nothing.
+    let events = run_dialing_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    assert!(events[0].is_empty());
+    assert!(events[1].is_empty());
+    // At the start round the deferred call goes out.
+    for r in 2..=start.as_u64() {
+        let events = run_dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        if r == start.as_u64() {
+            assert!(events[0]
+                .iter()
+                .any(|e| matches!(e, ClientEvent::OutgoingCallPlaced { .. })));
+            assert!(events[1].iter().any(|e| e.is_incoming_call()));
+        }
+    }
+}

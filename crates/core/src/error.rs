@@ -1,0 +1,65 @@
+//! Error type for the Alpenhorn client.
+
+use alpenhorn_wire::Identity;
+
+/// Errors returned by [`crate::Client`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The client has not completed registration with the PKGs yet.
+    NotRegistered,
+    /// The named user is not in the address book (or has no keywheel yet).
+    NotAFriend(Identity),
+    /// There is no pending incoming friend request from this user.
+    NoPendingRequest(Identity),
+    /// The friend request's out-of-band key did not match the key carried in
+    /// the request (possible man-in-the-middle).
+    KeyMismatch(Identity),
+    /// An intent value was outside the configured range.
+    InvalidIntent {
+        /// The intent that was passed.
+        intent: u32,
+        /// The number of intents the client was configured with.
+        num_intents: u32,
+    },
+    /// An error from the coordinator/cluster.
+    Coordinator(alpenhorn_coordinator::CoordinatorError),
+    /// An error from the keywheel (e.g. dialing a round whose key is erased).
+    Keywheel(alpenhorn_keywheel::KeywheelError),
+    /// The cluster did not have a mailbox the client expected to download.
+    MissingMailbox,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::NotRegistered => write!(f, "client is not registered"),
+            ClientError::NotAFriend(id) => write!(f, "{id} is not a confirmed friend"),
+            ClientError::NoPendingRequest(id) => {
+                write!(f, "no pending friend request from {id}")
+            }
+            ClientError::KeyMismatch(id) => {
+                write!(f, "signing key in request from {id} does not match the expected key")
+            }
+            ClientError::InvalidIntent { intent, num_intents } => {
+                write!(f, "intent {intent} out of range (client configured for {num_intents})")
+            }
+            ClientError::Coordinator(e) => write!(f, "coordinator error: {e}"),
+            ClientError::Keywheel(e) => write!(f, "keywheel error: {e}"),
+            ClientError::MissingMailbox => write!(f, "expected mailbox was not available"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<alpenhorn_coordinator::CoordinatorError> for ClientError {
+    fn from(e: alpenhorn_coordinator::CoordinatorError) -> Self {
+        ClientError::Coordinator(e)
+    }
+}
+
+impl From<alpenhorn_keywheel::KeywheelError> for ClientError {
+    fn from(e: alpenhorn_keywheel::KeywheelError) -> Self {
+        ClientError::Keywheel(e)
+    }
+}

@@ -1,0 +1,182 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439), implemented from scratch.
+//!
+//! This is the authenticated encryption used for mixnet onion layers and for
+//! the symmetric body of IBE-encrypted friend requests. Validated against the
+//! RFC 8439 §2.8.2 test vector.
+
+use crate::chacha20::{self, ChaCha20};
+use crate::poly1305::Poly1305;
+
+/// AEAD key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// AEAD nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// AEAD authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Errors returned by AEAD operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is too short to contain a tag.
+    CiphertextTooShort,
+    /// Tag verification failed: the ciphertext or associated data was tampered
+    /// with, or the wrong key was used (for Alpenhorn trial decryption this is
+    /// the common, expected case).
+    TagMismatch,
+}
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AeadError::CiphertextTooShort => write!(f, "ciphertext shorter than the AEAD tag"),
+            AeadError::TagMismatch => write!(f, "AEAD tag verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// Derives the one-time Poly1305 key from the cipher key and nonce (RFC 8439 §2.6).
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = ChaCha20::new(key, nonce, 0).block();
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+/// Computes the AEAD tag over `aad` and `ciphertext`.
+fn compute_tag(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(otk);
+    mac.update(aad);
+    mac.update(&[0u8; 16][..pad16(aad.len())]);
+    mac.update(ciphertext);
+    mac.update(&[0u8; 16][..pad16(ciphertext.len())]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// Number of zero bytes needed to pad `len` to a 16-byte boundary.
+fn pad16(len: usize) -> usize {
+    (16 - (len % 16)) % 16
+}
+
+/// Encrypts `plaintext` with associated data `aad`, returning `ciphertext || tag`.
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut out);
+    let otk = poly_key(key, nonce);
+    let tag = compute_tag(&otk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts `ciphertext || tag`, verifying the tag over `aad`, and returns the plaintext.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    ciphertext_and_tag: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if ciphertext_and_tag.len() < TAG_LEN {
+        return Err(AeadError::CiphertextTooShort);
+    }
+    let split = ciphertext_and_tag.len() - TAG_LEN;
+    let (ciphertext, tag) = ciphertext_and_tag.split_at(split);
+    let otk = poly_key(key, nonce);
+    let expected = compute_tag(&otk, aad, ciphertext);
+    if !crate::ct::ct_eq(&expected, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut out);
+    Ok(out)
+}
+
+/// Total ciphertext expansion added by [`seal`] (the tag).
+pub const OVERHEAD: usize = TAG_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
+        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let aad = hex::decode("50515253c0c1c2c3c4c5c6c7").unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let sealed = seal(&key, &nonce, &aad, plaintext);
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        assert_eq!(
+            hex::encode(ct),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d63dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b3692ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc3ff4def08e4b7a9de576d26586cec64b6116"
+        );
+        assert_eq!(hex::encode(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        // Round trip.
+        let opened = open(&key, &nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = seal(&key, &nonce, b"aad", b"secret message");
+        sealed[0] ^= 0xff;
+        assert_eq!(open(&key, &nonce, b"aad", &sealed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn tampered_aad_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"aad", b"secret message");
+        assert_eq!(open(&key, &nonce, b"AAD", &sealed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"secret message");
+        assert_eq!(
+            open(&[3u8; 32], &nonce, b"", &sealed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        assert_eq!(
+            open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 15]),
+            Err(AeadError::CiphertextTooShort)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_round_trip() {
+        let key = [9u8; 32];
+        let nonce = [8u8; 12];
+        let sealed = seal(&key, &nonce, b"header", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key, &nonce, b"header", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn overhead_constant_matches() {
+        let sealed = seal(&[0u8; 32], &[0u8; 12], b"", b"x");
+        assert_eq!(sealed.len(), 1 + OVERHEAD);
+    }
+
+    #[test]
+    fn large_message_round_trip() {
+        let key = [7u8; 32];
+        let nonce = [6u8; 12];
+        let msg: Vec<u8> = (0u8..=255).cycle().take(100_000).collect();
+        let sealed = seal(&key, &nonce, b"bulk", &msg);
+        assert_eq!(open(&key, &nonce, b"bulk", &sealed).unwrap(), msg);
+    }
+}

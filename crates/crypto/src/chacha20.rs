@@ -1,0 +1,189 @@
+//! The ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! ChaCha20 is used (together with Poly1305) as the AEAD protecting onion
+//! layers in the mixnet and the symmetric part of hybrid IBE encryption, and
+//! also as the core of the deterministic CSPRNG in [`crate::rng`]. Validated
+//! against the RFC 8439 test vectors.
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (IETF variant, 96-bit nonce).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha20 stream cipher keyed with a 256-bit key and 96-bit nonce.
+///
+/// # Examples
+///
+/// ```
+/// use alpenhorn_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut buf = *b"attack at dawn";
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_ne!(&buf, b"attack at dawn");
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_eq!(&buf, b"attack at dawn");
+/// ```
+#[derive(Clone)]
+pub struct ChaCha20 {
+    /// The 16-word initial state (constants, key, counter, nonce).
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance with the given key, nonce, and initial block counter.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    /// The ChaCha20 quarter round on four state words.
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// Produces the 64-byte keystream block for the current counter value.
+    pub fn block(&self) -> [u8; BLOCK_LEN] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Advances the internal block counter by one.
+    pub fn advance(&mut self) {
+        self.state[12] = self.state[12].wrapping_add(1);
+    }
+
+    /// XORs the keystream into `data` in place, starting at the current counter.
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let ks = self.block();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= *k;
+            }
+            self.advance();
+        }
+    }
+}
+
+/// One-shot encryption/decryption: XORs the ChaCha20 keystream into `data`.
+pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    ChaCha20::new(key, nonce, counter).apply_keystream(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.3.2: block function test vector.
+    #[test]
+    fn rfc8439_block_function() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block();
+        assert_eq!(
+            hex::encode(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2: encryption test vector.
+    #[test]
+    fn rfc8439_encryption() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut buf = plaintext.to_vec();
+        xor_stream(&key, &nonce, 1, &mut buf);
+        assert_eq!(
+            hex::encode(&buf),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+        // Decrypting restores the plaintext.
+        xor_stream(&key, &nonce, 1, &mut buf);
+        assert_eq!(&buf, plaintext);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        // Applying the keystream to 100 bytes at once must equal applying it
+        // block by block with manual counter management.
+        let mut a = vec![0u8; 100];
+        xor_stream(&key, &nonce, 0, &mut a);
+
+        let mut b = vec![0u8; 100];
+        let c0 = ChaCha20::new(&key, &nonce, 0).block();
+        let c1 = ChaCha20::new(&key, &nonce, 1).block();
+        b[..64].copy_from_slice(&c0);
+        b[64..].copy_from_slice(&c1[..36]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_nonces_produce_different_streams() {
+        let key = [3u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_stream(&key, &[0u8; 12], 0, &mut a);
+        xor_stream(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut empty: [u8; 0] = [];
+        xor_stream(&[0u8; 32], &[0u8; 12], 0, &mut empty);
+    }
+}

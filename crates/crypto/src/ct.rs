@@ -1,0 +1,57 @@
+//! Constant-time comparison helpers.
+//!
+//! Trial decryption of mailbox entries and MAC verification must not leak,
+//! through timing, which bytes of a candidate tag matched. These helpers
+//! avoid early exits; they do not attempt to defeat compiler auto-vectorized
+//! short-circuiting beyond using a fold over the whole input.
+
+/// Compares two byte slices in constant time (for equal-length inputs).
+///
+/// Returns `false` immediately if the lengths differ — the length of protocol
+/// messages is public in Alpenhorn, so this does not leak secrets.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time conditional select: returns `a` if `choice` is true, else `b`.
+pub fn ct_select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"abcdef", b"abcdef"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abcdef", b"abcdeg"));
+        assert!(!ct_eq(b"abcdef", b"abcde"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn first_and_last_byte_differences() {
+        assert!(!ct_eq(b"xbcdef", b"abcdef"));
+        assert!(!ct_eq(b"abcdex", b"abcdef"));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(ct_select(false, 0xaa, 0x55), 0x55);
+    }
+}

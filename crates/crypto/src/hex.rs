@@ -1,0 +1,83 @@
+//! Minimal hexadecimal encoding/decoding used for test vectors, fingerprints,
+//! and human-readable key displays (the paper's API shows keys to users as
+//! strings such as `"e27scvh08m..."`).
+
+/// Encodes bytes as a lowercase hexadecimal string.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble in range"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble in range"));
+    }
+    out
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// The input length is odd.
+    OddLength,
+    /// The input contains a non-hexadecimal character at this byte offset.
+    InvalidCharacter(usize),
+}
+
+impl core::fmt::Display for HexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidCharacter(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Decodes a hexadecimal string (upper or lower case) into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let nibble = |c: u8, i: usize| -> Result<u8, HexError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(HexError::InvalidCharacter(i)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        out.push((nibble(bytes[i], i)? << 4) | nibble(bytes[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_upper_and_lower() {
+        assert_eq!(decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert_eq!(decode("zz"), Err(HexError::InvalidCharacter(0)));
+        assert_eq!(decode("aaqq"), Err(HexError::InvalidCharacter(2)));
+    }
+}

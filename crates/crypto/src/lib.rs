@@ -1,0 +1,59 @@
+//! Symmetric cryptography substrate for the Alpenhorn reproduction.
+//!
+//! Alpenhorn's protocols need a small set of symmetric primitives:
+//!
+//! * SHA-256 and HMAC-SHA256 — the keyed hash families `H1`/`H2`/`H3` used by
+//!   the keywheel (§5 of the paper), mailbox-ID hashing, and commitments.
+//! * HKDF — key derivation for onion layers and hybrid IBE encryption.
+//! * ChaCha20-Poly1305 — the AEAD used for onion layers in the mixnet and for
+//!   the symmetric part of hybrid IBE encryption of friend requests.
+//! * Constant-time comparison and secure erasure — forward secrecy requires
+//!   that old keys are destroyed (§3.3, §4.4).
+//! * A deterministic, seedable CSPRNG — used by servers for shuffles and
+//!   noise, and by the simulation harness for reproducible experiments.
+//!
+//! Everything in this crate is implemented from scratch and validated against
+//! published test vectors (NIST FIPS 180-4, RFC 4231, RFC 5869, RFC 8439).
+//! The implementations favour clarity over raw speed; measured throughputs
+//! are reported by the benchmark harness and used by the evaluation's cost
+//! model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod hex;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod rng;
+pub mod sha256;
+pub mod zeroize;
+
+pub use aead::{open, seal, AeadError, KEY_LEN as AEAD_KEY_LEN, NONCE_LEN, TAG_LEN};
+pub use chacha20::ChaCha20;
+pub use ct::ct_eq;
+pub use hkdf::Hkdf;
+pub use hmac::HmacSha256;
+pub use rng::ChaChaRng;
+pub use sha256::Sha256;
+pub use zeroize::{SecretBytes, Zeroize};
+
+/// Output length of SHA-256 (and HMAC-SHA256) in bytes.
+pub const HASH_LEN: usize = 32;
+
+/// Convenience helper: one-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; HASH_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Convenience helper: one-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; HASH_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}

@@ -1,0 +1,251 @@
+//! The Poly1305 one-time authenticator (RFC 8439), implemented from scratch.
+//!
+//! Poly1305 evaluates a polynomial over the prime field 2^130 - 5 in the
+//! 32-byte one-time key `(r, s)`. The implementation below uses the standard
+//! five 26-bit limb representation so that all products fit comfortably in
+//! 64-bit integers. Validated against the RFC 8439 test vector and exercised
+//! further through the AEAD test vectors in [`crate::aead`].
+
+/// Poly1305 key length (r || s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+const MASK_26: u64 = 0x03ff_ffff;
+
+/// Incremental Poly1305 authenticator.
+///
+/// A Poly1305 key must never be used to authenticate more than one message;
+/// the AEAD construction derives a fresh key per nonce.
+#[derive(Clone)]
+pub struct Poly1305 {
+    /// Clamped `r`, in five 26-bit limbs.
+    r: [u64; 5],
+    /// `s`, added at the end modulo 2^128.
+    s: [u8; 16],
+    /// Accumulator, in five 26-bit limbs (loosely reduced).
+    h: [u64; 5],
+    /// Buffered partial block.
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates a new authenticator from a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let le32 =
+            |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
+        // Clamp r per RFC 8439 §2.5.1 and split into 26-bit limbs.
+        let r = [
+            le32(&key[0..4]) & 0x03ff_ffff,
+            (le32(&key[3..7]) >> 2) & 0x03ff_ff03,
+            (le32(&key[6..10]) >> 4) & 0x03ff_c0ff,
+            (le32(&key[9..13]) >> 6) & 0x03f0_3fff,
+            (le32(&key[12..16]) >> 8) & 0x000f_ffff,
+        ];
+        let mut s = [0u8; 16];
+        s.copy_from_slice(&key[16..32]);
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Adds one block (padded with the implicit high bit) and multiplies by `r`.
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let le32 =
+            |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
+        // The high bit 2^128 is set for full blocks; for the final partial
+        // block the caller has already appended the 0x01 byte.
+        let hibit: u64 = if partial { 0 } else { 1 << 24 };
+
+        self.h[0] += le32(&block[0..4]) & MASK_26;
+        self.h[1] += (le32(&block[3..7]) >> 2) & MASK_26;
+        self.h[2] += (le32(&block[6..10]) >> 4) & MASK_26;
+        self.h[3] += (le32(&block[9..13]) >> 6) & MASK_26;
+        self.h[4] += (le32(&block[12..16]) >> 8) | hibit;
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+        let [h0, h1, h2, h3, h4] = self.h;
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial carry propagation keeps limbs below 2^27.
+        let mut c;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        self.h[0] = d[0] & MASK_26;
+        d[1] += c;
+        c = d[1] >> 26;
+        self.h[1] = d[1] & MASK_26;
+        d[2] += c;
+        c = d[2] >> 26;
+        self.h[2] = d[2] & MASK_26;
+        d[3] += c;
+        c = d[3] >> 26;
+        self.h[3] = d[3] & MASK_26;
+        d[4] += c;
+        c = d[4] >> 26;
+        self.h[4] = d[4] & MASK_26;
+        self.h[0] += c * 5;
+        c = self.h[0] >> 26;
+        self.h[0] &= MASK_26;
+        self.h[1] += c;
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad the final partial block with 0x01 then zeros.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, true);
+        }
+
+        // Fully propagate carries so each limb is below 2^26.
+        let mut h = self.h;
+        let mut c = h[1] >> 26;
+        h[1] &= MASK_26;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= MASK_26;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= MASK_26;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= MASK_26;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= MASK_26;
+        h[1] += c;
+
+        // If h >= 2^130 - 5, subtract the modulus once.
+        let p = [0x03ff_fffbu64, MASK_26, MASK_26, MASK_26, MASK_26];
+        let ge_p = h[4] == p[4] && h[3] == p[3] && h[2] == p[2] && h[1] == p[1] && h[0] >= p[0];
+        if ge_p {
+            h[0] -= p[0];
+            h[1] = 0;
+            h[2] = 0;
+            h[3] = 0;
+            h[4] = 0;
+        }
+
+        // Recombine into a 128-bit value (mod 2^128) and add s.
+        let low: u128 = (h[0] as u128)
+            | ((h[1] as u128) << 26)
+            | ((h[2] as u128) << 52)
+            | ((h[3] as u128) << 78)
+            | ((h[4] as u128) << 104);
+        let s = u128::from_le_bytes(self.s);
+        let tag = low.wrapping_add(s);
+        tag.to_le_bytes()
+    }
+}
+
+/// One-shot Poly1305 tag of `data` under the one-time `key`.
+pub fn poly1305(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(data);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag() {
+        let key: [u8; 32] = hex::decode(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap()
+        .try_into()
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex::encode(&poly1305(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    // RFC 8439 §2.8.2 has the Poly1305 key derived inside the AEAD; the AEAD
+    // module tests cover that path. Here we add structural tests.
+    #[test]
+    fn empty_message() {
+        let key = [0x42u8; 32];
+        let tag = poly1305(&key, b"");
+        // An all-zero r clamps to zero only for an all-zero key; with 0x42 the
+        // tag must be exactly s for the empty message (no blocks processed).
+        assert_eq!(tag, key[16..32]);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let key: [u8; 32] = core::array::from_fn(|i| (i * 7 + 1) as u8);
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        for chunk_size in [1usize, 3, 15, 16, 17, 100] {
+            let mut p = Poly1305::new(&key);
+            for chunk in data.chunks(chunk_size) {
+                p.update(chunk);
+            }
+            assert_eq!(p.finalize(), poly1305(&key, &data), "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8 ^ 0xa5);
+        for len in [16usize, 32, 48, 64] {
+            let data = vec![0xabu8; len];
+            let t1 = poly1305(&key, &data);
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..len / 2]);
+            p.update(&data[len / 2..]);
+            assert_eq!(p.finalize(), t1);
+        }
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let key = [9u8; 32];
+        assert_ne!(poly1305(&key, b"message one"), poly1305(&key, b"message two"));
+    }
+}

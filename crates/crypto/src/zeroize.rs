@@ -1,0 +1,170 @@
+//! Secure erasure helpers.
+//!
+//! Alpenhorn's forward secrecy rests on clients and servers being able to
+//! irrevocably delete key material (§3.3 of the paper): round IBE keys,
+//! superseded keywheel states, and mixnet permutation keys. This module
+//! provides a best-effort in-memory erasure wrapper. (Defences against cold
+//! boot attacks or non-overwriting storage are out of scope, as in the
+//! paper.)
+//!
+//! The crate forbids `unsafe`, so rather than `ptr::write_volatile` we rely
+//! on overwriting through `core::hint::black_box`, which prevents the
+//! compiler from eliding the store because the value is observed afterwards.
+
+/// Types whose contents can be overwritten with zeros in place.
+pub trait Zeroize {
+    /// Overwrites the secret contents with zeros.
+    fn zeroize(&mut self);
+}
+
+impl Zeroize for [u8] {
+    fn zeroize(&mut self) {
+        for b in self.iter_mut() {
+            *b = core::hint::black_box(0);
+        }
+    }
+}
+
+impl<const N: usize> Zeroize for [u8; N] {
+    fn zeroize(&mut self) {
+        self.as_mut_slice().zeroize();
+    }
+}
+
+impl Zeroize for Vec<u8> {
+    fn zeroize(&mut self) {
+        self.as_mut_slice().zeroize();
+        self.clear();
+    }
+}
+
+/// A heap-allocated byte buffer that is zeroed when dropped.
+///
+/// Used for keywheel secrets, IBE identity keys, and onion-layer keys held by
+/// clients between rounds.
+///
+/// # Examples
+///
+/// ```
+/// use alpenhorn_crypto::zeroize::SecretBytes;
+///
+/// let secret = SecretBytes::from(vec![1, 2, 3]);
+/// assert_eq!(secret.as_slice(), &[1, 2, 3]);
+/// drop(secret); // contents are zeroed before the memory is released
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretBytes(Vec<u8>);
+
+impl SecretBytes {
+    /// Creates an empty secret buffer.
+    pub fn new() -> Self {
+        SecretBytes(Vec::new())
+    }
+
+    /// Creates a zero-filled secret buffer of length `len`.
+    pub fn zeroed(len: usize) -> Self {
+        SecretBytes(vec![0u8; len])
+    }
+
+    /// Returns the secret contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns the secret contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+
+    /// Length of the secret in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the secret is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Explicitly erases the contents now (also happens on drop).
+    pub fn erase(&mut self) {
+        self.0.zeroize();
+    }
+}
+
+impl Default for SecretBytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for SecretBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SecretBytes(v)
+    }
+}
+
+impl From<&[u8]> for SecretBytes {
+    fn from(v: &[u8]) -> Self {
+        SecretBytes(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for SecretBytes {
+    fn from(v: [u8; N]) -> Self {
+        SecretBytes(v.to_vec())
+    }
+}
+
+impl Drop for SecretBytes {
+    fn drop(&mut self) {
+        self.0.zeroize();
+    }
+}
+
+impl core::fmt::Debug for SecretBytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print secret contents.
+        write!(f, "SecretBytes({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroize_array() {
+        let mut key = [0xffu8; 32];
+        key.zeroize();
+        assert_eq!(key, [0u8; 32]);
+    }
+
+    #[test]
+    fn zeroize_vec_clears() {
+        let mut v = vec![1u8, 2, 3];
+        v.zeroize();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn secret_bytes_basics() {
+        let mut s = SecretBytes::from(vec![9u8; 16]);
+        assert_eq!(s.len(), 16);
+        assert!(!s.is_empty());
+        s.erase();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn secret_bytes_debug_hides_content() {
+        let s = SecretBytes::from(vec![1u8, 2, 3]);
+        assert_eq!(format!("{s:?}"), "SecretBytes(3 bytes)");
+    }
+
+    #[test]
+    fn from_array() {
+        let s = SecretBytes::from([5u8; 8]);
+        assert_eq!(s.as_slice(), &[5u8; 8]);
+    }
+}

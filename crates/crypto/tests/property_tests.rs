@@ -1,0 +1,134 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+
+use alpenhorn_crypto::{aead, chacha20, hex, hkdf::Hkdf, hmac, sha256, ChaChaRng};
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sha256_incremental_equals_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut hasher = sha256::Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_incremental_equals_one_shot(
+        key in proptest::collection::vec(any::<u8>(), 0..200),
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        chunk in 1usize..64,
+    ) {
+        let mut mac = hmac::HmacSha256::new(&key);
+        for piece in data.chunks(chunk) {
+            mac.update(piece);
+        }
+        prop_assert_eq!(mac.finalize(), hmac::hmac(&key, &data));
+    }
+
+    #[test]
+    fn hmac_differs_under_different_keys(
+        key_a in any::<[u8; 32]>(),
+        key_b in any::<[u8; 32]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(key_a != key_b);
+        prop_assert_ne!(hmac::hmac(&key_a, &data), hmac::hmac(&key_b, &data));
+    }
+
+    #[test]
+    fn chacha20_is_an_involution(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        mut data in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let original = data.clone();
+        chacha20::xor_stream(&key, &nonce, counter, &mut data);
+        if !original.is_empty() && original.iter().any(|b| *b != 0) {
+            // Keystream application changes nonzero data with overwhelming probability.
+        }
+        chacha20::xor_stream(&key, &nonce, counter, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn aead_round_trips_and_rejects_tampering(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let sealed = aead::seal(&key, &nonce, &aad, &plaintext);
+        prop_assert_eq!(sealed.len(), plaintext.len() + aead::TAG_LEN);
+        prop_assert_eq!(aead::open(&key, &nonce, &aad, &sealed).unwrap(), plaintext);
+
+        let mut corrupted = sealed.clone();
+        let idx = flip.0 % corrupted.len();
+        let mask = if flip.1 == 0 { 1 } else { flip.1 };
+        corrupted[idx] ^= mask;
+        prop_assert!(aead::open(&key, &nonce, &aad, &corrupted).is_err());
+    }
+
+    #[test]
+    fn hkdf_outputs_are_prefix_consistent(
+        salt in proptest::collection::vec(any::<u8>(), 0..64),
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        info in proptest::collection::vec(any::<u8>(), 0..64),
+        len_a in 1usize..64,
+        len_b in 1usize..64,
+    ) {
+        // HKDF-Expand is a stream: a shorter output is a prefix of a longer one.
+        let hk = Hkdf::extract(&salt, &ikm);
+        let mut a = vec![0u8; len_a];
+        let mut b = vec![0u8; len_b];
+        hk.expand(&info, &mut a);
+        hk.expand(&info, &mut b);
+        let common = len_a.min(len_b);
+        prop_assert_eq!(&a[..common], &b[..common]);
+    }
+
+    #[test]
+    fn hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_seed_sensitive(
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+        len in 1usize..256,
+    ) {
+        let mut x = vec![0u8; len];
+        let mut y = vec![0u8; len];
+        ChaChaRng::from_seed_bytes(seed_a).fill_bytes(&mut x);
+        ChaChaRng::from_seed_bytes(seed_a).fill_bytes(&mut y);
+        prop_assert_eq!(&x, &y);
+        if seed_a != seed_b && len >= 16 {
+            let mut z = vec![0u8; len];
+            ChaChaRng::from_seed_bytes(seed_b).fill_bytes(&mut z);
+            prop_assert_ne!(&x, &z);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(
+        seed in any::<[u8; 32]>(),
+        mut items in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let mut rng = ChaChaRng::from_seed_bytes(seed);
+        let mut original = items.clone();
+        rng.shuffle(&mut items);
+        original.sort_unstable();
+        items.sort_unstable();
+        prop_assert_eq!(items, original);
+    }
+}

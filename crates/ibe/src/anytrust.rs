@@ -1,0 +1,162 @@
+//! Anytrust-IBE: distributing the PKG across `n` servers so that one honest
+//! server suffices (§4.2 and Appendix A of the paper).
+//!
+//! Instead of onion-encrypting under each PKG's master key (which would grow
+//! ciphertexts and decryption time linearly in the number of PKGs), the
+//! sender encrypts under the *sum* of the master public keys, and the
+//! recipient decrypts with the *sum* of its identity keys. Because
+//! extraction is linear in the master secret, the summed identity key is the
+//! identity key for the summed master secret, so ciphertext size and
+//! decryption cost are independent of the number of PKGs.
+
+use crate::bf::{IdentityPrivateKey, MasterPublic};
+
+/// Aggregates master public keys from multiple PKGs by summing the points.
+///
+/// # Panics
+///
+/// Panics if `publics` is empty: encrypting under an "empty" anytrust key
+/// would silently degrade to no security at all.
+pub fn aggregate_master_publics(publics: &[MasterPublic]) -> MasterPublic {
+    assert!(
+        !publics.is_empty(),
+        "anytrust aggregation requires at least one PKG"
+    );
+    let mut sum = publics[0].point;
+    for p in &publics[1..] {
+        sum += p.point;
+    }
+    MasterPublic { point: sum }
+}
+
+/// Aggregates a user's identity private keys obtained from multiple PKGs.
+///
+/// # Panics
+///
+/// Panics if `keys` is empty.
+pub fn aggregate_identity_keys(keys: &[IdentityPrivateKey]) -> IdentityPrivateKey {
+    assert!(
+        !keys.is_empty(),
+        "anytrust aggregation requires at least one identity key"
+    );
+    let mut sum = keys[0].point;
+    for k in &keys[1..] {
+        sum += k.point;
+    }
+    IdentityPrivateKey { point: sum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf::{decrypt, encrypt, MasterSecret};
+    use crate::IbeError;
+    use alpenhorn_crypto::ChaChaRng;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::from_seed_bytes([seed; 32])
+    }
+
+    /// Builds `n` PKGs, the aggregated master public key, and Bob's aggregated
+    /// identity key.
+    fn setup(n: usize, rng: &mut ChaChaRng) -> (Vec<MasterSecret>, MasterPublic, IdentityPrivateKey) {
+        let secrets: Vec<MasterSecret> = (0..n).map(|_| MasterSecret::generate(rng)).collect();
+        let publics: Vec<MasterPublic> = secrets.iter().map(|s| s.public()).collect();
+        let mpk = aggregate_master_publics(&publics);
+        let keys: Vec<IdentityPrivateKey> =
+            secrets.iter().map(|s| s.extract(b"bob@gmail.com")).collect();
+        let idk = aggregate_identity_keys(&keys);
+        (secrets, mpk, idk)
+    }
+
+    #[test]
+    fn anytrust_round_trip_various_sizes() {
+        let mut rng = rng(20);
+        for n in [1usize, 2, 3, 5, 10] {
+            let (_, mpk, idk) = setup(n, &mut rng);
+            let ct = encrypt(&mpk, b"bob@gmail.com", b"anytrust message", &mut rng);
+            assert_eq!(decrypt(&idk, &ct).unwrap(), b"anytrust message", "n={n}");
+        }
+    }
+
+    #[test]
+    fn missing_one_identity_key_fails() {
+        // Decryption must require identity keys from *all* PKGs: a coalition
+        // holding n-1 master secrets (equivalently, the keys they can derive)
+        // cannot decrypt.
+        let mut rng = rng(21);
+        let (secrets, mpk, _) = setup(3, &mut rng);
+        let ct = encrypt(&mpk, b"bob@gmail.com", b"secret", &mut rng);
+
+        let partial: Vec<IdentityPrivateKey> = secrets[..2]
+            .iter()
+            .map(|s| s.extract(b"bob@gmail.com"))
+            .collect();
+        let partial_key = aggregate_identity_keys(&partial);
+        assert_eq!(decrypt(&partial_key, &ct), Err(IbeError::DecryptionFailed));
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let mut rng = rng(22);
+        let secrets: Vec<MasterSecret> =
+            (0..4).map(|_| MasterSecret::generate(&mut rng)).collect();
+        let publics: Vec<MasterPublic> = secrets.iter().map(|s| s.public()).collect();
+        let forward = aggregate_master_publics(&publics);
+        let reversed: Vec<MasterPublic> = publics.iter().rev().copied().collect();
+        let backward = aggregate_master_publics(&reversed);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn aggregate_of_one_is_identity_operation() {
+        let mut rng = rng(23);
+        let msk = MasterSecret::generate(&mut rng);
+        assert_eq!(aggregate_master_publics(&[msk.public()]), msk.public());
+        let idk = msk.extract(b"x@y.z");
+        assert_eq!(aggregate_identity_keys(&[idk]), idk);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PKG")]
+    fn empty_public_aggregation_panics() {
+        aggregate_master_publics(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one identity key")]
+    fn empty_key_aggregation_panics() {
+        aggregate_identity_keys(&[]);
+    }
+
+    #[test]
+    fn compromised_minority_cannot_forge_aggregate() {
+        // Even if an adversary substitutes its own master keys for all but one
+        // PKG, a ciphertext under the honest aggregate still requires the
+        // honest PKG's identity key share.
+        let mut rng = rng(24);
+        let honest = MasterSecret::generate(&mut rng);
+        let adversarial: Vec<MasterSecret> =
+            (0..2).map(|_| MasterSecret::generate(&mut rng)).collect();
+
+        let mut publics: Vec<MasterPublic> = adversarial.iter().map(|s| s.public()).collect();
+        publics.push(honest.public());
+        let mpk = aggregate_master_publics(&publics);
+        let ct = encrypt(&mpk, b"bob@gmail.com", b"for bob", &mut rng);
+
+        // Adversary's shares alone are insufficient.
+        let adv_keys: Vec<IdentityPrivateKey> = adversarial
+            .iter()
+            .map(|s| s.extract(b"bob@gmail.com"))
+            .collect();
+        assert!(decrypt(&aggregate_identity_keys(&adv_keys), &ct).is_err());
+
+        // With the honest share included, Bob can decrypt.
+        let mut all_keys = adv_keys;
+        all_keys.push(honest.extract(b"bob@gmail.com"));
+        assert_eq!(
+            decrypt(&aggregate_identity_keys(&all_keys), &ct).unwrap(),
+            b"for bob"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Blind BLS signatures, used for the rate-limiting extension sketched in the
+//! paper's discussion section (§9, "DoS attacks").
+//!
+//! A malicious group of clients could send real (rather than cover) requests
+//! every round to bloat mailboxes. The paper's proposed defence is for the
+//! servers to issue each registered user a limited number of *blinded*
+//! signatures per day and to reject submissions that do not carry a valid
+//! unblinded signature; because the signatures are blind, they do not link a
+//! submission to the user it was issued to, so the defence costs no metadata
+//! privacy.
+//!
+//! The construction is the standard blind BLS signature:
+//!
+//! 1. the user picks a random scalar `b` and sends `M' = b·H(m)` to the signer;
+//! 2. the signer returns `σ' = sk·M'`;
+//! 3. the user unblinds `σ = b⁻¹·σ' = sk·H(m)`, an ordinary BLS signature on
+//!    `m` that verifies under the signer's public key.
+//!
+//! The signer never sees `H(m)` or `σ`, so it cannot later recognize the
+//! token when it is spent.
+
+use ark_bls12_381::{Fr, G1Projective};
+use ark_ff::Field;
+
+use crate::hash::hash_to_g1;
+use crate::points::{g1_from_bytes, g1_to_bytes, G1_LEN};
+use crate::sig::{Signature, SigningKey, VerifyingKey};
+use crate::{random_scalar, IbeError};
+
+/// Domain tag for rate-limit token messages (must differ from the ordinary
+/// signature domain so tokens cannot be confused with attestations).
+const TOKEN_DOMAIN: &[u8] = b"alpenhorn-ratelimit-token";
+
+/// A blinded message, sent by the user to the signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlindedMessage {
+    point: G1Projective,
+}
+
+/// The user's secret unblinding factor.
+pub struct BlindingFactor {
+    inverse: Fr,
+}
+
+/// A blinded signature returned by the signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlindedSignature {
+    point: G1Projective,
+}
+
+impl BlindedMessage {
+    /// Serializes to compressed form.
+    pub fn to_bytes(&self) -> [u8; G1_LEN] {
+        g1_to_bytes(&self.point)
+    }
+
+    /// Parses from compressed form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbeError> {
+        Ok(BlindedMessage {
+            point: g1_from_bytes(bytes)?,
+        })
+    }
+}
+
+impl BlindedSignature {
+    /// Serializes to compressed form.
+    pub fn to_bytes(&self) -> [u8; G1_LEN] {
+        g1_to_bytes(&self.point)
+    }
+
+    /// Parses from compressed form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbeError> {
+        Ok(BlindedSignature {
+            point: g1_from_bytes(bytes)?,
+        })
+    }
+}
+
+/// User side, step 1: blinds `message` for signing.
+pub fn blind(
+    message: &[u8],
+    rng: &mut (impl rand::RngCore + ?Sized),
+) -> (BlindedMessage, BlindingFactor) {
+    // A zero blinding factor would leak H(m); resample (probability ~2^-255).
+    let mut b = random_scalar(rng);
+    while b.inverse().is_none() {
+        b = random_scalar(rng);
+    }
+    let point = hash_to_g1(TOKEN_DOMAIN, message) * b;
+    (
+        BlindedMessage { point },
+        BlindingFactor {
+            inverse: b.inverse().expect("nonzero scalar has an inverse"),
+        },
+    )
+}
+
+/// Signer side, step 2: signs a blinded message. The signer learns nothing
+/// about the underlying message.
+pub fn sign_blinded(key: &SigningKey, blinded: &BlindedMessage) -> BlindedSignature {
+    BlindedSignature {
+        point: key.sign_point(blinded.point),
+    }
+}
+
+/// User side, step 3: unblinds the signature into an ordinary BLS signature
+/// over the original message (verifiable with [`verify_token`]).
+pub fn unblind(blinded: &BlindedSignature, factor: &BlindingFactor) -> Signature {
+    Signature::from_point(blinded.point * factor.inverse)
+}
+
+/// Verifies an unblinded rate-limit token over `message`.
+pub fn verify_token(key: &VerifyingKey, message: &[u8], token: &Signature) -> bool {
+    key.verify_with_domain(TOKEN_DOMAIN, message, token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_crypto::ChaChaRng;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::from_seed_bytes([seed; 32])
+    }
+
+    #[test]
+    fn blind_sign_unblind_verifies() {
+        let mut rng = rng(1);
+        let signer = SigningKey::generate(&mut rng);
+        let message = b"round 42 submission budget token 3";
+        let (blinded, factor) = blind(message, &mut rng);
+        let blind_sig = sign_blinded(&signer, &blinded);
+        let token = unblind(&blind_sig, &factor);
+        assert!(verify_token(&signer.verifying_key(), message, &token));
+    }
+
+    #[test]
+    fn token_does_not_verify_for_other_message_or_key() {
+        let mut rng = rng(2);
+        let signer = SigningKey::generate(&mut rng);
+        let other = SigningKey::generate(&mut rng);
+        let (blinded, factor) = blind(b"message A", &mut rng);
+        let token = unblind(&sign_blinded(&signer, &blinded), &factor);
+        assert!(!verify_token(&signer.verifying_key(), b"message B", &token));
+        assert!(!verify_token(&other.verifying_key(), b"message A", &token));
+    }
+
+    #[test]
+    fn blinded_message_unlinkable_to_plain_hash() {
+        // The blinded point differs from H(m) and differs across blindings of
+        // the same message, so the signer cannot recognize repeated requests.
+        let mut rng = rng(3);
+        let (b1, _) = blind(b"same message", &mut rng);
+        let (b2, _) = blind(b"same message", &mut rng);
+        assert_ne!(b1, b2);
+        let plain = hash_to_g1(TOKEN_DOMAIN, b"same message");
+        assert_ne!(b1.point, plain);
+        assert_ne!(b2.point, plain);
+    }
+
+    #[test]
+    fn rate_limit_tokens_are_not_valid_attestations() {
+        // Domain separation: a token cannot double as an ordinary signature.
+        let mut rng = rng(4);
+        let signer = SigningKey::generate(&mut rng);
+        let (blinded, factor) = blind(b"message", &mut rng);
+        let token = unblind(&sign_blinded(&signer, &blinded), &factor);
+        assert!(!signer.verifying_key().verify(b"message", &token));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rng = rng(5);
+        let signer = SigningKey::generate(&mut rng);
+        let (blinded, factor) = blind(b"m", &mut rng);
+        let restored = BlindedMessage::from_bytes(&blinded.to_bytes()).unwrap();
+        assert_eq!(restored, blinded);
+        let blind_sig = sign_blinded(&signer, &restored);
+        let restored_sig = BlindedSignature::from_bytes(&blind_sig.to_bytes()).unwrap();
+        let token = unblind(&restored_sig, &factor);
+        assert!(verify_token(&signer.verifying_key(), b"m", &token));
+        assert!(BlindedMessage::from_bytes(&[0u8; 3]).is_err());
+        assert!(BlindedSignature::from_bytes(&[0u8; 3]).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Hash commitments for the PKGs' commit-then-reveal of round master keys.
+//!
+//! Appendix A of the paper: to make Anytrust-IBE secure against an adaptive
+//! adversary (one that picks its corrupted PKGs' master keys after seeing the
+//! honest PKG's key), each PKG first publishes a commitment to its round
+//! master public key and only reveals the key once it has every other PKG's
+//! commitment. The commitment is a salted hash, binding and hiding in the
+//! random-oracle model.
+
+use alpenhorn_crypto::{ct_eq, sha256::Sha256};
+
+/// Length of the commitment opening nonce.
+pub const NONCE_LEN: usize = 32;
+
+/// A hash commitment to a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commitment(pub [u8; 32]);
+
+impl Commitment {
+    /// Commits to `data` with a random `nonce` (the opening).
+    pub fn commit(data: &[u8], nonce: &[u8; NONCE_LEN]) -> Commitment {
+        let mut h = Sha256::new();
+        h.update(b"alpenhorn-pkg-commitment-v1");
+        h.update(nonce);
+        h.update(&(data.len() as u64).to_be_bytes());
+        h.update(data);
+        Commitment(h.finalize())
+    }
+
+    /// Verifies that `(data, nonce)` opens this commitment.
+    pub fn verify(&self, data: &[u8], nonce: &[u8; NONCE_LEN]) -> bool {
+        let expected = Commitment::commit(data, nonce);
+        ct_eq(&self.0, &expected.0)
+    }
+
+    /// The commitment bytes (what is broadcast before the reveal).
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_open() {
+        let nonce = [7u8; NONCE_LEN];
+        let c = Commitment::commit(b"master public key bytes", &nonce);
+        assert!(c.verify(b"master public key bytes", &nonce));
+    }
+
+    #[test]
+    fn wrong_data_rejected() {
+        let nonce = [7u8; NONCE_LEN];
+        let c = Commitment::commit(b"key A", &nonce);
+        assert!(!c.verify(b"key B", &nonce));
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let c = Commitment::commit(b"key A", &[1u8; NONCE_LEN]);
+        assert!(!c.verify(b"key A", &[2u8; NONCE_LEN]));
+    }
+
+    #[test]
+    fn commitments_hide_data_length_structure() {
+        // Length is included in the hash so "a" + "bc" cannot collide with "ab" + "c".
+        let nonce = [0u8; NONCE_LEN];
+        assert_ne!(
+            Commitment::commit(b"ab", &nonce),
+            Commitment::commit(b"a", &nonce)
+        );
+    }
+
+    #[test]
+    fn different_nonces_give_different_commitments() {
+        assert_ne!(
+            Commitment::commit(b"same data", &[1u8; NONCE_LEN]),
+            Commitment::commit(b"same data", &[2u8; NONCE_LEN])
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Diffie-Hellman key exchange over BLS12-381 G1.
+//!
+//! Used in two places:
+//!
+//! * the ephemeral `DialingKey` inside a friend request (§4.7 of the paper):
+//!   both friends contribute an ephemeral key and derive the initial keywheel
+//!   secret from the shared value;
+//! * mixnet onion layers (Algorithm 1 step 3): the client generates a fresh
+//!   keypair per hop and derives an AEAD key shared with that server.
+//!
+//! The paper's prototype used Curve25519 for these exchanges; any secure DH
+//! group gives the same protocol semantics, and reusing the pairing curve's
+//! G1 keeps this reproduction's dependency surface small (see DESIGN.md).
+
+use ark_bls12_381::{Fr, G1Projective};
+use ark_ec::Group;
+use ark_ff::Zero;
+
+use alpenhorn_crypto::hkdf::Hkdf;
+
+use crate::points::{g1_from_bytes, g1_to_bytes, G1_LEN};
+use crate::{random_scalar, IbeError};
+
+/// Length of a serialized DH public key.
+pub const PUBLIC_LEN: usize = G1_LEN;
+/// Length of the derived shared secret.
+pub const SHARED_LEN: usize = 32;
+
+/// A Diffie-Hellman secret key.
+#[derive(Clone)]
+pub struct DhSecret {
+    x: Fr,
+}
+
+/// A Diffie-Hellman public key (compressed G1, 48 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhPublic {
+    point: G1Projective,
+}
+
+impl DhSecret {
+    /// Generates a fresh secret key.
+    pub fn generate(rng: &mut (impl rand::RngCore + ?Sized)) -> Self {
+        DhSecret {
+            x: random_scalar(rng),
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> DhPublic {
+        DhPublic {
+            point: G1Projective::generator() * self.x,
+        }
+    }
+
+    /// Computes the 32-byte shared secret with a peer's public key.
+    ///
+    /// The raw group element is run through HKDF with a protocol label so the
+    /// output is a uniform symmetric key.
+    pub fn shared_secret(&self, peer: &DhPublic) -> [u8; SHARED_LEN] {
+        let shared_point = peer.point * self.x;
+        let bytes = g1_to_bytes(&shared_point);
+        Hkdf::derive(b"alpenhorn-dh-v1", &bytes, b"shared-secret")
+    }
+
+    /// Erases the secret scalar (forward secrecy for onion and dialing keys).
+    pub fn erase(&mut self) {
+        self.x = Fr::zero();
+    }
+}
+
+impl core::fmt::Debug for DhSecret {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DhSecret(secret)")
+    }
+}
+
+impl DhPublic {
+    /// Serializes to the 48-byte compressed form.
+    pub fn to_bytes(&self) -> [u8; PUBLIC_LEN] {
+        g1_to_bytes(&self.point)
+    }
+
+    /// Parses from the 48-byte compressed form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbeError> {
+        Ok(DhPublic {
+            point: g1_from_bytes(bytes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_crypto::ChaChaRng;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::from_seed_bytes([seed; 32])
+    }
+
+    #[test]
+    fn both_sides_agree() {
+        let mut rng = rng(40);
+        let alice = DhSecret::generate(&mut rng);
+        let bob = DhSecret::generate(&mut rng);
+        assert_eq!(
+            alice.shared_secret(&bob.public()),
+            bob.shared_secret(&alice.public())
+        );
+    }
+
+    #[test]
+    fn different_peers_different_secrets() {
+        let mut rng = rng(41);
+        let alice = DhSecret::generate(&mut rng);
+        let bob = DhSecret::generate(&mut rng);
+        let carol = DhSecret::generate(&mut rng);
+        assert_ne!(
+            alice.shared_secret(&bob.public()),
+            alice.shared_secret(&carol.public())
+        );
+    }
+
+    #[test]
+    fn public_key_round_trip() {
+        let mut rng = rng(42);
+        let sk = DhSecret::generate(&mut rng);
+        let pk = sk.public();
+        assert_eq!(DhPublic::from_bytes(&pk.to_bytes()).unwrap(), pk);
+        assert!(DhPublic::from_bytes(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn erased_secret_changes_shared_value() {
+        let mut rng = rng(43);
+        let mut alice = DhSecret::generate(&mut rng);
+        let bob = DhSecret::generate(&mut rng);
+        let before = alice.shared_secret(&bob.public());
+        alice.erase();
+        assert_ne!(alice.shared_secret(&bob.public()), before);
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let mut rng = rng(44);
+        assert_eq!(format!("{:?}", DhSecret::generate(&mut rng)), "DhSecret(secret)");
+    }
+}

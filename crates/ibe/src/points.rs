@@ -1,0 +1,122 @@
+//! Fixed-size serialization of BLS12-381 group elements and scalars.
+//!
+//! Alpenhorn's wire formats carry compressed points (48 bytes for G1, 96 for
+//! G2); this module centralizes the conversion between arkworks types and
+//! those byte arrays so that the rest of the workspace never touches
+//! serialization traits directly.
+
+use ark_bls12_381::{Fr, G1Affine, G1Projective, G2Affine, G2Projective};
+use ark_ec::CurveGroup;
+use ark_serialize::{CanonicalDeserialize, CanonicalSerialize};
+
+use crate::IbeError;
+
+/// Compressed G1 length in bytes.
+pub const G1_LEN: usize = 48;
+/// Compressed G2 length in bytes.
+pub const G2_LEN: usize = 96;
+/// Scalar length in bytes.
+pub const FR_LEN: usize = 32;
+
+/// Serializes a G1 element to its 48-byte compressed form.
+pub fn g1_to_bytes(p: &G1Projective) -> [u8; G1_LEN] {
+    let mut out = [0u8; G1_LEN];
+    p.into_affine()
+        .serialize_compressed(&mut out[..])
+        .expect("G1 serialization into fixed buffer");
+    out
+}
+
+/// Parses a compressed G1 element, validating that it is on the curve and in
+/// the prime-order subgroup.
+pub fn g1_from_bytes(bytes: &[u8]) -> Result<G1Projective, IbeError> {
+    if bytes.len() != G1_LEN {
+        return Err(IbeError::InvalidPoint);
+    }
+    G1Affine::deserialize_compressed(bytes)
+        .map(G1Projective::from)
+        .map_err(|_| IbeError::InvalidPoint)
+}
+
+/// Serializes a G2 element to its 96-byte compressed form.
+pub fn g2_to_bytes(p: &G2Projective) -> [u8; G2_LEN] {
+    let mut out = [0u8; G2_LEN];
+    p.into_affine()
+        .serialize_compressed(&mut out[..])
+        .expect("G2 serialization into fixed buffer");
+    out
+}
+
+/// Parses a compressed G2 element, validating curve and subgroup membership.
+pub fn g2_from_bytes(bytes: &[u8]) -> Result<G2Projective, IbeError> {
+    if bytes.len() != G2_LEN {
+        return Err(IbeError::InvalidPoint);
+    }
+    G2Affine::deserialize_compressed(bytes)
+        .map(G2Projective::from)
+        .map_err(|_| IbeError::InvalidPoint)
+}
+
+/// Serializes a scalar to 32 bytes.
+pub fn fr_to_bytes(s: &Fr) -> [u8; FR_LEN] {
+    let mut out = [0u8; FR_LEN];
+    s.serialize_compressed(&mut out[..])
+        .expect("Fr serialization into fixed buffer");
+    out
+}
+
+/// Parses a 32-byte scalar.
+pub fn fr_from_bytes(bytes: &[u8]) -> Result<Fr, IbeError> {
+    if bytes.len() != FR_LEN {
+        return Err(IbeError::InvalidPoint);
+    }
+    Fr::deserialize_compressed(bytes).map_err(|_| IbeError::InvalidPoint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ark_ec::Group;
+
+    #[test]
+    fn g1_round_trip() {
+        let g = G1Projective::generator();
+        let bytes = g1_to_bytes(&g);
+        assert_eq!(bytes.len(), G1_LEN);
+        assert_eq!(g1_from_bytes(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn g2_round_trip() {
+        let g = G2Projective::generator();
+        let bytes = g2_to_bytes(&g);
+        assert_eq!(bytes.len(), G2_LEN);
+        assert_eq!(g2_from_bytes(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn fr_round_trip() {
+        let s = Fr::from(123456789u64);
+        assert_eq!(fr_from_bytes(&fr_to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert!(g1_from_bytes(&[0u8; 47]).is_err());
+        assert!(g2_from_bytes(&[0u8; 95]).is_err());
+        assert!(fr_from_bytes(&[0u8; 31]).is_err());
+    }
+
+    #[test]
+    fn garbage_points_rejected() {
+        // A compressed encoding with the infinity flag set but a nonzero body
+        // is invalid in the arkworks format.
+        let mut g1 = g1_to_bytes(&G1Projective::generator());
+        *g1.last_mut().unwrap() |= 0x40;
+        assert!(g1_from_bytes(&g1).is_err());
+
+        let mut g2 = g2_to_bytes(&G2Projective::generator());
+        *g2.last_mut().unwrap() |= 0x40;
+        assert!(g2_from_bytes(&g2).is_err());
+    }
+}

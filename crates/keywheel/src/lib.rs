@@ -1,0 +1,37 @@
+//! The Alpenhorn keywheel (§5, Figures 4 and 5 of the paper).
+//!
+//! A keywheel holds a pairwise shared secret with one friend and evolves it
+//! every dialing round, providing forward secrecy for dialing metadata:
+//!
+//! * `advance`: the round-`r` key is replaced by `H1(key_r)` and the old key
+//!   is erased, so a later compromise reveals nothing about earlier rounds;
+//! * `dial_token`: `H2(key_r, intent)` — the 256-bit value a caller submits
+//!   through the mixnet to signal an incoming call;
+//! * `session_key`: `H3(key_r, intent)` — the fresh conversation key returned
+//!   to the application on both sides.
+//!
+//! `H1`/`H2`/`H3` are HMAC-SHA256 with distinct labels (the paper calls for a
+//! keyed family of hash functions such as HMAC-SHA256).
+//!
+//! The [`KeywheelTable`] is a client's address book of keywheels, keyed by
+//! friend identity, with the synchronization rules of §5.1: a newly added
+//! friend's wheel may start at a *future* round (the `DialingRound` from the
+//! friend request), and wheels only advance once the client has both sent and
+//! scanned the current round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod wheel;
+
+pub use table::KeywheelTable;
+pub use wheel::{Keywheel, KeywheelError, SessionKey};
+
+/// An application-defined intent value attached to a call (§5.3).
+///
+/// Intents let the recipient decide how to handle a call before a
+/// conversation is established (e.g. "chat now" vs "call me back"). The
+/// application declares how many intents it uses so the client can enumerate
+/// all possible incoming dial tokens.
+pub type Intent = u32;

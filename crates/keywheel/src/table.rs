@@ -1,0 +1,273 @@
+//! The keywheel table: a client's per-friend keywheels (Figure 5).
+
+use std::collections::BTreeMap;
+
+use alpenhorn_wire::{DialToken, Identity, Round};
+
+use crate::wheel::{Keywheel, KeywheelError, SessionKey};
+use crate::Intent;
+
+/// The client-side table of keywheels, keyed by friend identity.
+///
+/// The table implements the synchronization rules of §5.1:
+///
+/// * a wheel newly established through the add-friend protocol may start at a
+///   future dialing round (the `DialingRound` the friend proposed); it does
+///   not participate in dialing until the current round catches up;
+/// * [`KeywheelTable::advance_to`] advances all wheels that are behind the
+///   given round (the client calls this once it has both sent its dial
+///   request for the round and scanned the round's mailbox), erasing old keys.
+#[derive(Debug, Default)]
+pub struct KeywheelTable {
+    wheels: BTreeMap<Identity, Keywheel>,
+}
+
+impl KeywheelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        KeywheelTable {
+            wheels: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the keywheel for `friend`, starting from the
+    /// shared secret agreed in the add-friend protocol at `start_round`.
+    pub fn insert(&mut self, friend: Identity, shared_secret: [u8; 32], start_round: Round) {
+        self.wheels
+            .insert(friend, Keywheel::new(shared_secret, start_round));
+    }
+
+    /// Removes a friend's keywheel, erasing its key material. Returns whether
+    /// the friend was present.
+    pub fn remove(&mut self, friend: &Identity) -> bool {
+        if let Some(mut wheel) = self.wheels.remove(friend) {
+            wheel.erase();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the keywheel for `friend`, if any.
+    pub fn get(&self, friend: &Identity) -> Option<&Keywheel> {
+        self.wheels.get(friend)
+    }
+
+    /// Number of friends in the table.
+    pub fn len(&self) -> usize {
+        self.wheels.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.wheels.is_empty()
+    }
+
+    /// Iterates over the friends in the table.
+    pub fn friends(&self) -> impl Iterator<Item = &Identity> {
+        self.wheels.keys()
+    }
+
+    /// Whether `friend` has a keywheel.
+    pub fn contains(&self, friend: &Identity) -> bool {
+        self.wheels.contains_key(friend)
+    }
+
+    /// Computes the dial token for calling `friend` in `round` with `intent`.
+    ///
+    /// Returns `None` if the friend is unknown, or an error if the wheel's
+    /// key for that round has already been erased.
+    pub fn dial_token(
+        &self,
+        friend: &Identity,
+        round: Round,
+        intent: Intent,
+    ) -> Option<Result<DialToken, KeywheelError>> {
+        self.wheels.get(friend).map(|w| w.dial_token(round, intent))
+    }
+
+    /// Computes the session key for a call with `friend` in `round` with `intent`.
+    pub fn session_key(
+        &self,
+        friend: &Identity,
+        round: Round,
+        intent: Intent,
+    ) -> Option<Result<SessionKey, KeywheelError>> {
+        self.wheels
+            .get(friend)
+            .map(|w| w.session_key(round, intent))
+    }
+
+    /// Enumerates every dial token any friend could have sent in `round`,
+    /// for intents `0..num_intents` (§5: "a client can easily compute all of
+    /// the possible incoming dial tokens").
+    ///
+    /// Wheels whose start round is after `round` are skipped (the friendship
+    /// only begins dialing at its start round); wheels that have advanced
+    /// past `round` are also skipped (their old keys are gone).
+    pub fn expected_tokens(
+        &self,
+        round: Round,
+        num_intents: u32,
+    ) -> Vec<(Identity, Intent, DialToken)> {
+        let mut out = Vec::new();
+        for (friend, wheel) in &self.wheels {
+            if wheel.round() > round {
+                continue;
+            }
+            for intent in 0..num_intents {
+                if let Ok(token) = wheel.dial_token(round, intent) {
+                    out.push((friend.clone(), intent, token));
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances every wheel that is behind `round` up to `round`, erasing old
+    /// keys. Wheels already at or past `round` (including future-start
+    /// wheels) are left untouched.
+    pub fn advance_to(&mut self, round: Round) {
+        for wheel in self.wheels.values_mut() {
+            if wheel.round() < round {
+                wheel
+                    .advance_to(round)
+                    .expect("wheel behind round can always advance");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    fn table_with_friends() -> KeywheelTable {
+        let mut t = KeywheelTable::new();
+        t.insert(id("bob@gmail.com"), [1u8; 32], Round(25));
+        t.insert(id("joanna@foo.edu"), [2u8; 32], Round(25));
+        t.insert(id("chris@hotmail.com"), [3u8; 32], Round(28));
+        t
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = table_with_friends();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&id("bob@gmail.com")));
+        assert!(t.remove(&id("bob@gmail.com")));
+        assert!(!t.remove(&id("bob@gmail.com")));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(&id("bob@gmail.com")).is_none());
+    }
+
+    #[test]
+    fn figure_5_advance_keeps_future_wheels() {
+        // Figure 5: advancing from round 25 to 26 evolves Bob's and Joanna's
+        // wheels but leaves Chris's (established for round 28) untouched.
+        let mut t = table_with_friends();
+        t.advance_to(Round(26));
+        assert_eq!(t.get(&id("bob@gmail.com")).unwrap().round(), Round(26));
+        assert_eq!(t.get(&id("joanna@foo.edu")).unwrap().round(), Round(26));
+        assert_eq!(t.get(&id("chris@hotmail.com")).unwrap().round(), Round(28));
+    }
+
+    #[test]
+    fn expected_tokens_enumerates_friends_and_intents() {
+        let t = table_with_friends();
+        // At round 25, Chris's wheel (round 28) is not yet active.
+        let tokens = t.expected_tokens(Round(25), 10);
+        assert_eq!(tokens.len(), 2 * 10);
+        // At round 28 all three wheels are active.
+        let tokens = t.expected_tokens(Round(28), 10);
+        assert_eq!(tokens.len(), 3 * 10);
+        // All tokens are distinct.
+        let unique: std::collections::HashSet<_> =
+            tokens.iter().map(|(_, _, t)| t.0).collect();
+        assert_eq!(unique.len(), tokens.len());
+    }
+
+    #[test]
+    fn caller_token_matches_recipient_expectation() {
+        // Alice's table has Bob; Bob's table has Alice. Both share the secret.
+        let mut alice = KeywheelTable::new();
+        alice.insert(id("bob@gmail.com"), [9u8; 32], Round(30));
+        let mut bob = KeywheelTable::new();
+        bob.insert(id("alice@example.com"), [9u8; 32], Round(30));
+
+        let round = Round(33);
+        let intent = 2;
+        let token = alice
+            .dial_token(&id("bob@gmail.com"), round, intent)
+            .unwrap()
+            .unwrap();
+        let expected = bob.expected_tokens(round, 10);
+        let hit = expected.iter().find(|(_, _, t)| *t == token).unwrap();
+        assert_eq!(hit.0, id("alice@example.com"));
+        assert_eq!(hit.1, intent);
+
+        // And both derive the same session key.
+        let alice_key = alice
+            .session_key(&id("bob@gmail.com"), round, intent)
+            .unwrap()
+            .unwrap();
+        let bob_key = bob
+            .session_key(&id("alice@example.com"), round, intent)
+            .unwrap()
+            .unwrap();
+        assert_eq!(alice_key, bob_key);
+    }
+
+    #[test]
+    fn unknown_friend_returns_none() {
+        let t = table_with_friends();
+        assert!(t.dial_token(&id("stranger@x.com"), Round(25), 0).is_none());
+        assert!(t.session_key(&id("stranger@x.com"), Round(25), 0).is_none());
+    }
+
+    #[test]
+    fn tokens_for_erased_rounds_are_skipped() {
+        let mut t = table_with_friends();
+        t.advance_to(Round(30));
+        // Round 26 keys are erased for Bob and Joanna; Chris (round 28) also
+        // advanced to 30, so nothing can produce a round-26 token.
+        assert!(t.expected_tokens(Round(26), 5).is_empty());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = KeywheelTable::new();
+        assert!(t.is_empty());
+        assert!(t.expected_tokens(Round(1), 10).is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_wheel() {
+        let mut t = KeywheelTable::new();
+        t.insert(id("bob@gmail.com"), [1u8; 32], Round(5));
+        let before = t
+            .dial_token(&id("bob@gmail.com"), Round(5), 0)
+            .unwrap()
+            .unwrap();
+        t.insert(id("bob@gmail.com"), [2u8; 32], Round(5));
+        let after = t
+            .dial_token(&id("bob@gmail.com"), Round(5), 0)
+            .unwrap()
+            .unwrap();
+        assert_ne!(before, after);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn friends_iterator_sorted() {
+        let t = table_with_friends();
+        let friends: Vec<String> = t.friends().map(|f| f.as_str().to_string()).collect();
+        let mut sorted = friends.clone();
+        sorted.sort();
+        assert_eq!(friends, sorted);
+    }
+}

@@ -1,0 +1,299 @@
+//! A single keywheel: the evolving shared secret with one friend.
+
+use alpenhorn_crypto::{hmac_sha256, zeroize::Zeroize};
+use alpenhorn_wire::{DialToken, Round};
+
+use crate::Intent;
+
+/// Label for the key-evolution hash (H1 in Figure 4).
+const ADVANCE_LABEL: &[u8] = b"alpenhorn-keywheel-advance";
+/// Label for dial-token derivation (H2 in Figure 4).
+const DIAL_TOKEN_LABEL: &[u8] = b"alpenhorn-keywheel-dial-token";
+/// Label for session-key derivation (H3 in Figure 4).
+const SESSION_KEY_LABEL: &[u8] = b"alpenhorn-keywheel-session-key";
+
+/// A 256-bit session key returned to the application when a call is placed
+/// or received.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SessionKey(pub [u8; 32]);
+
+impl SessionKey {
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Session keys are handed to the application, but avoid accidentally
+        // logging them through Debug formatting.
+        write!(f, "SessionKey(..)")
+    }
+}
+
+/// Errors from keywheel operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeywheelError {
+    /// The requested round is before the wheel's current round; the key for
+    /// that round has already been erased (this is the forward-secrecy
+    /// guarantee, not a recoverable condition).
+    RoundInPast {
+        /// The wheel's current round.
+        current: Round,
+        /// The round that was requested.
+        requested: Round,
+    },
+}
+
+impl core::fmt::Display for KeywheelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KeywheelError::RoundInPast { current, requested } => write!(
+                f,
+                "keywheel is at round {} but round {} was requested; old keys are erased",
+                current.0, requested.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KeywheelError {}
+
+/// The keywheel for one friend: a shared secret bound to a dialing round.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Keywheel {
+    key: [u8; 32],
+    round: Round,
+}
+
+impl Keywheel {
+    /// Creates a keywheel from the shared secret established by the
+    /// add-friend protocol, starting at the agreed `DialingRound`.
+    pub fn new(shared_secret: [u8; 32], start_round: Round) -> Self {
+        Keywheel {
+            key: shared_secret,
+            round: start_round,
+        }
+    }
+
+    /// The round this wheel's current key corresponds to.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Advances the wheel by one round, erasing the previous key.
+    pub fn advance(&mut self) {
+        let next = hmac_sha256(&self.key, ADVANCE_LABEL);
+        self.key.zeroize();
+        self.key = next;
+        self.round = self.round.next();
+    }
+
+    /// Advances the wheel until it reaches `round`.
+    ///
+    /// If the wheel is already past `round` this is an error: the old key has
+    /// been destroyed and cannot be recovered (by design).
+    pub fn advance_to(&mut self, round: Round) -> Result<(), KeywheelError> {
+        if round < self.round {
+            return Err(KeywheelError::RoundInPast {
+                current: self.round,
+                requested: round,
+            });
+        }
+        while self.round < round {
+            self.advance();
+        }
+        Ok(())
+    }
+
+    /// Derives the key for `round >= self.round` without mutating the wheel.
+    fn key_at(&self, round: Round) -> Result<[u8; 32], KeywheelError> {
+        if round < self.round {
+            return Err(KeywheelError::RoundInPast {
+                current: self.round,
+                requested: round,
+            });
+        }
+        let mut key = self.key;
+        let mut r = self.round;
+        while r < round {
+            let next = hmac_sha256(&key, ADVANCE_LABEL);
+            key.zeroize();
+            key = next;
+            r = r.next();
+        }
+        Ok(key)
+    }
+
+    /// Computes the dial token for `round` and `intent` (H2 in Figure 4).
+    pub fn dial_token(&self, round: Round, intent: Intent) -> Result<DialToken, KeywheelError> {
+        let key = self.key_at(round)?;
+        let mut msg = Vec::with_capacity(DIAL_TOKEN_LABEL.len() + 12);
+        msg.extend_from_slice(DIAL_TOKEN_LABEL);
+        msg.extend_from_slice(&round.0.to_be_bytes());
+        msg.extend_from_slice(&intent.to_be_bytes());
+        Ok(DialToken(hmac_sha256(&key, &msg)))
+    }
+
+    /// Computes the session key for `round` and `intent` (H3 in Figure 4).
+    pub fn session_key(&self, round: Round, intent: Intent) -> Result<SessionKey, KeywheelError> {
+        let key = self.key_at(round)?;
+        let mut msg = Vec::with_capacity(SESSION_KEY_LABEL.len() + 12);
+        msg.extend_from_slice(SESSION_KEY_LABEL);
+        msg.extend_from_slice(&round.0.to_be_bytes());
+        msg.extend_from_slice(&intent.to_be_bytes());
+        Ok(SessionKey(hmac_sha256(&key, &msg)))
+    }
+
+    /// Erases the wheel's key material (used when removing a friend).
+    pub fn erase(&mut self) {
+        self.key.zeroize();
+    }
+}
+
+impl core::fmt::Debug for Keywheel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Keywheel {{ round: {}, key: <secret> }}", self.round.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(seed: u8, round: u64) -> Keywheel {
+        Keywheel::new([seed; 32], Round(round))
+    }
+
+    #[test]
+    fn two_friends_stay_in_sync() {
+        // Alice and Bob start from the same shared secret; whatever round they
+        // independently evolve to, tokens and session keys agree.
+        let mut alice = wheel(1, 10);
+        let mut bob = wheel(1, 10);
+        alice.advance_to(Round(15)).unwrap();
+        bob.advance_to(Round(13)).unwrap();
+        assert_eq!(
+            alice.dial_token(Round(15), 0).unwrap(),
+            bob.dial_token(Round(15), 0).unwrap()
+        );
+        assert_eq!(
+            alice.session_key(Round(17), 3).unwrap(),
+            bob.session_key(Round(17), 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn advance_changes_key_and_round() {
+        let mut w = wheel(2, 1);
+        let t1 = w.dial_token(Round(1), 0).unwrap();
+        w.advance();
+        assert_eq!(w.round(), Round(2));
+        let t2 = w.dial_token(Round(2), 0).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn forward_secrecy_old_round_unavailable() {
+        let mut w = wheel(3, 5);
+        w.advance_to(Round(8)).unwrap();
+        assert_eq!(
+            w.dial_token(Round(7), 0),
+            Err(KeywheelError::RoundInPast {
+                current: Round(8),
+                requested: Round(7),
+            })
+        );
+        assert!(w.session_key(Round(6), 0).is_err());
+        assert!(w.advance_to(Round(7)).is_err());
+    }
+
+    #[test]
+    fn tokens_differ_across_intents() {
+        let w = wheel(4, 1);
+        let tokens: Vec<_> = (0..10)
+            .map(|i| w.dial_token(Round(1), i).unwrap())
+            .collect();
+        for i in 0..tokens.len() {
+            for j in (i + 1)..tokens.len() {
+                assert_ne!(tokens[i], tokens[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_differ_across_rounds() {
+        let w = wheel(5, 1);
+        assert_ne!(
+            w.dial_token(Round(1), 0).unwrap(),
+            w.dial_token(Round(2), 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn session_key_differs_from_dial_token() {
+        let w = wheel(6, 1);
+        let token = w.dial_token(Round(1), 0).unwrap();
+        let session = w.session_key(Round(1), 0).unwrap();
+        assert_ne!(token.0, session.0);
+    }
+
+    #[test]
+    fn different_secrets_never_collide() {
+        let a = wheel(7, 1);
+        let b = wheel(8, 1);
+        assert_ne!(
+            a.dial_token(Round(1), 0).unwrap(),
+            b.dial_token(Round(1), 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn key_at_future_round_does_not_mutate() {
+        let w = wheel(9, 1);
+        let token_future = w.dial_token(Round(100), 2).unwrap();
+        assert_eq!(w.round(), Round(1));
+        // Advancing and recomputing gives the same token.
+        let mut w2 = w.clone();
+        w2.advance_to(Round(100)).unwrap();
+        assert_eq!(w2.dial_token(Round(100), 2).unwrap(), token_future);
+    }
+
+    #[test]
+    fn advance_to_current_round_is_noop() {
+        let mut w = wheel(10, 42);
+        w.advance_to(Round(42)).unwrap();
+        assert_eq!(w.round(), Round(42));
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let w = wheel(11, 3);
+        let s = format!("{w:?}");
+        assert!(s.contains("<secret>"));
+        assert!(!s.contains("11"));
+    }
+
+    #[test]
+    fn erase_destroys_state() {
+        let mut w = wheel(12, 1);
+        let before = w.dial_token(Round(1), 0).unwrap();
+        w.erase();
+        assert_ne!(w.dial_token(Round(1), 0).unwrap(), before);
+    }
+
+    #[test]
+    fn long_evolution_is_consistent() {
+        // Evolving 1000 rounds step by step equals jumping directly.
+        let mut step = wheel(13, 0);
+        for _ in 0..1000 {
+            step.advance();
+        }
+        let jump = wheel(13, 0);
+        assert_eq!(
+            step.dial_token(Round(1000), 1).unwrap(),
+            jump.dial_token(Round(1000), 1).unwrap()
+        );
+    }
+}

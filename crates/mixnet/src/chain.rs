@@ -1,0 +1,270 @@
+//! An in-process mixnet chain running complete rounds.
+//!
+//! The chain owns the mixnet servers, distributes their per-round onion keys
+//! to clients, pushes a batch through every server in order, and hands the
+//! final batch to the mailbox builders. This is the substrate the
+//! coordinator crate and the evaluation harness drive; a production
+//! deployment would place each [`MixServer`](crate::server::MixServer) on its
+//! own machine, but the message flow is identical.
+
+use alpenhorn_ibe::dh::DhPublic;
+
+use crate::mailbox::{AddFriendMailboxes, DialingMailboxes};
+use crate::noise::NoiseConfig;
+use crate::server::MixServer;
+use crate::Protocol;
+
+/// Statistics collected from one mixnet round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Messages submitted by clients.
+    pub client_messages: usize,
+    /// Noise messages added, per server.
+    pub noise_per_server: Vec<u64>,
+    /// Malformed messages dropped, per server.
+    pub dropped_per_server: Vec<u64>,
+    /// Messages in the final batch (clients + noise - dropped).
+    pub final_messages: usize,
+}
+
+impl RoundStats {
+    /// Total noise added across all servers.
+    pub fn total_noise(&self) -> u64 {
+        self.noise_per_server.iter().sum()
+    }
+}
+
+/// A chain of mixnet servers processed in order.
+pub struct MixChain {
+    servers: Vec<MixServer>,
+    noise: NoiseConfig,
+}
+
+impl MixChain {
+    /// Creates a chain of `n` servers with the given noise configuration.
+    /// Each server's randomness is derived from `seed` and its index.
+    pub fn new(n: usize, noise: NoiseConfig, seed: [u8; 32]) -> Self {
+        assert!(n >= 1, "a mixnet chain needs at least one server");
+        let servers = (0..n)
+            .map(|i| {
+                let mut server_seed = seed;
+                server_seed[0] ^= i as u8;
+                server_seed[1] ^= (i >> 8) as u8;
+                MixServer::new(i, server_seed)
+            })
+            .collect();
+        MixChain { servers, noise }
+    }
+
+    /// Number of servers in the chain.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the chain is empty (never true; chains have at least one server).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The noise configuration in use.
+    pub fn noise(&self) -> &NoiseConfig {
+        &self.noise
+    }
+
+    /// Starts a round on every server and returns the onion public keys, in
+    /// chain order, that clients must wrap their requests for.
+    pub fn begin_round(&mut self) -> Vec<DhPublic> {
+        self.servers.iter_mut().map(|s| s.begin_round()).collect()
+    }
+
+    /// Ends the round on every server, erasing round keys.
+    pub fn end_round(&mut self) {
+        for server in &mut self.servers {
+            server.end_round();
+        }
+    }
+
+    /// Pushes a batch of client onions through every server.
+    fn mix(
+        &mut self,
+        batch: Vec<Vec<u8>>,
+        protocol: Protocol,
+        num_mailboxes: u32,
+        publics: &[DhPublic],
+    ) -> (Vec<Vec<u8>>, RoundStats) {
+        let mut stats = RoundStats {
+            client_messages: batch.len(),
+            ..RoundStats::default()
+        };
+        let noise = self.noise;
+        let mut current = batch;
+        let server_count = self.servers.len();
+        for i in 0..server_count {
+            let downstream = &publics[i + 1..];
+            current = self.servers[i].process(current, downstream, protocol, &noise, num_mailboxes);
+            stats
+                .noise_per_server
+                .push(self.servers[i].last_noise_added());
+            stats
+                .dropped_per_server
+                .push(self.servers[i].last_malformed_dropped());
+        }
+        stats.final_messages = current.len();
+        (current, stats)
+    }
+
+    /// Runs a complete add-friend round: mixes the batch and builds the
+    /// add-friend mailboxes. `publics` must be the keys returned by
+    /// [`MixChain::begin_round`] for this round.
+    pub fn run_add_friend_round(
+        &mut self,
+        batch: Vec<Vec<u8>>,
+        num_mailboxes: u32,
+        publics: &[DhPublic],
+    ) -> (AddFriendMailboxes, RoundStats) {
+        let (finals, stats) = self.mix(batch, Protocol::AddFriend, num_mailboxes, publics);
+        (AddFriendMailboxes::from_batch(&finals, num_mailboxes), stats)
+    }
+
+    /// Runs a complete dialing round: mixes the batch and builds the Bloom
+    /// filter mailboxes.
+    pub fn run_dialing_round(
+        &mut self,
+        batch: Vec<Vec<u8>>,
+        num_mailboxes: u32,
+        publics: &[DhPublic],
+    ) -> (DialingMailboxes, RoundStats) {
+        let (finals, stats) = self.mix(batch, Protocol::Dialing, num_mailboxes, publics);
+        (DialingMailboxes::from_batch(&finals, num_mailboxes), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion::wrap_onion;
+    use alpenhorn_crypto::ChaChaRng;
+    use alpenhorn_wire::{AddFriendEnvelope, DialRequest, DialToken, MailboxId};
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::from_seed_bytes([seed; 32])
+    }
+
+    #[test]
+    fn add_friend_round_delivers_requests() {
+        let mut rng = rng(1);
+        let mut chain = MixChain::new(3, NoiseConfig::deterministic(2.0), [7u8; 32]);
+        let publics = chain.begin_round();
+
+        // Two real requests to mailbox 0 and one cover message.
+        let mut batch = Vec::new();
+        for fill in [0x11u8, 0x22] {
+            let env = AddFriendEnvelope {
+                mailbox: MailboxId(0),
+                ciphertext: vec![fill; AddFriendEnvelope::CIPHERTEXT_LEN],
+            };
+            batch.push(wrap_onion(&env.encode(), &publics, &mut rng));
+        }
+        batch.push(wrap_onion(
+            &AddFriendEnvelope::cover().encode(),
+            &publics,
+            &mut rng,
+        ));
+
+        let (mailboxes, stats) = chain.run_add_friend_round(batch, 1, &publics);
+        chain.end_round();
+
+        assert_eq!(stats.client_messages, 3);
+        assert_eq!(stats.dropped_per_server, vec![0, 0, 0]);
+        // 2 noise per mailbox (1 real + cover) per server = 4 per server.
+        assert_eq!(stats.total_noise(), 12);
+        // The real ciphertexts are present in mailbox 0.
+        let delivered = mailboxes.mailbox(MailboxId(0));
+        assert!(delivered
+            .iter()
+            .any(|c| c == &vec![0x11u8; AddFriendEnvelope::CIPHERTEXT_LEN]));
+        assert!(delivered
+            .iter()
+            .any(|c| c == &vec![0x22u8; AddFriendEnvelope::CIPHERTEXT_LEN]));
+        // Mailbox 0 also holds the add-friend noise addressed to it (2 per server).
+        assert_eq!(delivered.len(), 2 + 6);
+    }
+
+    #[test]
+    fn dialing_round_encodes_tokens_in_bloom_filter() {
+        let mut rng = rng(2);
+        let mut chain = MixChain::new(3, NoiseConfig::deterministic(5.0), [8u8; 32]);
+        let publics = chain.begin_round();
+
+        let token = DialToken([0x5au8; 32]);
+        let req = DialRequest {
+            mailbox: MailboxId(0),
+            token,
+        };
+        let batch = vec![wrap_onion(&req.encode(), &publics, &mut rng)];
+        let (mailboxes, stats) = chain.run_dialing_round(batch, 1, &publics);
+        chain.end_round();
+
+        assert_eq!(stats.client_messages, 1);
+        let filter = mailboxes.mailbox(MailboxId(0)).unwrap();
+        assert!(filter.contains(&token.0));
+        // 1 real token + 5 noise per server per mailbox (mailbox 0 only; cover dropped).
+        assert_eq!(mailboxes.total_tokens(), 1 + 3 * 5);
+    }
+
+    #[test]
+    fn messages_shuffled_between_input_and_output() {
+        // With deterministic payload markers and zero noise, the output order
+        // should (overwhelmingly likely) differ from the input order.
+        let mut rng = rng(3);
+        let mut chain = MixChain::new(1, NoiseConfig::deterministic(0.0), [9u8; 32]);
+        let publics = chain.begin_round();
+
+        let count = 64u32;
+        let batch: Vec<Vec<u8>> = (0..count)
+            .map(|i| {
+                let env = AddFriendEnvelope {
+                    mailbox: MailboxId(0),
+                    ciphertext: {
+                        let mut c = vec![0u8; AddFriendEnvelope::CIPHERTEXT_LEN];
+                        c[..4].copy_from_slice(&i.to_be_bytes());
+                        c
+                    },
+                };
+                wrap_onion(&env.encode(), &publics, &mut rng)
+            })
+            .collect();
+        let (mailboxes, _) = chain.run_add_friend_round(batch, 1, &publics);
+        let order: Vec<u32> = mailboxes
+            .mailbox(MailboxId(0))
+            .iter()
+            .map(|c| u32::from_be_bytes(c[..4].try_into().unwrap()))
+            .collect();
+        assert_eq!(order.len(), count as usize);
+        assert_ne!(order, (0..count).collect::<Vec<_>>(), "batch not shuffled");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_servers_add_more_noise() {
+        let mut chain3 = MixChain::new(3, NoiseConfig::deterministic(4.0), [1u8; 32]);
+        let p3 = chain3.begin_round();
+        let (_, s3) = chain3.run_add_friend_round(vec![], 2, &p3);
+
+        let mut chain5 = MixChain::new(5, NoiseConfig::deterministic(4.0), [1u8; 32]);
+        let p5 = chain5.begin_round();
+        let (_, s5) = chain5.run_add_friend_round(vec![], 2, &p5);
+
+        assert!(s5.total_noise() > s3.total_noise());
+        assert_eq!(s3.total_noise(), 3 * 4 * 3); // servers x mu x (mailboxes + cover)
+        assert_eq!(s5.total_noise(), 5 * 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_chain_rejected() {
+        MixChain::new(0, NoiseConfig::light(), [0u8; 32]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Anytrust mixnet substrate (the Vuvuzela design used by Alpenhorn, §6).
+//!
+//! Clients onion-encrypt each request for a chain of mixnet servers. Every
+//! round, each server peels its layer, adds Laplace-distributed noise
+//! addressed to every mailbox, and randomly permutes the batch before
+//! forwarding it. As long as one server is honest (keeps its permutation and
+//! round key secret, and actually adds its noise), an adversary observing the
+//! mailboxes cannot tell which client sent which request — formally, the
+//! observable mailbox counts are differentially private.
+//!
+//! Modules:
+//!
+//! * [`onion`] — client-side onion wrapping and server-side peeling.
+//! * [`noise`] — Laplace noise sampling and the differential-privacy
+//!   accounting used to pick the paper's parameters (§8.1).
+//! * [`server`] — a single mixnet server's per-round processing.
+//! * [`chain`] — an in-process chain of servers running a complete round.
+//! * [`mailbox`] — partitioning the final batch into mailboxes and encoding
+//!   dialing mailboxes as Bloom filters (§5.2), plus the mailbox-count
+//!   policy of §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod mailbox;
+pub mod noise;
+pub mod onion;
+pub mod server;
+
+pub use chain::{MixChain, RoundStats};
+pub use mailbox::{AddFriendMailboxes, DialingMailboxes, MailboxPolicy};
+pub use noise::{DpParameters, NoiseConfig};
+pub use onion::{peel_layer, wrap_onion};
+pub use server::MixServer;
+
+/// Which of the two Alpenhorn protocols a mixnet round is serving. The two
+/// protocols use different payload formats, noise volumes, and mailbox
+/// encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Add-friend rounds carry fixed-size IBE ciphertexts.
+    AddFriend,
+    /// Dialing rounds carry 32-byte dial tokens.
+    Dialing,
+}

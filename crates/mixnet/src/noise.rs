@@ -1,0 +1,229 @@
+//! Laplace noise and differential-privacy accounting (§6 and §8.1).
+//!
+//! Each mixnet server adds, to every mailbox, a number of fake requests drawn
+//! from a (truncated, rounded) Laplace distribution with mean `mu` and scale
+//! `b`. The observable mailbox counts then satisfy (ε, δ)-differential
+//! privacy for a bounded number of user actions, following the analysis of
+//! the Vuvuzela paper that Alpenhorn reuses. The deployment parameters in
+//! §8.1 are:
+//!
+//! * add-friend: µ = 4,000, b = 406 → (ε = ln 2, δ = 1e-4) for 900 requests;
+//! * dialing: µ = 25,000, b = 2,183 → (ε = ln 2, δ = 1e-4) for 26,000 calls.
+//!
+//! [`DpParameters::epsilon_after`] implements the advanced-composition bound
+//! used to check these numbers, and the unit tests verify that the paper's
+//! parameter choices indeed give ε ≤ ln 2 at δ = 1e-4.
+
+use alpenhorn_crypto::ChaChaRng;
+
+/// Noise configuration for one protocol: the mean and scale of the Laplace
+/// noise each server adds per mailbox per round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Mean number of noise messages per mailbox per server.
+    pub mu: f64,
+    /// Laplace scale parameter. A scale of zero disables randomness (used by
+    /// the paper's own experiments "to reduce the variance in the results").
+    pub b: f64,
+}
+
+impl NoiseConfig {
+    /// The paper's add-friend noise parameters (§8.1).
+    pub fn paper_add_friend() -> Self {
+        NoiseConfig { mu: 4_000.0, b: 406.0 }
+    }
+
+    /// The paper's dialing noise parameters (§8.1).
+    pub fn paper_dialing() -> Self {
+        NoiseConfig {
+            mu: 25_000.0,
+            b: 2_183.0,
+        }
+    }
+
+    /// The paper's experimental setting: the same means but `b = 0`, so every
+    /// mailbox receives exactly `mu` noise messages (used to reduce variance
+    /// when measuring performance).
+    pub fn deterministic(mu: f64) -> Self {
+        NoiseConfig { mu, b: 0.0 }
+    }
+
+    /// A small configuration for unit tests and examples.
+    pub fn light() -> Self {
+        NoiseConfig { mu: 10.0, b: 3.0 }
+    }
+
+    /// Samples the number of noise messages for one mailbox: a Laplace sample
+    /// centred at `mu`, rounded and truncated at zero.
+    pub fn sample_count(&self, rng: &mut ChaChaRng) -> u64 {
+        let noisy = self.mu + sample_laplace(self.b, rng);
+        if noisy <= 0.0 {
+            0
+        } else {
+            noisy.round() as u64
+        }
+    }
+
+    /// The differential-privacy parameters implied by this configuration.
+    pub fn dp(&self) -> DpParameters {
+        DpParameters { b: self.b }
+    }
+}
+
+/// Samples a zero-centred Laplace random variable with scale `b`.
+fn sample_laplace(b: f64, rng: &mut ChaChaRng) -> f64 {
+    if b == 0.0 {
+        return 0.0;
+    }
+    // Inverse CDF: u uniform in (-1/2, 1/2), X = -b * sgn(u) * ln(1 - 2|u|).
+    let mut u = rng.gen_f64() - 0.5;
+    // Avoid the measure-zero endpoint that would take ln(0).
+    if u == -0.5 {
+        u = -0.499_999_999;
+    }
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Differential-privacy accounting for Laplace-noised mailbox counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpParameters {
+    /// Laplace scale parameter of the per-mailbox noise.
+    pub b: f64,
+}
+
+/// Sensitivity of the observable counts to one user action: sending a real
+/// request moves one message from the cover mailbox to a real mailbox,
+/// changing two counts by one each.
+const SENSITIVITY: f64 = 2.0;
+
+impl DpParameters {
+    /// The privacy loss ε after `k` protected user actions, at failure
+    /// probability δ, using the advanced composition theorem for the Laplace
+    /// mechanism (each action is one (Δ/b)-DP observation).
+    pub fn epsilon_after(&self, k: u64, delta: f64) -> f64 {
+        if self.b == 0.0 {
+            return f64::INFINITY;
+        }
+        let eps0 = SENSITIVITY / self.b;
+        let k = k as f64;
+        (2.0 * k * (1.0 / delta).ln()).sqrt() * eps0 + k * eps0 * (eps0.exp() - 1.0)
+    }
+
+    /// The largest number of protected actions that keeps the privacy loss at
+    /// or below `epsilon` for the given `delta`.
+    pub fn max_actions(&self, epsilon: f64, delta: f64) -> u64 {
+        if self.b == 0.0 {
+            return 0;
+        }
+        // epsilon_after is monotone in k; binary search.
+        let mut lo = 0u64;
+        let mut hi = 1u64 << 40;
+        while lo < hi {
+            let mid = lo + (hi - lo + 1) / 2;
+            if self.epsilon_after(mid, delta) <= epsilon {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u8) -> ChaChaRng {
+        ChaChaRng::from_seed_bytes([seed; 32])
+    }
+
+    #[test]
+    fn paper_add_friend_parameters_give_ln2_at_900_requests() {
+        let dp = NoiseConfig::paper_add_friend().dp();
+        let eps = dp.epsilon_after(900, 1e-4);
+        // §8.1: (ε = ln 2, δ = 1e-4)-differential privacy for 900 add-friend requests.
+        assert!(eps <= core::f64::consts::LN_2 * 1.02, "eps = {eps}");
+        assert!(eps >= core::f64::consts::LN_2 * 0.8, "eps = {eps}");
+    }
+
+    #[test]
+    fn paper_dialing_parameters_give_ln2_at_26000_calls() {
+        let dp = NoiseConfig::paper_dialing().dp();
+        let eps = dp.epsilon_after(26_000, 1e-4);
+        assert!(eps <= core::f64::consts::LN_2 * 1.02, "eps = {eps}");
+        assert!(eps >= core::f64::consts::LN_2 * 0.8, "eps = {eps}");
+    }
+
+    #[test]
+    fn max_actions_matches_paper_order_of_magnitude() {
+        let add = NoiseConfig::paper_add_friend().dp();
+        let k = add.max_actions(core::f64::consts::LN_2, 1e-4);
+        assert!((850..=1000).contains(&k), "k = {k}");
+
+        let dial = NoiseConfig::paper_dialing().dp();
+        let k = dial.max_actions(core::f64::consts::LN_2, 1e-4);
+        assert!((24_000..=30_000).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn epsilon_monotone_in_actions_and_scale() {
+        let dp = DpParameters { b: 406.0 };
+        assert!(dp.epsilon_after(100, 1e-4) < dp.epsilon_after(1000, 1e-4));
+        let weaker = DpParameters { b: 100.0 };
+        assert!(weaker.epsilon_after(900, 1e-4) > dp.epsilon_after(900, 1e-4));
+    }
+
+    #[test]
+    fn zero_scale_provides_no_privacy() {
+        let dp = DpParameters { b: 0.0 };
+        assert!(dp.epsilon_after(1, 1e-4).is_infinite());
+        assert_eq!(dp.max_actions(1.0, 1e-4), 0);
+    }
+
+    #[test]
+    fn deterministic_noise_is_exactly_mu() {
+        let config = NoiseConfig::deterministic(4000.0);
+        let mut rng = rng(1);
+        for _ in 0..10 {
+            assert_eq!(config.sample_count(&mut rng), 4000);
+        }
+    }
+
+    #[test]
+    fn laplace_sample_mean_close_to_mu() {
+        let config = NoiseConfig { mu: 1000.0, b: 100.0 };
+        let mut rng = rng(2);
+        let n = 5000;
+        let sum: u64 = (0..n).map(|_| config.sample_count(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn laplace_sample_has_spread() {
+        let config = NoiseConfig { mu: 1000.0, b: 100.0 };
+        let mut rng = rng(3);
+        let samples: Vec<u64> = (0..1000).map(|_| config.sample_count(&mut rng)).collect();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        assert!(max > min + 100, "min {min} max {max}");
+    }
+
+    #[test]
+    fn negative_samples_truncated_to_zero() {
+        // With a mean of zero, roughly half the samples would be negative;
+        // all must be truncated to zero rather than wrap around.
+        let config = NoiseConfig { mu: 0.0, b: 50.0 };
+        let mut rng = rng(4);
+        let mut zeros = 0;
+        for _ in 0..1000 {
+            let c = config.sample_count(&mut rng);
+            assert!(c < 1_000_000, "implausibly large count {c}");
+            if c == 0 {
+                zeros += 1;
+            }
+        }
+        assert!(zeros > 300);
+    }
+}

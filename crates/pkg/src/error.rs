@@ -1,0 +1,56 @@
+//! Error type for PKG operations.
+
+use alpenhorn_wire::Round;
+
+/// Errors returned by the PKG registry and server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PkgError {
+    /// The identity is already registered with a different signing key and
+    /// the lockout window has not elapsed.
+    AlreadyRegistered,
+    /// No registration is pending for this identity (or the token expired).
+    NoPendingRegistration,
+    /// The confirmation token does not match the one emailed to the user.
+    BadConfirmationToken,
+    /// The identity is not registered.
+    UnknownIdentity,
+    /// The request's signature did not verify against the registered key.
+    AuthenticationFailed,
+    /// The identity is in its post-deregistration lockout window and cannot
+    /// be re-registered yet.
+    LockedOut {
+        /// Seconds remaining until re-registration is allowed.
+        remaining_seconds: u64,
+    },
+    /// The requested round is not the PKG's current round (keys for other
+    /// rounds either do not exist yet or have been destroyed).
+    WrongRound {
+        /// The PKG's current round, if one is open.
+        current: Option<Round>,
+    },
+    /// A round operation was attempted in the wrong phase (e.g. extracting
+    /// before the master key was revealed).
+    WrongPhase,
+}
+
+impl core::fmt::Display for PkgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PkgError::AlreadyRegistered => write!(f, "identity already registered"),
+            PkgError::NoPendingRegistration => write!(f, "no pending registration"),
+            PkgError::BadConfirmationToken => write!(f, "bad confirmation token"),
+            PkgError::UnknownIdentity => write!(f, "identity not registered"),
+            PkgError::AuthenticationFailed => write!(f, "authentication failed"),
+            PkgError::LockedOut { remaining_seconds } => {
+                write!(f, "identity locked out for {remaining_seconds} more seconds")
+            }
+            PkgError::WrongRound { current } => match current {
+                Some(r) => write!(f, "wrong round (current is {})", r.0),
+                None => write!(f, "no round is open"),
+            },
+            PkgError::WrongPhase => write!(f, "operation attempted in the wrong round phase"),
+        }
+    }
+}
+
+impl std::error::Error for PkgError {}

@@ -1,0 +1,216 @@
+//! Per-round IBE master key management with commit-then-reveal.
+//!
+//! §4.4 of the paper: every add-friend round, each PKG creates a fresh master
+//! key, broadcasts the public key, and destroys the secret at the end of the
+//! round (after clients have obtained their identity keys), providing forward
+//! secrecy even against a later compromise of the PKG.
+//!
+//! Appendix A adds a commitment step so that a corrupted PKG cannot choose
+//! its round key *after* seeing the honest PKG's key: each PKG first
+//! publishes a hash commitment to its round public key, and reveals the key
+//! only after collecting everyone else's commitments.
+
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::bf::{IdentityPrivateKey, MasterPublic, MasterSecret};
+use alpenhorn_ibe::commit::{Commitment, NONCE_LEN};
+use alpenhorn_wire::Round;
+use rand::RngCore;
+
+use crate::error::PkgError;
+
+/// The lifecycle phase of the current round's key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Committed to the round public key but not yet revealed it.
+    Committed,
+    /// Revealed; extraction is allowed.
+    Revealed,
+}
+
+/// Manages one PKG's round master keys.
+pub struct RoundKeyManager {
+    rng: ChaChaRng,
+    current: Option<RoundKeys>,
+}
+
+struct RoundKeys {
+    round: Round,
+    secret: MasterSecret,
+    public: MasterPublic,
+    nonce: [u8; NONCE_LEN],
+    commitment: Commitment,
+    phase: Phase,
+}
+
+impl RoundKeyManager {
+    /// Creates a manager seeded with `seed`.
+    pub fn new(seed: [u8; 32]) -> Self {
+        RoundKeyManager {
+            rng: ChaChaRng::from_seed_bytes(seed),
+            current: None,
+        }
+    }
+
+    /// Starts `round`: generates a fresh master key and returns the
+    /// commitment to broadcast. Any previous round's secret is destroyed.
+    pub fn begin_round(&mut self, round: Round) -> Commitment {
+        self.end_round();
+        let secret = MasterSecret::generate(&mut self.rng);
+        let public = secret.public();
+        let mut nonce = [0u8; NONCE_LEN];
+        self.rng.fill_bytes(&mut nonce);
+        let commitment = Commitment::commit(&public.to_bytes(), &nonce);
+        self.current = Some(RoundKeys {
+            round,
+            secret,
+            public,
+            nonce,
+            commitment,
+            phase: Phase::Committed,
+        });
+        commitment
+    }
+
+    /// Reveals the round public key (and the commitment opening) once all
+    /// other PKGs' commitments have been collected.
+    pub fn reveal(&mut self, round: Round) -> Result<(MasterPublic, [u8; NONCE_LEN]), PkgError> {
+        let keys = self.require_round(round)?;
+        keys.phase = Phase::Revealed;
+        Ok((keys.public, keys.nonce))
+    }
+
+    /// The commitment for `round` (broadcast before the reveal).
+    pub fn commitment(&self, round: Round) -> Result<Commitment, PkgError> {
+        match &self.current {
+            Some(keys) if keys.round == round => Ok(keys.commitment),
+            Some(keys) => Err(PkgError::WrongRound {
+                current: Some(keys.round),
+            }),
+            None => Err(PkgError::WrongRound { current: None }),
+        }
+    }
+
+    /// Extracts the identity key for `identity` in `round`. Only allowed
+    /// after the reveal (clients must be able to verify the commitment chain
+    /// before trusting the aggregate key).
+    pub fn extract(
+        &mut self,
+        round: Round,
+        identity: &[u8],
+    ) -> Result<IdentityPrivateKey, PkgError> {
+        let keys = self.require_round(round)?;
+        if keys.phase != Phase::Revealed {
+            return Err(PkgError::WrongPhase);
+        }
+        Ok(keys.secret.extract(identity))
+    }
+
+    /// Ends the current round, erasing the master secret (forward secrecy).
+    pub fn end_round(&mut self) {
+        if let Some(mut keys) = self.current.take() {
+            keys.secret.erase();
+        }
+    }
+
+    /// The current round, if one is open.
+    pub fn current_round(&self) -> Option<Round> {
+        self.current.as_ref().map(|k| k.round)
+    }
+
+    fn require_round(&mut self, round: Round) -> Result<&mut RoundKeys, PkgError> {
+        let current_round = self.current.as_ref().map(|k| k.round);
+        match current_round {
+            Some(r) if r == round => Ok(self.current.as_mut().expect("round is open")),
+            current => Err(PkgError::WrongRound { current }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_ibe::bf::{decrypt, encrypt};
+
+    #[test]
+    fn commit_reveal_extract_cycle() {
+        let mut mgr = RoundKeyManager::new([1u8; 32]);
+        let round = Round(5);
+        let commitment = mgr.begin_round(round);
+        assert_eq!(mgr.current_round(), Some(round));
+        assert_eq!(mgr.commitment(round).unwrap(), commitment);
+
+        // Extraction before reveal is forbidden.
+        assert_eq!(
+            mgr.extract(round, b"alice@example.com"),
+            Err(PkgError::WrongPhase)
+        );
+
+        let (public, nonce) = mgr.reveal(round).unwrap();
+        assert!(commitment.verify(&public.to_bytes(), &nonce));
+
+        // Extraction now works and produces a key that decrypts.
+        let idk = mgr.extract(round, b"alice@example.com").unwrap();
+        let mut rng = ChaChaRng::from_seed_bytes([2u8; 32]);
+        let ct = encrypt(&public, b"alice@example.com", b"hi", &mut rng);
+        assert_eq!(decrypt(&idk, &ct).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn wrong_round_rejected() {
+        let mut mgr = RoundKeyManager::new([3u8; 32]);
+        mgr.begin_round(Round(1));
+        assert!(matches!(
+            mgr.reveal(Round(2)),
+            Err(PkgError::WrongRound { current: Some(Round(1)) })
+        ));
+        assert!(matches!(
+            mgr.commitment(Round(2)),
+            Err(PkgError::WrongRound { .. })
+        ));
+        mgr.end_round();
+        assert!(matches!(
+            mgr.reveal(Round(1)),
+            Err(PkgError::WrongRound { current: None })
+        ));
+    }
+
+    #[test]
+    fn keys_rotate_every_round() {
+        let mut mgr = RoundKeyManager::new([4u8; 32]);
+        mgr.begin_round(Round(1));
+        let (pk1, _) = mgr.reveal(Round(1)).unwrap();
+        mgr.begin_round(Round(2));
+        let (pk2, _) = mgr.reveal(Round(2)).unwrap();
+        assert_ne!(pk1.to_bytes(), pk2.to_bytes());
+    }
+
+    #[test]
+    fn forward_secrecy_after_end_round() {
+        // A ciphertext from round 1 cannot be decrypted using anything the
+        // PKG retains after the round ends.
+        let mut mgr = RoundKeyManager::new([5u8; 32]);
+        mgr.begin_round(Round(1));
+        let (pk1, _) = mgr.reveal(Round(1)).unwrap();
+        let mut rng = ChaChaRng::from_seed_bytes([6u8; 32]);
+        let ct = encrypt(&pk1, b"bob@gmail.com", b"old secret", &mut rng);
+
+        mgr.end_round();
+        mgr.begin_round(Round(2));
+        mgr.reveal(Round(2)).unwrap();
+        let new_key = mgr.extract(Round(2), b"bob@gmail.com").unwrap();
+        assert!(decrypt(&new_key, &ct).is_err());
+        // And the round-1 key can no longer be extracted at all.
+        assert!(mgr.extract(Round(1), b"bob@gmail.com").is_err());
+    }
+
+    #[test]
+    fn commitments_bind_the_public_key() {
+        let mut a = RoundKeyManager::new([7u8; 32]);
+        let mut b = RoundKeyManager::new([8u8; 32]);
+        let ca = a.begin_round(Round(1));
+        let _cb = b.begin_round(Round(1));
+        let (pk_b, nonce_b) = b.reveal(Round(1)).unwrap();
+        // A commitment from PKG a does not open to PKG b's key.
+        assert!(!ca.verify(&pk_b.to_bytes(), &nonce_b));
+    }
+}

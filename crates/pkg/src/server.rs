@@ -1,0 +1,389 @@
+//! A complete PKG server: accounts + round keys + attestations.
+//!
+//! Algorithm 1 step 1 of the paper: each round, an authenticated user obtains
+//! from every PKG (a) their IBE identity private key for the round and (b) a
+//! signature over `(identity, signing key, round)` made with the PKG's
+//! long-term signing key. Clients aggregate the identity keys (Anytrust-IBE)
+//! and the signatures (a BLS multi-signature carried in friend requests).
+
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::bf::{IdentityPrivateKey, MasterPublic};
+use alpenhorn_ibe::commit::{Commitment, NONCE_LEN};
+use alpenhorn_ibe::sig::{Signature, SigningKey, VerifyingKey};
+use alpenhorn_wire::{FriendRequest, Identity, Round};
+
+use crate::error::PkgError;
+use crate::mail::MailDelivery;
+use crate::registry::AccountRegistry;
+use crate::round_keys::RoundKeyManager;
+
+/// What a PKG returns from a successful key extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractResponse {
+    /// The user's IBE identity private key share for this round.
+    pub identity_key: IdentityPrivateKey,
+    /// The PKG's signature over `(identity, signing key, round)`.
+    pub attestation: Signature,
+}
+
+/// One PKG server.
+pub struct PkgServer {
+    name: String,
+    /// The PKG's long-term signing key (its public half ships with clients).
+    signing_key: SigningKey,
+    registry: AccountRegistry,
+    round_keys: RoundKeyManager,
+    rng: ChaChaRng,
+}
+
+impl PkgServer {
+    /// Creates a PKG named `name`, deriving all key material from `seed`.
+    pub fn new(name: &str, seed: [u8; 32]) -> Self {
+        let mut rng = ChaChaRng::from_seed_bytes(seed);
+        let signing_key = SigningKey::generate(&mut rng);
+        let round_seed = {
+            let mut s = [0u8; 32];
+            use rand::RngCore;
+            rng.fill_bytes(&mut s);
+            s
+        };
+        PkgServer {
+            name: name.to_string(),
+            signing_key,
+            registry: AccountRegistry::new(name),
+            round_keys: RoundKeyManager::new(round_seed),
+            rng,
+        }
+    }
+
+    /// The PKG's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The PKG's long-term verification key (distributed with the client
+    /// software, §3.3).
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signing_key.verifying_key()
+    }
+
+    /// Access to the account registry (registration flows).
+    pub fn registry(&self) -> &AccountRegistry {
+        &self.registry
+    }
+
+    /// Begins registration of `identity` under `signing_key` (sends the
+    /// confirmation email).
+    pub fn begin_registration(
+        &mut self,
+        identity: &Identity,
+        signing_key: VerifyingKey,
+        now: u64,
+        mail: &dyn MailDelivery,
+    ) -> Result<(), PkgError> {
+        self.registry
+            .begin_registration(identity, signing_key, now, mail, &mut self.rng)
+    }
+
+    /// Completes registration with the emailed token.
+    pub fn complete_registration(
+        &mut self,
+        identity: &Identity,
+        token: [u8; 32],
+        now: u64,
+    ) -> Result<(), PkgError> {
+        self.registry.complete_registration(identity, token, now)
+    }
+
+    /// Deregisters `identity`; the request must be signed by the currently
+    /// registered key (§9, recovery from client compromise).
+    pub fn deregister(
+        &mut self,
+        identity: &Identity,
+        signature: &Signature,
+        now: u64,
+    ) -> Result<(), PkgError> {
+        let key = self
+            .registry
+            .signing_key(identity)
+            .ok_or(PkgError::UnknownIdentity)?;
+        let message = deregistration_message(identity);
+        if !key.verify(&message, signature) {
+            return Err(PkgError::AuthenticationFailed);
+        }
+        self.registry.deregister(identity, now)
+    }
+
+    /// Starts an add-friend round: creates the round master key and returns
+    /// the commitment to broadcast (Appendix A).
+    pub fn begin_round(&mut self, round: Round) -> Commitment {
+        self.round_keys.begin_round(round)
+    }
+
+    /// Reveals the round master public key and the commitment opening.
+    pub fn reveal_round_key(
+        &mut self,
+        round: Round,
+    ) -> Result<(MasterPublic, [u8; NONCE_LEN]), PkgError> {
+        self.round_keys.reveal(round)
+    }
+
+    /// Ends the round, destroying the master secret (§4.4).
+    pub fn end_round(&mut self) {
+        self.round_keys.end_round();
+    }
+
+    /// Extracts `identity`'s round key share after verifying the request
+    /// signature made with the account's registered long-term key.
+    ///
+    /// `auth_signature` must be a signature over
+    /// [`extraction_request_message`] for this identity and round.
+    pub fn extract(
+        &mut self,
+        identity: &Identity,
+        round: Round,
+        auth_signature: &Signature,
+        now: u64,
+    ) -> Result<ExtractResponse, PkgError> {
+        let user_key = self
+            .registry
+            .signing_key(identity)
+            .ok_or(PkgError::UnknownIdentity)?;
+        let request = extraction_request_message(identity, round);
+        if !user_key.verify(&request, auth_signature) {
+            return Err(PkgError::AuthenticationFailed);
+        }
+        let user_key = *user_key;
+        let identity_key = self.round_keys.extract(round, identity.as_bytes())?;
+        self.registry.touch(identity, now);
+
+        let attestation_msg =
+            FriendRequest::pkg_attestation_message(identity, &user_key.to_bytes(), round);
+        let attestation = self.signing_key.sign(&attestation_msg);
+        Ok(ExtractResponse {
+            identity_key,
+            attestation,
+        })
+    }
+}
+
+/// The message a user signs to authenticate a key-extraction request.
+pub fn extraction_request_message(identity: &Identity, round: Round) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(b"alpenhorn-extract-request-v1");
+    out.extend_from_slice(&round.0.to_be_bytes());
+    out.extend_from_slice(identity.as_bytes());
+    out
+}
+
+/// The message a user signs to deregister their account.
+pub fn deregistration_message(identity: &Identity) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(b"alpenhorn-deregister-v1");
+    out.extend_from_slice(identity.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mail::SimulatedMail;
+    use alpenhorn_ibe::anytrust::{aggregate_identity_keys, aggregate_master_publics};
+    use alpenhorn_ibe::bf::{decrypt, encrypt};
+    use alpenhorn_ibe::sig::{aggregate_signatures, aggregate_verifying_keys};
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    /// Registers `who` with all PKGs and returns the user's signing key.
+    fn register_everywhere(
+        pkgs: &mut [PkgServer],
+        mail: &SimulatedMail,
+        who: &Identity,
+        now: u64,
+        rng: &mut ChaChaRng,
+    ) -> SigningKey {
+        let user_key = SigningKey::generate(rng);
+        for pkg in pkgs.iter_mut() {
+            pkg.begin_registration(who, user_key.verifying_key(), now, mail)
+                .unwrap();
+            let token = mail.latest_token(who, pkg.name()).unwrap();
+            pkg.complete_registration(who, token, now).unwrap();
+        }
+        user_key
+    }
+
+    #[test]
+    fn full_extraction_flow_with_three_pkgs() {
+        let mut pkgs: Vec<PkgServer> =
+            (0..3).map(|i| PkgServer::new(&format!("pkg-{i}"), [i as u8 + 1; 32])).collect();
+        let mail = SimulatedMail::new();
+        let mut rng = ChaChaRng::from_seed_bytes([42u8; 32]);
+        let alice = id("alice@example.com");
+        let alice_key = register_everywhere(&mut pkgs, &mail, &alice, 0, &mut rng);
+
+        // Round 7: commit, reveal, extract from every PKG.
+        let round = Round(7);
+        let commitments: Vec<Commitment> = pkgs.iter_mut().map(|p| p.begin_round(round)).collect();
+        let reveals: Vec<(MasterPublic, [u8; NONCE_LEN])> = pkgs
+            .iter_mut()
+            .map(|p| p.reveal_round_key(round).unwrap())
+            .collect();
+        for (c, (pk, nonce)) in commitments.iter().zip(reveals.iter()) {
+            assert!(c.verify(&pk.to_bytes(), nonce));
+        }
+
+        let auth = alice_key.sign(&extraction_request_message(&alice, round));
+        let responses: Vec<ExtractResponse> = pkgs
+            .iter_mut()
+            .map(|p| p.extract(&alice, round, &auth, 10).unwrap())
+            .collect();
+
+        // Anytrust: the aggregated identity key decrypts a message encrypted
+        // under the aggregated master public key.
+        let mpk = aggregate_master_publics(&reveals.iter().map(|(p, _)| *p).collect::<Vec<_>>());
+        let idk = aggregate_identity_keys(
+            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
+        );
+        let ct = encrypt(&mpk, alice.as_bytes(), b"friend request", &mut rng);
+        assert_eq!(decrypt(&idk, &ct).unwrap(), b"friend request");
+
+        // The PKG attestations aggregate into a multi-signature that verifies
+        // under the aggregated PKG verification keys.
+        let multi_sig =
+            aggregate_signatures(&responses.iter().map(|r| r.attestation).collect::<Vec<_>>());
+        let multi_vk =
+            aggregate_verifying_keys(&pkgs.iter().map(|p| p.verifying_key()).collect::<Vec<_>>());
+        let msg = FriendRequest::pkg_attestation_message(
+            &alice,
+            &alice_key.verifying_key().to_bytes(),
+            round,
+        );
+        assert!(multi_vk.verify(&msg, &multi_sig));
+    }
+
+    #[test]
+    fn unregistered_user_cannot_extract() {
+        let mut pkg = PkgServer::new("pkg-0", [1u8; 32]);
+        let mut rng = ChaChaRng::from_seed_bytes([2u8; 32]);
+        let mallory_key = SigningKey::generate(&mut rng);
+        let round = Round(1);
+        pkg.begin_round(round);
+        pkg.reveal_round_key(round).unwrap();
+        let auth = mallory_key.sign(&extraction_request_message(&id("mallory@x.com"), round));
+        assert_eq!(
+            pkg.extract(&id("mallory@x.com"), round, &auth, 0).err(),
+            Some(PkgError::UnknownIdentity)
+        );
+    }
+
+    #[test]
+    fn wrong_signature_cannot_extract() {
+        // An adversary cannot obtain Alice's identity key (and therefore read
+        // her friend requests) without her long-term signing key.
+        let mut pkgs = vec![PkgServer::new("pkg-0", [1u8; 32])];
+        let mail = SimulatedMail::new();
+        let mut rng = ChaChaRng::from_seed_bytes([3u8; 32]);
+        let alice = id("alice@example.com");
+        register_everywhere(&mut pkgs, &mail, &alice, 0, &mut rng);
+
+        let round = Round(1);
+        pkgs[0].begin_round(round);
+        pkgs[0].reveal_round_key(round).unwrap();
+
+        let attacker_key = SigningKey::generate(&mut rng);
+        let forged = attacker_key.sign(&extraction_request_message(&alice, round));
+        assert_eq!(
+            pkgs[0].extract(&alice, round, &forged, 0).err(),
+            Some(PkgError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn signature_for_other_round_rejected() {
+        let mut pkgs = vec![PkgServer::new("pkg-0", [1u8; 32])];
+        let mail = SimulatedMail::new();
+        let mut rng = ChaChaRng::from_seed_bytes([4u8; 32]);
+        let alice = id("alice@example.com");
+        let key = register_everywhere(&mut pkgs, &mail, &alice, 0, &mut rng);
+
+        pkgs[0].begin_round(Round(2));
+        pkgs[0].reveal_round_key(Round(2)).unwrap();
+        // A replayed signature from round 1 must not authorize round 2.
+        let old_auth = key.sign(&extraction_request_message(&alice, Round(1)));
+        assert_eq!(
+            pkgs[0].extract(&alice, Round(2), &old_auth, 0).err(),
+            Some(PkgError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn deregistration_requires_valid_signature() {
+        let mut pkgs = vec![PkgServer::new("pkg-0", [1u8; 32])];
+        let mail = SimulatedMail::new();
+        let mut rng = ChaChaRng::from_seed_bytes([5u8; 32]);
+        let alice = id("alice@example.com");
+        let alice_key = register_everywhere(&mut pkgs, &mail, &alice, 0, &mut rng);
+
+        let attacker = SigningKey::generate(&mut rng);
+        let bad = attacker.sign(&deregistration_message(&alice));
+        assert_eq!(
+            pkgs[0].deregister(&alice, &bad, 10).err(),
+            Some(PkgError::AuthenticationFailed)
+        );
+
+        let good = alice_key.sign(&deregistration_message(&alice));
+        pkgs[0].deregister(&alice, &good, 10).unwrap();
+        // Extraction now fails: the account is gone.
+        let round = Round(1);
+        pkgs[0].begin_round(round);
+        pkgs[0].reveal_round_key(round).unwrap();
+        let auth = alice_key.sign(&extraction_request_message(&alice, round));
+        assert_eq!(
+            pkgs[0].extract(&alice, round, &auth, 20).err(),
+            Some(PkgError::UnknownIdentity)
+        );
+    }
+
+    #[test]
+    fn attestation_binds_identity_key_and_round() {
+        let mut pkgs = vec![PkgServer::new("pkg-0", [1u8; 32])];
+        let mail = SimulatedMail::new();
+        let mut rng = ChaChaRng::from_seed_bytes([6u8; 32]);
+        let alice = id("alice@example.com");
+        let alice_key = register_everywhere(&mut pkgs, &mail, &alice, 0, &mut rng);
+
+        let round = Round(9);
+        pkgs[0].begin_round(round);
+        pkgs[0].reveal_round_key(round).unwrap();
+        let auth = alice_key.sign(&extraction_request_message(&alice, round));
+        let resp = pkgs[0].extract(&alice, round, &auth, 0).unwrap();
+
+        let vk = pkgs[0].verifying_key();
+        let correct = FriendRequest::pkg_attestation_message(
+            &alice,
+            &alice_key.verifying_key().to_bytes(),
+            round,
+        );
+        assert!(vk.verify(&correct, &resp.attestation));
+
+        // The attestation does not verify for a different identity, key, or round.
+        let other_key = SigningKey::generate(&mut rng).verifying_key();
+        let wrong_key =
+            FriendRequest::pkg_attestation_message(&alice, &other_key.to_bytes(), round);
+        assert!(!vk.verify(&wrong_key, &resp.attestation));
+        let wrong_round = FriendRequest::pkg_attestation_message(
+            &alice,
+            &alice_key.verifying_key().to_bytes(),
+            Round(10),
+        );
+        assert!(!vk.verify(&wrong_round, &resp.attestation));
+        let wrong_id = FriendRequest::pkg_attestation_message(
+            &id("eve@example.com"),
+            &alice_key.verifying_key().to_bytes(),
+            round,
+        );
+        assert!(!vk.verify(&wrong_id, &resp.attestation));
+    }
+}

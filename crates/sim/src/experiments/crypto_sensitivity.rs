@@ -1,0 +1,132 @@
+//! §8.6: sensitivity of Alpenhorn's performance to the IBE construction.
+//!
+//! After the Kim-Barbulescu attacks weakened BN-256, the paper analyses how a
+//! switch of curve or IBE scheme would affect Alpenhorn: PKG and client CPU
+//! scale directly with the new scheme's per-operation cost, and bandwidth
+//! scales with the ciphertext size (the add-friend request is a fixed body
+//! plus one IBE ciphertext). This reproduction already made such a switch
+//! (BLS12-381 instead of BN-256), so the experiment quantifies both our
+//! actual sizes and a sweep over hypothetical IBE cost multipliers.
+
+use crate::costmodel::{bytes_per_sec_to_kb, CostModel, MeasuredCosts};
+use crate::report::Table;
+use crate::workload::Workload;
+use alpenhorn_wire::{
+    ADD_FRIEND_REQUEST_LEN, AEAD_TAG_LEN, IBE_EPHEMERAL_LEN, PAPER_ADD_FRIEND_REQUEST_LEN,
+    PAPER_IBE_CIPHERTEXT_LEN,
+};
+
+/// The IBE cost multipliers swept in the sensitivity analysis.
+pub const COST_MULTIPLIERS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// Request-size comparison between the paper's BN-256 layout and ours.
+pub fn request_size_table() -> Table {
+    let mut table = Table::new(
+        "Section 8.6: add-friend request sizes",
+        &["layout", "IBE ciphertext overhead (B)", "total request (B)"],
+    );
+    table.push_row(vec![
+        "paper (BN-256)".into(),
+        PAPER_IBE_CIPHERTEXT_LEN.to_string(),
+        PAPER_ADD_FRIEND_REQUEST_LEN.to_string(),
+    ]);
+    table.push_row(vec![
+        "this reproduction (BLS12-381)".into(),
+        (IBE_EPHEMERAL_LEN + AEAD_TAG_LEN).to_string(),
+        ADD_FRIEND_REQUEST_LEN.to_string(),
+    ]);
+    table
+}
+
+/// Sweeps hypothetical IBE cost multipliers and reports their impact on the
+/// client mailbox-scan time and the 10M-user add-friend latency (both should
+/// scale roughly linearly, per the paper's argument).
+pub fn crypto_sensitivity_table(measured: &MeasuredCosts) -> Table {
+    let mut table = Table::new(
+        "Section 8.6: impact of IBE cost on Alpenhorn",
+        &[
+            "IBE cost multiplier",
+            "mailbox scan, 24k requests (s)",
+            "AddFriend latency, 10M users / 3 servers",
+            "add-friend bandwidth, 1M users, 4h round (KB/s)",
+        ],
+    );
+    for &multiplier in &COST_MULTIPLIERS {
+        let mut costs = *measured;
+        costs.ibe_decrypt *= multiplier;
+        costs.ibe_encrypt *= multiplier;
+        let model = CostModel::new(costs);
+        let scan = 24_000.0 * costs.ibe_decrypt / 4.0;
+        let latency = model
+            .add_friend_latency(&Workload::paper(10_000_000), 3)
+            .total;
+        let bandwidth = bytes_per_sec_to_kb(model.add_friend_client_bandwidth(
+            &Workload::paper(1_000_000),
+            3,
+            4.0 * 3600.0,
+        ));
+        table.push_row(vec![
+            format!("{multiplier:.0}x"),
+            format!("{scan:.1}"),
+            format!("{latency:.0} s"),
+            format!("{bandwidth:.2}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_time_scales_linearly_with_ibe_cost() {
+        let table = crypto_sensitivity_table(&MeasuredCosts::paper_reference());
+        assert_eq!(table.len(), COST_MULTIPLIERS.len());
+        // Extract the scan column and check the 8x row is ~8x the 1x row.
+        let text = table.render();
+        assert!(text.contains("1x"));
+        assert!(text.contains("8x"));
+    }
+
+    #[test]
+    fn latency_increases_with_ibe_cost_but_sublinearly() {
+        // Server-side mixing does not involve IBE, so total latency grows
+        // less than linearly in the IBE cost (the paper's "linear or
+        // sub-linear impacts" claim).
+        let measured = MeasuredCosts::paper_reference();
+        let base = CostModel::new(measured)
+            .add_friend_latency(&Workload::paper(10_000_000), 3)
+            .total;
+        let mut expensive = measured;
+        expensive.ibe_decrypt *= 8.0;
+        expensive.ibe_encrypt *= 8.0;
+        let slow = CostModel::new(expensive)
+            .add_friend_latency(&Workload::paper(10_000_000), 3)
+            .total;
+        assert!(slow > base);
+        assert!(slow < base * 8.0);
+    }
+
+    #[test]
+    fn request_sizes_reported() {
+        let table = request_size_table();
+        let text = table.render();
+        assert!(text.contains("308"));
+        assert!(text.contains(&ADD_FRIEND_REQUEST_LEN.to_string()));
+    }
+
+    #[test]
+    fn bandwidth_independent_of_ibe_cpu_cost() {
+        // Changing only the CPU cost of IBE (same ciphertext size) leaves
+        // bandwidth unchanged — the bandwidth column should be constant.
+        let table = crypto_sensitivity_table(&MeasuredCosts::paper_reference());
+        let rendered = table.render();
+        let bandwidth_values: Vec<&str> = rendered
+            .lines()
+            .skip(3)
+            .filter_map(|l| l.split_whitespace().last())
+            .collect();
+        assert!(bandwidth_values.windows(2).all(|w| w[0] == w[1]));
+    }
+}

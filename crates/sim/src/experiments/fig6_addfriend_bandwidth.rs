@@ -1,0 +1,127 @@
+//! Figure 6: client bandwidth of the add-friend protocol vs round duration.
+//!
+//! The paper plots KB/s (and GB/month) for 100K, 1M, and 10M users as the
+//! add-friend round duration varies from 30 minutes to 24 hours. Bandwidth is
+//! dominated by downloading the add-friend mailbox, whose size stays roughly
+//! constant because the coordinator scales the number of mailboxes with the
+//! user count.
+
+use crate::costmodel::{bytes_per_sec_to_gb_month, bytes_per_sec_to_kb, CostModel};
+use crate::report::Table;
+use crate::workload::Workload;
+
+/// The round durations (hours) on the paper's x-axis.
+pub const ROUND_DURATIONS_HOURS: [f64; 10] = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0];
+
+/// The user-count series the paper plots.
+pub const USER_SERIES: [usize; 3] = [100_000, 1_000_000, 10_000_000];
+
+/// One row of the Figure 6 data.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Round duration in hours.
+    pub round_hours: f64,
+    /// Client bandwidth in KB/s for each entry of [`USER_SERIES`].
+    pub kb_per_sec: [f64; 3],
+}
+
+/// Computes the Figure 6 series with the given model and server count.
+pub fn figure_6_rows(model: &CostModel, servers: usize) -> Vec<Fig6Row> {
+    ROUND_DURATIONS_HOURS
+        .iter()
+        .map(|hours| {
+            let mut kb = [0.0f64; 3];
+            for (i, users) in USER_SERIES.iter().enumerate() {
+                let w = Workload::paper(*users);
+                kb[i] = bytes_per_sec_to_kb(model.add_friend_client_bandwidth(
+                    &w,
+                    servers,
+                    hours * 3600.0,
+                ));
+            }
+            Fig6Row {
+                round_hours: *hours,
+                kb_per_sec: kb,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 6 as a table.
+pub fn figure_6(model: &CostModel, servers: usize) -> Table {
+    let mut table = Table::new(
+        "Figure 6: add-friend client bandwidth vs round duration",
+        &[
+            "round (h)",
+            "100K users (KB/s)",
+            "1M users (KB/s)",
+            "10M users (KB/s)",
+            "10M users (GB/month)",
+        ],
+    );
+    for row in figure_6_rows(model, servers) {
+        let gb_month =
+            bytes_per_sec_to_gb_month(row.kb_per_sec[2] * 1000.0);
+        table.push_row(vec![
+            format!("{:.1}", row.round_hours),
+            format!("{:.2}", row.kb_per_sec[0]),
+            format!("{:.2}", row.kb_per_sec[1]),
+            format!("{:.2}", row.kb_per_sec[2]),
+            format!("{:.2}", gb_month),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_decreases_with_round_duration() {
+        let model = CostModel::paper_reference();
+        let rows = figure_6_rows(&model, 3);
+        for users in 0..3 {
+            for pair in rows.windows(2) {
+                assert!(pair[1].kb_per_sec[users] <= pair[0].kb_per_sec[users]);
+            }
+        }
+    }
+
+    #[test]
+    fn mailbox_scaling_keeps_series_close() {
+        // The paper's key observation: because the number of mailboxes grows
+        // with the user count, 1M and 10M users need similar client bandwidth
+        // (within ~2x), rather than 10x apart.
+        let model = CostModel::paper_reference();
+        let rows = figure_6_rows(&model, 3);
+        for row in &rows {
+            assert!(row.kb_per_sec[2] < row.kb_per_sec[1] * 2.5);
+        }
+    }
+
+    #[test]
+    fn four_hour_round_ballpark_matches_paper() {
+        // Figure 6 shows roughly 0.5 KB/s for 1M users at a 4-hour round with
+        // 308-byte requests; our requests are ~25% larger so allow headroom.
+        let model = CostModel::paper_reference();
+        let rows = figure_6_rows(&model, 3);
+        let four_hours = rows
+            .iter()
+            .find(|r| (r.round_hours - 4.0).abs() < 1e-9)
+            .unwrap();
+        assert!(
+            (0.3..1.2).contains(&four_hours.kb_per_sec[1]),
+            "{} KB/s",
+            four_hours.kb_per_sec[1]
+        );
+    }
+
+    #[test]
+    fn table_has_all_rows() {
+        let model = CostModel::paper_reference();
+        let table = figure_6(&model, 3);
+        assert_eq!(table.len(), ROUND_DURATIONS_HOURS.len());
+        assert!(table.render().contains("Figure 6"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 8: add-friend round latency vs number of online users,
+//! for 3, 5 and 10 mixnet servers.
+//!
+//! The paper measures the time from submitting a request (just before the
+//! round closes) until the recipient has downloaded and scanned its mailbox.
+//! With 10 million users and 3 servers the paper reports a median of 152
+//! seconds, and adding servers increases latency (more hops, more noise).
+
+use crate::costmodel::CostModel;
+use crate::experiments::{PAPER_SERVER_COUNTS, PAPER_USER_COUNTS};
+use crate::report::{fmt_seconds, Table};
+use crate::workload::Workload;
+
+/// One cell of the Figure 8 data.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Number of online users.
+    pub users: usize,
+    /// Number of mixnet servers.
+    pub servers: usize,
+    /// Predicted end-to-end latency in seconds.
+    pub latency_secs: f64,
+}
+
+/// Computes the Figure 8 grid (users x servers).
+pub fn figure_8_points(model: &CostModel) -> Vec<Fig8Point> {
+    let mut out = Vec::new();
+    for &servers in &PAPER_SERVER_COUNTS {
+        for &users in &PAPER_USER_COUNTS {
+            let workload = Workload::paper(users);
+            let latency = model.add_friend_latency(&workload, servers);
+            out.push(Fig8Point {
+                users,
+                servers,
+                latency_secs: latency.total,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 8 as a table (one row per user count, one column per server
+/// count), with the paper's 3-server reference column for comparison.
+pub fn figure_8(model: &CostModel) -> Table {
+    let points = figure_8_points(model);
+    let paper_model = CostModel::paper_reference();
+    let mut table = Table::new(
+        "Figure 8: AddFriend latency vs number of online users",
+        &[
+            "users",
+            "3 servers",
+            "5 servers",
+            "10 servers",
+            "paper-cost model (3 servers)",
+        ],
+    );
+    for &users in &PAPER_USER_COUNTS {
+        let get = |servers: usize| {
+            points
+                .iter()
+                .find(|p| p.users == users && p.servers == servers)
+                .map(|p| p.latency_secs)
+                .unwrap_or(f64::NAN)
+        };
+        let reference = paper_model
+            .add_friend_latency(&Workload::paper(users), 3)
+            .total;
+        table.push_row(vec![
+            format_users(users),
+            fmt_seconds(get(3)),
+            fmt_seconds(get(5)),
+            fmt_seconds(get(10)),
+            fmt_seconds(reference),
+        ]);
+    }
+    table
+}
+
+/// Formats a user count the way the paper's axes label them.
+pub fn format_users(users: usize) -> String {
+    match users {
+        u if u >= 1_000_000 => format!("{}M", u / 1_000_000),
+        u if u >= 1_000 => format!("{}K", u / 1_000),
+        u => u.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_users_and_servers() {
+        let model = CostModel::paper_reference();
+        let points = figure_8_points(&model);
+        // Within a server count, latency is monotone in users.
+        for &servers in &PAPER_SERVER_COUNTS {
+            let series: Vec<f64> = PAPER_USER_COUNTS
+                .iter()
+                .map(|u| {
+                    points
+                        .iter()
+                        .find(|p| p.users == *u && p.servers == servers)
+                        .unwrap()
+                        .latency_secs
+                })
+                .collect();
+            for pair in series.windows(2) {
+                assert!(pair[1] > pair[0]);
+            }
+        }
+        // At 10M users, more servers cost more.
+        let at_10m = |servers: usize| {
+            points
+                .iter()
+                .find(|p| p.users == 10_000_000 && p.servers == servers)
+                .unwrap()
+                .latency_secs
+        };
+        assert!(at_10m(5) > at_10m(3));
+        assert!(at_10m(10) > at_10m(5));
+    }
+
+    #[test]
+    fn paper_reference_point_within_2x() {
+        // 10M users, 3 servers: the paper reports 152 s. Using the paper's
+        // own per-op costs our structural model should land within a factor
+        // of about two.
+        let model = CostModel::paper_reference();
+        let point = figure_8_points(&model)
+            .into_iter()
+            .find(|p| p.users == 10_000_000 && p.servers == 3)
+            .unwrap();
+        assert!(
+            (75.0..310.0).contains(&point.latency_secs),
+            "{} s",
+            point.latency_secs
+        );
+    }
+
+    #[test]
+    fn user_formatting() {
+        assert_eq!(format_users(10_000), "10K");
+        assert_eq!(format_users(10_000_000), "10M");
+        assert_eq!(format_users(500), "500");
+    }
+
+    #[test]
+    fn table_shape() {
+        let model = CostModel::paper_reference();
+        let table = figure_8(&model);
+        assert_eq!(table.len(), PAPER_USER_COUNTS.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Scaled-down end-to-end runs against the real in-process cluster.
+//!
+//! These runs exercise every real code path (registration, key extraction,
+//! IBE encryption, onion wrapping, mixing, noise, mailbox building, trial
+//! decryption, Bloom scanning) with tens to hundreds of real clients. The
+//! benchmark harness uses them both to validate the cost model's shape and
+//! to measure the paper's per-operation claims on live protocol traffic.
+
+use std::time::{Duration, Instant};
+
+use alpenhorn::{Client, ClientConfig, ClientEvent};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_wire::{Identity, Round};
+
+/// Result of one end-to-end add-friend round.
+#[derive(Debug, Clone)]
+pub struct AddFriendRunResult {
+    /// Wall-clock time for the mixnet/mailbox processing (server side).
+    pub server_time: Duration,
+    /// Average wall-clock time per client for mailbox scanning.
+    pub client_scan_time: Duration,
+    /// Number of friend requests delivered (events observed).
+    pub requests_delivered: usize,
+    /// Total messages in the final batch (clients + noise).
+    pub final_messages: usize,
+}
+
+/// Result of one end-to-end dialing round.
+#[derive(Debug, Clone)]
+pub struct DialingRunResult {
+    /// Wall-clock time for the mixnet/Bloom processing (server side).
+    pub server_time: Duration,
+    /// Average wall-clock time per client for Bloom scanning.
+    pub client_scan_time: Duration,
+    /// Number of calls delivered.
+    pub calls_delivered: usize,
+}
+
+/// An in-process population of registered clients attached to one cluster.
+pub struct SmallDeployment {
+    /// The cluster (PKGs + mixnet + CDN).
+    pub cluster: Cluster,
+    /// The clients, in creation order.
+    pub clients: Vec<Client>,
+    next_add_friend_round: u64,
+    next_dialing_round: u64,
+}
+
+impl SmallDeployment {
+    /// Builds a deployment with `num_clients` registered clients.
+    pub fn new(num_clients: usize, seed: u8) -> Self {
+        let mut cluster = Cluster::new(ClusterConfig::test(seed));
+        let mut clients = Vec::with_capacity(num_clients);
+        for i in 0..num_clients {
+            let identity = Identity::new(&format!("user{i}@example.com")).expect("valid identity");
+            let mut client = Client::new(
+                identity,
+                cluster.pkg_verifying_keys(),
+                ClientConfig::default(),
+                [seed.wrapping_add(i as u8 + 1); 32],
+            );
+            client.register(&mut cluster).expect("registration succeeds");
+            clients.push(client);
+        }
+        SmallDeployment {
+            cluster,
+            clients,
+            next_add_friend_round: 1,
+            next_dialing_round: 1,
+        }
+    }
+
+    /// Identity of client `i`.
+    pub fn identity(&self, i: usize) -> Identity {
+        self.clients[i].identity().clone()
+    }
+
+    /// Runs one add-friend round for every client and returns timing plus all
+    /// events indexed by client.
+    pub fn run_add_friend_round(&mut self) -> (AddFriendRunResult, Vec<Vec<ClientEvent>>) {
+        let round = Round(self.next_add_friend_round);
+        self.next_add_friend_round += 1;
+        let info = self
+            .cluster
+            .begin_add_friend_round(round, self.clients.len())
+            .expect("round opens");
+        for client in &mut self.clients {
+            client
+                .participate_add_friend(&mut self.cluster, &info)
+                .expect("participation succeeds");
+        }
+        let server_start = Instant::now();
+        let stats = self
+            .cluster
+            .close_add_friend_round(round)
+            .expect("round closes");
+        let server_time = server_start.elapsed();
+
+        let scan_start = Instant::now();
+        let mut all_events = Vec::with_capacity(self.clients.len());
+        let mut delivered = 0;
+        for client in &mut self.clients {
+            let events = client
+                .process_add_friend_mailbox(&mut self.cluster, &info)
+                .expect("mailbox scan succeeds");
+            delivered += events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ClientEvent::FriendRequestReceived { .. } | ClientEvent::FriendConfirmed { .. }
+                    )
+                })
+                .count();
+            all_events.push(events);
+        }
+        let client_scan_time = scan_start.elapsed() / self.clients.len().max(1) as u32;
+        (
+            AddFriendRunResult {
+                server_time,
+                client_scan_time,
+                requests_delivered: delivered,
+                final_messages: stats.final_messages,
+            },
+            all_events,
+        )
+    }
+
+    /// Runs one dialing round for every client and returns timing plus events.
+    pub fn run_dialing_round(&mut self) -> (DialingRunResult, Vec<Vec<ClientEvent>>) {
+        let round = Round(self.next_dialing_round);
+        self.next_dialing_round += 1;
+        let info = self
+            .cluster
+            .begin_dialing_round(round, self.clients.len())
+            .expect("round opens");
+        let mut all_events: Vec<Vec<ClientEvent>> = Vec::with_capacity(self.clients.len());
+        for client in &mut self.clients {
+            let mut events = Vec::new();
+            if let Some(e) = client
+                .participate_dialing(&mut self.cluster, &info)
+                .expect("participation succeeds")
+            {
+                events.push(e);
+            }
+            all_events.push(events);
+        }
+        let server_start = Instant::now();
+        self.cluster
+            .close_dialing_round(round)
+            .expect("round closes");
+        let server_time = server_start.elapsed();
+
+        let scan_start = Instant::now();
+        let mut delivered = 0;
+        for (client, events) in self.clients.iter_mut().zip(all_events.iter_mut()) {
+            let incoming = client
+                .process_dialing_mailbox(&mut self.cluster, &info)
+                .expect("scan succeeds");
+            delivered += incoming.iter().filter(|e| e.is_incoming_call()).count();
+            events.extend(incoming);
+        }
+        let client_scan_time = scan_start.elapsed() / self.clients.len().max(1) as u32;
+        (
+            DialingRunResult {
+                server_time,
+                client_scan_time,
+                calls_delivered: delivered,
+            },
+            all_events,
+        )
+    }
+
+    /// Establishes friendships pairing client `2i` with client `2i+1`, running
+    /// two add-friend rounds. Returns the keywheel start round of the pairs.
+    pub fn befriend_pairs(&mut self) -> Round {
+        for i in (0..self.clients.len()).step_by(2) {
+            if i + 1 < self.clients.len() {
+                let target = self.clients[i + 1].identity().clone();
+                self.clients[i].add_friend(target, None);
+            }
+        }
+        self.run_add_friend_round();
+        let (_, events) = self.run_add_friend_round();
+        events
+            .iter()
+            .flatten()
+            .find_map(|e| match e {
+                ClientEvent::FriendConfirmed { dialing_round, .. } => Some(*dialing_round),
+                _ => None,
+            })
+            .unwrap_or(Round(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_deployment_end_to_end() {
+        let mut deployment = SmallDeployment::new(6, 30);
+        let start = deployment.befriend_pairs();
+        // All three pairs are confirmed.
+        for i in (0..6).step_by(2) {
+            let friend = deployment.identity(i + 1);
+            assert!(deployment.clients[i].keywheels().contains(&friend));
+        }
+
+        // Each even client calls its partner; run dialing rounds up to the
+        // keywheel start and count deliveries.
+        for i in (0..6).step_by(2) {
+            let friend = deployment.identity(i + 1);
+            deployment.clients[i].call(friend, 0).unwrap();
+        }
+        let mut delivered = 0;
+        for _ in 0..start.as_u64() {
+            let (result, _) = deployment.run_dialing_round();
+            delivered += result.calls_delivered;
+        }
+        assert_eq!(delivered, 3);
+    }
+
+    #[test]
+    fn add_friend_round_counts_messages() {
+        let mut deployment = SmallDeployment::new(4, 31);
+        let target = deployment.identity(1);
+        deployment.clients[0].add_friend(target, None);
+        let (result, events) = deployment.run_add_friend_round();
+        assert!(result.final_messages >= 4, "clients plus noise");
+        assert_eq!(result.requests_delivered, 1);
+        assert_eq!(events.len(), 4);
+    }
+}

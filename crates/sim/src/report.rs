@@ -1,0 +1,161 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment driver produces a [`Table`] whose rows mirror the series
+//! the paper plots; the benchmark binaries and `examples/evaluation_sweep.rs`
+//! print these tables, and EXPERIMENTS.md embeds them.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are already formatted strings).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds the way the paper's plots label them.
+pub fn fmt_seconds(secs: f64) -> String {
+    if secs >= 100.0 {
+        format!("{secs:.0} s")
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.0} ms", secs * 1000.0)
+    }
+}
+
+/// Formats a byte count with binary-friendly units.
+pub fn fmt_bytes(bytes: f64) -> String {
+    if bytes >= 1e6 {
+        format!("{:.2} MB", bytes / 1e6)
+    } else if bytes >= 1e3 {
+        format!("{:.1} KB", bytes / 1e3)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Figure X", &["users", "latency"]);
+        t.push_row(vec!["10K".into(), "4 s".into()]);
+        t.push_row(vec!["10M".into(), "152 s".into()]);
+        let text = t.render();
+        assert!(text.contains("## Figure X"));
+        assert!(text.contains("users"));
+        assert!(text.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_seconds(152.3), "152 s");
+        assert_eq!(fmt_seconds(4.25), "4.2 s");
+        assert_eq!(fmt_seconds(0.05), "50 ms");
+        assert_eq!(fmt_bytes(7_400_000.0), "7.40 MB");
+        assert_eq!(fmt_bytes(3_700.0), "3.7 KB");
+        assert_eq!(fmt_bytes(308.0), "308 B");
+    }
+}

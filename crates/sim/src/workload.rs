@@ -1,0 +1,202 @@
+//! Workload generation: who sends requests to whom.
+//!
+//! §8.1 of the paper: 5% of users are active each round; recipients are
+//! chosen uniformly at random except in the skew experiment (§8.4), where
+//! recipient `i` (of `N`) is chosen with probability proportional to
+//! `i^(-s)` (a Zipf distribution).
+
+use alpenhorn_crypto::ChaChaRng;
+
+/// How recipients are selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecipientDistribution {
+    /// Every user is equally likely to be the recipient.
+    Uniform,
+    /// Zipf-distributed popularity with the given skew parameter `s`
+    /// (s = 0 is uniform; the paper sweeps s from 0 to 2).
+    Zipf {
+        /// The skew exponent.
+        s: f64,
+    },
+}
+
+/// A round workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Total number of online users.
+    pub num_users: usize,
+    /// Fraction of users sending a real request this round (the paper uses 5%).
+    pub active_fraction: f64,
+    /// Recipient popularity distribution.
+    pub recipients: RecipientDistribution,
+}
+
+impl Workload {
+    /// The paper's standard workload for a given user count: 5% active,
+    /// uniform recipients.
+    pub fn paper(num_users: usize) -> Self {
+        Workload {
+            num_users,
+            active_fraction: 0.05,
+            recipients: RecipientDistribution::Uniform,
+        }
+    }
+
+    /// The §8.4 skewed workload.
+    pub fn skewed(num_users: usize, s: f64) -> Self {
+        Workload {
+            num_users,
+            active_fraction: 0.05,
+            recipients: RecipientDistribution::Zipf { s },
+        }
+    }
+
+    /// Number of real (non-cover) requests per round.
+    pub fn real_requests(&self) -> usize {
+        (self.num_users as f64 * self.active_fraction).round() as usize
+    }
+
+    /// Number of cover-traffic requests per round.
+    pub fn cover_requests(&self) -> usize {
+        self.num_users - self.real_requests()
+    }
+
+    /// The probability that a given request is addressed to each of
+    /// `num_users` recipients, as cumulative weights for sampling. For the
+    /// Zipf case this is O(num_users) memory; the experiments cap the
+    /// modelled population accordingly and the shares are exact.
+    fn recipient_weights(&self) -> Vec<f64> {
+        match self.recipients {
+            RecipientDistribution::Uniform => vec![1.0; self.num_users],
+            RecipientDistribution::Zipf { s } => (1..=self.num_users)
+                .map(|i| (i as f64).powf(-s))
+                .collect(),
+        }
+    }
+
+    /// The fraction of all requests received by the most popular `k` users.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        let weights = self.recipient_weights();
+        let total: f64 = weights.iter().sum();
+        let top: f64 = weights.iter().take(k).sum();
+        top / total
+    }
+
+    /// Distributes this round's real requests over `num_mailboxes` mailboxes,
+    /// returning the expected number of real requests per mailbox.
+    ///
+    /// Users are assigned to mailboxes by hash, so popular users land in
+    /// arbitrary mailboxes; the deterministic expectation is enough for the
+    /// latency and mailbox-size spreads reported in §8.4.
+    pub fn mailbox_loads(&self, num_mailboxes: u32) -> Vec<f64> {
+        let weights = self.recipient_weights();
+        let total: f64 = weights.iter().sum();
+        let real = self.real_requests() as f64;
+        let mut loads = vec![0.0f64; num_mailboxes as usize];
+        for (i, w) in weights.iter().enumerate() {
+            // Hash users to mailboxes the same way the protocol does (by a
+            // stable hash of the user index standing in for the identity).
+            let digest = alpenhorn_crypto::sha256(&(i as u64).to_be_bytes());
+            let slot = (u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+                % num_mailboxes as u64) as usize;
+            loads[slot] += real * w / total;
+        }
+        loads
+    }
+
+    /// Samples a concrete recipient index for one request.
+    pub fn sample_recipient(&self, rng: &mut ChaChaRng) -> usize {
+        match self.recipients {
+            RecipientDistribution::Uniform => rng.gen_range(self.num_users as u64) as usize,
+            RecipientDistribution::Zipf { .. } => {
+                // Inverse-CDF sampling over the (precomputable for small N)
+                // cumulative weights; for the large-N analytical experiments
+                // only mailbox_loads/top_k_share are used.
+                let weights = self.recipient_weights();
+                let total: f64 = weights.iter().sum();
+                let mut target = rng.gen_f64() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    if target < *w {
+                        return i;
+                    }
+                    target -= *w;
+                }
+                self.num_users - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_counts() {
+        let w = Workload::paper(1_000_000);
+        assert_eq!(w.real_requests(), 50_000);
+        assert_eq!(w.cover_requests(), 950_000);
+    }
+
+    #[test]
+    fn zipf_top_users_dominate_at_high_skew() {
+        // §8.4: at s = 2 the top 10 users receive 94.2% of all requests.
+        let w = Workload::skewed(1_000_000, 2.0);
+        let share = w.top_k_share(10);
+        assert!((share - 0.942).abs() < 0.01, "share = {share}");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Workload::skewed(1000, 0.0);
+        let u = Workload::paper(1000);
+        assert!((z.top_k_share(10) - u.top_k_share(10)).abs() < 1e-12);
+        assert!((u.top_k_share(10) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mailbox_loads_sum_to_real_requests() {
+        for dist in [
+            RecipientDistribution::Uniform,
+            RecipientDistribution::Zipf { s: 1.0 },
+            RecipientDistribution::Zipf { s: 2.0 },
+        ] {
+            let w = Workload {
+                num_users: 10_000,
+                active_fraction: 0.05,
+                recipients: dist,
+            };
+            let loads = w.mailbox_loads(7);
+            let total: f64 = loads.iter().sum();
+            assert!((total - w.real_requests() as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn skew_increases_mailbox_spread() {
+        let uniform = Workload::paper(100_000).mailbox_loads(5);
+        let skewed = Workload::skewed(100_000, 2.0).mailbox_loads(5);
+        let spread = |loads: &[f64]| {
+            let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+            let min = loads.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        assert!(spread(&skewed) > spread(&uniform));
+    }
+
+    #[test]
+    fn sample_recipient_in_range_and_biased() {
+        let mut rng = ChaChaRng::from_seed_bytes([9u8; 32]);
+        let w = Workload::skewed(100, 2.0);
+        let mut hits_top_ten = 0;
+        for _ in 0..500 {
+            let r = w.sample_recipient(&mut rng);
+            assert!(r < 100);
+            if r < 10 {
+                hits_top_ten += 1;
+            }
+        }
+        // At s=2 the top ten of 100 users receive ~88% of requests.
+        assert!(hits_top_ten > 350, "hits = {hits_top_ten}");
+    }
+}

@@ -1,0 +1,185 @@
+//! A two-party conversation keyed by an Alpenhorn session key.
+//!
+//! Each conversation round, both parties derive the same dead-drop location
+//! and a fresh message key from the session key, encrypt a fixed-size padded
+//! message, and exchange ciphertexts through the [`crate::DeadDropServer`].
+//! Fixed-size messages are what lets the surrounding mixnet make traffic
+//! analysis useless; here they also exercise the same padding discipline.
+
+use alpenhorn_crypto::{aead, hmac_sha256};
+use alpenhorn::SessionKey;
+use alpenhorn_wire::Round;
+
+use crate::deaddrop::DeadDropId;
+
+/// Fixed conversation message size (payload is padded to this length).
+pub const MESSAGE_LEN: usize = 240;
+
+/// Errors from conversation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConversationError {
+    /// The plaintext is longer than [`MESSAGE_LEN`] minus the length header.
+    MessageTooLong {
+        /// Maximum payload length.
+        max: usize,
+    },
+    /// The peer's ciphertext failed to decrypt (corruption or wrong key).
+    DecryptionFailed,
+}
+
+impl core::fmt::Display for ConversationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConversationError::MessageTooLong { max } => {
+                write!(f, "message exceeds the {max}-byte conversation payload")
+            }
+            ConversationError::DecryptionFailed => write!(f, "failed to decrypt peer message"),
+        }
+    }
+}
+
+impl std::error::Error for ConversationError {}
+
+/// One side of a two-party conversation.
+///
+/// Both sides construct a `Conversation` from the same Alpenhorn session key;
+/// the `is_caller` flag only determines nonce separation so that the two
+/// directions never reuse an (key, nonce) pair.
+#[derive(Clone)]
+pub struct Conversation {
+    session_key: SessionKey,
+    is_caller: bool,
+}
+
+impl Conversation {
+    /// Creates a conversation endpoint from an Alpenhorn session key.
+    pub fn new(session_key: SessionKey, is_caller: bool) -> Self {
+        Conversation {
+            session_key,
+            is_caller,
+        }
+    }
+
+    /// The dead-drop location for conversation round `round`.
+    pub fn dead_drop(&self, round: Round) -> DeadDropId {
+        let mut label = b"vuvuzela-dead-drop".to_vec();
+        label.extend_from_slice(&round.0.to_be_bytes());
+        let digest = hmac_sha256(self.session_key.as_bytes(), &label);
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&digest[..16]);
+        DeadDropId(id)
+    }
+
+    /// The message encryption key for `round`.
+    fn round_key(&self, round: Round) -> [u8; 32] {
+        let mut label = b"vuvuzela-message-key".to_vec();
+        label.extend_from_slice(&round.0.to_be_bytes());
+        hmac_sha256(self.session_key.as_bytes(), &label)
+    }
+
+    fn nonce(&self, sending: bool) -> [u8; aead::NONCE_LEN] {
+        let mut nonce = [0u8; aead::NONCE_LEN];
+        // Direction bit: the caller's outgoing messages use nonce 1, the
+        // callee's use nonce 2; each key is used for at most one round.
+        nonce[11] = if sending == self.is_caller { 1 } else { 2 };
+        nonce
+    }
+
+    /// Encrypts a message for `round`, padding it to the fixed size.
+    pub fn seal(&self, round: Round, message: &[u8]) -> Result<Vec<u8>, ConversationError> {
+        let max = MESSAGE_LEN - 2;
+        if message.len() > max {
+            return Err(ConversationError::MessageTooLong { max });
+        }
+        let mut padded = vec![0u8; MESSAGE_LEN];
+        padded[..2].copy_from_slice(&(message.len() as u16).to_be_bytes());
+        padded[2..2 + message.len()].copy_from_slice(message);
+        let key = self.round_key(round);
+        Ok(aead::seal(&key, &self.nonce(true), b"vuvuzela-msg", &padded))
+    }
+
+    /// Decrypts the peer's ciphertext for `round` and strips the padding.
+    pub fn open(&self, round: Round, ciphertext: &[u8]) -> Result<Vec<u8>, ConversationError> {
+        let key = self.round_key(round);
+        let padded = aead::open(&key, &self.nonce(false), b"vuvuzela-msg", ciphertext)
+            .map_err(|_| ConversationError::DecryptionFailed)?;
+        if padded.len() != MESSAGE_LEN {
+            return Err(ConversationError::DecryptionFailed);
+        }
+        let len = u16::from_be_bytes([padded[0], padded[1]]) as usize;
+        if len > MESSAGE_LEN - 2 {
+            return Err(ConversationError::DecryptionFailed);
+        }
+        Ok(padded[2..2 + len].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Conversation, Conversation) {
+        let key = SessionKey([7u8; 32]);
+        (Conversation::new(key, true), Conversation::new(key, false))
+    }
+
+    #[test]
+    fn both_sides_derive_same_dead_drop() {
+        let (alice, bob) = pair();
+        assert_eq!(alice.dead_drop(Round(1)), bob.dead_drop(Round(1)));
+        assert_ne!(alice.dead_drop(Round(1)), alice.dead_drop(Round(2)));
+    }
+
+    #[test]
+    fn different_sessions_use_different_drops() {
+        let a = Conversation::new(SessionKey([1u8; 32]), true);
+        let b = Conversation::new(SessionKey([2u8; 32]), true);
+        assert_ne!(a.dead_drop(Round(1)), b.dead_drop(Round(1)));
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (alice, bob) = pair();
+        let ct = alice.seal(Round(3), b"hello bob").unwrap();
+        assert_eq!(ct.len(), MESSAGE_LEN + aead::TAG_LEN);
+        assert_eq!(bob.open(Round(3), &ct).unwrap(), b"hello bob");
+        // And the reverse direction.
+        let ct = bob.seal(Round(3), b"hello alice").unwrap();
+        assert_eq!(alice.open(Round(3), &ct).unwrap(), b"hello alice");
+    }
+
+    #[test]
+    fn all_ciphertexts_same_size() {
+        let (alice, _) = pair();
+        let short = alice.seal(Round(1), b"").unwrap();
+        let long = alice.seal(Round(1), &[7u8; 200]).unwrap();
+        assert_eq!(short.len(), long.len());
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let (alice, _) = pair();
+        assert_eq!(
+            alice.seal(Round(1), &[0u8; MESSAGE_LEN]),
+            Err(ConversationError::MessageTooLong { max: MESSAGE_LEN - 2 })
+        );
+    }
+
+    #[test]
+    fn wrong_round_or_key_fails() {
+        let (alice, bob) = pair();
+        let ct = alice.seal(Round(1), b"round 1 message").unwrap();
+        assert_eq!(bob.open(Round(2), &ct), Err(ConversationError::DecryptionFailed));
+        let eve = Conversation::new(SessionKey([9u8; 32]), false);
+        assert_eq!(eve.open(Round(1), &ct), Err(ConversationError::DecryptionFailed));
+    }
+
+    #[test]
+    fn own_direction_cannot_be_confused_for_peer() {
+        // Alice cannot "receive" her own ciphertext (distinct nonces per
+        // direction), which matters when a dead drop echoes a lone deposit.
+        let (alice, _) = pair();
+        let ct = alice.seal(Round(1), b"to bob").unwrap();
+        assert_eq!(alice.open(Round(1), &ct), Err(ConversationError::DecryptionFailed));
+    }
+}

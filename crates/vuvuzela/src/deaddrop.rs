@@ -1,0 +1,133 @@
+//! The dead-drop exchange server.
+//!
+//! A dead drop is a pseudorandom 16-byte location. Each conversation round,
+//! each of the two participants deposits one ciphertext at the location both
+//! derive from their shared session key; the server pairs up the two deposits
+//! at each location and returns each participant the other's ciphertext. The
+//! server never learns who is talking to whom beyond seeing that *some* two
+//! deposits met (in the real Vuvuzela the deposits also pass through a mixnet
+//! and are padded with noise; that machinery already exists in
+//! `alpenhorn-mixnet` and is not duplicated here).
+
+use std::collections::HashMap;
+
+/// A dead-drop location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeadDropId(pub [u8; 16]);
+
+/// One round's worth of dead-drop state.
+#[derive(Debug, Default)]
+pub struct DeadDropServer {
+    drops: HashMap<DeadDropId, Vec<Vec<u8>>>,
+}
+
+impl DeadDropServer {
+    /// Creates an empty server (one instance per conversation round).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposits a ciphertext at `id`. Returns the deposit index (0 or 1 for a
+    /// well-behaved conversation).
+    pub fn deposit(&mut self, id: DeadDropId, ciphertext: Vec<u8>) -> usize {
+        let entry = self.drops.entry(id).or_default();
+        entry.push(ciphertext);
+        entry.len() - 1
+    }
+
+    /// Completes the round: for every dead drop with exactly two deposits,
+    /// returns the pair swapped (deposit 0 receives deposit 1 and vice
+    /// versa). Drops with one deposit get their own message back (the peer
+    /// was idle); extra deposits beyond two are discarded.
+    pub fn exchange(self) -> HashMap<DeadDropId, [Vec<u8>; 2]> {
+        let mut out = HashMap::new();
+        for (id, mut deposits) in self.drops {
+            deposits.truncate(2);
+            let pair = match deposits.len() {
+                2 => {
+                    let b = deposits.pop().expect("two deposits");
+                    let a = deposits.pop().expect("two deposits");
+                    // Deposit 0 receives b, deposit 1 receives a.
+                    [b, a]
+                }
+                1 => {
+                    let a = deposits.pop().expect("one deposit");
+                    [a.clone(), a]
+                }
+                _ => continue,
+            };
+            out.insert(id, pair);
+        }
+        out
+    }
+
+    /// Number of active dead drops this round.
+    pub fn len(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// Whether no deposits have been made.
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_deposits_are_swapped() {
+        let mut server = DeadDropServer::new();
+        let id = DeadDropId([1u8; 16]);
+        assert_eq!(server.deposit(id, b"from alice".to_vec()), 0);
+        assert_eq!(server.deposit(id, b"from bob".to_vec()), 1);
+        let out = server.exchange();
+        let pair = &out[&id];
+        assert_eq!(pair[0], b"from bob");
+        assert_eq!(pair[1], b"from alice");
+    }
+
+    #[test]
+    fn single_deposit_is_echoed() {
+        let mut server = DeadDropServer::new();
+        let id = DeadDropId([2u8; 16]);
+        server.deposit(id, b"lonely".to_vec());
+        let out = server.exchange();
+        assert_eq!(out[&id][0], b"lonely");
+    }
+
+    #[test]
+    fn separate_drops_do_not_mix() {
+        let mut server = DeadDropServer::new();
+        let a = DeadDropId([3u8; 16]);
+        let b = DeadDropId([4u8; 16]);
+        server.deposit(a, b"a0".to_vec());
+        server.deposit(a, b"a1".to_vec());
+        server.deposit(b, b"b0".to_vec());
+        server.deposit(b, b"b1".to_vec());
+        assert_eq!(server.len(), 2);
+        let out = server.exchange();
+        assert_eq!(out[&a][0], b"a1");
+        assert_eq!(out[&b][0], b"b1");
+    }
+
+    #[test]
+    fn extra_deposits_discarded() {
+        let mut server = DeadDropServer::new();
+        let id = DeadDropId([5u8; 16]);
+        server.deposit(id, b"one".to_vec());
+        server.deposit(id, b"two".to_vec());
+        server.deposit(id, b"three".to_vec());
+        let out = server.exchange();
+        assert_eq!(out[&id][0], b"two");
+        assert_eq!(out[&id][1], b"one");
+    }
+
+    #[test]
+    fn empty_server() {
+        let server = DeadDropServer::new();
+        assert!(server.is_empty());
+        assert!(server.exchange().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Glue between the Alpenhorn client and the conversation protocol.
+//!
+//! This module is the analogue of the ~200-line change the paper describes
+//! for integrating Alpenhorn into Vuvuzela (§8.5): it turns the events the
+//! Alpenhorn client emits (`OutgoingCallPlaced`, `IncomingCall`) into live
+//! [`Conversation`]s and provides the `/addfriend` and `/call`-style entry
+//! points a chat client would wire to its UI.
+
+use alpenhorn::{Client, ClientError, ClientEvent, Identity};
+use alpenhorn::SessionKey;
+use alpenhorn_wire::Round;
+
+use crate::conversation::{Conversation, ConversationError};
+use crate::deaddrop::DeadDropServer;
+
+/// A live conversation session produced from an Alpenhorn call.
+pub struct ConversationSession {
+    /// The other party.
+    pub peer: Identity,
+    /// The application intent the call carried.
+    pub intent: u32,
+    /// The conversation endpoint (already keyed).
+    pub conversation: Conversation,
+    /// The conversation round counter (starts at 1, advances per exchange).
+    pub next_round: Round,
+}
+
+impl ConversationSession {
+    /// Builds a session from an Alpenhorn client event, if the event is a
+    /// placed or received call. This is the entire "bootstrap" step —
+    /// everything the original Vuvuzela needed out-of-band key distribution
+    /// for.
+    pub fn from_event(event: &ClientEvent) -> Option<ConversationSession> {
+        match event {
+            ClientEvent::OutgoingCallPlaced {
+                friend,
+                intent,
+                session_key,
+                ..
+            } => Some(Self::new(friend.clone(), *intent, *session_key, true)),
+            ClientEvent::IncomingCall {
+                from,
+                intent,
+                session_key,
+                ..
+            } => Some(Self::new(from.clone(), *intent, *session_key, false)),
+            _ => None,
+        }
+    }
+
+    /// Creates a session directly from a session key (the standalone client
+    /// described in §8.5 prints this key for pasting into Pond's PANDA).
+    pub fn new(peer: Identity, intent: u32, key: SessionKey, is_caller: bool) -> Self {
+        ConversationSession {
+            peer,
+            intent,
+            conversation: Conversation::new(key, is_caller),
+            next_round: Round(1),
+        }
+    }
+
+    /// Deposits `message` for the current conversation round at the session's
+    /// dead drop and advances the round. Returns the round used.
+    pub fn send(
+        &mut self,
+        server: &mut DeadDropServer,
+        message: &[u8],
+    ) -> Result<Round, ConversationError> {
+        let round = self.next_round;
+        let ciphertext = self.conversation.seal(round, message)?;
+        server.deposit(self.conversation.dead_drop(round), ciphertext);
+        self.next_round = round.next();
+        Ok(round)
+    }
+
+    /// Decrypts the peer's ciphertext retrieved from the dead-drop exchange
+    /// for `round`.
+    pub fn receive(&self, round: Round, ciphertext: &[u8]) -> Result<Vec<u8>, ConversationError> {
+        self.conversation.open(round, ciphertext)
+    }
+}
+
+/// Convenience wrapper mirroring the `/addfriend` command the paper added to
+/// the Vuvuzela client: queue an add-friend request for `who`.
+pub fn command_add_friend(client: &mut Client, who: &str) -> Result<(), ClientError> {
+    let identity =
+        Identity::new(who).map_err(|_| ClientError::NotAFriend(Identity::new("invalid@invalid.invalid").expect("valid placeholder identity")))?;
+    client.add_friend(identity, None);
+    Ok(())
+}
+
+/// Convenience wrapper mirroring the `/call` command: queue a call to `who`.
+pub fn command_call(client: &mut Client, who: &str, intent: u32) -> Result<(), ClientError> {
+    let identity = Identity::new(who)
+        .map_err(|_| ClientError::NotAFriend(Identity::new("invalid@invalid.invalid").expect("valid placeholder identity")))?;
+    client.call(identity, intent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    #[test]
+    fn sessions_from_matching_events_interoperate() {
+        let key = SessionKey([3u8; 32]);
+        let caller_event = ClientEvent::OutgoingCallPlaced {
+            friend: id("bob@gmail.com"),
+            intent: 1,
+            session_key: key,
+            round: Round(40),
+        };
+        let callee_event = ClientEvent::IncomingCall {
+            from: id("alice@example.com"),
+            intent: 1,
+            session_key: key,
+            round: Round(40),
+        };
+        let mut alice = ConversationSession::from_event(&caller_event).unwrap();
+        let mut bob = ConversationSession::from_event(&callee_event).unwrap();
+        assert_eq!(alice.peer, id("bob@gmail.com"));
+        assert_eq!(bob.peer, id("alice@example.com"));
+
+        // One conversation round through a dead-drop server.
+        let mut server = DeadDropServer::new();
+        let round_a = alice.send(&mut server, b"hi bob, it's alice").unwrap();
+        let round_b = bob.send(&mut server, b"hey alice").unwrap();
+        assert_eq!(round_a, round_b);
+
+        let exchanged = server.exchange();
+        let drop_id = alice.conversation.dead_drop(round_a);
+        let pair = &exchanged[&drop_id];
+        // Alice deposited first, so she receives pair[0]; Bob receives pair[1].
+        assert_eq!(alice.receive(round_a, &pair[0]).unwrap(), b"hey alice");
+        assert_eq!(bob.receive(round_b, &pair[1]).unwrap(), b"hi bob, it's alice");
+    }
+
+    #[test]
+    fn non_call_events_produce_no_session() {
+        let event = ClientEvent::FriendConfirmed {
+            friend: id("x@y.z"),
+            dialing_round: Round(1),
+        };
+        assert!(ConversationSession::from_event(&event).is_none());
+    }
+
+    #[test]
+    fn rounds_advance_per_send() {
+        let mut session =
+            ConversationSession::new(id("bob@gmail.com"), 0, SessionKey([1u8; 32]), true);
+        let mut server = DeadDropServer::new();
+        assert_eq!(session.send(&mut server, b"one").unwrap(), Round(1));
+        assert_eq!(session.send(&mut server, b"two").unwrap(), Round(2));
+        assert_eq!(session.next_round, Round(3));
+    }
+}

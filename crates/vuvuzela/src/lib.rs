@@ -1,0 +1,27 @@
+//! A minimal Vuvuzela-style conversation protocol, used to demonstrate how a
+//! private messaging application bootstraps conversations with Alpenhorn
+//! session keys (§8.5 of the paper).
+//!
+//! Vuvuzela's conversation protocol exchanges fixed-size messages through
+//! *dead drops*: both parties derive the same pseudorandom dead-drop location
+//! from their shared session key and the conversation round, deposit one
+//! encrypted message there each round, and the (untrusted) conversation
+//! server swaps whatever it finds at each location. The original Vuvuzela
+//! dialing protocol assumed out-of-band public keys; integrating Alpenhorn
+//! replaces that step: the `SessionKey` returned by `Call`/`IncomingCall`
+//! directly seeds a [`Conversation`].
+//!
+//! The paper reports that integrating Alpenhorn into Vuvuzela took about 200
+//! lines of changes. The analogous glue here is [`integration`], which is of
+//! comparable size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conversation;
+pub mod deaddrop;
+pub mod integration;
+
+pub use conversation::{Conversation, ConversationError, MESSAGE_LEN};
+pub use deaddrop::{DeadDropId, DeadDropServer};
+pub use integration::ConversationSession;

@@ -1,0 +1,287 @@
+//! A small fixed-layout binary codec.
+//!
+//! Alpenhorn messages must be fixed-size (cover traffic has to be
+//! indistinguishable from real traffic), so the codec favours explicit
+//! fixed-width fields; variable-length data is always carried with an
+//! explicit length prefix inside a fixed-size padded field.
+
+use crate::error::WireError;
+
+/// Append-only encoder producing a byte vector.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-size field).
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends variable-length bytes with a `u32` length prefix.
+    pub fn put_var_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.put_bytes(v)
+    }
+
+    /// Appends `v` into a field of exactly `width` bytes: one length byte,
+    /// the data, and zero padding. Panics if `v.len() >= width`.
+    pub fn put_padded(&mut self, v: &[u8], width: usize) -> &mut Self {
+        assert!(
+            v.len() < width,
+            "padded field overflow: {} bytes into width {width}",
+            v.len()
+        );
+        self.put_u8(v.len() as u8);
+        self.put_bytes(v);
+        for _ in 0..(width - 1 - v.len()) {
+            self.buf.push(0);
+        }
+        self
+    }
+
+    /// Returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length of the encoded buffer.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::UnexpectedEnd { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, context)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn get_array<const N: usize>(
+        &mut self,
+        context: &'static str,
+    ) -> Result<[u8; N], WireError> {
+        let b = self.take(N, context)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(b);
+        Ok(out)
+    }
+
+    /// Reads variable-length bytes written by [`Encoder::put_var_bytes`].
+    pub fn get_var_bytes(&mut self, context: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32(context)? as usize;
+        self.take(len, context)
+    }
+
+    /// Reads a padded field written by [`Encoder::put_padded`].
+    pub fn get_padded(
+        &mut self,
+        width: usize,
+        context: &'static str,
+    ) -> Result<&'a [u8], WireError> {
+        let len = self.get_u8(context)? as usize;
+        if len >= width {
+            return Err(WireError::InvalidValue { context });
+        }
+        let field = self.take(width - 1, context)?;
+        Ok(&field[..len])
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error if any input remains.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut e = Encoder::new();
+        e.put_u8(7).put_u16(300).put_u32(70_000).put_u64(1 << 40);
+        let buf = e.finish();
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_u8("a").unwrap(), 7);
+        assert_eq!(d.get_u16("b").unwrap(), 300);
+        assert_eq!(d.get_u32("c").unwrap(), 70_000);
+        assert_eq!(d.get_u64("d").unwrap(), 1 << 40);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn var_bytes_round_trip() {
+        let mut e = Encoder::new();
+        e.put_var_bytes(b"hello");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_var_bytes("v").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn padded_field_is_fixed_width() {
+        let mut e = Encoder::new();
+        e.put_padded(b"alice@example.org", 64);
+        let buf = e.finish();
+        assert_eq!(buf.len(), 64);
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.get_padded(64, "email").unwrap(), b"alice@example.org");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn padded_field_same_size_regardless_of_content() {
+        let mut short = Encoder::new();
+        short.put_padded(b"a@b", 64);
+        let mut long = Encoder::new();
+        long.put_padded(b"someone.with.a.long.name@example.com", 64);
+        assert_eq!(short.finish().len(), long.finish().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "padded field overflow")]
+    fn padded_field_overflow_panics() {
+        let mut e = Encoder::new();
+        e.put_padded(&[0u8; 64], 64);
+    }
+
+    #[test]
+    fn decoder_detects_truncation() {
+        let buf = [1u8, 2];
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(
+            d.get_u32("field"),
+            Err(WireError::UnexpectedEnd { context: "field" })
+        ));
+    }
+
+    #[test]
+    fn decoder_detects_trailing_bytes() {
+        let buf = [1u8, 2, 3];
+        let mut d = Decoder::new(&buf);
+        d.get_u8("x").unwrap();
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes { remaining: 2 }));
+    }
+
+    #[test]
+    fn get_array_round_trip() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[9u8; 32]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let arr: [u8; 32] = d.get_array("key").unwrap();
+        assert_eq!(arr, [9u8; 32]);
+    }
+
+    #[test]
+    fn padded_rejects_corrupt_length() {
+        let mut buf = vec![0u8; 64];
+        buf[0] = 64; // length byte >= width
+        let mut d = Decoder::new(&buf);
+        assert!(matches!(
+            d.get_padded(64, "email"),
+            Err(WireError::InvalidValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for wire encoding and decoding.
+
+/// Errors produced while encoding or decoding wire messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the expected field.
+    UnexpectedEnd {
+        /// Field or context that was being decoded.
+        context: &'static str,
+    },
+    /// A length prefix or enum tag had an invalid value.
+    InvalidValue {
+        /// Field or context that was being decoded.
+        context: &'static str,
+    },
+    /// An identity string was malformed (empty, too long, not ASCII, or
+    /// missing the `@` separator).
+    InvalidIdentity(String),
+    /// Trailing bytes remained after decoding a complete message.
+    TrailingBytes {
+        /// Number of unexpected trailing bytes.
+        remaining: usize,
+    },
+    /// The message had a different fixed size than the protocol requires.
+    WrongLength {
+        /// Expected size in bytes.
+        expected: usize,
+        /// Actual size in bytes.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            WireError::InvalidValue { context } => write!(f, "invalid value for {context}"),
+            WireError::InvalidIdentity(s) => write!(f, "invalid identity {s:?}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+            WireError::WrongLength { expected, actual } => {
+                write!(f, "wrong message length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,38 @@
+//! Wire formats and common protocol types shared by every Alpenhorn component.
+//!
+//! This crate defines the on-the-wire representation of the protocol objects
+//! from the paper:
+//!
+//! * identities (email addresses, §3) and mailbox IDs (§3.1 step 3),
+//! * rounds for the add-friend and dialing protocols (§4.4, §5),
+//! * the `FriendRequest` structure (Figure 3),
+//! * dial tokens produced by the keywheel (§5),
+//! * onion envelopes carried through the mixnet (§6, Algorithm 1 step 3),
+//! * the fixed request sizes that drive the bandwidth analysis in §8.2.
+//!
+//! All encodings are hand-rolled fixed-layout binary (see [`codec`]): requests
+//! must be fixed-size so that cover traffic is indistinguishable from real
+//! traffic, and the exact sizes feed the evaluation's bandwidth model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod constants;
+pub mod dial;
+pub mod error;
+pub mod friend_request;
+pub mod identity;
+pub mod mailbox;
+pub mod onion;
+pub mod round;
+
+pub use codec::{Decoder, Encoder};
+pub use constants::*;
+pub use dial::{DialRequest, DialToken};
+pub use error::WireError;
+pub use friend_request::{AddFriendEnvelope, FriendRequest};
+pub use identity::Identity;
+pub use mailbox::MailboxId;
+pub use onion::OnionEnvelope;
+pub use round::{Round, RoundKind};

@@ -1,0 +1,111 @@
+//! Mailbox identifiers.
+//!
+//! At the end of the mixnet, requests are distributed into mailboxes based on
+//! the intended recipient (§3.1 step 3 of the paper): the mailbox ID is the
+//! hash of the recipient's email address modulo the number of mailboxes, and
+//! many users share the same mailbox. A special mailbox ID is reserved for
+//! cover traffic so that fake requests need not be processed further.
+
+use crate::identity::Identity;
+
+/// Identifier of a mailbox within one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MailboxId(pub u32);
+
+impl MailboxId {
+    /// The special mailbox ID used by cover (fake) requests.
+    pub const COVER: MailboxId = MailboxId(u32::MAX);
+
+    /// Computes the mailbox a recipient's requests land in, given the total
+    /// number of mailboxes `count` for the round.
+    ///
+    /// Both the sender (when addressing a request) and the recipient (when
+    /// deciding which mailbox to download) must use the same `count`, which
+    /// the coordinator announces at the start of each round.
+    pub fn for_recipient(recipient: &Identity, count: u32) -> MailboxId {
+        assert!(count > 0, "mailbox count must be nonzero");
+        let digest = alpenhorn_crypto::sha256(recipient.as_bytes());
+        let value = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        MailboxId((value % count as u64) as u32)
+    }
+
+    /// Whether this is the cover-traffic mailbox.
+    pub fn is_cover(self) -> bool {
+        self == MailboxId::COVER
+    }
+
+    /// Raw mailbox index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for MailboxId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_cover() {
+            write!(f, "mailbox(cover)")
+        } else {
+            write!(f, "mailbox {}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Identity {
+        Identity::new(s).unwrap()
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MailboxId::for_recipient(&id("alice@example.com"), 7);
+        let b = MailboxId::for_recipient(&id("alice@example.com"), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn within_range() {
+        for count in [1u32, 2, 7, 100] {
+            for user in ["a@x.com", "b@x.com", "c@y.org", "d@z.net"] {
+                let m = MailboxId::for_recipient(&id(user), count);
+                assert!(m.as_u32() < count);
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_gives_same_mailbox() {
+        assert_eq!(
+            MailboxId::for_recipient(&id("Alice@Example.com"), 16),
+            MailboxId::for_recipient(&id("alice@example.COM"), 16)
+        );
+    }
+
+    #[test]
+    fn single_mailbox_everything_maps_to_zero() {
+        assert_eq!(MailboxId::for_recipient(&id("x@y.z"), 1), MailboxId(0));
+    }
+
+    #[test]
+    fn cover_mailbox() {
+        assert!(MailboxId::COVER.is_cover());
+        assert!(!MailboxId(0).is_cover());
+        assert_eq!(format!("{}", MailboxId::COVER), "mailbox(cover)");
+        assert_eq!(format!("{}", MailboxId(3)), "mailbox 3");
+    }
+
+    #[test]
+    fn spreads_across_mailboxes() {
+        // With many users and several mailboxes, more than one mailbox must be
+        // used (sanity check that we are not degenerate).
+        let count = 8u32;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            let user = id(&format!("user{i}@example.com"));
+            seen.insert(MailboxId::for_recipient(&user, count).as_u32());
+        }
+        assert!(seen.len() > 4);
+    }
+}

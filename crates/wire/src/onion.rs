@@ -1,0 +1,102 @@
+//! Onion envelopes carried through the mixnet.
+//!
+//! Algorithm 1 step 3 of the paper: a client wraps its request in one layer
+//! of encryption per mixnet server, in reverse order, so that the first
+//! server peels the outermost layer. Each layer consists of the client's
+//! ephemeral Diffie-Hellman public key for that hop plus an AEAD ciphertext
+//! of the next layer.
+//!
+//! This module only defines the *format*; the key exchange and sealing live
+//! in the `alpenhorn-mixnet` crate (which knows about the server keys).
+
+use crate::codec::{Decoder, Encoder};
+use crate::constants::{DH_PK_LEN, ONION_LAYER_OVERHEAD};
+use crate::error::WireError;
+
+/// One onion layer: the sender's ephemeral public key for this hop and the
+/// AEAD-sealed payload (which is either the next layer or the innermost
+/// request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnionEnvelope {
+    /// Ephemeral Diffie-Hellman public key (compressed G1).
+    pub ephemeral_pk: [u8; DH_PK_LEN],
+    /// AEAD ciphertext (payload plus tag).
+    pub sealed: Vec<u8>,
+}
+
+impl OnionEnvelope {
+    /// Encodes the envelope: ephemeral key followed by the sealed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(DH_PK_LEN + self.sealed.len());
+        e.put_bytes(&self.ephemeral_pk);
+        e.put_bytes(&self.sealed);
+        e.finish()
+    }
+
+    /// Decodes an envelope. The sealed payload is everything after the
+    /// ephemeral key (onion sizes are fixed per round and per hop, so no
+    /// explicit length is needed).
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < DH_PK_LEN {
+            return Err(WireError::UnexpectedEnd {
+                context: "onion ephemeral key",
+            });
+        }
+        let mut d = Decoder::new(buf);
+        let ephemeral_pk = d.get_array("onion ephemeral key")?;
+        let sealed = d.get_bytes(buf.len() - DH_PK_LEN, "onion payload")?.to_vec();
+        d.finish()?;
+        Ok(OnionEnvelope {
+            ephemeral_pk,
+            sealed,
+        })
+    }
+
+    /// The total wire size of an onion with `hops` layers wrapped around a
+    /// payload of `payload_len` bytes.
+    ///
+    /// Each layer adds an ephemeral key and an AEAD tag. This function drives
+    /// the bandwidth model for client upload costs.
+    pub fn onion_len(payload_len: usize, hops: usize) -> usize {
+        payload_len + hops * ONION_LAYER_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let env = OnionEnvelope {
+            ephemeral_pk: [7u8; DH_PK_LEN],
+            sealed: vec![1, 2, 3, 4, 5],
+        };
+        let buf = env.encode();
+        assert_eq!(buf.len(), DH_PK_LEN + 5);
+        assert_eq!(OnionEnvelope::decode(&buf).unwrap(), env);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let env = OnionEnvelope {
+            ephemeral_pk: [0u8; DH_PK_LEN],
+            sealed: vec![],
+        };
+        assert_eq!(OnionEnvelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(OnionEnvelope::decode(&[0u8; DH_PK_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn onion_len_grows_linearly_with_hops() {
+        let base = 100;
+        assert_eq!(OnionEnvelope::onion_len(base, 0), base);
+        let three = OnionEnvelope::onion_len(base, 3);
+        let five = OnionEnvelope::onion_len(base, 5);
+        assert_eq!(five - three, 2 * ONION_LAYER_OVERHEAD);
+    }
+}

@@ -1,0 +1,85 @@
+//! Protocol rounds.
+//!
+//! Both Alpenhorn protocols operate in numbered rounds (§3.1): clients submit
+//! one fixed-size request per round, PKGs rotate IBE master keys per
+//! add-friend round (§4.4), and keywheels advance once per dialing round
+//! (§5.1). Add-friend and dialing rounds are independent sequences.
+
+/// Which of the two Alpenhorn protocols a round belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundKind {
+    /// An add-friend protocol round (IBE, higher latency).
+    AddFriend,
+    /// A dialing protocol round (keywheel, low latency).
+    Dialing,
+}
+
+impl RoundKind {
+    /// A short stable label, used in key-derivation domain separation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoundKind::AddFriend => "add-friend",
+            RoundKind::Dialing => "dialing",
+        }
+    }
+}
+
+impl core::fmt::Display for RoundKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A round number within one protocol's sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round.
+    pub const FIRST: Round = Round(1);
+
+    /// Returns the next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Returns the round `n` rounds later.
+    pub fn plus(self, n: u64) -> Round {
+        Round(self.0 + n)
+    }
+
+    /// The raw round number.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Round {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_and_plus() {
+        assert_eq!(Round(1).next(), Round(2));
+        assert_eq!(Round(10).plus(5), Round(15));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Round(3) < Round(4));
+        assert_eq!(Round::FIRST.as_u64(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoundKind::AddFriend.label(), "add-friend");
+        assert_eq!(RoundKind::Dialing.label(), "dialing");
+        assert_eq!(format!("{}", Round(7)), "round 7");
+    }
+}

@@ -1,0 +1,132 @@
+//! A miniature metadata-private messaging application: Alpenhorn bootstraps
+//! the conversation, and a Vuvuzela-style dead-drop protocol carries it.
+//!
+//! Run with `cargo run --example messaging_app`.
+//!
+//! This mirrors §8.5 of the paper, where Alpenhorn replaced Vuvuzela's
+//! original dialing protocol: `/addfriend` and `/call` commands drive the
+//! Alpenhorn client, and the resulting session key seeds the conversation
+//! layer with no out-of-band key exchange at all.
+
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_vuvuzela::integration::{command_add_friend, command_call};
+use alpenhorn_vuvuzela::{ConversationSession, DeadDropServer};
+
+/// Runs one add-friend round for both clients, returning their events.
+fn add_friend_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<Vec<ClientEvent>> {
+    let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+    for c in clients.iter_mut() {
+        c.participate_add_friend(cluster, &info).unwrap();
+    }
+    cluster.close_add_friend_round(round).unwrap();
+    clients
+        .iter_mut()
+        .map(|c| c.process_add_friend_mailbox(cluster, &info).unwrap())
+        .collect()
+}
+
+/// Runs one dialing round for both clients, returning their events.
+fn dialing_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<Vec<ClientEvent>> {
+    let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+    let mut events: Vec<Vec<ClientEvent>> = clients
+        .iter_mut()
+        .map(|c| c.participate_dialing(cluster, &info).unwrap().into_iter().collect())
+        .collect();
+    cluster.close_dialing_round(round).unwrap();
+    for (c, ev) in clients.iter_mut().zip(events.iter_mut()) {
+        ev.extend(c.process_dialing_mailbox(cluster, &info).unwrap());
+    }
+    events
+}
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::test(11));
+    let mut alice = Client::new(
+        Identity::new("alice@example.com").unwrap(),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [10u8; 32],
+    );
+    let mut bob = Client::new(
+        Identity::new("bob@gmail.com").unwrap(),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [11u8; 32],
+    );
+    alice.register(&mut cluster).unwrap();
+    bob.register(&mut cluster).unwrap();
+
+    // The chat UI's /addfriend command.
+    println!("alice> /addfriend bob@gmail.com");
+    command_add_friend(&mut alice, "bob@gmail.com").unwrap();
+
+    let mut keywheel_start = Round(0);
+    for r in 1..=2 {
+        let events = add_friend_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        for e in events.concat() {
+            if let ClientEvent::FriendConfirmed { dialing_round, .. } = e {
+                keywheel_start = dialing_round;
+            }
+        }
+    }
+    println!("system> alice and bob are now friends");
+
+    // The chat UI's /call command, with intent 1 ("let's chat soon").
+    println!("alice> /call bob@gmail.com");
+    command_call(&mut alice, "bob@gmail.com", 1).unwrap();
+
+    let mut alice_session = None;
+    let mut bob_session = None;
+    for r in 1..=keywheel_start.as_u64() {
+        let events = dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        for e in &events[0] {
+            if let Some(s) = ConversationSession::from_event(e) {
+                alice_session = Some(s);
+            }
+        }
+        for e in &events[1] {
+            if let Some(s) = ConversationSession::from_event(e) {
+                println!("bob> accepting call from {} (intent {})", s.peer, s.intent);
+                bob_session = Some(s);
+            }
+        }
+    }
+    let mut alice_session = alice_session.expect("alice's call was placed");
+    let mut bob_session = bob_session.expect("bob received the call");
+
+    // Now the conversation proper: fixed-size messages through dead drops.
+    let transcript = [
+        ("alice", "hey bob, this line never touched a key server"),
+        ("bob", "and nobody knows we're talking. nice."),
+        ("alice", "same time tomorrow?"),
+        ("bob", "it's a date"),
+    ];
+    for chunk in transcript.chunks(2) {
+        let mut server = DeadDropServer::new();
+        let alice_msg = chunk[0].1.as_bytes();
+        let bob_msg = chunk.get(1).map(|(_, m)| m.as_bytes()).unwrap_or(b"(idle)");
+        let round = alice_session.send(&mut server, alice_msg).unwrap();
+        bob_session.send(&mut server, bob_msg).unwrap();
+        let exchanged = server.exchange();
+        let drop_id = alice_session.conversation.dead_drop(round);
+        let pair = &exchanged[&drop_id];
+        println!(
+            "alice sees: {}",
+            String::from_utf8_lossy(&alice_session.receive(round, &pair[0]).unwrap())
+        );
+        println!(
+            "bob sees:   {}",
+            String::from_utf8_lossy(&bob_session.receive(round, &pair[1]).unwrap())
+        );
+    }
+    println!("conversation complete");
+}

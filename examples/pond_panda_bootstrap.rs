@@ -1,0 +1,92 @@
+//! Bootstrapping Pond's PANDA with Alpenhorn (§8.5 of the paper).
+//!
+//! Run with `cargo run --example pond_panda_bootstrap`.
+//!
+//! Pond establishes relationships with PANDA, which assumes the two users
+//! already share a secret and provides a GUI to type it in. The paper built a
+//! standalone command-line Alpenhorn client that lets two users friend and
+//! call each other and then *prints* the resulting shared secret, which the
+//! users paste into PANDA — eliminating the out-of-band secret exchange.
+//! This example is that standalone client, driven for two users in one
+//! process.
+
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_crypto::hex;
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::test(23));
+    let users = ["laurel@example.org", "hardy@example.org"];
+    let mut clients: Vec<Client> = users
+        .iter()
+        .enumerate()
+        .map(|(i, email)| {
+            let mut c = Client::new(
+                Identity::new(email).unwrap(),
+                cluster.pkg_verifying_keys(),
+                ClientConfig::default(),
+                [40 + i as u8; 32],
+            );
+            c.register(&mut cluster).unwrap();
+            println!("$ alpenhorn register {email}   # confirmation email round-trip done");
+            c
+        })
+        .collect();
+
+    println!("$ alpenhorn addfriend hardy@example.org");
+    let (initiator, rest) = clients.split_first_mut().unwrap();
+    initiator.add_friend(rest[0].identity().clone(), None);
+
+    let mut keywheel_start = Round(0);
+    for r in 1..=2u64 {
+        let round = Round(r);
+        let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+        for c in clients.iter_mut() {
+            c.participate_add_friend(&mut cluster, &info).unwrap();
+        }
+        cluster.close_add_friend_round(round).unwrap();
+        for c in clients.iter_mut() {
+            for e in c.process_add_friend_mailbox(&mut cluster, &info).unwrap() {
+                if let ClientEvent::FriendConfirmed { dialing_round, .. } = e {
+                    keywheel_start = dialing_round;
+                }
+            }
+        }
+    }
+
+    println!("$ alpenhorn call hardy@example.org --intent 0");
+    clients[0]
+        .call(Identity::new("hardy@example.org").unwrap(), 0)
+        .unwrap();
+
+    let mut secrets = Vec::new();
+    for r in 1..=keywheel_start.as_u64() {
+        let round = Round(r);
+        let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+        for c in clients.iter_mut() {
+            if let Some(ClientEvent::OutgoingCallPlaced { session_key, .. }) =
+                c.participate_dialing(&mut cluster, &info).unwrap()
+            {
+                secrets.push(("laurel (caller)", session_key));
+            }
+        }
+        cluster.close_dialing_round(round).unwrap();
+        for c in clients.iter_mut() {
+            for e in c.process_dialing_mailbox(&mut cluster, &info).unwrap() {
+                if let ClientEvent::IncomingCall { session_key, .. } = e {
+                    secrets.push(("hardy (callee)", session_key));
+                }
+            }
+        }
+    }
+
+    assert_eq!(secrets.len(), 2, "both sides obtained the secret");
+    assert_eq!(secrets[0].1, secrets[1].1, "secrets match");
+    println!();
+    println!("Paste this shared secret into Pond's PANDA dialog on both machines:");
+    for (who, key) in &secrets {
+        println!("  {who}: {}", hex::encode(key.as_bytes()));
+    }
+    println!();
+    println!("No out-of-band secret exchange was needed; only the email addresses.");
+}

@@ -1,0 +1,93 @@
+//! Quickstart: bootstrap a private conversation between two users who only
+//! know each other's email address.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The example stands up a complete in-process Alpenhorn deployment (3 PKGs +
+//! a 3-server mixnet + entry server + CDN), registers Alice and Bob, runs the
+//! add-friend protocol, and then the dialing protocol, printing the session
+//! key both sides derive.
+
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+
+fn main() {
+    // 1. Stand up the servers. In a real deployment these run on separate
+    //    machines operated by independent parties; only one needs to be honest.
+    let mut cluster = Cluster::new(ClusterConfig::test(7));
+    println!("cluster: {} PKGs, 3 mixnet servers", cluster.num_pkgs());
+
+    // 2. Register two users (the paper's `Register(email)`).
+    let mut alice = Client::new(
+        Identity::new("alice@example.com").unwrap(),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [1u8; 32],
+    );
+    let mut bob = Client::new(
+        Identity::new("bob@gmail.com").unwrap(),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [2u8; 32],
+    );
+    alice.register(&mut cluster).expect("alice registers");
+    bob.register(&mut cluster).expect("bob registers");
+    println!("registered {} and {}", alice.identity(), bob.identity());
+
+    // 3. Alice adds Bob as a friend knowing only his email address
+    //    (the paper's `AddFriend("bob@gmail.com", nil)`).
+    alice.add_friend(bob.identity().clone(), None);
+
+    // 4. Run two add-friend rounds: Alice's request, then Bob's confirmation.
+    let mut confirmed_round = Round(0);
+    for round in [Round(1), Round(2)] {
+        let info = cluster.begin_add_friend_round(round, 2).unwrap();
+        alice.participate_add_friend(&mut cluster, &info).unwrap();
+        bob.participate_add_friend(&mut cluster, &info).unwrap();
+        cluster.close_add_friend_round(round).unwrap();
+        for (name, client) in [("alice", &mut alice), ("bob", &mut bob)] {
+            for event in client.process_add_friend_mailbox(&mut cluster, &info).unwrap() {
+                println!("  [{name}] {event:?}");
+                if let ClientEvent::FriendConfirmed { dialing_round, .. } = event {
+                    confirmed_round = dialing_round;
+                }
+            }
+        }
+    }
+    println!("friendship confirmed; keywheel starts at {confirmed_round}");
+
+    // 5. Alice calls Bob with intent 0 (the paper's `Call("bob@gmail.com", 0)`).
+    alice.call(bob.identity().clone(), 0).unwrap();
+
+    // 6. Run dialing rounds until the keywheel start round; every client sends
+    //    exactly one (possibly cover) request per round.
+    let mut alice_key = None;
+    let mut bob_key = None;
+    for r in 1..=confirmed_round.as_u64() {
+        let round = Round(r);
+        let info = cluster.begin_dialing_round(round, 2).unwrap();
+        if let Some(ClientEvent::OutgoingCallPlaced { session_key, .. }) =
+            alice.participate_dialing(&mut cluster, &info).unwrap()
+        {
+            alice_key = Some(session_key);
+        }
+        bob.participate_dialing(&mut cluster, &info).unwrap();
+        cluster.close_dialing_round(round).unwrap();
+        alice.process_dialing_mailbox(&mut cluster, &info).unwrap();
+        for event in bob.process_dialing_mailbox(&mut cluster, &info).unwrap() {
+            if let ClientEvent::IncomingCall { from, session_key, .. } = event {
+                println!("  [bob] incoming call from {from}");
+                bob_key = Some(session_key);
+            }
+        }
+    }
+
+    let alice_key = alice_key.expect("alice placed her call");
+    let bob_key = bob_key.expect("bob received the call");
+    assert_eq!(alice_key, bob_key, "both sides derive the same session key");
+    println!(
+        "shared session key: {}...",
+        alpenhorn_crypto::hex::encode(&alice_key.as_bytes()[..8])
+    );
+    println!("quickstart complete: hand this key to your messaging protocol");
+}

@@ -1,0 +1,167 @@
+//! Integration tests for the privacy-relevant observable behaviour: what the
+//! servers and the network actually see must not depend on whether a client
+//! is communicating, and destroying state must actually destroy it.
+
+use alpenhorn::{Client, ClientConfig, Identity, Round};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_mixnet::NoiseConfig;
+use alpenhorn_wire::{AddFriendEnvelope, DIAL_REQUEST_LEN, ONION_LAYER_OVERHEAD};
+
+fn id(s: &str) -> Identity {
+    Identity::new(s).unwrap()
+}
+
+fn registered_client(cluster: &mut Cluster, email: &str, seed: u8) -> Client {
+    let mut c = Client::new(
+        id(email),
+        cluster.pkg_verifying_keys(),
+        ClientConfig::default(),
+        [seed; 32],
+    );
+    c.register(cluster).unwrap();
+    c
+}
+
+#[test]
+fn upload_size_is_identical_for_real_and_cover_traffic() {
+    // The entry server enforces a fixed request size; verify that a client
+    // sending a real friend request and a client sending cover traffic submit
+    // byte-for-byte equally sized onions (otherwise size alone would leak who
+    // is adding friends).
+    let mut cluster = Cluster::new(ClusterConfig::test(80));
+    let mut active = registered_client(&mut cluster, "active@example.com", 1);
+    let mut idle = registered_client(&mut cluster, "idle@example.com", 2);
+    let mut target = registered_client(&mut cluster, "target@example.com", 3);
+
+    active.add_friend(id("target@example.com"), None);
+    let info = cluster.begin_add_friend_round(Round(1), 3).unwrap();
+    // The expected onion size is fixed and announced by the round info.
+    let expected = AddFriendEnvelope::ENCODED_LEN + 3 * ONION_LAYER_OVERHEAD;
+    assert_eq!(info.onion_len, expected);
+    active.participate_add_friend(&mut cluster, &info).unwrap();
+    idle.participate_add_friend(&mut cluster, &info).unwrap();
+    target.participate_add_friend(&mut cluster, &info).unwrap();
+    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    // All three submissions were accepted, which (per the entry server's size
+    // check) means they all had exactly `info.onion_len` bytes.
+    assert_eq!(stats.client_messages, 3);
+
+    // Dialing requests are likewise fixed-size.
+    let dial_info = cluster.begin_dialing_round(Round(1), 3).unwrap();
+    assert_eq!(dial_info.onion_len, DIAL_REQUEST_LEN + 3 * ONION_LAYER_OVERHEAD);
+}
+
+#[test]
+fn mailbox_contents_dominated_by_noise_even_with_one_active_user() {
+    // An adversary observing a mailbox must not be able to tell how many real
+    // requests it holds: every mailbox receives Laplace noise from every
+    // server. With deterministic noise of mean mu, a mailbox with one real
+    // request holds 1 + servers*mu entries.
+    let config = ClusterConfig {
+        add_friend_noise: NoiseConfig::deterministic(50.0),
+        ..ClusterConfig::test(81)
+    };
+    let mut cluster = Cluster::new(config);
+    let mut alice = registered_client(&mut cluster, "alice@example.com", 4);
+    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 5);
+    alice.add_friend(id("bob@gmail.com"), None);
+
+    let info = cluster.begin_add_friend_round(Round(1), 2).unwrap();
+    alice.participate_add_friend(&mut cluster, &info).unwrap();
+    bob.participate_add_friend(&mut cluster, &info).unwrap();
+    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    assert_eq!(stats.total_noise(), 3 * 50 * (info.num_mailboxes as u64 + 1));
+
+    let mailbox = alpenhorn_wire::MailboxId::for_recipient(&id("bob@gmail.com"), info.num_mailboxes);
+    let contents = cluster
+        .cdn()
+        .fetch_add_friend_mailbox(Round(1), mailbox)
+        .unwrap();
+    // 1 real request + 50 noise entries from each of the 3 servers.
+    assert_eq!(contents.len(), 1 + 3 * 50);
+    // Every entry has the same size; the real one is not distinguishable by
+    // length.
+    assert!(contents
+        .iter()
+        .all(|c| c.len() == AddFriendEnvelope::CIPHERTEXT_LEN));
+}
+
+#[test]
+fn noise_tokens_inflate_dialing_mailboxes_uniformly() {
+    let config = ClusterConfig {
+        dialing_noise: NoiseConfig::deterministic(40.0),
+        ..ClusterConfig::test(82)
+    };
+    let mut cluster = Cluster::new(config);
+    let mut idle = registered_client(&mut cluster, "idle@example.com", 6);
+
+    let info = cluster.begin_dialing_round(Round(1), 1).unwrap();
+    idle.participate_dialing(&mut cluster, &info).unwrap();
+    cluster.close_dialing_round(Round(1)).unwrap();
+    let filter = cluster
+        .cdn()
+        .fetch_dialing_mailbox(Round(1), alpenhorn_wire::MailboxId(0))
+        .unwrap();
+    // The idle client's cover token went to the cover mailbox; only noise is
+    // encoded here, and there is plenty of it.
+    assert_eq!(filter.inserted(), 3 * 40);
+}
+
+#[test]
+fn removing_a_friend_destroys_the_evidence() {
+    // §3.2: after removing a friend from the address book, a device
+    // compromise no longer reveals whether the two users were friends.
+    let mut cluster = Cluster::new(ClusterConfig::test(83));
+    let mut alice = registered_client(&mut cluster, "alice@example.com", 7);
+    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 8);
+
+    alice.add_friend(id("bob@gmail.com"), None);
+    for r in 1..=2u64 {
+        let info = cluster.begin_add_friend_round(Round(r), 2).unwrap();
+        alice.participate_add_friend(&mut cluster, &info).unwrap();
+        bob.participate_add_friend(&mut cluster, &info).unwrap();
+        cluster.close_add_friend_round(Round(r)).unwrap();
+        alice.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+    }
+    assert!(alice.keywheels().contains(&id("bob@gmail.com")));
+
+    alice.remove_friend(&id("bob@gmail.com"));
+    assert!(!alice.keywheels().contains(&id("bob@gmail.com")));
+    assert!(alice.address_book().get(&id("bob@gmail.com")).is_none());
+    assert!(alice.address_book().is_empty());
+}
+
+#[test]
+fn dialing_tokens_are_unlinkable_across_rounds_and_friends() {
+    // Tokens are HMAC outputs: an observer of the Bloom filters cannot link
+    // two rounds of the same conversation. Structurally: the tokens a client
+    // would send for the same friend in different rounds, and for different
+    // friends in the same round, never repeat.
+    use std::collections::HashSet;
+    let mut table = alpenhorn_keywheel::KeywheelTable::new();
+    for i in 0..20 {
+        table.insert(
+            id(&format!("friend{i}@example.com")),
+            [i as u8; 32],
+            Round(1),
+        );
+    }
+    let mut seen = HashSet::new();
+    for round in 1..=50u64 {
+        for (_, _, token) in table.expected_tokens(Round(round), 3) {
+            assert!(seen.insert(token.0), "token repeated");
+        }
+    }
+    assert_eq!(seen.len(), 20 * 3 * 50);
+}
+
+#[test]
+fn differential_privacy_budget_matches_paper() {
+    // §8.1: the deployed noise parameters give (ln 2, 1e-4)-DP for 900
+    // add-friend operations and 26,000 dials.
+    let add = NoiseConfig::paper_add_friend().dp();
+    assert!(add.epsilon_after(900, 1e-4) <= core::f64::consts::LN_2 * 1.02);
+    let dial = NoiseConfig::paper_dialing().dp();
+    assert!(dial.epsilon_after(26_000, 1e-4) <= core::f64::consts::LN_2 * 1.02);
+}

@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use alpenhorn_bench::print_header;
 use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::bf::MasterSecret;
 use alpenhorn_ibe::sig::SigningKey;
 use alpenhorn_pkg::server::extraction_request_message;
 use alpenhorn_pkg::{PkgServer, SimulatedMail};
@@ -96,5 +97,74 @@ fn print_throughput_table(_c: &mut Criterion) {
     println!("{}", table.render());
 }
 
-criterion_group!(benches, bench_pkg_extraction, print_throughput_table);
+/// Batch-size × core-count sweep over raw identity-key extraction.
+///
+/// Extraction (`MasterSecret::extract`) is read-only in the master secret,
+/// so a PKG can shard a round's extractions across cores exactly like the
+/// mixnet shards its peel loop; this table records how the rate scales.
+fn extraction_core_sweep(_c: &mut Criterion) {
+    print_header(
+        "PKG extraction core sweep",
+        "Section 8.3: extractions shard perfectly across cores (232 s for 1M users on one core)",
+    );
+    let mut rng = ChaChaRng::from_seed_bytes([5u8; 32]);
+    let msk = MasterSecret::generate(&mut rng);
+
+    let worker_counts = alpenhorn_bench::worker_sweep_counts();
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let batch_sizes: &[usize] = if smoke { &[64] } else { &[256, 2048] };
+
+    let mut table = Table::new(
+        "Identity-key extractions per second",
+        &["batch size", "workers", "extractions/sec", "speedup vs 1 worker"],
+    );
+    for &batch_size in batch_sizes {
+        let identities: Vec<String> = (0..batch_size)
+            .map(|i| format!("user-{i}@example.com"))
+            .collect();
+        let mut base = 0.0f64;
+        for &workers in &worker_counts {
+            let iters = if smoke { 1 } else { (4096 / batch_size).max(2) };
+            let start = Instant::now();
+            for _ in 0..iters {
+                let chunk = batch_size.div_ceil(workers).max(1);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = identities
+                        .chunks(chunk)
+                        .map(|ids| {
+                            let msk = &msk;
+                            s.spawn(move || {
+                                for id in ids {
+                                    criterion::black_box(msk.extract(id.as_bytes()));
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("extraction worker");
+                    }
+                });
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let rate = (batch_size * iters) as f64 / elapsed;
+            if workers == 1 {
+                base = rate;
+            }
+            table.push_row(vec![
+                format!("{batch_size}"),
+                format!("{workers}"),
+                format!("{rate:.0}"),
+                format!("{:.2}x", rate / base),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+criterion_group!(
+    benches,
+    bench_pkg_extraction,
+    print_throughput_table,
+    extraction_core_sweep
+);
 criterion_main!(benches);

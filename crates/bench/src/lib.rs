@@ -20,6 +20,27 @@ pub fn calibrated_model() -> CostModel {
     CostModel::new(MeasuredCosts::measure(CALIBRATION_ITERATIONS))
 }
 
+/// Worker counts for the batch-size × worker-count benchmark sweeps.
+///
+/// Always includes 1 (the sequential reference) and 2 (so the threaded path
+/// is exercised, and its output validated, even on single-core machines);
+/// higher counts only where real cores back them.
+pub fn worker_sweep_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2];
+    for w in [4, 8] {
+        if w <= cores {
+            counts.push(w);
+        }
+    }
+    if cores > 2 && !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    counts
+}
+
 /// Prints a standard header identifying a benchmark target.
 pub fn print_header(title: &str, paper_reference: &str) {
     println!();

@@ -132,6 +132,11 @@ pub struct Client {
     /// report a phantom incoming call.
     sent_dial_token: Option<(Round, DialToken)>,
 
+    /// Scratch for the innermost request bytes of the per-round submission,
+    /// reused across rounds; [`wrap_onion`] then builds the onion around it
+    /// in place, in one buffer of the exact final size.
+    payload_scratch: Vec<u8>,
+
     rng: ChaChaRng,
 }
 
@@ -158,6 +163,7 @@ impl Client {
             round_attestation: None,
             next_dialing_round: Round::FIRST,
             sent_dial_token: None,
+            payload_scratch: Vec::new(),
             rng,
         }
     }
@@ -339,9 +345,12 @@ impl Client {
         self.round_identity_key = Some((info.round, identity_key));
         self.round_attestation = Some((info.round, attestation));
 
-        // Steps 2-3: build and submit exactly one fixed-size request.
+        // Steps 2-3: build and submit exactly one fixed-size request. The
+        // envelope is encoded into a reused scratch buffer and the onion is
+        // built in place around it, at its exact final size.
         let envelope = self.build_add_friend_envelope(info)?;
-        let onion = wrap_onion(&envelope.encode(), &info.onion_keys, &mut self.rng);
+        envelope.encode_into(&mut self.payload_scratch);
+        let onion = wrap_onion(&self.payload_scratch, &info.onion_keys, &mut self.rng);
         cluster.submit_add_friend(info.round, onion)?;
         Ok(())
     }
@@ -616,7 +625,8 @@ impl Client {
                 }
             }
         };
-        let onion = wrap_onion(&request.encode(), &info.onion_keys, &mut self.rng);
+        request.encode_into(&mut self.payload_scratch);
+        let onion = wrap_onion(&self.payload_scratch, &info.onion_keys, &mut self.rng);
         cluster.submit_dialing(info.round, onion)?;
         Ok(event)
     }

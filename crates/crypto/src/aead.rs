@@ -61,13 +61,89 @@ fn pad16(len: usize) -> usize {
     (16 - (len % 16)) % 16
 }
 
+/// Encrypts `data` in place and returns the detached authentication tag.
+///
+/// This is the zero-copy core of the AEAD: the caller owns the buffer, no
+/// clone of the plaintext is made. [`seal`] and the in-place onion/IBE seal
+/// paths are thin wrappers over it.
+pub fn seal_detached(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    data: &mut [u8],
+) -> [u8; TAG_LEN] {
+    chacha20::xor_stream(key, nonce, 1, data);
+    let otk = poly_key(key, nonce);
+    compute_tag(&otk, aad, data)
+}
+
+/// Verifies the detached `tag` over `aad` and the ciphertext in `data`, then
+/// decrypts `data` in place. On tag mismatch the buffer is left untouched.
+pub fn open_detached(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    data: &mut [u8],
+    tag: &[u8],
+) -> Result<(), AeadError> {
+    if tag.len() != TAG_LEN {
+        return Err(AeadError::CiphertextTooShort);
+    }
+    let otk = poly_key(key, nonce);
+    let expected = compute_tag(&otk, aad, data);
+    if !crate::ct::ct_eq(&expected, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    chacha20::xor_stream(key, nonce, 1, data);
+    Ok(())
+}
+
+/// Encrypts the suffix `buf[from..]` in place and appends the tag, so `buf`
+/// ends as `prefix || ciphertext || tag` with no intermediate allocation.
+///
+/// # Panics
+///
+/// Panics if `from > buf.len()`.
+pub fn seal_in_place(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut Vec<u8>,
+    from: usize,
+) {
+    let tag = seal_detached(key, nonce, aad, &mut buf[from..]);
+    buf.extend_from_slice(&tag);
+}
+
+/// Decrypts `buf[from..]` (laid out as `ciphertext || tag`) in place,
+/// truncating the tag off the end. On failure `buf` is unchanged.
+///
+/// # Panics
+///
+/// Panics if `from > buf.len()`.
+pub fn open_in_place(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    buf: &mut Vec<u8>,
+    from: usize,
+) -> Result<(), AeadError> {
+    let body = buf.len().checked_sub(from).expect("`from` within buffer");
+    if body < TAG_LEN {
+        return Err(AeadError::CiphertextTooShort);
+    }
+    let split = buf.len() - TAG_LEN;
+    let (data, tag) = buf.split_at_mut(split);
+    open_detached(key, nonce, aad, &mut data[from..], tag)?;
+    buf.truncate(split);
+    Ok(())
+}
+
 /// Encrypts `plaintext` with associated data `aad`, returning `ciphertext || tag`.
 pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
-    chacha20::xor_stream(key, nonce, 1, &mut out);
-    let otk = poly_key(key, nonce);
-    let tag = compute_tag(&otk, aad, &out);
-    out.extend_from_slice(&tag);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    seal_in_place(key, nonce, aad, &mut out, 0);
     out
 }
 
@@ -169,6 +245,57 @@ mod tests {
     fn overhead_constant_matches() {
         let sealed = seal(&[0u8; 32], &[0u8; 12], b"", b"x");
         assert_eq!(sealed.len(), 1 + OVERHEAD);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_api() {
+        let key = [4u8; 32];
+        let nonce = [5u8; 12];
+        for (from, len) in [(0usize, 0usize), (0, 1), (7, 200), (48, 313)] {
+            let mut buf: Vec<u8> = (0..from + len).map(|i| i as u8).collect();
+            let prefix = buf[..from].to_vec();
+            let expected = seal(&key, &nonce, b"aad", &buf[from..]);
+            seal_in_place(&key, &nonce, b"aad", &mut buf, from);
+            assert_eq!(&buf[..from], &prefix[..], "prefix untouched");
+            assert_eq!(&buf[from..], &expected[..]);
+
+            open_in_place(&key, &nonce, b"aad", &mut buf, from).unwrap();
+            assert_eq!(buf.len(), from + len);
+            assert_eq!(&buf[from..], &(from..from + len).map(|i| i as u8).collect::<Vec<_>>()[..]);
+        }
+    }
+
+    #[test]
+    fn open_in_place_failure_leaves_buffer_unchanged() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut buf = b"prefix".to_vec();
+        buf.extend_from_slice(b"the secret body");
+        seal_in_place(&key, &nonce, b"aad", &mut buf, 6);
+        let sealed_snapshot = buf.clone();
+        assert_eq!(
+            open_in_place(&key, &nonce, b"wrong aad", &mut buf, 6),
+            Err(AeadError::TagMismatch)
+        );
+        assert_eq!(buf, sealed_snapshot);
+        // Too-short body.
+        let mut short = vec![0u8; 10];
+        assert_eq!(
+            open_in_place(&key, &nonce, b"", &mut short, 0),
+            Err(AeadError::CiphertextTooShort)
+        );
+    }
+
+    #[test]
+    fn detached_round_trip() {
+        let key = [8u8; 32];
+        let nonce = [9u8; 12];
+        let mut data = b"detached mode payload".to_vec();
+        let tag = seal_detached(&key, &nonce, b"hdr", &mut data);
+        assert_ne!(&data[..], b"detached mode payload");
+        open_detached(&key, &nonce, b"hdr", &mut data, &tag).unwrap();
+        assert_eq!(&data[..], b"detached mode payload");
+        assert!(open_detached(&key, &nonce, b"hdr", &mut data, &tag[..15]).is_err());
     }
 
     #[test]

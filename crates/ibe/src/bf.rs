@@ -154,10 +154,13 @@ pub fn encrypt(
     let shared = Bls12_381::pairing((mpk.point * r).into_affine(), q_id.into_affine());
     let key = derive_key(&shared, &ephemeral_bytes);
 
-    let sealed = aead::seal(&key, &[0u8; aead::NONCE_LEN], &ephemeral_bytes, plaintext);
-    let mut out = Vec::with_capacity(G1_LEN + sealed.len());
+    // Hybrid seal, in place: the ciphertext buffer is allocated once at its
+    // final size and the body is encrypted where it lies — the plaintext is
+    // never cloned into an intermediate vector.
+    let mut out = Vec::with_capacity(G1_LEN + plaintext.len() + aead::TAG_LEN);
     out.extend_from_slice(&ephemeral_bytes);
-    out.extend_from_slice(&sealed);
+    out.extend_from_slice(plaintext);
+    aead::seal_in_place(&key, &[0u8; aead::NONCE_LEN], &ephemeral_bytes, &mut out, G1_LEN);
     out
 }
 
@@ -177,8 +180,12 @@ pub fn decrypt(idk: &IdentityPrivateKey, ciphertext: &[u8]) -> Result<Vec<u8>, I
     let shared = Bls12_381::pairing(ephemeral.into_affine(), idk.point.into_affine());
     let key = derive_key(&shared, &ephemeral_arr);
 
-    aead::open(&key, &[0u8; aead::NONCE_LEN], &ephemeral_arr, sealed)
-        .map_err(|_| IbeError::DecryptionFailed)
+    // One allocation for the result; the tag is verified and then truncated
+    // off in place.
+    let mut body = sealed.to_vec();
+    aead::open_in_place(&key, &[0u8; aead::NONCE_LEN], &ephemeral_arr, &mut body, 0)
+        .map_err(|_| IbeError::DecryptionFailed)?;
+    Ok(body)
 }
 
 /// The ciphertext expansion added by [`encrypt`]: the ephemeral G1 point and

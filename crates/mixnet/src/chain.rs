@@ -61,6 +61,16 @@ impl MixChain {
         self.servers.len()
     }
 
+    /// Sets the per-server worker-thread count for round processing.
+    /// `1` selects the sequential reference path; see
+    /// [`MixServer::set_workers`]. Round outputs are identical for every
+    /// worker count under a fixed seed.
+    pub fn set_workers(&mut self, workers: usize) {
+        for server in &mut self.servers {
+            server.set_workers(workers);
+        }
+    }
+
     /// Whether the chain is empty (never true; chains have at least one server).
     pub fn is_empty(&self) -> bool {
         self.servers.is_empty()

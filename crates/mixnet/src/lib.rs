@@ -31,7 +31,7 @@ pub mod server;
 pub use chain::{MixChain, RoundStats};
 pub use mailbox::{AddFriendMailboxes, DialingMailboxes, MailboxPolicy};
 pub use noise::{DpParameters, NoiseConfig};
-pub use onion::{peel_layer, wrap_onion};
+pub use onion::{peel_layer, peel_layer_in_place, wrap_onion, wrap_onion_into};
 pub use server::MixServer;
 
 /// Which of the two Alpenhorn protocols a mixnet round is serving. The two

@@ -8,7 +8,7 @@
 
 use alpenhorn_crypto::aead;
 use alpenhorn_ibe::dh::{DhPublic, DhSecret};
-use alpenhorn_wire::{OnionEnvelope, ONION_LAYER_OVERHEAD};
+use alpenhorn_wire::{DH_PK_LEN, ONION_LAYER_OVERHEAD};
 
 /// Errors from peeling an onion layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +31,11 @@ impl core::fmt::Display for OnionError {
 impl std::error::Error for OnionError {}
 
 /// Derives the AEAD key for one onion hop from the DH shared secret.
-fn layer_key(shared: &[u8; 32], hop: usize) -> [u8; 32] {
+///
+/// This is the single source of truth for per-hop key derivation: the client
+/// wrap path, the server peel path, and the servers' mid-chain noise wrapping
+/// all go through it (so the HKDF label and hop binding cannot drift apart).
+pub(crate) fn layer_key(shared: &[u8; 32], hop: usize) -> [u8; 32] {
     let hk = alpenhorn_crypto::hkdf::Hkdf::extract(b"alpenhorn-onion-layer", shared);
     let mut key = [0u8; 32];
     hk.expand(&(hop as u64).to_be_bytes(), &mut key);
@@ -48,20 +52,61 @@ pub fn wrap_onion(
     server_publics: &[DhPublic],
     rng: &mut (impl rand::RngCore + ?Sized),
 ) -> Vec<u8> {
-    let mut current = payload.to_vec();
-    for (hop, server_pk) in server_publics.iter().enumerate().rev() {
+    let mut out = Vec::new();
+    wrap_onion_into(payload, server_publics, 0, rng, &mut out);
+    out
+}
+
+/// Wraps `payload` for `server_publics`, whose absolute hop indices start at
+/// `first_hop`, writing the finished onion into `out` (which is cleared
+/// first, so callers can reuse one buffer across messages).
+///
+/// Clients use `first_hop = 0`; a server at chain position `i` wrapping noise
+/// for the remaining servers uses `first_hop = i + 1` so the hop indices in
+/// the layer keys match what the downstream servers will peel with.
+///
+/// The onion is built in place with exactly one buffer of the final size:
+/// the payload is placed at its final offset and each layer seals the
+/// current window in place, writing its ephemeral key just before the window
+/// and its tag just after — no per-layer re-encode, no O(layers²) copying.
+pub fn wrap_onion_into(
+    payload: &[u8],
+    server_publics: &[DhPublic],
+    first_hop: usize,
+    rng: &mut (impl rand::RngCore + ?Sized),
+    out: &mut Vec<u8>,
+) {
+    let hops = server_publics.len();
+    let final_len = payload.len() + hops * ONION_LAYER_OVERHEAD;
+    out.clear();
+    out.resize(final_len, 0);
+
+    // The payload's final position: one ephemeral key per layer precedes it,
+    // one tag per layer follows it.
+    let mut start = hops * DH_PK_LEN;
+    let mut end = start + payload.len();
+    out[start..end].copy_from_slice(payload);
+
+    for (offset, server_pk) in server_publics.iter().enumerate().rev() {
+        let hop = first_hop + offset;
         let ephemeral = DhSecret::generate(rng);
         let ephemeral_pk = ephemeral.public().to_bytes();
         let shared = ephemeral.shared_secret(server_pk);
         let key = layer_key(&shared, hop);
-        let sealed = aead::seal(&key, &[0u8; aead::NONCE_LEN], &ephemeral_pk, &current);
-        current = OnionEnvelope {
-            ephemeral_pk,
-            sealed,
-        }
-        .encode();
+
+        start -= DH_PK_LEN;
+        out[start..start + DH_PK_LEN].copy_from_slice(&ephemeral_pk);
+        let tag = aead::seal_detached(
+            &key,
+            &[0u8; aead::NONCE_LEN],
+            &ephemeral_pk,
+            &mut out[start + DH_PK_LEN..end],
+        );
+        out[end..end + aead::TAG_LEN].copy_from_slice(&tag);
+        end += aead::TAG_LEN;
     }
-    current
+    debug_assert_eq!(start, 0);
+    debug_assert_eq!(end, final_len);
 }
 
 /// Server side: peels one onion layer with the server's round secret.
@@ -73,18 +118,38 @@ pub fn peel_layer(
     server_secret: &DhSecret,
     hop: usize,
 ) -> Result<Vec<u8>, OnionError> {
-    let envelope = OnionEnvelope::decode(envelope_bytes).map_err(|_| OnionError::Malformed)?;
-    let client_pk =
-        DhPublic::from_bytes(&envelope.ephemeral_pk).map_err(|_| OnionError::Malformed)?;
+    let mut buf = envelope_bytes.to_vec();
+    peel_layer_in_place(&mut buf, server_secret, hop)?;
+    Ok(buf)
+}
+
+/// Server side, zero-allocation: peels one onion layer in place.
+///
+/// On success `buf` holds the inner payload (the ephemeral-key prefix and the
+/// tag are stripped); on failure `buf` still holds the sealed layer. This is
+/// the mixnet round hot path: no heap allocation is performed per message.
+pub fn peel_layer_in_place(
+    buf: &mut Vec<u8>,
+    server_secret: &DhSecret,
+    hop: usize,
+) -> Result<(), OnionError> {
+    if buf.len() < DH_PK_LEN + aead::TAG_LEN {
+        return Err(OnionError::Malformed);
+    }
+    let inner_len = buf.len() - DH_PK_LEN - aead::TAG_LEN;
+    let (aad, rest) = buf.split_at_mut(DH_PK_LEN);
+    let client_pk = DhPublic::from_bytes(aad).map_err(|_| OnionError::Malformed)?;
     let shared = server_secret.shared_secret(&client_pk);
     let key = layer_key(&shared, hop);
-    aead::open(
-        &key,
-        &[0u8; aead::NONCE_LEN],
-        &envelope.ephemeral_pk,
-        &envelope.sealed,
-    )
-    .map_err(|_| OnionError::AuthenticationFailed)
+
+    let (ciphertext, tag) = rest.split_at_mut(inner_len);
+    aead::open_detached(&key, &[0u8; aead::NONCE_LEN], aad, ciphertext, tag)
+        .map_err(|_| OnionError::AuthenticationFailed)?;
+
+    // Strip the layer: shift the plaintext to the front, drop key and tag.
+    buf.copy_within(DH_PK_LEN..DH_PK_LEN + inner_len, 0);
+    buf.truncate(inner_len);
+    Ok(())
 }
 
 /// Size of an onion with `hops` layers around a payload of `payload_len`
@@ -179,6 +244,57 @@ mod tests {
     fn zero_hops_is_identity() {
         let mut rng = rng(7);
         assert_eq!(wrap_onion(b"raw", &[], &mut rng), b"raw");
+    }
+
+    #[test]
+    fn in_place_peel_matches_allocating_peel() {
+        let mut rng = rng(9);
+        let (secrets, publics) = chain(3, &mut rng);
+        let payload = b"fixed-size request payload".to_vec();
+        let onion = wrap_onion(&payload, &publics, &mut rng);
+
+        let mut in_place = onion.clone();
+        let mut reference = onion;
+        for (hop, secret) in secrets.iter().enumerate() {
+            peel_layer_in_place(&mut in_place, secret, hop).unwrap();
+            reference = peel_layer(&reference, secret, hop).unwrap();
+            assert_eq!(in_place, reference, "hop {hop}");
+        }
+        assert_eq!(in_place, payload);
+    }
+
+    #[test]
+    fn failed_in_place_peel_leaves_buffer_intact() {
+        let mut rng = rng(10);
+        let (secrets, publics) = chain(2, &mut rng);
+        let onion = wrap_onion(b"payload", &publics, &mut rng);
+        let mut buf = onion.clone();
+        // Wrong hop: authentication fails and the buffer is untouched, so the
+        // caller can still count/inspect the malformed message.
+        assert_eq!(
+            peel_layer_in_place(&mut buf, &secrets[0], 1),
+            Err(OnionError::AuthenticationFailed)
+        );
+        assert_eq!(buf, onion);
+        let mut short = vec![0u8; DH_PK_LEN + aead::TAG_LEN - 1];
+        assert_eq!(
+            peel_layer_in_place(&mut short, &secrets[0], 0),
+            Err(OnionError::Malformed)
+        );
+    }
+
+    #[test]
+    fn wrap_into_reuses_buffer_and_matches_mid_chain_hops() {
+        let mut rng = rng(11);
+        let (secrets, publics) = chain(4, &mut rng);
+        // Wrap only for servers 2..4, as server 1 does when injecting noise.
+        let mut out = vec![0xFFu8; 3]; // stale contents must be discarded
+        wrap_onion_into(b"noise payload", &publics[2..], 2, &mut rng, &mut out);
+        assert_eq!(out.len(), onion_size(b"noise payload".len(), 2));
+        for (i, secret) in secrets.iter().enumerate().skip(2) {
+            peel_layer_in_place(&mut out, secret, i).unwrap();
+        }
+        assert_eq!(out, b"noise payload");
     }
 
     #[test]

@@ -7,17 +7,33 @@
 //! servers so downstream servers cannot tell noise from real traffic), and
 //! randomly permutes the combined batch before handing it to the next server.
 //!
+//! # Round pipeline
+//!
+//! Peeling and noise generation are sharded across a [`std::thread::scope`]
+//! worker pool ([`MixServer::set_workers`]). Peeling operates **in place** on
+//! the batch's own buffers ([`crate::onion::peel_layer_in_place`]), so the
+//! steady-state peel loop performs no heap allocation per message. All round
+//! randomness forks from a single round seed: one stream per mailbox for
+//! noise, one for the shuffle. Workers own disjoint mailbox ranges and merge
+//! in mailbox order before the shuffle, so for a fixed seed the output batch
+//! is **byte-identical regardless of the worker count** — `workers = 1` is
+//! the sequential reference the parallel path is equivalence-tested against.
+//!
 //! Forward secrecy: the round's onion secret and the permutation are erased
 //! when the round ends ([`MixServer::end_round`]).
 
-use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_crypto::{hmac_sha256, ChaChaRng};
 use alpenhorn_ibe::dh::{DhPublic, DhSecret};
-use alpenhorn_wire::{AddFriendEnvelope, DialRequest, DialToken, MailboxId};
+use alpenhorn_wire::{AddFriendEnvelope, MailboxId, DIAL_TOKEN_LEN};
 use rand::RngCore;
 
 use crate::noise::NoiseConfig;
-use crate::onion::peel_layer;
+use crate::onion::{peel_layer_in_place, wrap_onion_into};
 use crate::Protocol;
+
+/// Below this much work (messages plus mailboxes), `process` stays on the
+/// calling thread: spawning workers costs more than it saves.
+const PARALLEL_THRESHOLD: usize = 256;
 
 /// One mixnet server.
 pub struct MixServer {
@@ -29,6 +45,8 @@ pub struct MixServer {
     round_secret: Option<DhSecret>,
     /// Server-local randomness (noise, shuffles, ephemeral keys).
     rng: ChaChaRng,
+    /// Worker threads used for round processing.
+    workers: usize,
     /// Statistics from the most recent round.
     last_noise_added: u64,
     last_malformed_dropped: u64,
@@ -37,13 +55,15 @@ pub struct MixServer {
 impl MixServer {
     /// Creates a server at position `index` in the chain, seeded with
     /// `seed` (servers in production would use OS entropy; the seed keeps
-    /// simulations reproducible).
+    /// simulations reproducible). Round processing uses all available cores;
+    /// see [`MixServer::set_workers`].
     pub fn new(index: usize, seed: [u8; 32]) -> Self {
         MixServer {
             index,
             name: format!("mix-{index}"),
             round_secret: None,
             rng: ChaChaRng::from_seed_bytes(seed),
+            workers: default_workers(),
             last_noise_added: 0,
             last_malformed_dropped: 0,
         }
@@ -57,6 +77,19 @@ impl MixServer {
     /// The server's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Sets the number of worker threads used by [`MixServer::process`].
+    /// `1` selects the sequential reference path. For any fixed seed the
+    /// round output is identical under every worker count; only wall-clock
+    /// time changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Begins a round: generates a fresh onion keypair and announces the
@@ -90,34 +123,6 @@ impl MixServer {
         self.last_malformed_dropped
     }
 
-    /// Generates one noise payload (the innermost request format) addressed
-    /// to `mailbox`.
-    fn noise_payload(&mut self, protocol: Protocol, mailbox: MailboxId) -> Vec<u8> {
-        match protocol {
-            Protocol::AddFriend => {
-                // Noise is an IBE-ciphertext-shaped blob of random bytes; by
-                // ciphertext anonymity (§4.3) it is indistinguishable from a
-                // real encrypted friend request without a matching key.
-                let mut ciphertext = vec![0u8; AddFriendEnvelope::CIPHERTEXT_LEN];
-                self.rng.fill_bytes(&mut ciphertext);
-                AddFriendEnvelope {
-                    mailbox,
-                    ciphertext,
-                }
-                .encode()
-            }
-            Protocol::Dialing => {
-                let mut token = [0u8; 32];
-                self.rng.fill_bytes(&mut token);
-                DialRequest {
-                    mailbox,
-                    token: DialToken(token),
-                }
-                .encode()
-            }
-        }
-    }
-
     /// Processes the round's batch: peel, add noise, shuffle.
     ///
     /// `downstream_publics` are the onion public keys of the servers after
@@ -126,7 +131,7 @@ impl MixServer {
     /// `num_mailboxes` is the number of real mailboxes for the round.
     pub fn process(
         &mut self,
-        batch: Vec<Vec<u8>>,
+        mut batch: Vec<Vec<u8>>,
         downstream_publics: &[DhPublic],
         protocol: Protocol,
         noise: &NoiseConfig,
@@ -135,96 +140,229 @@ impl MixServer {
         let secret = self
             .round_secret
             .as_ref()
-            .expect("process called without begin_round");
+            .expect("process called without begin_round")
+            .clone();
 
-        // Peel one layer from every message; drop garbage.
-        let mut out: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+        // All round randomness forks from the server stream up front, so the
+        // state consumed from `self.rng` is independent of batch size, noise
+        // volume, and worker count.
+        let mut round_rng = self.rng.fork(b"mix-round");
+        let mut noise_seed = [0u8; 32];
+        round_rng.fill_bytes(&mut noise_seed);
+        let mut shuffle_rng = round_rng.fork(b"shuffle");
+
+        // Mailbox slots 0..num_mailboxes are real; the last slot is cover.
+        let mailbox_slots = num_mailboxes + 1;
+        let work = batch.len() + mailbox_slots as usize;
+        let workers = if work < PARALLEL_THRESHOLD {
+            1
+        } else {
+            self.workers
+        };
+
+        let hop = self.index;
+        let first_downstream_hop = self.index + 1;
+        let mut kept = vec![false; batch.len()];
         let mut dropped = 0u64;
-        for message in &batch {
-            match peel_layer(message, secret, self.index) {
-                Ok(inner) => out.push(inner),
-                Err(_) => dropped += 1,
-            }
-        }
-        self.last_malformed_dropped = dropped;
+        // Per-worker noise output, merged in mailbox order below.
+        let noise_shards: Vec<(Vec<Vec<u8>>, u64)>;
 
-        // Add noise for every real mailbox and for the cover mailbox.
-        let mut noise_count = 0u64;
-        let mut mailboxes: Vec<MailboxId> =
-            (0..num_mailboxes).map(MailboxId).collect();
-        mailboxes.push(MailboxId::COVER);
-        for mailbox in mailboxes {
-            let count = noise.sample_count(&mut self.rng);
-            for _ in 0..count {
-                let payload = self.noise_payload(protocol, mailbox);
-                let wrapped = wrap_onion_downstream(
-                    &payload,
-                    downstream_publics,
-                    self.index + 1,
-                    &mut self.rng,
-                );
-                out.push(wrapped);
-                noise_count += 1;
+        if workers <= 1 {
+            dropped += peel_chunk(&mut batch, &mut kept, &secret, hop);
+            let mut shard = (Vec::new(), 0u64);
+            shard.1 = generate_noise_range(
+                0..mailbox_slots,
+                num_mailboxes,
+                &noise_seed,
+                protocol,
+                noise,
+                downstream_publics,
+                first_downstream_hop,
+                &mut shard.0,
+            );
+            noise_shards = vec![shard];
+        } else {
+            // Peel workers (contiguous batch chunks) and noise workers
+            // (contiguous mailbox ranges) run in ONE scope, so the two
+            // independent phases overlap instead of paying two spawn/join
+            // barriers. The configured worker budget is split between the
+            // phases in proportion to their work, so at most `workers`
+            // CPU-bound threads are in flight. Determinism is unaffected:
+            // results are collected per-handle in spawn order, and each
+            // mailbox's noise stream is derived from the round seed, so
+            // shard boundaries cannot change the generated bytes.
+            let peel_workers = ((workers * batch.len()) / work.max(1)).clamp(1, workers - 1);
+            let noise_workers = workers - peel_workers;
+            let chunk_len = batch.len().div_ceil(peel_workers).max(1);
+            let range_len = (mailbox_slots as usize).div_ceil(noise_workers).max(1) as u32;
+            let (drop_counts, shards) = std::thread::scope(|s| {
+                let peel_handles: Vec<_> = batch
+                    .chunks_mut(chunk_len)
+                    .zip(kept.chunks_mut(chunk_len))
+                    .map(|(messages, kept)| {
+                        let secret = &secret;
+                        s.spawn(move || peel_chunk(messages, kept, secret, hop))
+                    })
+                    .collect();
+                let noise_handles: Vec<_> = (0..mailbox_slots)
+                    .step_by(range_len as usize)
+                    .map(|range_start| {
+                        let range = range_start..mailbox_slots.min(range_start + range_len);
+                        let noise_seed = &noise_seed;
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let added = generate_noise_range(
+                                range,
+                                num_mailboxes,
+                                noise_seed,
+                                protocol,
+                                noise,
+                                downstream_publics,
+                                first_downstream_hop,
+                                &mut out,
+                            );
+                            (out, added)
+                        })
+                    })
+                    .collect();
+                let drop_counts: Vec<u64> = peel_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("peel worker"))
+                    .collect();
+                let shards: Vec<(Vec<Vec<u8>>, u64)> = noise_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("noise worker"))
+                    .collect();
+                (drop_counts, shards)
+            });
+            dropped += drop_counts.iter().sum::<u64>();
+            noise_shards = shards;
+        }
+
+        self.last_malformed_dropped = dropped;
+        let noise_count: u64 = noise_shards.iter().map(|(_, n)| n).sum();
+        self.last_noise_added = noise_count;
+
+        // Deterministic merge: surviving client messages in submission order,
+        // then noise in mailbox order.
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(
+            batch.len() - dropped as usize + noise_count as usize,
+        );
+        for (message, keep) in batch.into_iter().zip(kept) {
+            if keep {
+                out.push(message);
             }
         }
-        self.last_noise_added = noise_count;
+        for (mut shard, _) in noise_shards {
+            out.append(&mut shard);
+        }
 
         // Random permutation: the honest server's shuffle is what breaks the
         // link between inputs and outputs.
-        self.rng.shuffle(&mut out);
+        shuffle_rng.shuffle(&mut out);
         out
     }
 }
 
-/// Wraps a noise payload for the downstream servers, whose hop indices start
-/// at `first_hop`.
-fn wrap_onion_downstream(
-    payload: &[u8],
-    downstream_publics: &[DhPublic],
-    first_hop: usize,
-    rng: &mut ChaChaRng,
-) -> Vec<u8> {
-    // `wrap_onion` numbers hops from 0; noise injected mid-chain must use the
-    // absolute hop indices of the remaining servers, so wrap layers manually
-    // in reverse order here.
-    let mut current = payload.to_vec();
-    for (offset, server_pk) in downstream_publics.iter().enumerate().rev() {
-        let hop = first_hop + offset;
-        current = wrap_onion_single(&current, server_pk, hop, rng);
-    }
-    current
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
-/// Wraps exactly one onion layer for `server_pk` at absolute hop `hop`.
-fn wrap_onion_single(
-    payload: &[u8],
-    server_pk: &DhPublic,
+/// Peels every message in `chunk` in place, marking survivors in `kept`, and
+/// returns the number of malformed messages dropped. No allocation per
+/// message: each onion shrinks within its own buffer.
+fn peel_chunk(
+    chunk: &mut [Vec<u8>],
+    kept: &mut [bool],
+    secret: &DhSecret,
     hop: usize,
-    rng: &mut ChaChaRng,
-) -> Vec<u8> {
-    // Reuse the client wrapping code for a single hop by constructing the
-    // layer directly (wrap_onion would number the hop 0).
-    use alpenhorn_crypto::aead;
-    use alpenhorn_wire::OnionEnvelope;
-
-    let ephemeral = DhSecret::generate(rng);
-    let ephemeral_pk = ephemeral.public().to_bytes();
-    let shared = ephemeral.shared_secret(server_pk);
-    let hk = alpenhorn_crypto::hkdf::Hkdf::extract(b"alpenhorn-onion-layer", &shared);
-    let mut key = [0u8; 32];
-    hk.expand(&(hop as u64).to_be_bytes(), &mut key);
-    let sealed = aead::seal(&key, &[0u8; aead::NONCE_LEN], &ephemeral_pk, payload);
-    OnionEnvelope {
-        ephemeral_pk,
-        sealed,
+) -> u64 {
+    let mut dropped = 0u64;
+    for (message, keep) in chunk.iter_mut().zip(kept.iter_mut()) {
+        match peel_layer_in_place(message, secret, hop) {
+            Ok(()) => *keep = true,
+            Err(_) => dropped += 1,
+        }
     }
-    .encode()
+    dropped
+}
+
+/// Generates the noise for mailbox slots `range` (slot `num_mailboxes` is the
+/// cover mailbox), appending wrapped onions to `out` and returning how many
+/// were added.
+///
+/// Each slot's randomness is an independent stream keyed by
+/// `HMAC(noise_seed, slot)`, which makes the bytes a function of the round
+/// seed and the mailbox alone — the partition of slots across workers cannot
+/// affect them.
+#[allow(clippy::too_many_arguments)]
+fn generate_noise_range(
+    range: core::ops::Range<u32>,
+    num_mailboxes: u32,
+    noise_seed: &[u8; 32],
+    protocol: Protocol,
+    noise: &NoiseConfig,
+    downstream_publics: &[DhPublic],
+    first_hop: usize,
+    out: &mut Vec<Vec<u8>>,
+) -> u64 {
+    let mut added = 0u64;
+    // One payload scratch per worker, reused across all of its messages.
+    let mut payload = Vec::new();
+    for slot in range {
+        let mailbox = if slot == num_mailboxes {
+            MailboxId::COVER
+        } else {
+            MailboxId(slot)
+        };
+        let mut rng = ChaChaRng::from_seed_bytes(hmac_sha256(noise_seed, &slot.to_be_bytes()));
+        let count = noise.sample_count(&mut rng);
+        for _ in 0..count {
+            noise_payload_into(protocol, mailbox, &mut rng, &mut payload);
+            // The wrapped onion is the output message itself: its single
+            // allocation is made at the exact final size by `wrap_onion_into`.
+            let mut message = Vec::new();
+            wrap_onion_into(&payload, downstream_publics, first_hop, &mut rng, &mut message);
+            out.push(message);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Builds one noise payload (the innermost request format) into `buf`.
+///
+/// The layouts mirror [`AddFriendEnvelope::encode`] and
+/// [`alpenhorn_wire::DialRequest::encode`] — a 4-byte big-endian mailbox ID
+/// followed by the random body — without routing the random bytes through an
+/// owned envelope struct. `noise_payload_layouts_match_wire_encoders` in the
+/// tests pins the equivalence.
+fn noise_payload_into(
+    protocol: Protocol,
+    mailbox: MailboxId,
+    rng: &mut ChaChaRng,
+    buf: &mut Vec<u8>,
+) {
+    let body_len = match protocol {
+        // Noise is an IBE-ciphertext-shaped blob of random bytes; by
+        // ciphertext anonymity (§4.3) it is indistinguishable from a real
+        // encrypted friend request without a matching key.
+        Protocol::AddFriend => AddFriendEnvelope::CIPHERTEXT_LEN,
+        Protocol::Dialing => DIAL_TOKEN_LEN,
+    };
+    buf.clear();
+    buf.extend_from_slice(&mailbox.as_u32().to_be_bytes());
+    buf.resize(4 + body_len, 0);
+    rng.fill_bytes(&mut buf[4..]);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::onion::wrap_onion;
+    use alpenhorn_wire::{DialRequest, DialToken};
 
     #[test]
     fn begin_and_end_round() {
@@ -339,5 +477,76 @@ mod tests {
             &NoiseConfig::light(),
             1,
         );
+    }
+
+    #[test]
+    fn noise_payload_layouts_match_wire_encoders() {
+        // The zero-copy noise path writes wire bytes directly; pin it to the
+        // canonical encoders so the layouts cannot drift apart.
+        let mut rng = ChaChaRng::from_seed_bytes([8u8; 32]);
+        let mut buf = Vec::new();
+
+        noise_payload_into(Protocol::Dialing, MailboxId(7), &mut rng, &mut buf);
+        let decoded = DialRequest::decode(&buf).unwrap();
+        assert_eq!(
+            buf,
+            DialRequest {
+                mailbox: MailboxId(7),
+                token: DialToken(decoded.token.0),
+            }
+            .encode()
+        );
+
+        noise_payload_into(Protocol::AddFriend, MailboxId::COVER, &mut rng, &mut buf);
+        let decoded = AddFriendEnvelope::decode(&buf).unwrap();
+        assert_eq!(
+            buf,
+            AddFriendEnvelope {
+                mailbox: MailboxId::COVER,
+                ciphertext: decoded.ciphertext.clone(),
+            }
+            .encode()
+        );
+    }
+
+    /// Runs one identical round on servers differing only in worker count.
+    fn run_round(workers: usize, batch_size: u32) -> (Vec<Vec<u8>>, u64, u64) {
+        let mut client_rng = ChaChaRng::from_seed_bytes([21u8; 32]);
+        let mut server = MixServer::new(0, [22u8; 32]);
+        server.set_workers(workers);
+        let pk = server.begin_round();
+        let batch: Vec<Vec<u8>> = (0..batch_size)
+            .map(|i| {
+                if i % 17 == 3 {
+                    // Sprinkle malformed messages among the real ones.
+                    vec![i as u8; 20]
+                } else {
+                    let mut payload = AddFriendEnvelope::cover().encode();
+                    payload[..4].copy_from_slice(&i.to_be_bytes());
+                    wrap_onion(&payload, &[pk], &mut client_rng)
+                }
+            })
+            .collect();
+        let out = server.process(
+            batch,
+            &[],
+            Protocol::AddFriend,
+            &NoiseConfig::deterministic(2.0),
+            40,
+        );
+        (out, server.last_noise_added(), server.last_malformed_dropped())
+    }
+
+    #[test]
+    fn parallel_process_is_byte_identical_to_sequential() {
+        // 400 messages + 41 mailboxes exceeds PARALLEL_THRESHOLD, so worker
+        // counts > 1 genuinely exercise the threaded path.
+        let (sequential, seq_noise, seq_dropped) = run_round(1, 400);
+        for workers in [2, 3, 8] {
+            let (parallel, noise, dropped) = run_round(workers, 400);
+            assert_eq!(noise, seq_noise, "workers = {workers}");
+            assert_eq!(dropped, seq_dropped, "workers = {workers}");
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! current round through the mixnet; the last mixnet server encodes each
 //! dialing mailbox as a Bloom filter of the tokens it received.
 
-use crate::codec::{Decoder, Encoder};
+use crate::codec::Decoder;
 use crate::constants::{DIAL_REQUEST_LEN, DIAL_TOKEN_LEN};
 use crate::error::WireError;
 use crate::mailbox::MailboxId;
@@ -35,12 +35,19 @@ pub struct DialRequest {
 impl DialRequest {
     /// Encodes the request into its fixed wire form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::with_capacity(DIAL_REQUEST_LEN);
-        e.put_u32(self.mailbox.0);
-        e.put_bytes(&self.token.0);
-        let out = e.finish();
-        debug_assert_eq!(out.len(), DIAL_REQUEST_LEN);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Encodes the request into `out` (cleared first), so round-driven
+    /// callers can reuse one buffer across rounds.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(DIAL_REQUEST_LEN);
+        out.extend_from_slice(&self.mailbox.0.to_be_bytes());
+        out.extend_from_slice(&self.token.0);
+        debug_assert_eq!(out.len(), DIAL_REQUEST_LEN);
     }
 
     /// Decodes a request from its fixed wire form.

@@ -163,17 +163,24 @@ impl AddFriendEnvelope {
 
     /// Encodes the envelope into its fixed wire form.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the envelope into `out` (cleared first), so round-driven
+    /// callers can reuse one buffer across rounds.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         assert_eq!(
             self.ciphertext.len(),
             Self::CIPHERTEXT_LEN,
             "envelope ciphertext must be fixed-size"
         );
-        let mut e = Encoder::with_capacity(Self::ENCODED_LEN);
-        e.put_u32(self.mailbox.0);
-        e.put_bytes(&self.ciphertext);
-        let out = e.finish();
+        out.clear();
+        out.reserve(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.mailbox.0.to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
         debug_assert_eq!(out.len(), Self::ENCODED_LEN);
-        out
     }
 
     /// Decodes an envelope from its fixed wire form.

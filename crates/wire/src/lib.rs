@@ -34,5 +34,5 @@ pub use error::WireError;
 pub use friend_request::{AddFriendEnvelope, FriendRequest};
 pub use identity::Identity;
 pub use mailbox::MailboxId;
-pub use onion::OnionEnvelope;
+pub use onion::{OnionEnvelope, OnionEnvelopeRef};
 pub use round::{Round, RoundKind};

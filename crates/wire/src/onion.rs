@@ -9,7 +9,7 @@
 //! This module only defines the *format*; the key exchange and sealing live
 //! in the `alpenhorn-mixnet` crate (which knows about the server keys).
 
-use crate::codec::{Decoder, Encoder};
+use crate::codec::Encoder;
 use crate::constants::{DH_PK_LEN, ONION_LAYER_OVERHEAD};
 use crate::error::WireError;
 
@@ -22,6 +22,47 @@ pub struct OnionEnvelope {
     pub ephemeral_pk: [u8; DH_PK_LEN],
     /// AEAD ciphertext (payload plus tag).
     pub sealed: Vec<u8>,
+}
+
+/// A borrowed view of one onion layer: the same wire layout as
+/// [`OnionEnvelope`], parsed without copying either component.
+///
+/// This is the zero-copy way to inspect a layer — [`OnionEnvelope::decode`]
+/// is a thin copying wrapper over it, and entry-facing code can use it to
+/// look at a submission without cloning the ciphertext. (The mixnet peel
+/// loop itself decrypts in place inside the buffer, so it splits the borrow
+/// mutably rather than going through this read-only view.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnionEnvelopeRef<'a> {
+    /// Ephemeral Diffie-Hellman public key (compressed G1).
+    pub ephemeral_pk: &'a [u8; DH_PK_LEN],
+    /// AEAD ciphertext (payload plus tag), borrowed from the input buffer.
+    pub sealed: &'a [u8],
+}
+
+impl<'a> OnionEnvelopeRef<'a> {
+    /// Parses an envelope without allocating; the returned components borrow
+    /// from `buf`.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < DH_PK_LEN {
+            return Err(WireError::UnexpectedEnd {
+                context: "onion ephemeral key",
+            });
+        }
+        let (pk, sealed) = buf.split_at(DH_PK_LEN);
+        Ok(OnionEnvelopeRef {
+            ephemeral_pk: pk.try_into().expect("split at DH_PK_LEN"),
+            sealed,
+        })
+    }
+
+    /// Copies the borrowed view into an owned [`OnionEnvelope`].
+    pub fn to_owned(&self) -> OnionEnvelope {
+        OnionEnvelope {
+            ephemeral_pk: *self.ephemeral_pk,
+            sealed: self.sealed.to_vec(),
+        }
+    }
 }
 
 impl OnionEnvelope {
@@ -37,19 +78,7 @@ impl OnionEnvelope {
     /// ephemeral key (onion sizes are fixed per round and per hop, so no
     /// explicit length is needed).
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
-        if buf.len() < DH_PK_LEN {
-            return Err(WireError::UnexpectedEnd {
-                context: "onion ephemeral key",
-            });
-        }
-        let mut d = Decoder::new(buf);
-        let ephemeral_pk = d.get_array("onion ephemeral key")?;
-        let sealed = d.get_bytes(buf.len() - DH_PK_LEN, "onion payload")?.to_vec();
-        d.finish()?;
-        Ok(OnionEnvelope {
-            ephemeral_pk,
-            sealed,
-        })
+        Ok(OnionEnvelopeRef::parse(buf)?.to_owned())
     }
 
     /// The total wire size of an onion with `hops` layers wrapped around a
@@ -89,6 +118,20 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         assert!(OnionEnvelope::decode(&[0u8; DH_PK_LEN - 1]).is_err());
+        assert!(OnionEnvelopeRef::parse(&[0u8; DH_PK_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned_decode() {
+        let env = OnionEnvelope {
+            ephemeral_pk: [3u8; DH_PK_LEN],
+            sealed: vec![9, 8, 7],
+        };
+        let buf = env.encode();
+        let parsed = OnionEnvelopeRef::parse(&buf).unwrap();
+        assert_eq!(parsed.ephemeral_pk, &env.ephemeral_pk);
+        assert_eq!(parsed.sealed, &env.sealed[..]);
+        assert_eq!(parsed.to_owned(), env);
     }
 
     #[test]

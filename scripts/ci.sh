@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Single-command gate: build, test, and smoke-run the hot-path benchmarks.
+#
+#   scripts/ci.sh
+#
+# BENCH_SMOKE=1 makes the vendored criterion stand-in run each benchmark for
+# a handful of iterations — enough to catch a pipeline regression (panic,
+# equivalence failure, pathological slowdown) without a full measurement run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== bench smoke: mixnet round pipeline =="
+BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench mixnet_ops
+
+echo "== bench smoke: pkg throughput =="
+BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench pkg_throughput
+
+echo "ci.sh: all green"

@@ -1,0 +1,585 @@
+//! Offline **functional stand-in** for the `ark-bls12-381` API surface this
+//! workspace uses.
+//!
+//! # This is not BLS12-381
+//!
+//! The build environment has no access to crates.io, so this crate models the
+//! *algebra* of a pairing-friendly curve without implementing the curve:
+//! group elements are represented by their discrete logarithm (an exponent in
+//! a small prime field), group addition adds exponents, scalar multiplication
+//! multiplies them, and the "pairing" of `a·G1` and `b·G2` is the exponent
+//! product `a·b`. Every algebraic law the protocol relies on holds exactly —
+//! bilinearity, commutative DH, linear key aggregation, blind-signature
+//! unblinding — and serialized sizes match the real curve (48-byte G1,
+//! 96-byte G2, 32-byte scalars), so all wire formats are unchanged.
+//!
+//! What does **not** hold is hardness: discrete logs are trivial here, so
+//! this stand-in provides **no cryptographic security**. It exists to keep
+//! the reproduction buildable and testable offline; swapping in the real
+//! arkworks `ark-bls12-381` restores security without touching workspace
+//! code, because only this crate's internals differ.
+
+#![forbid(unsafe_code)]
+
+use ark_ec::pairing::{Pairing, PairingOutput};
+use ark_ec::{AffineRepr, CurveGroup, Group};
+use ark_ff::{Field, One, PrimeField, Zero};
+use ark_serialize::{CanonicalDeserialize, CanonicalSerialize, SerializationError};
+use std::io::{Read, Write};
+
+/// The prime modulus shared by the stand-in fields: 2^64 - 59.
+const P: u64 = 0xFFFF_FFFF_FFFF_FFC5;
+
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 + b as u128) % P as u128) as u64
+}
+
+#[inline]
+fn sub_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 + P as u128 - b as u128) % P as u128) as u64
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn bytes_mod_order_le(bytes: &[u8]) -> u64 {
+    // Horner's rule over the bytes, most significant first.
+    let mut acc: u64 = 0;
+    for &b in bytes.iter().rev() {
+        acc = add_mod(mul_mod(acc, 256), b as u64);
+    }
+    acc
+}
+
+fn bytes_mod_order_be(bytes: &[u8]) -> u64 {
+    let mut acc: u64 = 0;
+    for &b in bytes {
+        acc = add_mod(mul_mod(acc, 256), b as u64);
+    }
+    acc
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! define_field {
+    ($name:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub(crate) u64);
+
+        impl $name {
+            /// The raw representative in `[0, P)`.
+            pub(crate) fn new_reduced(v: u64) -> Self {
+                $name(v % P)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name::new_reduced(v)
+            }
+        }
+
+        impl Zero for $name {
+            fn zero() -> Self {
+                $name(0)
+            }
+            fn is_zero(&self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl One for $name {
+            fn one() -> Self {
+                $name(1)
+            }
+            fn is_one(&self) -> bool {
+                self.0 == 1
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                $name(add_mod(self.0, rhs.0))
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 = add_mod(self.0, rhs.0);
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                $name(sub_mod(self.0, rhs.0))
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 = sub_mod(self.0, rhs.0);
+            }
+        }
+
+        impl core::ops::Mul for $name {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                $name(mul_mod(self.0, rhs.0))
+            }
+        }
+
+        impl core::ops::MulAssign for $name {
+            fn mul_assign(&mut self, rhs: Self) {
+                self.0 = mul_mod(self.0, rhs.0);
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                $name(sub_mod(0, self.0))
+            }
+        }
+
+        impl Field for $name {
+            fn inverse(&self) -> Option<Self> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    Some($name(pow_mod(self.0, P - 2)))
+                }
+            }
+
+            fn square(&self) -> Self {
+                $name(mul_mod(self.0, self.0))
+            }
+        }
+
+        impl PrimeField for $name {
+            fn from_le_bytes_mod_order(bytes: &[u8]) -> Self {
+                $name(bytes_mod_order_le(bytes))
+            }
+
+            fn from_be_bytes_mod_order(bytes: &[u8]) -> Self {
+                $name(bytes_mod_order_be(bytes))
+            }
+        }
+    };
+}
+
+define_field!(Fr, "The scalar field of the stand-in curve.");
+define_field!(Fq, "The base field of the stand-in curve.");
+
+/// Scalars serialize to 32 little-endian bytes (value in the first 8).
+impl CanonicalSerialize for Fr {
+    fn serialize_compressed<W: Write>(&self, mut writer: W) -> Result<(), SerializationError> {
+        let mut out = [0u8; 32];
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        writer
+            .write_all(&out)
+            .map_err(|_| SerializationError::IoError)
+    }
+
+    fn compressed_size(&self) -> usize {
+        32
+    }
+}
+
+impl CanonicalDeserialize for Fr {
+    fn deserialize_compressed<R: Read>(mut reader: R) -> Result<Self, SerializationError> {
+        let mut buf = [0u8; 32];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|_| SerializationError::IoError)?;
+        if buf[8..].iter().any(|&b| b != 0) {
+            return Err(SerializationError::InvalidData);
+        }
+        let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+        if v >= P {
+            return Err(SerializationError::InvalidData);
+        }
+        Ok(Fr(v))
+    }
+}
+
+/// A quadratic-extension element of the base field (structure only; used as
+/// an x-coordinate candidate by hash-to-curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fq2 {
+    /// First coefficient.
+    pub c0: Fq,
+    /// Second coefficient.
+    pub c1: Fq,
+}
+
+impl Fq2 {
+    /// Builds an extension element from its coefficients.
+    pub fn new(c0: Fq, c1: Fq) -> Self {
+        Fq2 { c0, c1 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Groups: exponent-representation points. A point "a·G" is stored as `a`.
+// ---------------------------------------------------------------------------
+
+/// Compressed-encoding flag marking the point at infinity (matches the
+/// arkworks flag position: high bits of the final byte).
+const FLAG_INFINITY: u8 = 0x40;
+/// Any flag bit this stand-in never writes; set bits here are non-canonical.
+const FLAG_UNKNOWN: u8 = 0x80;
+
+macro_rules! define_group {
+    ($proj:ident, $affine:ident, $len:expr, $proj_doc:literal, $affine_doc:literal) => {
+        #[doc = $proj_doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $proj {
+            pub(crate) e: Fr,
+        }
+
+        #[doc = $affine_doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $affine {
+            pub(crate) e: Fr,
+        }
+
+        impl Zero for $proj {
+            fn zero() -> Self {
+                $proj { e: Fr::zero() }
+            }
+            fn is_zero(&self) -> bool {
+                self.e.is_zero()
+            }
+        }
+
+        impl core::ops::Add for $proj {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                $proj { e: self.e + rhs.e }
+            }
+        }
+
+        impl core::ops::AddAssign for $proj {
+            fn add_assign(&mut self, rhs: Self) {
+                self.e += rhs.e;
+            }
+        }
+
+        impl core::ops::Sub for $proj {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                $proj { e: self.e - rhs.e }
+            }
+        }
+
+        impl core::ops::SubAssign for $proj {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.e -= rhs.e;
+            }
+        }
+
+        impl core::ops::Neg for $proj {
+            type Output = Self;
+            fn neg(self) -> Self {
+                $proj { e: -self.e }
+            }
+        }
+
+        impl core::ops::Mul<Fr> for $proj {
+            type Output = Self;
+            fn mul(self, scalar: Fr) -> Self {
+                $proj {
+                    e: self.e * scalar,
+                }
+            }
+        }
+
+        impl core::ops::Mul<&Fr> for $proj {
+            type Output = Self;
+            fn mul(self, scalar: &Fr) -> Self {
+                self * *scalar
+            }
+        }
+
+        impl Group for $proj {
+            type ScalarField = Fr;
+
+            fn generator() -> Self {
+                $proj { e: Fr::one() }
+            }
+        }
+
+        impl CurveGroup for $proj {
+            type Affine = $affine;
+
+            fn into_affine(self) -> $affine {
+                $affine { e: self.e }
+            }
+        }
+
+        impl From<$affine> for $proj {
+            fn from(a: $affine) -> Self {
+                $proj { e: a.e }
+            }
+        }
+
+        impl From<$proj> for $affine {
+            fn from(p: $proj) -> Self {
+                $affine { e: p.e }
+            }
+        }
+
+        impl AffineRepr for $affine {
+            type Group = $proj;
+
+            fn is_zero(&self) -> bool {
+                self.e.is_zero()
+            }
+
+            fn clear_cofactor(&self) -> Self {
+                // The stand-in group has prime order; the cofactor is one.
+                *self
+            }
+        }
+
+        impl CanonicalSerialize for $affine {
+            fn serialize_compressed<W: Write>(
+                &self,
+                mut writer: W,
+            ) -> Result<(), SerializationError> {
+                let mut out = [0u8; $len];
+                if self.e.is_zero() {
+                    out[$len - 1] = FLAG_INFINITY;
+                } else {
+                    out[..8].copy_from_slice(&self.e.0.to_le_bytes());
+                }
+                writer
+                    .write_all(&out)
+                    .map_err(|_| SerializationError::IoError)
+            }
+
+            fn compressed_size(&self) -> usize {
+                $len
+            }
+        }
+
+        impl CanonicalDeserialize for $affine {
+            fn deserialize_compressed<R: Read>(
+                mut reader: R,
+            ) -> Result<Self, SerializationError> {
+                let mut buf = [0u8; $len];
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|_| SerializationError::IoError)?;
+                let flags = buf[$len - 1] & (FLAG_INFINITY | FLAG_UNKNOWN);
+                buf[$len - 1] &= !(FLAG_INFINITY | FLAG_UNKNOWN);
+                if flags & FLAG_UNKNOWN != 0 {
+                    return Err(SerializationError::InvalidData);
+                }
+                if buf[8..].iter().any(|&b| b != 0) {
+                    return Err(SerializationError::InvalidData);
+                }
+                let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+                if flags & FLAG_INFINITY != 0 {
+                    // Infinity must have an all-zero body.
+                    if v != 0 {
+                        return Err(SerializationError::InvalidData);
+                    }
+                    return Ok($affine { e: Fr::zero() });
+                }
+                if v == 0 || v >= P {
+                    // The identity must use the infinity flag; other values
+                    // must be canonical field elements.
+                    return Err(SerializationError::InvalidData);
+                }
+                Ok($affine { e: Fr(v) })
+            }
+        }
+    };
+}
+
+define_group!(
+    G1Projective,
+    G1Affine,
+    48,
+    "A stand-in G1 element (48-byte compressed encoding).",
+    "Affine form of a stand-in G1 element."
+);
+define_group!(
+    G2Projective,
+    G2Affine,
+    96,
+    "A stand-in G2 element (96-byte compressed encoding).",
+    "Affine form of a stand-in G2 element."
+);
+
+impl G1Affine {
+    /// Decompression hook used by try-and-increment hash-to-curve: maps an
+    /// x-coordinate candidate to a point. The stand-in derives the exponent
+    /// by mixing the candidate, so the map is deterministic and spreads
+    /// distinct inputs to distinct points with overwhelming probability.
+    pub fn get_point_from_x_unchecked(x: Fq, greatest: bool) -> Option<G1Affine> {
+        // Roughly half of all x-coordinates lie on a real curve; emulate the
+        // reject rate so try-and-increment exercises its retry path.
+        let mixed = splitmix(x.0 ^ ((greatest as u64) << 63) ^ 0x6731_5A1F);
+        if mixed & 1 == 0 {
+            return None;
+        }
+        let e = splitmix(mixed) % P;
+        Some(G1Affine {
+            e: Fr(e),
+        })
+    }
+}
+
+impl G2Affine {
+    /// See [`G1Affine::get_point_from_x_unchecked`].
+    pub fn get_point_from_x_unchecked(x: Fq2, greatest: bool) -> Option<G2Affine> {
+        let mixed = splitmix(
+            splitmix(x.c0.0 ^ 0x0D5C_93F2) ^ x.c1.0.rotate_left(17) ^ ((greatest as u64) << 63),
+        );
+        if mixed & 1 == 0 {
+            return None;
+        }
+        let e = splitmix(mixed) % P;
+        Some(G2Affine {
+            e: Fr(e),
+        })
+    }
+}
+
+/// Target-group element of the stand-in pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gt(pub(crate) Fr);
+
+impl CanonicalSerialize for Gt {
+    fn serialize_compressed<W: Write>(&self, writer: W) -> Result<(), SerializationError> {
+        self.0.serialize_compressed(writer)
+    }
+
+    fn compressed_size(&self) -> usize {
+        32
+    }
+}
+
+/// The stand-in pairing engine.
+///
+/// `pairing(a·G1, b·G2)` returns the target element with exponent `a·b`, so
+/// bilinearity holds by construction: `e(x·P, y·Q) = e(P, Q)^{xy}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bls12_381;
+
+impl Pairing for Bls12_381 {
+    type G1Affine = G1Affine;
+    type G2Affine = G2Affine;
+    type TargetField = Gt;
+
+    fn pairing(p: G1Affine, q: G2Affine) -> PairingOutput<Self> {
+        PairingOutput(Gt(p.e * q.e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_hold() {
+        let a = Fr::from(12345u64);
+        let b = Fr::from(67890u64);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * a.inverse().unwrap(), Fr::one());
+        assert_eq!(Fr::zero().inverse(), None);
+        assert_eq!(a - a, Fr::zero());
+    }
+
+    #[test]
+    fn byte_reduction_is_consistent() {
+        let le = Fr::from_le_bytes_mod_order(&[1, 0, 0, 0]);
+        assert_eq!(le, Fr::one());
+        let be = Fr::from_be_bytes_mod_order(&[0, 0, 0, 1]);
+        assert_eq!(be, Fr::one());
+        // A value larger than P reduces.
+        let big = Fr::from_le_bytes_mod_order(&[0xFF; 16]);
+        assert!(big.0 < P);
+    }
+
+    #[test]
+    fn group_laws_and_bilinearity() {
+        let x = Fr::from(31u64);
+        let y = Fr::from(1009u64);
+        let p = G1Projective::generator() * x;
+        let q = G2Projective::generator() * y;
+        // Commutative DH.
+        assert_eq!(p * y, (G1Projective::generator() * y) * x);
+        // Bilinearity.
+        let lhs = Bls12_381::pairing(p.into_affine(), G2Projective::generator().into_affine());
+        let rhs = Bls12_381::pairing(
+            G1Projective::generator().into_affine(),
+            (G2Projective::generator() * x).into_affine(),
+        );
+        assert_eq!(lhs, rhs);
+        let full = Bls12_381::pairing(p.into_affine(), q.into_affine());
+        let stepwise = Bls12_381::pairing(
+            (G1Projective::generator() * (x * y)).into_affine(),
+            G2Projective::generator().into_affine(),
+        );
+        assert_eq!(full, stepwise);
+    }
+
+    #[test]
+    fn serialization_round_trips_and_rejects_garbage() {
+        let p = (G1Projective::generator() * Fr::from(77u64)).into_affine();
+        let mut buf = [0u8; 48];
+        p.serialize_compressed(&mut buf[..]).unwrap();
+        let back = G1Affine::deserialize_compressed(&buf[..]).unwrap();
+        assert_eq!(back, p);
+
+        // Infinity flag with nonzero body is invalid.
+        buf[47] |= 0x40;
+        assert!(G1Affine::deserialize_compressed(&buf[..]).is_err());
+
+        // Identity round trip.
+        let id = G1Projective::zero().into_affine();
+        let mut buf = [0u8; 48];
+        id.serialize_compressed(&mut buf[..]).unwrap();
+        assert!(G1Affine::deserialize_compressed(&buf[..]).unwrap().is_zero());
+
+        // All-zero bytes without the infinity flag are invalid.
+        assert!(G1Affine::deserialize_compressed(&[0u8; 48][..]).is_err());
+    }
+
+    #[test]
+    fn point_from_x_is_deterministic() {
+        let a = G1Affine::get_point_from_x_unchecked(Fq::from(5u64), true);
+        let b = G1Affine::get_point_from_x_unchecked(Fq::from(5u64), true);
+        assert_eq!(a, b);
+        let c = G1Affine::get_point_from_x_unchecked(Fq::from(5u64), false);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for the `ark-ec` trait surface this workspace uses:
+//! groups, affine representations, and pairings.
+
+#![forbid(unsafe_code)]
+
+use ark_ff::Zero;
+
+/// A (prime-order, additively written) group.
+pub trait Group:
+    Sized
+    + Copy
+    + Eq
+    + Zero
+    + core::ops::Add<Output = Self>
+    + core::ops::AddAssign
+    + core::ops::Sub<Output = Self>
+    + core::ops::SubAssign
+    + core::ops::Neg<Output = Self>
+{
+    /// The scalar field acting on this group.
+    type ScalarField;
+
+    /// A fixed generator of the group.
+    fn generator() -> Self;
+}
+
+/// A group with a distinguished affine representation.
+pub trait CurveGroup: Group {
+    /// The affine representation.
+    type Affine;
+
+    /// Converts to affine form.
+    fn into_affine(self) -> Self::Affine;
+}
+
+/// Affine curve points.
+pub trait AffineRepr: Sized + Copy + Eq {
+    /// The projective group this is the affine form of.
+    type Group;
+
+    /// Whether this is the point at infinity.
+    fn is_zero(&self) -> bool;
+
+    /// Multiplies by the cofactor, landing in the prime-order subgroup.
+    fn clear_cofactor(&self) -> Self;
+}
+
+pub mod pairing {
+    //! Bilinear pairings.
+
+    use ark_serialize::{CanonicalSerialize, SerializationError};
+
+    /// A pairing engine over groups `G1` and `G2`.
+    pub trait Pairing: Sized {
+        /// Affine representation of G1 elements.
+        type G1Affine;
+        /// Affine representation of G2 elements.
+        type G2Affine;
+        /// The target group (written multiplicatively in the literature).
+        type TargetField: Copy + Eq + CanonicalSerialize + core::fmt::Debug;
+
+        /// Computes the pairing `e(p, q)`.
+        fn pairing(p: Self::G1Affine, q: Self::G2Affine) -> PairingOutput<Self>;
+    }
+
+    /// The output of a pairing computation.
+    pub struct PairingOutput<P: Pairing>(pub P::TargetField);
+
+    impl<P: Pairing> Clone for PairingOutput<P> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<P: Pairing> Copy for PairingOutput<P> {}
+
+    impl<P: Pairing> PartialEq for PairingOutput<P> {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+
+    impl<P: Pairing> Eq for PairingOutput<P> {}
+
+    impl<P: Pairing> core::fmt::Debug for PairingOutput<P> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "PairingOutput({:?})", self.0)
+        }
+    }
+
+    impl<P: Pairing> CanonicalSerialize for PairingOutput<P> {
+        fn serialize_compressed<W: std::io::Write>(
+            &self,
+            writer: W,
+        ) -> Result<(), SerializationError> {
+            self.0.serialize_compressed(writer)
+        }
+
+        fn compressed_size(&self) -> usize {
+            self.0.compressed_size()
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `ark-ff` trait surface this workspace uses.
+//!
+//! Only the traits live here; the concrete field types are defined by the
+//! `ark-bls12-381` stand-in, mirroring the real arkworks crate layout.
+
+#![forbid(unsafe_code)]
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// The zero element.
+    fn zero() -> Self;
+    /// Whether this is the zero element.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// The one element.
+    fn one() -> Self;
+    /// Whether this is the one element.
+    fn is_one(&self) -> bool;
+}
+
+/// A field: supports inversion of nonzero elements.
+pub trait Field: Zero + One + Copy + Eq {
+    /// The multiplicative inverse, or `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Squares the element.
+    fn square(&self) -> Self;
+}
+
+/// A prime field: reduction of arbitrary byte strings into the field.
+pub trait PrimeField: Field {
+    /// Interprets `bytes` as a little-endian integer reduced mod the field
+    /// characteristic.
+    fn from_le_bytes_mod_order(bytes: &[u8]) -> Self;
+
+    /// Interprets `bytes` as a big-endian integer reduced mod the field
+    /// characteristic.
+    fn from_be_bytes_mod_order(bytes: &[u8]) -> Self;
+}
+

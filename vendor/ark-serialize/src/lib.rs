@@ -1,0 +1,41 @@
+//! Offline stand-in for the `ark-serialize` trait surface this workspace
+//! uses: compressed (de)serialization to/from `std::io` writers and readers.
+
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+
+/// Errors from (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializationError {
+    /// The encoding was not a canonical representation of any element.
+    InvalidData,
+    /// The reader or writer failed or was too short.
+    IoError,
+}
+
+impl core::fmt::Display for SerializationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SerializationError::InvalidData => write!(f, "non-canonical element encoding"),
+            SerializationError::IoError => write!(f, "serialization i/o error"),
+        }
+    }
+}
+
+impl std::error::Error for SerializationError {}
+
+/// Types with a canonical compressed byte encoding.
+pub trait CanonicalSerialize {
+    /// Writes the compressed encoding to `writer`.
+    fn serialize_compressed<W: Write>(&self, writer: W) -> Result<(), SerializationError>;
+
+    /// Size of the compressed encoding in bytes.
+    fn compressed_size(&self) -> usize;
+}
+
+/// Types that can be parsed from their canonical compressed encoding.
+pub trait CanonicalDeserialize: Sized {
+    /// Reads and validates a compressed encoding from `reader`.
+    fn deserialize_compressed<R: Read>(reader: R) -> Result<Self, SerializationError>;
+}

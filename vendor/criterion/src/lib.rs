@@ -1,0 +1,264 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, and `black_box`.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over adaptively
+//! sized batches until the sampling budget is spent; the mean per-iteration
+//! time is printed. Two environment variables tune the budget:
+//!
+//! * `BENCH_SAMPLE_MS` — per-benchmark sampling budget in milliseconds
+//!   (default 300).
+//! * `BENCH_SMOKE=1` — smoke mode for CI: one warmup and a handful of
+//!   iterations, just enough to prove the benchmark runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    core::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes its setup batches (accepted for API
+/// compatibility; the stand-in runs setup once per measured iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one iteration per setup.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+fn sample_budget() -> Duration {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        return Duration::from_millis(1);
+    }
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn format_time(ns_per_iter: f64) -> String {
+    if ns_per_iter < 1_000.0 {
+        format!("{ns_per_iter:.1} ns")
+    } else if ns_per_iter < 1_000_000.0 {
+        format!("{:.2} µs", ns_per_iter / 1_000.0)
+    } else if ns_per_iter < 1_000_000_000.0 {
+        format!("{:.2} ms", ns_per_iter / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns_per_iter / 1_000_000_000.0)
+    }
+}
+
+/// Measurement context passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, recorded by `iter`/`iter_batched`.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-batch calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(2).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = self.budget;
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is not
+    /// measured).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = self.budget;
+        // One calibration run.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        total += start.elapsed();
+        iters += 1;
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: sample_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- bench group: {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single named benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.budget, id, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(budget: Duration, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        budget,
+        result_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        println!(
+            "{id:<48} time: {:>12}/iter   ({} iters)",
+            format_time(bencher.result_ns),
+            bencher.iters
+        );
+    } else {
+        println!("{id:<48} (no measurement recorded)");
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.as_ref());
+        run_one(self.criterion.budget, &id, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new(name: impl core::fmt::Display, param: impl core::fmt::Display) -> String {
+        format!("{name}/{param}")
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(param: impl core::fmt::Display) -> String {
+        format!("{param}")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("BENCH_SMOKE", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("increment", |b| b.iter(|| count += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline stand-in for the subset of the `parking_lot` API this workspace
+//! uses: non-poisoning `Mutex` and `RwLock` built on `std::sync`.
+//!
+//! `parking_lot` locks do not poison; this wrapper reproduces that behaviour
+//! by recovering the guard from a poisoned `std` lock (the data is plain
+//! state, never left half-updated across an unwind in this workspace).
+
+#![forbid(unsafe_code)]
+
+/// A mutual-exclusion lock whose `lock()` never fails.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A reader-writer lock whose acquisition methods never fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API that this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! source-compatible replacements for the traits and generators the workspace
+//! depends on: [`RngCore`], [`CryptoRng`], [`SeedableRng`], the [`Rng`]
+//! extension trait, [`rngs::OsRng`], and [`rngs::StdRng`].
+//!
+//! `OsRng` reads `/dev/urandom` (with a hashed time/pid fallback), and
+//! `StdRng` is a small, fast, *non-cryptographic* splitmix64/xoshiro-style
+//! generator — fine for the tests and simulations here, which either need OS
+//! entropy or reproducibility, not cryptographic strength. Cryptographic
+//! random streams in this workspace come from `alpenhorn_crypto::ChaChaRng`,
+//! which implements these traits on top of the from-scratch ChaCha20.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+/// Error type for fallible RNG operations (never produced by this stand-in).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random data, reporting failure.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for cryptographically secure generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` by expanding it with splitmix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from [`rngs::OsRng`].
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::OsRng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the subset of
+/// `Standard`-distribution sampling this workspace uses).
+pub trait Standard: Sized {
+    /// Samples a value from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+
+    /// Samples a uniform integer in `[low, high)`. Panics if `low >= high`.
+    fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{CryptoRng, Error, RngCore, SeedableRng, SplitMix64};
+
+    /// Operating-system entropy source (reads `/dev/urandom`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            self.fill_bytes(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            use std::io::Read;
+            if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+                if f.read_exact(dest).is_ok() {
+                    return;
+                }
+            }
+            // Fallback: hash time, pid, and a process-global counter. Not
+            // cryptographically strong, but never reached on Linux.
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let mut sm = SplitMix64(
+                now ^ (std::process::id() as u64).rotate_left(32)
+                    ^ COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37),
+            );
+            for chunk in dest.chunks_mut(8) {
+                let v = sm.next().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl CryptoRng for OsRng {}
+
+    /// A fast deterministic generator for tests and simulations
+    /// (*not* cryptographically secure in this stand-in).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: SplitMix64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.state.next() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state.next()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.state.next().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut acc = 0xA5A5_5A5A_DEAD_BEEFu64;
+            for chunk in seed.chunks(8) {
+                let mut b = [0u8; 8];
+                b[..chunk.len()].copy_from_slice(chunk);
+                acc = acc.rotate_left(23) ^ u64::from_le_bytes(b).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            }
+            StdRng {
+                state: SplitMix64(acc),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::{OsRng, StdRng};
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn os_rng_differs_between_calls() {
+        let mut rng = OsRng;
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn gen_array_and_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let arr: [u8; 32] = rng.gen();
+        assert_ne!(arr, [0u8; 32]);
+        for _ in 0..100 {
+            let v = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+        }
+    }
+}

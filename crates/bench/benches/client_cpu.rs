@@ -29,7 +29,9 @@ fn bench_client_cpu(c: &mut Criterion) {
     group.bench_function("ibe_encrypt_friend_request", |b| {
         b.iter(|| encrypt(&mpk, b"bob@gmail.com", &body, &mut rng))
     });
-    group.bench_function("ibe_trial_decrypt", |b| b.iter(|| decrypt(&idk, &ciphertext)));
+    group.bench_function("ibe_trial_decrypt", |b| {
+        b.iter(|| decrypt(&idk, &ciphertext))
+    });
 
     let wheel = Keywheel::new([7u8; 32], Round(1));
     group.bench_function("keywheel_dial_token", |b| {

@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use alpenhorn_bench::{calibrated_model, print_header};
-use alpenhorn_sim::experiments::crypto_sensitivity_table;
 use alpenhorn_sim::experiments::crypto_sensitivity::request_size_table;
+use alpenhorn_sim::experiments::crypto_sensitivity_table;
 
 fn print_sensitivity(_c: &mut Criterion) {
     print_header(

@@ -26,7 +26,12 @@ fn end_to_end_ground_truth(_c: &mut Criterion) {
     // mailboxes, trial decryption) with in-process clients.
     let mut table = Table::new(
         "End-to-end add-friend rounds with real in-process clients",
-        &["clients", "server-side round time", "avg client scan", "final batch size"],
+        &[
+            "clients",
+            "server-side round time",
+            "avg client scan",
+            "final batch size",
+        ],
     );
     for clients in [8usize, 32, 64] {
         let mut deployment = SmallDeployment::new(clients, 42);

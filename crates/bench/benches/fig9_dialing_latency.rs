@@ -23,7 +23,12 @@ fn print_figure_9(_c: &mut Criterion) {
 fn end_to_end_ground_truth(_c: &mut Criterion) {
     let mut table = Table::new(
         "End-to-end dialing rounds with real in-process clients",
-        &["clients", "server-side round time", "avg client scan", "calls delivered"],
+        &[
+            "clients",
+            "server-side round time",
+            "avg client scan",
+            "calls delivered",
+        ],
     );
     for clients in [8usize, 32, 64] {
         let mut deployment = SmallDeployment::new(clients, 43);

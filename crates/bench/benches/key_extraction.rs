@@ -46,12 +46,9 @@ fn extract_all(pkgs: &mut [PkgServer], key: &SigningKey, alice: &Identity) {
         .iter_mut()
         .map(|p| p.extract(alice, Round(1), &auth, 0).unwrap())
         .collect();
-    let _idk = aggregate_identity_keys(
-        &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
-    );
-    let _sig = aggregate_signatures(
-        &responses.iter().map(|r| r.attestation).collect::<Vec<_>>(),
-    );
+    let _idk =
+        aggregate_identity_keys(&responses.iter().map(|r| r.identity_key).collect::<Vec<_>>());
+    let _sig = aggregate_signatures(&responses.iter().map(|r| r.attestation).collect::<Vec<_>>());
 }
 
 fn bench_key_extraction(c: &mut Criterion) {
@@ -76,7 +73,12 @@ fn print_latency_table(_c: &mut Criterion) {
     let in_region_rtt_ms = 4.0;
     let mut table = Table::new(
         "Section 8.2: client latency to obtain the combined identity key",
-        &["PKGs", "measured crypto (ms)", "with in-region RTT (ms)", "paper median (ms)"],
+        &[
+            "PKGs",
+            "measured crypto (ms)",
+            "with in-region RTT (ms)",
+            "paper median (ms)",
+        ],
     );
     for (n, paper) in [(3usize, 4.9), (10usize, 5.2)] {
         let (mut pkgs, key, alice) = setup(n);

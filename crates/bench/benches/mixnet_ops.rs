@@ -123,7 +123,11 @@ fn measure_round_throughput(batch_size: usize, workers: usize) -> f64 {
     let batch = build_batch(&pk, batch_size);
 
     let smoke = std::env::var_os("BENCH_SMOKE").is_some();
-    let iters = if smoke { 1 } else { (20_000 / batch_size).clamp(2, 40) };
+    let iters = if smoke {
+        1
+    } else {
+        (20_000 / batch_size).clamp(2, 40)
+    };
     // Clone the per-iteration batches up front: the serial copies must not
     // run inside the timed window, or they deflate throughput and cap the
     // apparent worker scaling (an Amdahl term the bench would introduce).

@@ -116,7 +116,12 @@ fn extraction_core_sweep(_c: &mut Criterion) {
 
     let mut table = Table::new(
         "Identity-key extractions per second",
-        &["batch size", "workers", "extractions/sec", "speedup vs 1 worker"],
+        &[
+            "batch size",
+            "workers",
+            "extractions/sec",
+            "speedup vs 1 worker",
+        ],
     );
     for &batch_size in batch_sizes {
         let identities: Vec<String> = (0..batch_size)

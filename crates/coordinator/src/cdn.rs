@@ -128,7 +128,9 @@ mod tests {
     fn publish_and_fetch_add_friend() {
         let mut cdn = Cdn::new();
         cdn.publish_add_friend(Round(3), add_friend_boxes());
-        let contents = cdn.fetch_add_friend_mailbox(Round(3), MailboxId(0)).unwrap();
+        let contents = cdn
+            .fetch_add_friend_mailbox(Round(3), MailboxId(0))
+            .unwrap();
         assert_eq!(contents.len(), 1);
         assert_eq!(cdn.downloads(), 1);
         assert_eq!(cdn.bytes_served(), AddFriendEnvelope::CIPHERTEXT_LEN as u64);
@@ -136,7 +138,9 @@ mod tests {
             cdn.add_friend_mailbox_size(Round(3), MailboxId(0)),
             Some(AddFriendEnvelope::CIPHERTEXT_LEN)
         );
-        assert!(cdn.fetch_add_friend_mailbox(Round(9), MailboxId(0)).is_none());
+        assert!(cdn
+            .fetch_add_friend_mailbox(Round(9), MailboxId(0))
+            .is_none());
     }
 
     #[test]
@@ -157,8 +161,12 @@ mod tests {
         cdn.publish_add_friend(Round(2), add_friend_boxes());
         cdn.publish_dialing(Round(1), dialing_boxes());
         cdn.expire_before(Round(2));
-        assert!(cdn.fetch_add_friend_mailbox(Round(1), MailboxId(0)).is_none());
-        assert!(cdn.fetch_add_friend_mailbox(Round(2), MailboxId(0)).is_some());
+        assert!(cdn
+            .fetch_add_friend_mailbox(Round(1), MailboxId(0))
+            .is_none());
+        assert!(cdn
+            .fetch_add_friend_mailbox(Round(2), MailboxId(0))
+            .is_some());
         assert!(cdn.fetch_dialing_mailbox(Round(1), MailboxId(0)).is_none());
     }
 }

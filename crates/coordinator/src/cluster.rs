@@ -154,7 +154,11 @@ impl Cluster {
         Cluster {
             pkgs,
             mail: SimulatedMail::new(),
-            add_friend_chain: MixChain::new(config.num_mix_servers, config.add_friend_noise, add_seed),
+            add_friend_chain: MixChain::new(
+                config.num_mix_servers,
+                config.add_friend_noise,
+                add_seed,
+            ),
             dialing_chain: MixChain::new(config.num_mix_servers, config.dialing_noise, dial_seed),
             cdn: Cdn::new(),
             open_add_friend: None,
@@ -227,10 +231,12 @@ impl Cluster {
     ) -> Result<(), CoordinatorError> {
         let now = self.now;
         for pkg in &mut self.pkgs {
-            let token = self
-                .mail
-                .latest_token(identity, pkg.name())
-                .ok_or(CoordinatorError::Pkg(alpenhorn_pkg::PkgError::NoPendingRegistration))?;
+            let token =
+                self.mail
+                    .latest_token(identity, pkg.name())
+                    .ok_or(CoordinatorError::Pkg(
+                        alpenhorn_pkg::PkgError::NoPendingRegistration,
+                    ))?;
             pkg.complete_registration(identity, token, now)?;
         }
         Ok(())
@@ -283,8 +289,8 @@ impl Cluster {
             .config
             .mailbox_policy
             .add_friend_mailboxes(expected_real_requests);
-        let onion_len = AddFriendEnvelope::ENCODED_LEN
-            + self.config.num_mix_servers * ONION_LAYER_OVERHEAD;
+        let onion_len =
+            AddFriendEnvelope::ENCODED_LEN + self.config.num_mix_servers * ONION_LAYER_OVERHEAD;
         let info = AddFriendRoundInfo {
             round,
             onion_keys,
@@ -458,7 +464,9 @@ mod tests {
 
     fn register(cluster: &mut Cluster, who: &Identity, rng: &mut ChaChaRng) -> SigningKey {
         let key = SigningKey::generate(rng);
-        cluster.begin_registration(who, key.verifying_key()).unwrap();
+        cluster
+            .begin_registration(who, key.verifying_key())
+            .unwrap();
         cluster.complete_registration_from_inbox(who).unwrap();
         key
     }
@@ -495,9 +503,8 @@ mod tests {
         // Bob extracts his identity keys while the round is open.
         let auth = bob_key.sign(&extraction_request_message(&bob, round));
         let responses = cluster.extract_identity_keys(&bob, round, &auth).unwrap();
-        let bob_idk = aggregate_identity_keys(
-            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
-        );
+        let bob_idk =
+            aggregate_identity_keys(&responses.iter().map(|r| r.identity_key).collect::<Vec<_>>());
 
         let stats = cluster.close_add_friend_round(round).unwrap();
         assert_eq!(stats.client_messages, 1);

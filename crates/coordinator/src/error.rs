@@ -44,7 +44,10 @@ impl core::fmt::Display for CoordinatorError {
             CoordinatorError::UnknownMailbox => write!(f, "unknown mailbox"),
             CoordinatorError::Pkg(e) => write!(f, "PKG error: {e}"),
             CoordinatorError::CommitmentMismatch { pkg_index } => {
-                write!(f, "PKG {pkg_index} revealed a key that does not match its commitment")
+                write!(
+                    f,
+                    "PKG {pkg_index} revealed a key that does not match its commitment"
+                )
             }
         }
     }

@@ -66,9 +66,7 @@ impl Default for ClientConfig {
 /// A queued outgoing add-friend transmission.
 enum OutgoingAddFriend {
     /// We are initiating: first request to a new friend.
-    Initiate {
-        to: Identity,
-    },
+    Initiate { to: Identity },
     /// We are replying to (confirming) a received request.
     Reply {
         to: Identity,
@@ -144,7 +142,12 @@ impl Client {
     /// Creates a client for `identity`, generating a fresh long-term signing
     /// key. `pkg_keys` are the PKG verification keys distributed with the
     /// application.
-    pub fn new(identity: Identity, pkg_keys: Vec<VerifyingKey>, config: ClientConfig, seed: [u8; 32]) -> Self {
+    pub fn new(
+        identity: Identity,
+        pkg_keys: Vec<VerifyingKey>,
+        config: ClientConfig,
+        seed: [u8; 32],
+    ) -> Self {
         let mut rng = ChaChaRng::from_seed_bytes(seed);
         let signing_key = SigningKey::generate(&mut rng);
         Client {
@@ -238,7 +241,8 @@ impl Client {
         if !self.keywheels.contains(&friend) {
             return Err(ClientError::NotAFriend(friend));
         }
-        self.outgoing_calls.push_back(OutgoingCall { friend, intent });
+        self.outgoing_calls
+            .push_back(OutgoingCall { friend, intent });
         Ok(())
     }
 
@@ -277,7 +281,11 @@ impl Client {
     /// (§9): after calling this the user must re-register (after
     /// deregistering with the old key) and re-run add-friend with each friend.
     pub fn reset_after_compromise(&mut self) {
-        let friends: Vec<Identity> = self.address_book.iter().map(|e| e.identity.clone()).collect();
+        let friends: Vec<Identity> = self
+            .address_book
+            .iter()
+            .map(|e| e.identity.clone())
+            .collect();
         for friend in friends {
             self.keywheels.remove(&friend);
         }
@@ -296,7 +304,9 @@ impl Client {
     /// [`Cluster::deregister`]).
     pub fn sign_deregistration(&self) -> Signature {
         self.signing_key
-            .sign(&alpenhorn_pkg::server::deregistration_message(&self.identity))
+            .sign(&alpenhorn_pkg::server::deregistration_message(
+                &self.identity,
+            ))
     }
 
     // ------------------------------------------------------------------
@@ -328,20 +338,31 @@ impl Client {
             &self.signing_key.verifying_key().to_bytes(),
             info.round,
         );
-        for (i, response) in responses.iter().enumerate() {
-            if i < self.pkg_keys.len() && !self.pkg_keys[i].verify(&attestation_msg, &response.attestation)
-            {
-                return Err(ClientError::Coordinator(
-                    alpenhorn_coordinator::CoordinatorError::CommitmentMismatch { pkg_index: i },
-                ));
+        // Every response must be covered by a configured verification key —
+        // an extra, unverifiable response folded into the aggregate would
+        // defeat the anytrust check. (An empty `pkg_keys` is the explicit
+        // verification opt-out.)
+        if !self.pkg_keys.is_empty() {
+            if responses.len() != self.pkg_keys.len() {
+                return Err(ClientError::PkgResponseCount {
+                    expected: self.pkg_keys.len(),
+                    actual: responses.len(),
+                });
+            }
+            for (i, response) in responses.iter().enumerate() {
+                if !self.pkg_keys[i].verify(&attestation_msg, &response.attestation) {
+                    return Err(ClientError::Coordinator(
+                        alpenhorn_coordinator::CoordinatorError::CommitmentMismatch {
+                            pkg_index: i,
+                        },
+                    ));
+                }
             }
         }
-        let identity_key = aggregate_identity_keys(
-            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
-        );
-        let attestation = aggregate_signatures(
-            &responses.iter().map(|r| r.attestation).collect::<Vec<_>>(),
-        );
+        let identity_key =
+            aggregate_identity_keys(&responses.iter().map(|r| r.identity_key).collect::<Vec<_>>());
+        let attestation =
+            aggregate_signatures(&responses.iter().map(|r| r.attestation).collect::<Vec<_>>());
         self.round_identity_key = Some((info.round, identity_key));
         self.round_attestation = Some((info.round, attestation));
 
@@ -483,11 +504,8 @@ impl Client {
 
         // Verify the PKG multi-signature binding (sender, sender_key, round).
         let multi_vk = aggregate_verifying_keys(&self.pkg_keys);
-        let attestation_msg = FriendRequest::pkg_attestation_message(
-            &from,
-            &request.sender_key,
-            request.pkg_round,
-        );
+        let attestation_msg =
+            FriendRequest::pkg_attestation_message(&from, &request.sender_key, request.pkg_round);
         let Ok(pkg_sig) = Signature::from_bytes(&request.pkg_sigs) else {
             return Some(self.reject(from, "malformed PKG multi-signature"));
         };
@@ -567,15 +585,17 @@ impl Client {
                 status: FriendStatus::IncomingPending,
             });
         }
-        self.outgoing_add_friend.push_back(OutgoingAddFriend::Reply {
-            to,
-            their_dh_key: incoming.their_dh_key,
-            their_round: incoming.their_round,
-        });
+        self.outgoing_add_friend
+            .push_back(OutgoingAddFriend::Reply {
+                to,
+                their_dh_key: incoming.their_dh_key,
+                their_round: incoming.their_round,
+            });
     }
 
     fn propose_dialing_round(&self) -> Round {
-        self.next_dialing_round.plus(self.config.dialing_round_slack)
+        self.next_dialing_round
+            .plus(self.config.dialing_round_slack)
     }
 
     // ------------------------------------------------------------------

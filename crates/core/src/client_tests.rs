@@ -24,7 +24,9 @@ fn run_add_friend_round(
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+    let info = cluster
+        .begin_add_friend_round(round, clients.len())
+        .unwrap();
     for client in clients.iter_mut() {
         client.participate_add_friend(cluster, &info).unwrap();
     }
@@ -79,7 +81,12 @@ fn befriend(cluster: &mut Cluster, a: &mut Client, b: &mut Client, first_round: 
 #[test]
 fn add_friend_handshake_confirms_both_sides() {
     let mut cluster = Cluster::new(ClusterConfig::test(10));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 1, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        1,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 2, ClientConfig::default());
 
     alice.add_friend(id("bob@gmail.com"), None);
@@ -95,9 +102,10 @@ fn add_friend_handshake_confirms_both_sides() {
     // Round 2: Bob's confirmation reaches Alice.
     let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
     let confirmed_round = match events[0].as_slice() {
-        [ClientEvent::FriendConfirmed { friend, dialing_round }] if *friend == id("bob@gmail.com") => {
-            *dialing_round
-        }
+        [ClientEvent::FriendConfirmed {
+            friend,
+            dialing_round,
+        }] if *friend == id("bob@gmail.com") => *dialing_round,
         other => panic!("expected FriendConfirmed, got {other:?}"),
     };
 
@@ -109,7 +117,10 @@ fn add_friend_handshake_confirms_both_sides() {
         confirmed_round
     );
     assert_eq!(
-        bob.keywheels().get(&id("alice@example.com")).unwrap().round(),
+        bob.keywheels()
+            .get(&id("alice@example.com"))
+            .unwrap()
+            .round(),
         confirmed_round
     );
     let a_token = alice
@@ -128,7 +139,12 @@ fn add_friend_handshake_confirms_both_sides() {
 #[test]
 fn dialing_delivers_call_and_matching_session_keys() {
     let mut cluster = Cluster::new(ClusterConfig::test(11));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 3, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        3,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 4, ClientConfig::default());
     let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
 
@@ -140,13 +156,24 @@ fn dialing_delivers_call_and_matching_session_keys() {
     for r in 1..=start.as_u64() {
         let events = run_dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
         for e in &events[0] {
-            if let ClientEvent::OutgoingCallPlaced { session_key, intent, .. } = e {
+            if let ClientEvent::OutgoingCallPlaced {
+                session_key,
+                intent,
+                ..
+            } = e
+            {
                 assert_eq!(*intent, 2);
                 alice_key = Some(*session_key);
             }
         }
         for e in &events[1] {
-            if let ClientEvent::IncomingCall { from, intent, session_key, .. } = e {
+            if let ClientEvent::IncomingCall {
+                from,
+                intent,
+                session_key,
+                ..
+            } = e
+            {
                 assert_eq!(*from, id("alice@example.com"));
                 assert_eq!(*intent, 2);
                 bob_key = Some(*session_key);
@@ -172,7 +199,12 @@ fn idle_clients_send_cover_traffic_and_receive_nothing() {
 #[test]
 fn manual_accept_flow() {
     let mut cluster = Cluster::new(ClusterConfig::test(13));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 6, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        6,
+        ClientConfig::default(),
+    );
     let manual = ClientConfig {
         auto_accept_friends: false,
         ..ClientConfig::default()
@@ -183,7 +215,10 @@ fn manual_accept_flow() {
     let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
     assert!(matches!(
         events[1].as_slice(),
-        [ClientEvent::FriendRequestReceived { auto_accepted: false, .. }]
+        [ClientEvent::FriendRequestReceived {
+            auto_accepted: false,
+            ..
+        }]
     ));
 
     // Without an accept, nothing is confirmed in round 2.
@@ -199,7 +234,12 @@ fn manual_accept_flow() {
 #[test]
 fn reject_flow_discards_request() {
     let mut cluster = Cluster::new(ClusterConfig::test(14));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 8, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        8,
+        ClientConfig::default(),
+    );
     let manual = ClientConfig {
         auto_accept_friends: false,
         ..ClientConfig::default()
@@ -222,9 +262,19 @@ fn reject_flow_discards_request() {
 #[test]
 fn out_of_band_key_mismatch_is_rejected() {
     let mut cluster = Cluster::new(ClusterConfig::test(15));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 10, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        10,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 11, ClientConfig::default());
-    let mut mallory = new_client(&mut cluster, "mallory@evil.com", 12, ClientConfig::default());
+    let mut mallory = new_client(
+        &mut cluster,
+        "mallory@evil.com",
+        12,
+        ClientConfig::default(),
+    );
 
     // Alice knows Bob's real key out-of-band, so a request from a different
     // identity is unaffected, but if she had pinned the wrong key for Bob the
@@ -252,7 +302,12 @@ fn out_of_band_key_mismatch_is_rejected() {
 #[test]
 fn call_requires_confirmed_friend_and_valid_intent() {
     let mut cluster = Cluster::new(ClusterConfig::test(16));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 13, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        13,
+        ClientConfig::default(),
+    );
     assert_eq!(
         alice.call(id("stranger@x.com"), 0),
         Err(ClientError::NotAFriend(id("stranger@x.com")))
@@ -290,7 +345,12 @@ fn unregistered_client_cannot_participate() {
 #[test]
 fn remove_friend_erases_keywheel() {
     let mut cluster = Cluster::new(ClusterConfig::test(18));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 15, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        15,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 16, ClientConfig::default());
     befriend(&mut cluster, &mut alice, &mut bob, 1);
 
@@ -307,13 +367,20 @@ fn remove_friend_erases_keywheel() {
 #[test]
 fn compromise_recovery_resets_state() {
     let mut cluster = Cluster::new(ClusterConfig::test(19));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 17, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        17,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 18, ClientConfig::default());
     befriend(&mut cluster, &mut alice, &mut bob, 1);
 
     let old_key = alice.signing_public_key();
     let dereg = alice.sign_deregistration();
-    cluster.deregister(&id("alice@example.com"), &dereg).unwrap();
+    cluster
+        .deregister(&id("alice@example.com"), &dereg)
+        .unwrap();
     alice.reset_after_compromise();
 
     assert!(!alice.is_registered());
@@ -333,7 +400,12 @@ fn simultaneous_add_friend_converges() {
     // Both users add each other in the same round; both must end up with the
     // same keywheel.
     let mut cluster = Cluster::new(ClusterConfig::test(20));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 19, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        19,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 20, ClientConfig::default());
 
     alice.add_friend(id("bob@gmail.com"), None);
@@ -357,7 +429,12 @@ fn simultaneous_add_friend_converges() {
 #[test]
 fn abandon_dialing_round_preserves_forward_secrecy() {
     let mut cluster = Cluster::new(ClusterConfig::test(21));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 21, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        21,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 22, ClientConfig::default());
     let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
 
@@ -387,7 +464,12 @@ fn abandon_dialing_round_preserves_forward_secrecy() {
 #[test]
 fn queued_call_waits_for_keywheel_start_round() {
     let mut cluster = Cluster::new(ClusterConfig::test(22));
-    let mut alice = new_client(&mut cluster, "alice@example.com", 23, ClientConfig::default());
+    let mut alice = new_client(
+        &mut cluster,
+        "alice@example.com",
+        23,
+        ClientConfig::default(),
+    );
     let mut bob = new_client(&mut cluster, "bob@gmail.com", 24, ClientConfig::default());
     let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
     assert!(start.as_u64() > 1, "keywheel starts in the future");

@@ -21,6 +21,15 @@ pub enum ClientError {
         /// The number of intents the client was configured with.
         num_intents: u32,
     },
+    /// The cluster returned a different number of PKG extraction responses
+    /// than the client has configured PKG verification keys, so the anytrust
+    /// attestation check cannot cover the whole aggregate.
+    PkgResponseCount {
+        /// Number of configured PKG verification keys.
+        expected: usize,
+        /// Number of responses the cluster returned.
+        actual: usize,
+    },
     /// An error from the coordinator/cluster.
     Coordinator(alpenhorn_coordinator::CoordinatorError),
     /// An error from the keywheel (e.g. dialing a round whose key is erased).
@@ -38,10 +47,25 @@ impl core::fmt::Display for ClientError {
                 write!(f, "no pending friend request from {id}")
             }
             ClientError::KeyMismatch(id) => {
-                write!(f, "signing key in request from {id} does not match the expected key")
+                write!(
+                    f,
+                    "signing key in request from {id} does not match the expected key"
+                )
             }
-            ClientError::InvalidIntent { intent, num_intents } => {
-                write!(f, "intent {intent} out of range (client configured for {num_intents})")
+            ClientError::InvalidIntent {
+                intent,
+                num_intents,
+            } => {
+                write!(
+                    f,
+                    "intent {intent} out of range (client configured for {num_intents})"
+                )
+            }
+            ClientError::PkgResponseCount { expected, actual } => {
+                write!(
+                    f,
+                    "cluster returned {actual} PKG responses but {expected} PKG keys are configured"
+                )
             }
             ClientError::Coordinator(e) => write!(f, "coordinator error: {e}"),
             ClientError::Keywheel(e) => write!(f, "keywheel error: {e}"),

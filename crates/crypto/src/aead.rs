@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn rfc8439_aead_vector() {
         let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
-        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
         let aad = hex::decode("50515253c0c1c2c3c4c5c6c7").unwrap();
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let sealed = seal(&key, &nonce, &aad, plaintext);
@@ -202,7 +204,10 @@ mod tests {
         let nonce = [2u8; 12];
         let mut sealed = seal(&key, &nonce, b"aad", b"secret message");
         sealed[0] ^= 0xff;
-        assert_eq!(open(&key, &nonce, b"aad", &sealed), Err(AeadError::TagMismatch));
+        assert_eq!(
+            open(&key, &nonce, b"aad", &sealed),
+            Err(AeadError::TagMismatch)
+        );
     }
 
     #[test]
@@ -210,7 +215,10 @@ mod tests {
         let key = [1u8; 32];
         let nonce = [2u8; 12];
         let sealed = seal(&key, &nonce, b"aad", b"secret message");
-        assert_eq!(open(&key, &nonce, b"AAD", &sealed), Err(AeadError::TagMismatch));
+        assert_eq!(
+            open(&key, &nonce, b"AAD", &sealed),
+            Err(AeadError::TagMismatch)
+        );
     }
 
     #[test]
@@ -261,7 +269,10 @@ mod tests {
 
             open_in_place(&key, &nonce, b"aad", &mut buf, from).unwrap();
             assert_eq!(buf.len(), from + len);
-            assert_eq!(&buf[from..], &(from..from + len).map(|i| i as u8).collect::<Vec<_>>()[..]);
+            assert_eq!(
+                &buf[from..],
+                &(from..from + len).map(|i| i as u8).collect::<Vec<_>>()[..]
+            );
         }
     }
 

@@ -3,33 +3,39 @@
 //! The Alpenhorn keywheel (§5 of the paper) is defined in terms of a keyed
 //! family of cryptographic hash functions "such as HMAC-SHA256"; this module
 //! is that family. It is validated against the RFC 4231 test vectors.
+//!
+//! Keying an HMAC costs two SHA-256 compressions (the `key ^ ipad` and
+//! `key ^ opad` blocks). [`HmacKey`] pays that cost once and captures the two
+//! chaining values as [`Midstate`]s, so every subsequent MAC under the same
+//! key costs only the message and finalization compressions — two instead of
+//! four for short messages, which is what the keywheel ratchet, HKDF-Expand,
+//! and the mixnet's per-mailbox noise streams all compute in their hot loops.
 
-use crate::sha256::Sha256;
+use crate::sha256::{Midstate, Sha256};
 
 /// HMAC block size for SHA-256.
 const BLOCK_LEN: usize = 64;
 
-/// Incremental HMAC-SHA256.
+/// A reusable HMAC-SHA256 key: the ipad/opad midstates, precomputed.
 ///
 /// # Examples
 ///
 /// ```
-/// use alpenhorn_crypto::hmac::HmacSha256;
+/// use alpenhorn_crypto::hmac::{hmac, HmacKey};
 ///
-/// let mut mac = HmacSha256::new(b"key");
-/// mac.update(b"message");
-/// let tag = mac.finalize();
-/// assert_eq!(tag.len(), 32);
+/// let key = HmacKey::new(b"key");
+/// assert_eq!(key.mac(b"message"), hmac(b"key", b"message"));
 /// ```
-#[derive(Clone)]
-pub struct HmacSha256 {
-    inner: Sha256,
-    /// Outer hash state keyed with `key ^ opad`, applied at finalization.
-    outer: Sha256,
+#[derive(Clone, Copy)]
+pub struct HmacKey {
+    /// State after absorbing `key ^ ipad`.
+    inner: Midstate,
+    /// State after absorbing `key ^ opad`.
+    outer: Midstate,
 }
 
-impl HmacSha256 {
-    /// Creates a new MAC instance keyed with `key` (any length).
+impl HmacKey {
+    /// Precomputes the ipad/opad states for `key` (any length).
     pub fn new(key: &[u8]) -> Self {
         let mut block_key = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -50,7 +56,66 @@ impl HmacSha256 {
         inner.update(&ipad);
         let mut outer = Sha256::new();
         outer.update(&opad);
-        HmacSha256 { inner, outer }
+        HmacKey {
+            inner: inner.midstate(),
+            outer: outer.midstate(),
+        }
+    }
+
+    /// Starts an incremental MAC under this key (no per-message keying cost).
+    pub fn mac_stream(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: Sha256::from_midstate(self.inner),
+            outer: self.outer,
+        }
+    }
+
+    /// One-shot MAC of `data` under this key.
+    pub fn mac(&self, data: &[u8]) -> [u8; 32] {
+        let mut mac = self.mac_stream();
+        mac.update(data);
+        mac.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&self.mac(data), tag)
+    }
+}
+
+impl crate::zeroize::Zeroize for HmacKey {
+    fn zeroize(&mut self) {
+        self.inner.zeroize();
+        self.outer.zeroize();
+    }
+}
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use alpenhorn_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag.len(), 32);
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Midstate keyed with `key ^ opad`, expanded at finalization.
+    outer: Midstate,
+}
+
+impl HmacSha256 {
+    /// Creates a new MAC instance keyed with `key` (any length).
+    ///
+    /// For repeated MACs under one key, build an [`HmacKey`] once and use
+    /// [`HmacKey::mac_stream`] instead; it skips the two keying compressions.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).mac_stream()
     }
 
     /// Absorbs message data.
@@ -61,7 +126,7 @@ impl HmacSha256 {
     /// Finishes the MAC computation and returns the 32-byte tag.
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
-        let mut outer = self.outer;
+        let mut outer = Sha256::from_midstate(self.outer);
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -155,6 +220,34 @@ mod tests {
             mac.update(chunk);
         }
         assert_eq!(mac.finalize(), hmac(key, data));
+    }
+
+    #[test]
+    fn cached_key_matches_fresh_keying() {
+        for key_len in [0usize, 1, 32, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| i as u8).collect();
+            let cached = HmacKey::new(&key);
+            for data_len in [0usize, 1, 31, 64, 200] {
+                let data: Vec<u8> = (0..data_len).map(|i| (i * 7) as u8).collect();
+                assert_eq!(
+                    cached.mac(&data),
+                    hmac(&key, &data),
+                    "key {key_len} data {data_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_key_is_reusable() {
+        let key = HmacKey::new(b"reused key");
+        let a1 = key.mac(b"message a");
+        let b1 = key.mac(b"message b");
+        let a2 = key.mac(b"message a");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b1);
+        assert!(key.verify(b"message a", &a1));
+        assert!(!key.verify(b"message a", &b1));
     }
 
     #[test]

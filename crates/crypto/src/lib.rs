@@ -36,9 +36,9 @@ pub use aead::{open, seal, AeadError, KEY_LEN as AEAD_KEY_LEN, NONCE_LEN, TAG_LE
 pub use chacha20::ChaCha20;
 pub use ct::ct_eq;
 pub use hkdf::Hkdf;
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use rng::ChaChaRng;
-pub use sha256::Sha256;
+pub use sha256::{Midstate, Sha256};
 pub use zeroize::{SecretBytes, Zeroize};
 
 /// Output length of SHA-256 (and HMAC-SHA256) in bytes.

@@ -33,8 +33,7 @@ pub struct Poly1305 {
 impl Poly1305 {
     /// Creates a new authenticator from a 32-byte one-time key.
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
-        let le32 =
-            |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
+        let le32 = |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
         // Clamp r per RFC 8439 §2.5.1 and split into 26-bit limbs.
         let r = [
             le32(&key[0..4]) & 0x03ff_ffff,
@@ -82,8 +81,7 @@ impl Poly1305 {
 
     /// Adds one block (padded with the implicit high bit) and multiplies by `r`.
     fn process_block(&mut self, block: &[u8; 16], partial: bool) {
-        let le32 =
-            |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
+        let le32 = |b: &[u8]| -> u64 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64 };
         // The high bit 2^128 is set for full blocks; for the final partial
         // block the caller has already appended the 0x01 byte.
         let hibit: u64 = if partial { 0 } else { 1 << 24 };
@@ -193,12 +191,11 @@ mod tests {
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_tag() {
-        let key: [u8; 32] = hex::decode(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .unwrap()
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex::decode("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .unwrap()
+                .try_into()
+                .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         assert_eq!(
             hex::encode(&poly1305(&key, msg)),
@@ -246,6 +243,9 @@ mod tests {
     #[test]
     fn different_messages_different_tags() {
         let key = [9u8; 32];
-        assert_ne!(poly1305(&key, b"message one"), poly1305(&key, b"message two"));
+        assert_ne!(
+            poly1305(&key, b"message one"),
+            poly1305(&key, b"message two")
+        );
     }
 }

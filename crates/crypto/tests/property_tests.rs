@@ -21,6 +21,64 @@ proptest! {
     }
 
     #[test]
+    fn sha256_unrolled_matches_loop_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        split_a in 0usize..4096,
+        split_b in 0usize..4096,
+    ) {
+        // The unrolled compression (streamed through arbitrary update splits)
+        // must agree with the seed's loop-based one-shot oracle.
+        let a = split_a.min(data.len());
+        let b = split_b.min(data.len()).max(a);
+        let mut hasher = sha256::Sha256::new();
+        hasher.update(&data[..a]);
+        hasher.update(&data[a..b]);
+        hasher.update(&data[b..]);
+        prop_assert_eq!(hasher.finalize(), sha256::digest_reference(&data));
+    }
+
+    #[test]
+    fn sha256_midstate_resumes_exactly(
+        blocks in 0usize..4,
+        tail in proptest::collection::vec(any::<u8>(), 0..200),
+        head_byte in any::<u8>(),
+    ) {
+        let head = vec![head_byte; blocks * 64];
+        let mut hasher = sha256::Sha256::new();
+        hasher.update(&head);
+        let mut resumed = sha256::Sha256::from_midstate(hasher.midstate());
+        resumed.update(&tail);
+        let mut full = Vec::with_capacity(head.len() + tail.len());
+        full.extend_from_slice(&head);
+        full.extend_from_slice(&tail);
+        prop_assert_eq!(resumed.finalize(), sha256::digest(&full));
+    }
+
+    #[test]
+    fn hmac_cached_key_matches_fresh_keying(
+        key in proptest::collection::vec(any::<u8>(), 0..200),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let cached = hmac::HmacKey::new(&key);
+        prop_assert_eq!(cached.mac(&data), hmac::hmac(&key, &data));
+        prop_assert!(cached.verify(&data, &hmac::hmac(&key, &data)));
+    }
+
+    #[test]
+    fn hkdf_cached_salt_and_prk_match_cold_path(
+        salt in proptest::collection::vec(any::<u8>(), 0..64),
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        info in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let salt_key = hmac::HmacKey::new(&salt);
+        let cold: [u8; 32] = Hkdf::derive(&salt, &ikm, &info);
+        let cached: [u8; 32] = Hkdf::derive_with_key(&salt_key, &ikm, &info);
+        prop_assert_eq!(cold, cached);
+        // The single-block fast path agrees with the general expand.
+        prop_assert_eq!(Hkdf::extract(&salt, &ikm).expand_key(&info), cold);
+    }
+
+    #[test]
     fn hmac_incremental_equals_one_shot(
         key in proptest::collection::vec(any::<u8>(), 0..200),
         data in proptest::collection::vec(any::<u8>(), 0..1024),

@@ -59,12 +59,17 @@ mod tests {
 
     /// Builds `n` PKGs, the aggregated master public key, and Bob's aggregated
     /// identity key.
-    fn setup(n: usize, rng: &mut ChaChaRng) -> (Vec<MasterSecret>, MasterPublic, IdentityPrivateKey) {
+    fn setup(
+        n: usize,
+        rng: &mut ChaChaRng,
+    ) -> (Vec<MasterSecret>, MasterPublic, IdentityPrivateKey) {
         let secrets: Vec<MasterSecret> = (0..n).map(|_| MasterSecret::generate(rng)).collect();
         let publics: Vec<MasterPublic> = secrets.iter().map(|s| s.public()).collect();
         let mpk = aggregate_master_publics(&publics);
-        let keys: Vec<IdentityPrivateKey> =
-            secrets.iter().map(|s| s.extract(b"bob@gmail.com")).collect();
+        let keys: Vec<IdentityPrivateKey> = secrets
+            .iter()
+            .map(|s| s.extract(b"bob@gmail.com"))
+            .collect();
         let idk = aggregate_identity_keys(&keys);
         (secrets, mpk, idk)
     }
@@ -99,8 +104,7 @@ mod tests {
     #[test]
     fn aggregation_is_order_independent() {
         let mut rng = rng(22);
-        let secrets: Vec<MasterSecret> =
-            (0..4).map(|_| MasterSecret::generate(&mut rng)).collect();
+        let secrets: Vec<MasterSecret> = (0..4).map(|_| MasterSecret::generate(&mut rng)).collect();
         let publics: Vec<MasterPublic> = secrets.iter().map(|s| s.public()).collect();
         let forward = aggregate_master_publics(&publics);
         let reversed: Vec<MasterPublic> = publics.iter().rev().copied().collect();

@@ -90,7 +90,11 @@ impl MasterSecret {
 impl core::fmt::Debug for MasterSecret {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print the scalar.
-        write!(f, "MasterSecret({})", if self.is_erased() { "erased" } else { "active" })
+        write!(
+            f,
+            "MasterSecret({})",
+            if self.is_erased() { "erased" } else { "active" }
+        )
     }
 }
 
@@ -128,13 +132,16 @@ fn derive_key(pairing_value: &impl CanonicalSerialize, ephemeral: &[u8; G1_LEN])
     pairing_value
         .serialize_compressed(&mut gt_bytes)
         .expect("GT serialization");
-    let hk = Hkdf::extract(b"alpenhorn-bf-ibe-kem", &gt_bytes);
-    let mut key = [0u8; 32];
+    use alpenhorn_crypto::hmac::HmacKey;
+    use std::sync::OnceLock;
+    // Fixed KEM salt label: precompute its HMAC states once per process.
+    static KEM_SALT: OnceLock<HmacKey> = OnceLock::new();
+    let salt = KEM_SALT.get_or_init(|| HmacKey::new(b"alpenhorn-bf-ibe-kem"));
+    let hk = Hkdf::extract_with_key(salt, &gt_bytes);
     let mut info = Vec::with_capacity(G1_LEN + 16);
     info.extend_from_slice(b"ibe-session-key");
     info.extend_from_slice(ephemeral);
-    hk.expand(&info, &mut key);
-    key
+    hk.expand_key(&info)
 }
 
 /// Encrypts `plaintext` to `identity` under the (possibly aggregated) master
@@ -160,7 +167,13 @@ pub fn encrypt(
     let mut out = Vec::with_capacity(G1_LEN + plaintext.len() + aead::TAG_LEN);
     out.extend_from_slice(&ephemeral_bytes);
     out.extend_from_slice(plaintext);
-    aead::seal_in_place(&key, &[0u8; aead::NONCE_LEN], &ephemeral_bytes, &mut out, G1_LEN);
+    aead::seal_in_place(
+        &key,
+        &[0u8; aead::NONCE_LEN],
+        &ephemeral_bytes,
+        &mut out,
+        G1_LEN,
+    );
     out
 }
 
@@ -328,7 +341,12 @@ mod tests {
         let msk = MasterSecret::generate(&mut rng);
         let mpk = msk.public();
         let ct_a = encrypt(&mpk, b"alice@example.com", b"0123456789", &mut rng);
-        let ct_b = encrypt(&mpk, b"bob-with-longer-address@example.com", b"0123456789", &mut rng);
+        let ct_b = encrypt(
+            &mpk,
+            b"bob-with-longer-address@example.com",
+            b"0123456789",
+            &mut rng,
+        );
         assert_eq!(ct_a.len(), ct_b.len());
         assert!(g1_from_bytes(&ct_a[..G1_LEN]).is_ok());
         assert!(g1_from_bytes(&ct_b[..G1_LEN]).is_ok());

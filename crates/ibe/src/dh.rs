@@ -58,9 +58,15 @@ impl DhSecret {
     /// The raw group element is run through HKDF with a protocol label so the
     /// output is a uniform symmetric key.
     pub fn shared_secret(&self, peer: &DhPublic) -> [u8; SHARED_LEN] {
+        use alpenhorn_crypto::hmac::HmacKey;
+        use std::sync::OnceLock;
+        // The KDF salt is a fixed protocol label; precompute its HMAC states
+        // once per process (this sits on the onion wrap/peel hot path).
+        static DH_SALT: OnceLock<HmacKey> = OnceLock::new();
+        let salt = DH_SALT.get_or_init(|| HmacKey::new(b"alpenhorn-dh-v1"));
         let shared_point = peer.point * self.x;
         let bytes = g1_to_bytes(&shared_point);
-        Hkdf::derive(b"alpenhorn-dh-v1", &bytes, b"shared-secret")
+        Hkdf::extract_with_key(salt, &bytes).expand_key(b"shared-secret")
     }
 
     /// Erases the secret scalar (forward secrecy for onion and dialing keys).
@@ -143,6 +149,9 @@ mod tests {
     #[test]
     fn debug_hides_secret() {
         let mut rng = rng(44);
-        assert_eq!(format!("{:?}", DhSecret::generate(&mut rng)), "DhSecret(secret)");
+        assert_eq!(
+            format!("{:?}", DhSecret::generate(&mut rng)),
+            "DhSecret(secret)"
+        );
     }
 }

@@ -18,29 +18,37 @@ use ark_ff::PrimeField;
 
 use alpenhorn_crypto::sha256::Sha256;
 
-/// Derives `n` pseudorandom bytes from `(domain, counter, msg)`.
-fn expand(domain: &[u8], counter: u32, msg: &[u8], n: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(n);
-    let mut block: u32 = 0;
-    while out.len() < n {
-        let mut h = Sha256::new();
-        h.update(b"alpenhorn-hash-to-curve-v1");
-        h.update(&(domain.len() as u32).to_be_bytes());
-        h.update(domain);
+/// Builds a hasher with the static prefix (version tag, domain length,
+/// domain) absorbed, so the per-counter/per-block hashes replay it for free.
+fn domain_base(domain: &[u8]) -> Sha256 {
+    let mut h = Sha256::new();
+    h.update(b"alpenhorn-hash-to-curve-v1");
+    h.update(&(domain.len() as u32).to_be_bytes());
+    h.update(domain);
+    h
+}
+
+/// Derives `N` pseudorandom bytes from `(base, counter, msg)`, where `base`
+/// is a [`domain_base`] hasher. Each 32-byte block clones the prepared base
+/// instead of re-hashing the domain prefix.
+fn expand<const N: usize>(base: &Sha256, counter: u32, msg: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (block, chunk) in out.chunks_mut(32).enumerate() {
+        let mut h = base.clone();
         h.update(&counter.to_be_bytes());
-        h.update(&block.to_be_bytes());
+        h.update(&(block as u32).to_be_bytes());
         h.update(msg);
-        out.extend_from_slice(&h.finalize());
-        block += 1;
+        let digest = h.finalize();
+        chunk.copy_from_slice(&digest[..chunk.len()]);
     }
-    out.truncate(n);
     out
 }
 
 /// Hashes a message to a point in the G1 prime-order subgroup.
 pub fn hash_to_g1(domain: &[u8], msg: &[u8]) -> G1Projective {
+    let base = domain_base(domain);
     for counter in 0u32.. {
-        let bytes = expand(domain, counter, msg, 49);
+        let bytes: [u8; 49] = expand(&base, counter, msg);
         let x = Fq::from_be_bytes_mod_order(&bytes[..48]);
         let greatest = bytes[48] & 1 == 1;
         if let Some(p) = G1Affine::get_point_from_x_unchecked(x, greatest) {
@@ -55,8 +63,9 @@ pub fn hash_to_g1(domain: &[u8], msg: &[u8]) -> G1Projective {
 
 /// Hashes a message to a point in the G2 prime-order subgroup.
 pub fn hash_to_g2(domain: &[u8], msg: &[u8]) -> G2Projective {
+    let base = domain_base(domain);
     for counter in 0u32.. {
-        let bytes = expand(domain, counter, msg, 97);
+        let bytes: [u8; 97] = expand(&base, counter, msg);
         let c0 = Fq::from_be_bytes_mod_order(&bytes[..48]);
         let c1 = Fq::from_be_bytes_mod_order(&bytes[48..96]);
         let x = Fq2::new(c0, c1);
@@ -73,7 +82,7 @@ pub fn hash_to_g2(domain: &[u8], msg: &[u8]) -> G2Projective {
 
 /// Hashes a message to a scalar in Fr.
 pub fn hash_to_scalar(domain: &[u8], msg: &[u8]) -> Fr {
-    let bytes = expand(domain, 0, msg, 64);
+    let bytes: [u8; 64] = expand(&domain_base(domain), 0, msg);
     Fr::from_le_bytes_mod_order(&bytes)
 }
 

@@ -41,7 +41,9 @@ pub use anytrust::{aggregate_identity_keys, aggregate_master_publics};
 pub use bf::{decrypt, encrypt, IdentityPrivateKey, MasterPublic, MasterSecret};
 pub use commit::Commitment;
 pub use dh::{DhPublic, DhSecret};
-pub use sig::{aggregate_signatures, aggregate_verifying_keys, Signature, SigningKey, VerifyingKey};
+pub use sig::{
+    aggregate_signatures, aggregate_verifying_keys, Signature, SigningKey, VerifyingKey,
+};
 
 /// Errors produced by the pairing-based primitives.
 #[derive(Debug, Clone, PartialEq, Eq)]

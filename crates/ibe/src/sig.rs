@@ -91,12 +91,7 @@ impl VerifyingKey {
     /// Verifies a signature over `message` hashed with a caller-chosen domain
     /// tag. Used by the blind-signature tokens ([`crate::blind`]), which must
     /// not be interchangeable with ordinary signatures.
-    pub fn verify_with_domain(
-        &self,
-        domain: &[u8],
-        message: &[u8],
-        signature: &Signature,
-    ) -> bool {
+    pub fn verify_with_domain(&self, domain: &[u8], message: &[u8], signature: &Signature) -> bool {
         // e(sig, P2) == e(H(m), pk)
         let lhs = Bls12_381::pairing(
             signature.point.into_affine(),

@@ -115,10 +115,15 @@ impl KeywheelTable {
             if wheel.round() > round {
                 continue;
             }
-            for intent in 0..num_intents {
-                if let Ok(token) = wheel.dial_token(round, intent) {
-                    out.push((friend.clone(), intent, token));
-                }
+            // One chain walk and one HMAC keying per friend — the per-intent
+            // loop inside `dial_tokens` only pays the two message
+            // compressions per token.
+            if let Ok(tokens) = wheel.dial_tokens(round, num_intents) {
+                out.extend(
+                    tokens
+                        .into_iter()
+                        .map(|(intent, token)| (friend.clone(), intent, token)),
+                );
             }
         }
         out
@@ -186,8 +191,7 @@ mod tests {
         let tokens = t.expected_tokens(Round(28), 10);
         assert_eq!(tokens.len(), 3 * 10);
         // All tokens are distinct.
-        let unique: std::collections::HashSet<_> =
-            tokens.iter().map(|(_, _, t)| t.0).collect();
+        let unique: std::collections::HashSet<_> = tokens.iter().map(|(_, _, t)| t.0).collect();
         assert_eq!(unique.len(), tokens.len());
     }
 

@@ -1,6 +1,8 @@
 //! A single keywheel: the evolving shared secret with one friend.
 
-use alpenhorn_crypto::{hmac_sha256, zeroize::Zeroize};
+use core::cell::Cell;
+
+use alpenhorn_crypto::{hmac_sha256, zeroize::Zeroize, HmacKey};
 use alpenhorn_wire::{DialToken, Round};
 
 use crate::Intent;
@@ -60,12 +62,36 @@ impl core::fmt::Display for KeywheelError {
 
 impl std::error::Error for KeywheelError {}
 
+/// A memoized future-round derivation: the ratcheted key for `round` and its
+/// precomputed HMAC ipad/opad states.
+#[derive(Clone, Copy)]
+struct Derived {
+    round: Round,
+    key: [u8; 32],
+    mac_key: HmacKey,
+}
+
 /// The keywheel for one friend: a shared secret bound to a dialing round.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Keywheel {
     key: [u8; 32],
     round: Round,
+    /// Memo of the most recent future-round derivation. Scanning a round's
+    /// mailbox computes one token per (friend, intent); without the memo each
+    /// intent re-walks the whole hash chain from `round` and re-keys the HMAC.
+    /// Cleared on every mutation so erased keys never linger here.
+    derived: Cell<Option<Derived>>,
 }
+
+impl PartialEq for Keywheel {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is a pure function of (key, round); it does not
+        // participate in identity.
+        self.key == other.key && self.round == other.round
+    }
+}
+
+impl Eq for Keywheel {}
 
 impl Keywheel {
     /// Creates a keywheel from the shared secret established by the
@@ -74,6 +100,7 @@ impl Keywheel {
         Keywheel {
             key: shared_secret,
             round: start_round,
+            derived: Cell::new(None),
         }
     }
 
@@ -82,12 +109,28 @@ impl Keywheel {
         self.round
     }
 
+    /// Drops the memoized derivation, scrubbing the `Cell`'s own storage:
+    /// the zeroed value is written back over the old payload before the
+    /// discriminant flips to `None`, so the memoized round key and HMAC
+    /// states do not linger in the wheel's memory. (Best-effort, like all of
+    /// `crate::zeroize`: transient stack copies made by `Cell::get` and
+    /// by-value returns are out of scope, as are cold-boot attacks.)
+    fn clear_memo(&self) {
+        if let Some(mut d) = self.derived.take() {
+            d.key.zeroize();
+            d.mac_key.zeroize();
+            self.derived.set(Some(d));
+            self.derived.set(None);
+        }
+    }
+
     /// Advances the wheel by one round, erasing the previous key.
     pub fn advance(&mut self) {
         let next = hmac_sha256(&self.key, ADVANCE_LABEL);
         self.key.zeroize();
         self.key = next;
         self.round = self.round.next();
+        self.clear_memo();
     }
 
     /// Advances the wheel until it reaches `round`.
@@ -107,49 +150,102 @@ impl Keywheel {
         Ok(())
     }
 
-    /// Derives the key for `round >= self.round` without mutating the wheel.
-    fn key_at(&self, round: Round) -> Result<[u8; 32], KeywheelError> {
+    /// Derives the ratcheted key and HMAC states for `round >= self.round`
+    /// without mutating the wheel, memoizing the result.
+    ///
+    /// The memo makes the mailbox-scan pattern cheap: `expected_tokens`
+    /// computes one token per intent for the same round, and only the first
+    /// call walks the hash chain and keys the HMAC.
+    fn derived_at(&self, round: Round) -> Result<Derived, KeywheelError> {
         if round < self.round {
             return Err(KeywheelError::RoundInPast {
                 current: self.round,
                 requested: round,
             });
         }
-        let mut key = self.key;
-        let mut r = self.round;
+        if let Some(d) = self.derived.get() {
+            if d.round == round {
+                return Ok(d);
+            }
+        }
+        // Restart the walk from the memo when it is on the path to `round`.
+        let (mut key, mut r) = match self.derived.get() {
+            Some(d) if d.round <= round => (d.key, d.round),
+            _ => (self.key, self.round),
+        };
         while r < round {
             let next = hmac_sha256(&key, ADVANCE_LABEL);
             key.zeroize();
             key = next;
             r = r.next();
         }
-        Ok(key)
+        let d = Derived {
+            round,
+            key,
+            mac_key: HmacKey::new(&key),
+        };
+        self.derived.set(Some(d));
+        Ok(d)
     }
 
     /// Computes the dial token for `round` and `intent` (H2 in Figure 4).
     pub fn dial_token(&self, round: Round, intent: Intent) -> Result<DialToken, KeywheelError> {
-        let key = self.key_at(round)?;
-        let mut msg = Vec::with_capacity(DIAL_TOKEN_LABEL.len() + 12);
-        msg.extend_from_slice(DIAL_TOKEN_LABEL);
-        msg.extend_from_slice(&round.0.to_be_bytes());
-        msg.extend_from_slice(&intent.to_be_bytes());
-        Ok(DialToken(hmac_sha256(&key, &msg)))
+        let d = self.derived_at(round)?;
+        Ok(DialToken(keyed_hash(
+            &d.mac_key,
+            DIAL_TOKEN_LABEL,
+            round,
+            intent,
+        )))
     }
 
     /// Computes the session key for `round` and `intent` (H3 in Figure 4).
     pub fn session_key(&self, round: Round, intent: Intent) -> Result<SessionKey, KeywheelError> {
-        let key = self.key_at(round)?;
-        let mut msg = Vec::with_capacity(SESSION_KEY_LABEL.len() + 12);
-        msg.extend_from_slice(SESSION_KEY_LABEL);
-        msg.extend_from_slice(&round.0.to_be_bytes());
-        msg.extend_from_slice(&intent.to_be_bytes());
-        Ok(SessionKey(hmac_sha256(&key, &msg)))
+        let d = self.derived_at(round)?;
+        Ok(SessionKey(keyed_hash(
+            &d.mac_key,
+            SESSION_KEY_LABEL,
+            round,
+            intent,
+        )))
+    }
+
+    /// Computes the dial tokens for intents `0..num_intents` in `round`,
+    /// deriving the round key and its HMAC states once for the whole batch.
+    pub fn dial_tokens(
+        &self,
+        round: Round,
+        num_intents: u32,
+    ) -> Result<Vec<(Intent, DialToken)>, KeywheelError> {
+        let d = self.derived_at(round)?;
+        // The label and round prefix are shared by every intent; absorb them
+        // once and clone the partial MAC state per token.
+        let mut prefix = d.mac_key.mac_stream();
+        prefix.update(DIAL_TOKEN_LABEL);
+        prefix.update(&round.0.to_be_bytes());
+        Ok((0..num_intents)
+            .map(|intent| {
+                let mut mac = prefix.clone();
+                mac.update(&intent.to_be_bytes());
+                (intent, DialToken(mac.finalize()))
+            })
+            .collect())
     }
 
     /// Erases the wheel's key material (used when removing a friend).
     pub fn erase(&mut self) {
         self.key.zeroize();
+        self.clear_memo();
     }
+}
+
+/// `HMAC(round_key, label || round || intent)` with precomputed key states.
+fn keyed_hash(key: &HmacKey, label: &[u8], round: Round, intent: Intent) -> [u8; 32] {
+    let mut mac = key.mac_stream();
+    mac.update(label);
+    mac.update(&round.0.to_be_bytes());
+    mac.update(&intent.to_be_bytes());
+    mac.finalize()
 }
 
 impl core::fmt::Debug for Keywheel {
@@ -281,6 +377,31 @@ mod tests {
         let before = w.dial_token(Round(1), 0).unwrap();
         w.erase();
         assert_ne!(w.dial_token(Round(1), 0).unwrap(), before);
+    }
+
+    #[test]
+    fn batch_tokens_match_single_tokens() {
+        let w = wheel(14, 3);
+        let batch = w.dial_tokens(Round(7), 10).unwrap();
+        assert_eq!(batch.len(), 10);
+        for (intent, token) in batch {
+            assert_eq!(w.dial_token(Round(7), intent).unwrap(), token);
+        }
+        assert!(w.dial_tokens(Round(2), 4).is_err());
+    }
+
+    #[test]
+    fn memoized_derivation_is_transparent() {
+        // Querying a later round, then an earlier (but still future) one,
+        // must not be confused by the memo.
+        let w = wheel(15, 0);
+        let late = w.dial_token(Round(20), 0).unwrap();
+        let early = w.dial_token(Round(10), 0).unwrap();
+        let mut fresh = wheel(15, 0);
+        fresh.advance_to(Round(10)).unwrap();
+        assert_eq!(fresh.dial_token(Round(10), 0).unwrap(), early);
+        fresh.advance_to(Round(20)).unwrap();
+        assert_eq!(fresh.dial_token(Round(20), 0).unwrap(), late);
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl MixChain {
         publics: &[DhPublic],
     ) -> (AddFriendMailboxes, RoundStats) {
         let (finals, stats) = self.mix(batch, Protocol::AddFriend, num_mailboxes, publics);
-        (AddFriendMailboxes::from_batch(&finals, num_mailboxes), stats)
+        (
+            AddFriendMailboxes::from_batch(&finals, num_mailboxes),
+            stats,
+        )
     }
 
     /// Runs a complete dialing round: mixes the batch and builds the Bloom

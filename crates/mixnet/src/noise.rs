@@ -30,7 +30,10 @@ pub struct NoiseConfig {
 impl NoiseConfig {
     /// The paper's add-friend noise parameters (§8.1).
     pub fn paper_add_friend() -> Self {
-        NoiseConfig { mu: 4_000.0, b: 406.0 }
+        NoiseConfig {
+            mu: 4_000.0,
+            b: 406.0,
+        }
     }
 
     /// The paper's dialing noise parameters (§8.1).
@@ -119,7 +122,7 @@ impl DpParameters {
         let mut lo = 0u64;
         let mut hi = 1u64 << 40;
         while lo < hi {
-            let mid = lo + (hi - lo + 1) / 2;
+            let mid = lo + (hi - lo).div_ceil(2);
             if self.epsilon_after(mid, delta) <= epsilon {
                 lo = mid;
             } else {
@@ -192,7 +195,10 @@ mod tests {
 
     #[test]
     fn laplace_sample_mean_close_to_mu() {
-        let config = NoiseConfig { mu: 1000.0, b: 100.0 };
+        let config = NoiseConfig {
+            mu: 1000.0,
+            b: 100.0,
+        };
         let mut rng = rng(2);
         let n = 5000;
         let sum: u64 = (0..n).map(|_| config.sample_count(&mut rng)).sum();
@@ -202,7 +208,10 @@ mod tests {
 
     #[test]
     fn laplace_sample_has_spread() {
-        let config = NoiseConfig { mu: 1000.0, b: 100.0 };
+        let config = NoiseConfig {
+            mu: 1000.0,
+            b: 100.0,
+        };
         let mut rng = rng(3);
         let samples: Vec<u64> = (0..1000).map(|_| config.sample_count(&mut rng)).collect();
         let min = *samples.iter().min().unwrap();

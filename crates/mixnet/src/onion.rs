@@ -35,11 +35,16 @@ impl std::error::Error for OnionError {}
 /// This is the single source of truth for per-hop key derivation: the client
 /// wrap path, the server peel path, and the servers' mid-chain noise wrapping
 /// all go through it (so the HKDF label and hop binding cannot drift apart).
+///
+/// The HKDF salt is a fixed protocol label, so its HMAC ipad/opad states are
+/// precomputed once per process; each derivation then costs two extract and
+/// four expand compressions instead of the eight a cold HKDF run pays.
 pub(crate) fn layer_key(shared: &[u8; 32], hop: usize) -> [u8; 32] {
-    let hk = alpenhorn_crypto::hkdf::Hkdf::extract(b"alpenhorn-onion-layer", shared);
-    let mut key = [0u8; 32];
-    hk.expand(&(hop as u64).to_be_bytes(), &mut key);
-    key
+    use alpenhorn_crypto::{hkdf::Hkdf, hmac::HmacKey};
+    use std::sync::OnceLock;
+    static LAYER_SALT: OnceLock<HmacKey> = OnceLock::new();
+    let salt = LAYER_SALT.get_or_init(|| HmacKey::new(b"alpenhorn-onion-layer"));
+    Hkdf::extract_with_key(salt, shared).expand_key(&(hop as u64).to_be_bytes())
 }
 
 /// Client side: wraps `payload` in one onion layer per server public key.

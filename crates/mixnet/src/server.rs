@@ -22,7 +22,7 @@
 //! Forward secrecy: the round's onion secret and the permutation are erased
 //! when the round ends ([`MixServer::end_round`]).
 
-use alpenhorn_crypto::{hmac_sha256, ChaChaRng};
+use alpenhorn_crypto::{ChaChaRng, HmacKey};
 use alpenhorn_ibe::dh::{DhPublic, DhSecret};
 use alpenhorn_wire::{AddFriendEnvelope, MailboxId, DIAL_TOKEN_LEN};
 use rand::RngCore;
@@ -245,9 +245,8 @@ impl MixServer {
 
         // Deterministic merge: surviving client messages in submission order,
         // then noise in mailbox order.
-        let mut out: Vec<Vec<u8>> = Vec::with_capacity(
-            batch.len() - dropped as usize + noise_count as usize,
-        );
+        let mut out: Vec<Vec<u8>> =
+            Vec::with_capacity(batch.len() - dropped as usize + noise_count as usize);
         for (message, keep) in batch.into_iter().zip(kept) {
             if keep {
                 out.push(message);
@@ -273,12 +272,7 @@ fn default_workers() -> usize {
 /// Peels every message in `chunk` in place, marking survivors in `kept`, and
 /// returns the number of malformed messages dropped. No allocation per
 /// message: each onion shrinks within its own buffer.
-fn peel_chunk(
-    chunk: &mut [Vec<u8>],
-    kept: &mut [bool],
-    secret: &DhSecret,
-    hop: usize,
-) -> u64 {
+fn peel_chunk(chunk: &mut [Vec<u8>], kept: &mut [bool], secret: &DhSecret, hop: usize) -> u64 {
     let mut dropped = 0u64;
     for (message, keep) in chunk.iter_mut().zip(kept.iter_mut()) {
         match peel_layer_in_place(message, secret, hop) {
@@ -311,20 +305,29 @@ fn generate_noise_range(
     let mut added = 0u64;
     // One payload scratch per worker, reused across all of its messages.
     let mut payload = Vec::new();
+    // The per-slot streams all share the round's noise seed as HMAC key, so
+    // its ipad/opad states are computed once per worker, not once per slot.
+    let slot_stream_key = HmacKey::new(noise_seed);
     for slot in range {
         let mailbox = if slot == num_mailboxes {
             MailboxId::COVER
         } else {
             MailboxId(slot)
         };
-        let mut rng = ChaChaRng::from_seed_bytes(hmac_sha256(noise_seed, &slot.to_be_bytes()));
+        let mut rng = ChaChaRng::from_seed_bytes(slot_stream_key.mac(&slot.to_be_bytes()));
         let count = noise.sample_count(&mut rng);
         for _ in 0..count {
             noise_payload_into(protocol, mailbox, &mut rng, &mut payload);
             // The wrapped onion is the output message itself: its single
             // allocation is made at the exact final size by `wrap_onion_into`.
             let mut message = Vec::new();
-            wrap_onion_into(&payload, downstream_publics, first_hop, &mut rng, &mut message);
+            wrap_onion_into(
+                &payload,
+                downstream_publics,
+                first_hop,
+                &mut rng,
+                &mut message,
+            );
             out.push(message);
             added += 1;
         }
@@ -470,13 +473,7 @@ mod tests {
     #[should_panic(expected = "begin_round")]
     fn process_without_round_panics() {
         let mut server = MixServer::new(0, [7u8; 32]);
-        server.process(
-            vec![],
-            &[],
-            Protocol::Dialing,
-            &NoiseConfig::light(),
-            1,
-        );
+        server.process(vec![], &[], Protocol::Dialing, &NoiseConfig::light(), 1);
     }
 
     #[test]
@@ -534,7 +531,11 @@ mod tests {
             &NoiseConfig::deterministic(2.0),
             40,
         );
-        (out, server.last_noise_added(), server.last_malformed_dropped())
+        (
+            out,
+            server.last_noise_added(),
+            server.last_malformed_dropped(),
+        )
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl core::fmt::Display for PkgError {
             PkgError::UnknownIdentity => write!(f, "identity not registered"),
             PkgError::AuthenticationFailed => write!(f, "authentication failed"),
             PkgError::LockedOut { remaining_seconds } => {
-                write!(f, "identity locked out for {remaining_seconds} more seconds")
+                write!(
+                    f,
+                    "identity locked out for {remaining_seconds} more seconds"
+                )
             }
             PkgError::WrongRound { current } => match current {
                 Some(r) => write!(f, "wrong round (current is {})", r.0),

@@ -122,6 +122,6 @@ mod tests {
         mail.send_confirmation(&id("a@x.com"), "pkg-0", [1u8; 32]);
         assert_eq!(mail.message_count(&id("b@x.com")), 0);
         assert_eq!(mail.inbox(&id("a@x.com")).len(), 1);
-        assert_eq!(mail.inbox(&id("a@x.com"))[0].subject.contains("pkg-0"), true);
+        assert!(mail.inbox(&id("a@x.com"))[0].subject.contains("pkg-0"));
     }
 }

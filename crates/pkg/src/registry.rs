@@ -259,7 +259,8 @@ mod tests {
             Err(PkgError::BadConfirmationToken)
         );
         assert_eq!(
-            s.registry.complete_registration(&id("bob@x.com"), [0u8; 32], 0),
+            s.registry
+                .complete_registration(&id("bob@x.com"), [0u8; 32], 0),
             Err(PkgError::NoPendingRegistration)
         );
     }
@@ -365,12 +366,18 @@ mod tests {
         let k = key(&mut s.rng);
         register(&mut s, &alice, k, 1000);
         s.registry.touch(&alice, 500); // out-of-order clock reading
-        // Re-registration with a new key at 1000 + LOCKOUT must still be
-        // measured from 1000, not 500.
+                                       // Re-registration with a new key at 1000 + LOCKOUT must still be
+                                       // measured from 1000, not 500.
         let new = key(&mut s.rng);
         assert!(s
             .registry
-            .begin_registration(&alice, new, 1000 + LOCKOUT_SECONDS - 10, &s.mail, &mut s.rng)
+            .begin_registration(
+                &alice,
+                new,
+                1000 + LOCKOUT_SECONDS - 10,
+                &s.mail,
+                &mut s.rng
+            )
             .is_err());
     }
 }

@@ -10,13 +10,17 @@
 //! publishes a hash commitment to its round public key, and reveals the key
 //! only after collecting everyone else's commitments.
 
-use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_crypto::zeroize::Zeroize;
+use alpenhorn_crypto::{hmac_sha256, ChaChaRng, Hkdf, HmacKey};
 use alpenhorn_ibe::bf::{IdentityPrivateKey, MasterPublic, MasterSecret};
 use alpenhorn_ibe::commit::{Commitment, NONCE_LEN};
 use alpenhorn_wire::Round;
-use rand::RngCore;
 
 use crate::error::PkgError;
+
+/// Ratchet label: each round's key material hangs off a fresh ratchet state,
+/// and the previous state is erased (forward secrecy for round keys).
+const RATCHET_LABEL: &[u8] = b"alpenhorn-pkg-round-ratchet";
 
 /// The lifecycle phase of the current round's key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,8 +32,16 @@ enum Phase {
 }
 
 /// Manages one PKG's round master keys.
+///
+/// Round key material is derived through a hash ratchet: `begin_round`
+/// advances the ratchet (erasing the old state) and expands one cached-PRK
+/// HKDF into everything the round needs — the master-key generation seed and
+/// the commitment nonce — so a post-round compromise reveals nothing about
+/// earlier rounds, and the per-round derivation keys the HMAC exactly once.
 pub struct RoundKeyManager {
-    rng: ChaChaRng,
+    ratchet: [u8; 32],
+    /// Precomputed HMAC states of the extract salt (fixed protocol label).
+    salt_key: HmacKey,
     current: Option<RoundKeys>,
 }
 
@@ -46,7 +58,8 @@ impl RoundKeyManager {
     /// Creates a manager seeded with `seed`.
     pub fn new(seed: [u8; 32]) -> Self {
         RoundKeyManager {
-            rng: ChaChaRng::from_seed_bytes(seed),
+            ratchet: seed,
+            salt_key: HmacKey::new(b"alpenhorn-pkg-round-keys"),
             current: None,
         }
     }
@@ -55,10 +68,23 @@ impl RoundKeyManager {
     /// commitment to broadcast. Any previous round's secret is destroyed.
     pub fn begin_round(&mut self, round: Round) -> Commitment {
         self.end_round();
-        let secret = MasterSecret::generate(&mut self.rng);
+        // Advance the ratchet, then reuse one round PRK for both the
+        // master-key seed and the commitment nonce (two cheap expands of the
+        // same cached HMAC states, bound to the round number).
+        let next = hmac_sha256(&self.ratchet, RATCHET_LABEL);
+        self.ratchet.zeroize();
+        self.ratchet = next;
+        let round_prk = Hkdf::extract_with_key(&self.salt_key, &self.ratchet);
+        let mut seed_info = Vec::with_capacity(19);
+        seed_info.extend_from_slice(b"master-seed");
+        seed_info.extend_from_slice(&round.0.to_be_bytes());
+        let mut rng = ChaChaRng::from_seed_bytes(round_prk.expand_key(&seed_info));
+        let secret = MasterSecret::generate(&mut rng);
         let public = secret.public();
-        let mut nonce = [0u8; NONCE_LEN];
-        self.rng.fill_bytes(&mut nonce);
+        let mut nonce_info = Vec::with_capacity(20);
+        nonce_info.extend_from_slice(b"commit-nonce");
+        nonce_info.extend_from_slice(&round.0.to_be_bytes());
+        let nonce: [u8; NONCE_LEN] = round_prk.expand_key(&nonce_info);
         let commitment = Commitment::commit(&public.to_bytes(), &nonce);
         self.current = Some(RoundKeys {
             round,
@@ -161,7 +187,9 @@ mod tests {
         mgr.begin_round(Round(1));
         assert!(matches!(
             mgr.reveal(Round(2)),
-            Err(PkgError::WrongRound { current: Some(Round(1)) })
+            Err(PkgError::WrongRound {
+                current: Some(Round(1))
+            })
         ));
         assert!(matches!(
             mgr.commitment(Round(2)),

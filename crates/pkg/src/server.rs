@@ -216,8 +216,9 @@ mod tests {
 
     #[test]
     fn full_extraction_flow_with_three_pkgs() {
-        let mut pkgs: Vec<PkgServer> =
-            (0..3).map(|i| PkgServer::new(&format!("pkg-{i}"), [i as u8 + 1; 32])).collect();
+        let mut pkgs: Vec<PkgServer> = (0..3)
+            .map(|i| PkgServer::new(&format!("pkg-{i}"), [i as u8 + 1; 32]))
+            .collect();
         let mail = SimulatedMail::new();
         let mut rng = ChaChaRng::from_seed_bytes([42u8; 32]);
         let alice = id("alice@example.com");
@@ -243,9 +244,8 @@ mod tests {
         // Anytrust: the aggregated identity key decrypts a message encrypted
         // under the aggregated master public key.
         let mpk = aggregate_master_publics(&reveals.iter().map(|(p, _)| *p).collect::<Vec<_>>());
-        let idk = aggregate_identity_keys(
-            &responses.iter().map(|r| r.identity_key).collect::<Vec<_>>(),
-        );
+        let idk =
+            aggregate_identity_keys(&responses.iter().map(|r| r.identity_key).collect::<Vec<_>>());
         let ct = encrypt(&mpk, alice.as_bytes(), b"friend request", &mut rng);
         assert_eq!(decrypt(&idk, &ct).unwrap(), b"friend request");
 

@@ -106,7 +106,8 @@ impl MeasuredCosts {
         });
 
         // Bloom filter operations.
-        let mut filter = BloomFilter::new(BloomParams::for_elements(10_000, BLOOM_BITS_PER_ELEMENT));
+        let mut filter =
+            BloomFilter::new(BloomParams::for_elements(10_000, BLOOM_BITS_PER_ELEMENT));
         let bloom_insert = time_per_iter(iterations * 16, || {
             filter.insert(b"some dial token value 32 bytes..");
         });
@@ -245,7 +246,8 @@ impl CostModel {
 
     /// Number of add-friend mailboxes for a workload.
     pub fn add_friend_mailboxes(&self, workload: &Workload) -> u32 {
-        self.mailboxes.add_friend_mailboxes(workload.real_requests())
+        self.mailboxes
+            .add_friend_mailboxes(workload.real_requests())
     }
 
     /// Number of dialing mailboxes for a workload.
@@ -294,13 +296,13 @@ impl CostModel {
     fn server_time(&self, messages: f64, servers: usize, request_len: usize) -> f64 {
         let cores = self.network.server_cores as f64;
         let per_server_crypto = messages * self.costs.onion_peel / cores;
-        let noise_messages = messages.min(
-            servers as f64 * self.noise.add_friend_mu.max(self.noise.dialing_mu),
-        );
+        let noise_messages =
+            messages.min(servers as f64 * self.noise.add_friend_mu.max(self.noise.dialing_mu));
         let noise_crypto =
             noise_messages / servers as f64 * self.costs.onion_wrap * servers as f64 / cores;
         let transfer = messages * request_len as f64 / self.network.server_bandwidth;
-        servers as f64 * (per_server_crypto + transfer) + noise_crypto
+        servers as f64 * (per_server_crypto + transfer)
+            + noise_crypto
             + (servers as f64) * self.network.inter_server_rtt / 2.0
     }
 
@@ -335,9 +337,8 @@ impl CostModel {
         server_time += messages * self.costs.bloom_insert / self.network.server_cores as f64;
         let mailbox_bytes = self.dialing_mailbox_bytes(workload, servers);
         let download = mailbox_bytes / self.network.client_bandwidth;
-        let client_scan = friends as f64
-            * intents as f64
-            * (self.costs.keywheel_hash + self.costs.bloom_probe);
+        let client_scan =
+            friends as f64 * intents as f64 * (self.costs.keywheel_hash + self.costs.bloom_probe);
         LatencyBreakdown {
             total: server_time + download + client_scan,
             servers: server_time,
@@ -356,8 +357,8 @@ impl CostModel {
         round_duration_secs: f64,
     ) -> f64 {
         let download = self.add_friend_mailbox_bytes(workload, servers);
-        let upload =
-            ADD_FRIEND_REQUEST_LEN as f64 + servers as f64 * alpenhorn_wire::ONION_LAYER_OVERHEAD as f64;
+        let upload = ADD_FRIEND_REQUEST_LEN as f64
+            + servers as f64 * alpenhorn_wire::ONION_LAYER_OVERHEAD as f64;
         (download + upload) / round_duration_secs
     }
 

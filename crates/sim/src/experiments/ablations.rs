@@ -72,7 +72,10 @@ pub fn mailbox_target_ablation(model: &CostModel, users: usize, servers: usize) 
         table.push_row(vec![
             target.to_string(),
             mailboxes.to_string(),
-            format!("{:.2}", m.add_friend_mailbox_bytes(&workload, servers) / 1e6),
+            format!(
+                "{:.2}",
+                m.add_friend_mailbox_bytes(&workload, servers) / 1e6
+            ),
             format!("{:.0}", total_noise),
             format!("{:.2}", noise_per_mailbox / per_mailbox),
         ]);

@@ -60,8 +60,7 @@ pub fn figure_6(model: &CostModel, servers: usize) -> Table {
         ],
     );
     for row in figure_6_rows(model, servers) {
-        let gb_month =
-            bytes_per_sec_to_gb_month(row.kb_per_sec[2] * 1000.0);
+        let gb_month = bytes_per_sec_to_gb_month(row.kb_per_sec[2] * 1000.0);
         table.push_row(vec![
             format!("{:.1}", row.round_hours),
             format!("{:.2}", row.kb_per_sec[0]),

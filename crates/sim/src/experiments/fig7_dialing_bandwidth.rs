@@ -63,7 +63,10 @@ pub fn figure_7(model: &CostModel, servers: usize) -> Table {
             format!("{:.2}", row.kb_per_sec[0]),
             format!("{:.2}", row.kb_per_sec[1]),
             format!("{:.2}", row.kb_per_sec[2]),
-            format!("{:.2}", bytes_per_sec_to_gb_month(row.kb_per_sec[2] * 1000.0)),
+            format!(
+                "{:.2}",
+                bytes_per_sec_to_gb_month(row.kb_per_sec[2] * 1000.0)
+            ),
         ]);
     }
     table

@@ -59,7 +59,9 @@ impl SmallDeployment {
                 ClientConfig::default(),
                 [seed.wrapping_add(i as u8 + 1); 32],
             );
-            client.register(&mut cluster).expect("registration succeeds");
+            client
+                .register(&mut cluster)
+                .expect("registration succeeds");
             clients.push(client);
         }
         SmallDeployment {
@@ -108,7 +110,8 @@ impl SmallDeployment {
                 .filter(|e| {
                     matches!(
                         e,
-                        ClientEvent::FriendRequestReceived { .. } | ClientEvent::FriendConfirmed { .. }
+                        ClientEvent::FriendRequestReceived { .. }
+                            | ClientEvent::FriendConfirmed { .. }
                     )
                 })
                 .count();

@@ -68,9 +68,9 @@ impl Workload {
     fn recipient_weights(&self) -> Vec<f64> {
         match self.recipients {
             RecipientDistribution::Uniform => vec![1.0; self.num_users],
-            RecipientDistribution::Zipf { s } => (1..=self.num_users)
-                .map(|i| (i as f64).powf(-s))
-                .collect(),
+            RecipientDistribution::Zipf { s } => {
+                (1..=self.num_users).map(|i| (i as f64).powf(-s)).collect()
+            }
         }
     }
 

@@ -6,8 +6,8 @@
 //! Fixed-size messages are what lets the surrounding mixnet make traffic
 //! analysis useless; here they also exercise the same padding discipline.
 
-use alpenhorn_crypto::{aead, hmac_sha256};
 use alpenhorn::SessionKey;
+use alpenhorn_crypto::{aead, hmac_sha256};
 use alpenhorn_wire::Round;
 
 use crate::deaddrop::DeadDropId;
@@ -95,7 +95,12 @@ impl Conversation {
         padded[..2].copy_from_slice(&(message.len() as u16).to_be_bytes());
         padded[2..2 + message.len()].copy_from_slice(message);
         let key = self.round_key(round);
-        Ok(aead::seal(&key, &self.nonce(true), b"vuvuzela-msg", &padded))
+        Ok(aead::seal(
+            &key,
+            &self.nonce(true),
+            b"vuvuzela-msg",
+            &padded,
+        ))
     }
 
     /// Decrypts the peer's ciphertext for `round` and strips the padding.
@@ -161,7 +166,9 @@ mod tests {
         let (alice, _) = pair();
         assert_eq!(
             alice.seal(Round(1), &[0u8; MESSAGE_LEN]),
-            Err(ConversationError::MessageTooLong { max: MESSAGE_LEN - 2 })
+            Err(ConversationError::MessageTooLong {
+                max: MESSAGE_LEN - 2
+            })
         );
     }
 
@@ -169,9 +176,15 @@ mod tests {
     fn wrong_round_or_key_fails() {
         let (alice, bob) = pair();
         let ct = alice.seal(Round(1), b"round 1 message").unwrap();
-        assert_eq!(bob.open(Round(2), &ct), Err(ConversationError::DecryptionFailed));
+        assert_eq!(
+            bob.open(Round(2), &ct),
+            Err(ConversationError::DecryptionFailed)
+        );
         let eve = Conversation::new(SessionKey([9u8; 32]), false);
-        assert_eq!(eve.open(Round(1), &ct), Err(ConversationError::DecryptionFailed));
+        assert_eq!(
+            eve.open(Round(1), &ct),
+            Err(ConversationError::DecryptionFailed)
+        );
     }
 
     #[test]
@@ -180,6 +193,9 @@ mod tests {
         // direction), which matters when a dead drop echoes a lone deposit.
         let (alice, _) = pair();
         let ct = alice.seal(Round(1), b"to bob").unwrap();
-        assert_eq!(alice.open(Round(1), &ct), Err(ConversationError::DecryptionFailed));
+        assert_eq!(
+            alice.open(Round(1), &ct),
+            Err(ConversationError::DecryptionFailed)
+        );
     }
 }

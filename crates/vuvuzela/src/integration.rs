@@ -6,8 +6,8 @@
 //! [`Conversation`]s and provides the `/addfriend` and `/call`-style entry
 //! points a chat client would wire to its UI.
 
-use alpenhorn::{Client, ClientError, ClientEvent, Identity};
 use alpenhorn::SessionKey;
+use alpenhorn::{Client, ClientError, ClientEvent, Identity};
 use alpenhorn_wire::Round;
 
 use crate::conversation::{Conversation, ConversationError};
@@ -83,16 +83,22 @@ impl ConversationSession {
 /// Convenience wrapper mirroring the `/addfriend` command the paper added to
 /// the Vuvuzela client: queue an add-friend request for `who`.
 pub fn command_add_friend(client: &mut Client, who: &str) -> Result<(), ClientError> {
-    let identity =
-        Identity::new(who).map_err(|_| ClientError::NotAFriend(Identity::new("invalid@invalid.invalid").expect("valid placeholder identity")))?;
+    let identity = Identity::new(who).map_err(|_| {
+        ClientError::NotAFriend(
+            Identity::new("invalid@invalid.invalid").expect("valid placeholder identity"),
+        )
+    })?;
     client.add_friend(identity, None);
     Ok(())
 }
 
 /// Convenience wrapper mirroring the `/call` command: queue a call to `who`.
 pub fn command_call(client: &mut Client, who: &str, intent: u32) -> Result<(), ClientError> {
-    let identity = Identity::new(who)
-        .map_err(|_| ClientError::NotAFriend(Identity::new("invalid@invalid.invalid").expect("valid placeholder identity")))?;
+    let identity = Identity::new(who).map_err(|_| {
+        ClientError::NotAFriend(
+            Identity::new("invalid@invalid.invalid").expect("valid placeholder identity"),
+        )
+    })?;
     client.call(identity, intent)
 }
 
@@ -135,7 +141,10 @@ mod tests {
         let pair = &exchanged[&drop_id];
         // Alice deposited first, so she receives pair[0]; Bob receives pair[1].
         assert_eq!(alice.receive(round_a, &pair[0]).unwrap(), b"hey alice");
-        assert_eq!(bob.receive(round_b, &pair[1]).unwrap(), b"hi bob, it's alice");
+        assert_eq!(
+            bob.receive(round_b, &pair[1]).unwrap(),
+            b"hi bob, it's alice"
+        );
     }
 
     #[test]

@@ -83,26 +83,15 @@ pub const PAPER_ADD_FRIEND_REQUEST_LEN: usize = 308;
 /// The paper's IBE ciphertext component size in bytes (§8.6).
 pub const PAPER_IBE_CIPHERTEXT_LEN: usize = 64;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn friend_request_len_is_sum_of_fields() {
-        assert_eq!(FRIEND_REQUEST_LEN, 64 + 96 + 48 + 48 + 48 + 8);
-    }
-
-    #[test]
-    fn add_friend_request_len_close_to_paper() {
-        // Our BLS12-381-based layout is somewhat larger than the paper's
-        // BN-256 layout but within the same order of magnitude (< 2x).
-        assert!(ADD_FRIEND_REQUEST_LEN < 2 * PAPER_ADD_FRIEND_REQUEST_LEN);
-        assert!(ADD_FRIEND_REQUEST_LEN > PAPER_ADD_FRIEND_REQUEST_LEN / 2);
-    }
-
-    #[test]
-    fn dial_request_is_much_smaller_than_add_friend() {
-        // The dialing protocol's efficiency claim (§5) rests on this.
-        assert!(DIAL_REQUEST_LEN * 5 < ADD_FRIEND_REQUEST_LEN);
-    }
-}
+// Size-relationship invariants, checked at compile time.
+//
+// Our BLS12-381-based add-friend layout is somewhat larger than the paper's
+// BN-256 layout but within the same order of magnitude (< 2x), and the
+// dialing protocol's efficiency claim (§5) rests on dial requests being much
+// smaller than add-friend requests.
+const _: () = {
+    assert!(FRIEND_REQUEST_LEN == 64 + 96 + 48 + 48 + 48 + 8);
+    assert!(ADD_FRIEND_REQUEST_LEN < 2 * PAPER_ADD_FRIEND_REQUEST_LEN);
+    assert!(ADD_FRIEND_REQUEST_LEN > PAPER_ADD_FRIEND_REQUEST_LEN / 2);
+    assert!(DIAL_REQUEST_LEN * 5 < ADD_FRIEND_REQUEST_LEN);
+};

@@ -12,8 +12,8 @@
 
 use crate::codec::{Decoder, Encoder};
 use crate::constants::{
-    ADD_FRIEND_REQUEST_LEN, DH_PK_LEN, FRIEND_REQUEST_LEN, IBE_CIPHERTEXT_LEN,
-    IDENTITY_FIELD_LEN, MULTISIG_LEN, SIGNATURE_LEN, SIGNING_PK_LEN,
+    ADD_FRIEND_REQUEST_LEN, DH_PK_LEN, FRIEND_REQUEST_LEN, IBE_CIPHERTEXT_LEN, IDENTITY_FIELD_LEN,
+    MULTISIG_LEN, SIGNATURE_LEN, SIGNING_PK_LEN,
 };
 use crate::error::WireError;
 use crate::identity::Identity;
@@ -257,11 +257,8 @@ mod tests {
     fn signed_messages_are_domain_separated() {
         let req = sample_request();
         let sender_msg = req.sender_signed_message();
-        let pkg_msg = FriendRequest::pkg_attestation_message(
-            &req.sender,
-            &req.sender_key,
-            Round(17),
-        );
+        let pkg_msg =
+            FriendRequest::pkg_attestation_message(&req.sender, &req.sender_key, Round(17));
         assert_ne!(sender_msg, pkg_msg);
     }
 

@@ -6,10 +6,10 @@
 
 use alpenhorn_mixnet::NoiseConfig;
 use alpenhorn_sim::costmodel::MeasuredCosts;
+use alpenhorn_sim::experiments::crypto_sensitivity::request_size_table;
 use alpenhorn_sim::experiments::{
     client_cpu_table, crypto_sensitivity_table, figure_10, figure_6, figure_7, figure_8, figure_9,
 };
-use alpenhorn_sim::experiments::crypto_sensitivity::request_size_table;
 use alpenhorn_sim::harness::SmallDeployment;
 use alpenhorn_sim::{CostModel, Table, Workload};
 
@@ -23,7 +23,10 @@ fn main() {
     let model = CostModel::new(measured);
 
     println!("## Calibrated per-operation costs\n");
-    let mut calib = Table::new("Measured per-operation costs", &["operation", "this machine", "paper prototype"]);
+    let mut calib = Table::new(
+        "Measured per-operation costs",
+        &["operation", "this machine", "paper prototype"],
+    );
     calib.push_row(vec![
         "IBE decrypt (ms)".into(),
         format!("{:.2}", measured.ibe_decrypt * 1e3),
@@ -42,7 +45,10 @@ fn main() {
     calib.push_row(vec![
         "keywheel hash (us)".into(),
         format!("{:.2}", measured.keywheel_hash * 1e6),
-        format!("{:.2}", MeasuredCosts::paper_reference().keywheel_hash * 1e6),
+        format!(
+            "{:.2}",
+            MeasuredCosts::paper_reference().keywheel_hash * 1e6
+        ),
     ]);
     calib.push_row(vec![
         "PKG extract (ms)".into(),
@@ -63,14 +69,22 @@ fn main() {
     // Differential-privacy parameter check (§8.1).
     let mut dp = Table::new(
         "Section 8.1: differential-privacy accounting",
-        &["protocol", "mu", "b", "actions at (eps=ln2, delta=1e-4)", "paper"],
+        &[
+            "protocol",
+            "mu",
+            "b",
+            "actions at (eps=ln2, delta=1e-4)",
+            "paper",
+        ],
     );
     let add = NoiseConfig::paper_add_friend();
     dp.push_row(vec![
         "add-friend".into(),
         format!("{}", add.mu),
         format!("{}", add.b),
-        add.dp().max_actions(core::f64::consts::LN_2, 1e-4).to_string(),
+        add.dp()
+            .max_actions(core::f64::consts::LN_2, 1e-4)
+            .to_string(),
         "900".into(),
     ]);
     let dial = NoiseConfig::paper_dialing();
@@ -78,7 +92,9 @@ fn main() {
         "dialing".into(),
         format!("{}", dial.mu),
         format!("{}", dial.b),
-        dial.dp().max_actions(core::f64::consts::LN_2, 1e-4).to_string(),
+        dial.dp()
+            .max_actions(core::f64::consts::LN_2, 1e-4)
+            .to_string(),
         "26000".into(),
     ]);
     println!("{}", dp.render_markdown());
@@ -93,7 +109,12 @@ fn main() {
     println!("## Scaled-down end-to-end runs (real clients, in-process cluster)\n");
     let mut ete = Table::new(
         "End-to-end rounds",
-        &["clients", "add-friend server time (ms)", "avg mailbox scan (ms)", "dialing server time (ms)"],
+        &[
+            "clients",
+            "add-friend server time (ms)",
+            "avg mailbox scan (ms)",
+            "dialing server time (ms)",
+        ],
     );
     for clients in [8usize, 32] {
         let mut deployment = SmallDeployment::new(clients, 99);

@@ -19,7 +19,9 @@ fn add_friend_round(
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+    let info = cluster
+        .begin_add_friend_round(round, clients.len())
+        .unwrap();
     for c in clients.iter_mut() {
         c.participate_add_friend(cluster, &info).unwrap();
     }
@@ -39,7 +41,12 @@ fn dialing_round(
     let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
     let mut events: Vec<Vec<ClientEvent>> = clients
         .iter_mut()
-        .map(|c| c.participate_dialing(cluster, &info).unwrap().into_iter().collect())
+        .map(|c| {
+            c.participate_dialing(cluster, &info)
+                .unwrap()
+                .into_iter()
+                .collect()
+        })
         .collect();
     cluster.close_dialing_round(round).unwrap();
     for (c, ev) in clients.iter_mut().zip(events.iter_mut()) {

@@ -40,7 +40,9 @@ fn main() {
     let mut keywheel_start = Round(0);
     for r in 1..=2u64 {
         let round = Round(r);
-        let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+        let info = cluster
+            .begin_add_friend_round(round, clients.len())
+            .unwrap();
         for c in clients.iter_mut() {
             c.participate_add_friend(&mut cluster, &info).unwrap();
         }

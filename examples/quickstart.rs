@@ -46,7 +46,10 @@ fn main() {
         bob.participate_add_friend(&mut cluster, &info).unwrap();
         cluster.close_add_friend_round(round).unwrap();
         for (name, client) in [("alice", &mut alice), ("bob", &mut bob)] {
-            for event in client.process_add_friend_mailbox(&mut cluster, &info).unwrap() {
+            for event in client
+                .process_add_friend_mailbox(&mut cluster, &info)
+                .unwrap()
+            {
                 println!("  [{name}] {event:?}");
                 if let ClientEvent::FriendConfirmed { dialing_round, .. } = event {
                     confirmed_round = dialing_round;
@@ -75,7 +78,10 @@ fn main() {
         cluster.close_dialing_round(round).unwrap();
         alice.process_dialing_mailbox(&mut cluster, &info).unwrap();
         for event in bob.process_dialing_mailbox(&mut cluster, &info).unwrap() {
-            if let ClientEvent::IncomingCall { from, session_key, .. } = event {
+            if let ClientEvent::IncomingCall {
+                from, session_key, ..
+            } = event
+            {
                 println!("  [bob] incoming call from {from}");
                 bob_key = Some(session_key);
             }

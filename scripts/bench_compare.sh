@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Compares two bench snapshots (as written by the hash_hot_path bench) and
+# flags per-metric regressions.
+#
+#   scripts/bench_compare.sh OLD.json NEW.json [max_regression_pct]
+#
+# A metric named *_ns regresses when NEW is more than max_regression_pct
+# (default 15) slower than OLD; speedup-style metrics (no _ns suffix) regress
+# when they drop by more than the same percentage. Exits non-zero if any
+# metric regresses, so the script can gate CI once snapshots are recorded on
+# stable hardware.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+    echo "usage: $0 OLD.json NEW.json [max_regression_pct]" >&2
+    exit 2
+fi
+old_file=$1
+new_file=$2
+threshold=${3:-15}
+
+command -v jq >/dev/null || { echo "bench_compare: jq is required" >&2; exit 2; }
+
+status=0
+printf '%-28s %12s %12s %9s\n' "metric" "old" "new" "delta"
+while IFS=$'\t' read -r metric old_val; do
+    new_val=$(jq -r --arg m "$metric" '.benches[$m] // empty' "$new_file")
+    if [[ -z "$new_val" ]]; then
+        # A vanished metric is a regression: the gate can no longer see it.
+        printf '%-28s %12s %12s %9s  << METRIC MISSING\n' "$metric" "$old_val" "-" "gone"
+        status=1
+        continue
+    fi
+    # For *_ns metrics higher is worse; for ratios lower is worse.
+    read -r delta_pct regressed < <(awk -v o="$old_val" -v n="$new_val" \
+        -v t="$threshold" -v ns="$([[ $metric == *_ns ]] && echo 1 || echo 0)" \
+        'BEGIN {
+            if (o == 0) { print "0.0", 0; exit }
+            d = (n - o) / o * 100.0
+            bad = ns ? (d > t) : (-d > t)
+            printf "%+.1f %d\n", d, bad
+        }')
+    flag=""
+    if [[ "$regressed" == 1 ]]; then
+        flag="  << REGRESSION (>${threshold}%)"
+        status=1
+    fi
+    printf '%-28s %12s %12s %8s%%%s\n' "$metric" "$old_val" "$new_val" "$delta_pct" "$flag"
+done < <(jq -r '.benches | to_entries[] | "\(.key)\t\(.value)"' "$old_file")
+
+if [[ $status -ne 0 ]]; then
+    echo "bench_compare: regressions detected" >&2
+fi
+exit $status

@@ -1,24 +1,57 @@
 #!/usr/bin/env bash
-# Single-command gate: build, test, and smoke-run the hot-path benchmarks.
+# Staged CI gate: formatting, lints, build, tests, bench smoke + snapshot.
 #
 #   scripts/ci.sh
 #
+# Each stage prints a banner and the pipeline stops at the first red stage.
 # BENCH_SMOKE=1 makes the vendored criterion stand-in run each benchmark for
 # a handful of iterations — enough to catch a pipeline regression (panic,
 # equivalence failure, pathological slowdown) without a full measurement run.
+# The hash_hot_path bench additionally writes BENCH_pr3.json, the recorded
+# perf trajectory (compare snapshots with scripts/bench_compare.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
+STAGE="(startup)"
+stage() {
+    STAGE="$1"
+    echo
+    echo "===== [stage: $STAGE] ====="
+}
+trap 'echo; echo "ci.sh: FAILED at stage: $STAGE" >&2' ERR
+
+stage "fmt (cargo fmt --check)"
+cargo fmt --check
+
+stage "clippy (cargo clippy --all-targets -- -D warnings)"
+cargo clippy --all-targets -- -D warnings
+
+stage "build (release)"
 cargo build --release
 
-echo "== tests =="
+stage "tests"
 cargo test -q
 
-echo "== bench smoke: mixnet round pipeline =="
+# Full sampling budget, not BENCH_SMOKE: this stage's output IS the recorded
+# perf trajectory (≈3 s total), and overwriting the committed baseline with
+# noisy smoke numbers would make bench_compare.sh diffs meaningless.
+stage "bench snapshot: hash hot path (writes BENCH_pr3.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr3.json" \
+    cargo bench -p alpenhorn-bench --bench hash_hot_path
+
+# Perf numbers are hardware-specific, so the committed snapshot is only a
+# valid baseline on comparable hardware; opt into the regression gate by
+# pointing BENCH_BASELINE at a snapshot recorded on this machine.
+if [[ -n "${BENCH_BASELINE:-}" ]]; then
+    stage "bench compare (vs $BENCH_BASELINE)"
+    scripts/bench_compare.sh "$BENCH_BASELINE" "$PWD/BENCH_pr3.json"
+fi
+
+stage "bench smoke: mixnet round pipeline"
 BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench mixnet_ops
 
-echo "== bench smoke: pkg throughput =="
+stage "bench smoke: pkg throughput"
 BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench pkg_throughput
 
+echo
 echo "ci.sh: all green"

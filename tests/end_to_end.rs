@@ -20,8 +20,14 @@ fn registered_client(cluster: &mut Cluster, email: &str, seed: u8) -> Client {
     c
 }
 
-fn add_friend_round(cluster: &mut Cluster, round: Round, clients: &mut [&mut Client]) -> Vec<ClientEvent> {
-    let info = cluster.begin_add_friend_round(round, clients.len()).unwrap();
+fn add_friend_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<ClientEvent> {
+    let info = cluster
+        .begin_add_friend_round(round, clients.len())
+        .unwrap();
     for c in clients.iter_mut() {
         c.participate_add_friend(cluster, &info).unwrap();
     }
@@ -33,7 +39,11 @@ fn add_friend_round(cluster: &mut Cluster, round: Round, clients: &mut [&mut Cli
     events
 }
 
-fn dialing_round(cluster: &mut Cluster, round: Round, clients: &mut [&mut Client]) -> Vec<ClientEvent> {
+fn dialing_round(
+    cluster: &mut Cluster,
+    round: Round,
+    clients: &mut [&mut Client],
+) -> Vec<ClientEvent> {
     let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
     let mut events = Vec::new();
     for c in clients.iter_mut() {
@@ -92,8 +102,14 @@ fn full_lifecycle_register_friend_call_converse() {
     bob_session.send(&mut server, b"loud and clear").unwrap();
     let exchanged = server.exchange();
     let pair = &exchanged[&alice_session.conversation.dead_drop(round)];
-    assert_eq!(alice_session.receive(round, &pair[0]).unwrap(), b"loud and clear");
-    assert_eq!(bob_session.receive(round, &pair[1]).unwrap(), b"first contact");
+    assert_eq!(
+        alice_session.receive(round, &pair[0]).unwrap(),
+        b"loud and clear"
+    );
+    assert_eq!(
+        bob_session.receive(round, &pair[1]).unwrap(),
+        b"first contact"
+    );
 }
 
 #[test]
@@ -113,7 +129,9 @@ fn many_users_multiple_friendships_and_calls() {
     }
     let mut confirmed = std::collections::HashSet::new();
     for r in 1..=16u64 {
-        let info = cluster.begin_add_friend_round(Round(r), clients.len()).unwrap();
+        let info = cluster
+            .begin_add_friend_round(Round(r), clients.len())
+            .unwrap();
         for c in clients.iter_mut() {
             c.participate_add_friend(&mut cluster, &info).unwrap();
         }
@@ -129,7 +147,11 @@ fn many_users_multiple_friendships_and_calls() {
             break;
         }
     }
-    assert_eq!(confirmed.len(), emails.len() - 1, "user0 confirmed everyone");
+    assert_eq!(
+        confirmed.len(),
+        emails.len() - 1,
+        "user0 confirmed everyone"
+    );
     assert_eq!(clients[0].keywheels().len(), emails.len() - 1);
 
     // Everyone calls user0; user0 should eventually receive all calls.
@@ -138,7 +160,9 @@ fn many_users_multiple_friendships_and_calls() {
     }
     let mut incoming = 0;
     for r in 1..=12u64 {
-        let info = cluster.begin_dialing_round(Round(r), clients.len()).unwrap();
+        let info = cluster
+            .begin_dialing_round(Round(r), clients.len())
+            .unwrap();
         for c in clients.iter_mut() {
             c.participate_dialing(&mut cluster, &info).unwrap();
         }
@@ -201,7 +225,9 @@ fn cover_traffic_users_receive_nothing_and_upload_fixed_sizes() {
         .map(|i| registered_client(&mut cluster, &format!("idle{i}@example.com"), 60 + i as u8))
         .collect();
 
-    let info = cluster.begin_add_friend_round(Round(1), idle_users.len()).unwrap();
+    let info = cluster
+        .begin_add_friend_round(Round(1), idle_users.len())
+        .unwrap();
     for c in idle_users.iter_mut() {
         c.participate_add_friend(&mut cluster, &info).unwrap();
     }
@@ -209,17 +235,25 @@ fn cover_traffic_users_receive_nothing_and_upload_fixed_sizes() {
     assert_eq!(stats.client_messages, 4);
     // Nothing is delivered to anyone.
     for c in idle_users.iter_mut() {
-        assert!(c.process_add_friend_mailbox(&mut cluster, &info).unwrap().is_empty());
+        assert!(c
+            .process_add_friend_mailbox(&mut cluster, &info)
+            .unwrap()
+            .is_empty());
     }
 
     // Same for dialing.
-    let dial_info = cluster.begin_dialing_round(Round(1), idle_users.len()).unwrap();
+    let dial_info = cluster
+        .begin_dialing_round(Round(1), idle_users.len())
+        .unwrap();
     for c in idle_users.iter_mut() {
         c.participate_dialing(&mut cluster, &dial_info).unwrap();
     }
     cluster.close_dialing_round(Round(1)).unwrap();
     for c in idle_users.iter_mut() {
-        assert!(c.process_dialing_mailbox(&mut cluster, &dial_info).unwrap().is_empty());
+        assert!(c
+            .process_dialing_mailbox(&mut cluster, &dial_info)
+            .unwrap()
+            .is_empty());
     }
 }
 

@@ -66,7 +66,9 @@ fn garbage_onions_are_dropped_by_the_mixnet_not_delivered() {
     assert!(events
         .iter()
         .any(|e| matches!(e, ClientEvent::FriendRequestReceived { .. })));
-    alice.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+    alice
+        .process_add_friend_mailbox(&mut cluster, &info)
+        .unwrap();
 }
 
 #[test]
@@ -129,7 +131,9 @@ fn missing_mailbox_is_reported_and_round_can_be_abandoned() {
         alice.participate_add_friend(&mut cluster, &info).unwrap();
         bob.participate_add_friend(&mut cluster, &info).unwrap();
         cluster.close_add_friend_round(Round(r)).unwrap();
-        alice.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice
+            .process_add_friend_mailbox(&mut cluster, &info)
+            .unwrap();
         bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
     }
 
@@ -182,7 +186,9 @@ fn calls_to_removed_friends_fail_cleanly() {
         alice.participate_add_friend(&mut cluster, &info).unwrap();
         bob.participate_add_friend(&mut cluster, &info).unwrap();
         cluster.close_add_friend_round(Round(r)).unwrap();
-        alice.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice
+            .process_add_friend_mailbox(&mut cluster, &info)
+            .unwrap();
         bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
     }
     alice.remove_friend(&id("bob@gmail.com"));

@@ -48,7 +48,10 @@ fn upload_size_is_identical_for_real_and_cover_traffic() {
 
     // Dialing requests are likewise fixed-size.
     let dial_info = cluster.begin_dialing_round(Round(1), 3).unwrap();
-    assert_eq!(dial_info.onion_len, DIAL_REQUEST_LEN + 3 * ONION_LAYER_OVERHEAD);
+    assert_eq!(
+        dial_info.onion_len,
+        DIAL_REQUEST_LEN + 3 * ONION_LAYER_OVERHEAD
+    );
 }
 
 #[test]
@@ -70,9 +73,13 @@ fn mailbox_contents_dominated_by_noise_even_with_one_active_user() {
     alice.participate_add_friend(&mut cluster, &info).unwrap();
     bob.participate_add_friend(&mut cluster, &info).unwrap();
     let stats = cluster.close_add_friend_round(Round(1)).unwrap();
-    assert_eq!(stats.total_noise(), 3 * 50 * (info.num_mailboxes as u64 + 1));
+    assert_eq!(
+        stats.total_noise(),
+        3 * 50 * (info.num_mailboxes as u64 + 1)
+    );
 
-    let mailbox = alpenhorn_wire::MailboxId::for_recipient(&id("bob@gmail.com"), info.num_mailboxes);
+    let mailbox =
+        alpenhorn_wire::MailboxId::for_recipient(&id("bob@gmail.com"), info.num_mailboxes);
     let contents = cluster
         .cdn()
         .fetch_add_friend_mailbox(Round(1), mailbox)
@@ -121,7 +128,9 @@ fn removing_a_friend_destroys_the_evidence() {
         alice.participate_add_friend(&mut cluster, &info).unwrap();
         bob.participate_add_friend(&mut cluster, &info).unwrap();
         cluster.close_add_friend_round(Round(r)).unwrap();
-        alice.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice
+            .process_add_friend_mailbox(&mut cluster, &info)
+            .unwrap();
         bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
     }
     assert!(alice.keywheels().contains(&id("bob@gmail.com")));

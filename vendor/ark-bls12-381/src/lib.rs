@@ -312,9 +312,7 @@ macro_rules! define_group {
         impl core::ops::Mul<Fr> for $proj {
             type Output = Self;
             fn mul(self, scalar: Fr) -> Self {
-                $proj {
-                    e: self.e * scalar,
-                }
+                $proj { e: self.e * scalar }
             }
         }
 
@@ -388,9 +386,7 @@ macro_rules! define_group {
         }
 
         impl CanonicalDeserialize for $affine {
-            fn deserialize_compressed<R: Read>(
-                mut reader: R,
-            ) -> Result<Self, SerializationError> {
+            fn deserialize_compressed<R: Read>(mut reader: R) -> Result<Self, SerializationError> {
                 let mut buf = [0u8; $len];
                 reader
                     .read_exact(&mut buf)
@@ -450,9 +446,7 @@ impl G1Affine {
             return None;
         }
         let e = splitmix(mixed) % P;
-        Some(G1Affine {
-            e: Fr(e),
-        })
+        Some(G1Affine { e: Fr(e) })
     }
 }
 
@@ -466,9 +460,7 @@ impl G2Affine {
             return None;
         }
         let e = splitmix(mixed) % P;
-        Some(G2Affine {
-            e: Fr(e),
-        })
+        Some(G2Affine { e: Fr(e) })
     }
 }
 
@@ -568,7 +560,9 @@ mod tests {
         let id = G1Projective::zero().into_affine();
         let mut buf = [0u8; 48];
         id.serialize_compressed(&mut buf[..]).unwrap();
-        assert!(G1Affine::deserialize_compressed(&buf[..]).unwrap().is_zero());
+        assert!(G1Affine::deserialize_compressed(&buf[..])
+            .unwrap()
+            .is_zero());
 
         // All-zero bytes without the infinity flag are invalid.
         assert!(G1Affine::deserialize_compressed(&[0u8; 48][..]).is_err());

@@ -40,4 +40,3 @@ pub trait PrimeField: Field {
     /// characteristic.
     fn from_be_bytes_mod_order(bytes: &[u8]) -> Self;
 }
-

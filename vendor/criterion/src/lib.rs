@@ -55,6 +55,33 @@ fn format_time(ns_per_iter: f64) -> String {
     }
 }
 
+/// Times `f` over adaptively sized batches until `budget` is spent,
+/// returning `(mean ns/iter, iterations)`. The first call is an untimed
+/// warmup that also calibrates the batch size.
+///
+/// This is the one timing model in the workspace: `Bencher::iter` uses it,
+/// and out-of-band snapshot harnesses (the `hash_hot_path` bench) call it
+/// directly so their numbers stay comparable with the criterion benches.
+pub fn measure_mean_ns(budget: Duration, mut f: impl FnMut()) -> (f64, u64) {
+    // Warmup and per-batch calibration.
+    let start = Instant::now();
+    f();
+    let first = start.elapsed().max(Duration::from_nanos(20));
+    let batch = (Duration::from_millis(2).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < budget {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += start.elapsed();
+        iters += batch;
+    }
+    (total.as_nanos() as f64 / iters as f64, iters)
+}
+
 /// Measurement context passed to benchmark closures.
 pub struct Bencher {
     budget: Duration,
@@ -66,24 +93,10 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, recording mean time per call.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warmup and per-batch calibration.
-        let start = Instant::now();
-        black_box(routine());
-        let first = start.elapsed().max(Duration::from_nanos(20));
-        let batch = (Duration::from_millis(2).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
-
-        let mut total = Duration::ZERO;
-        let mut iters = 0u64;
-        let budget = self.budget;
-        while total < budget {
-            let start = Instant::now();
-            for _ in 0..batch {
-                black_box(routine());
-            }
-            total += start.elapsed();
-            iters += batch;
-        }
-        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        let (ns, iters) = measure_mean_ns(self.budget, || {
+            black_box(routine());
+        });
+        self.result_ns = ns;
         self.iters = iters;
     }
 
@@ -188,7 +201,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.as_ref());
         run_one(self.criterion.budget, &id, f);
         self
@@ -212,6 +229,10 @@ pub struct BenchmarkId;
 
 impl BenchmarkId {
     /// Creates an id like `name/param`.
+    ///
+    /// The stand-in renders ids eagerly to `String` (real criterion returns
+    /// an opaque `BenchmarkId`), hence the non-`Self` constructor.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(name: impl core::fmt::Display, param: impl core::fmt::Display) -> String {
         format!("{name}/{param}")
     }

@@ -135,7 +135,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             *l == *r,
             "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
-            stringify!($left), stringify!($right), l, r
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
         );
     }};
 }
@@ -148,7 +151,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{} != {}` (both: `{:?}`)",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

@@ -266,9 +266,9 @@ fn parse_simple_regex(pattern: &str) -> Vec<RegexAtom> {
                 }
                 set
             }
-            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => panic!(
-                "proptest stand-in: unsupported regex construct {c:?} in {pattern:?}"
-            ),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("proptest stand-in: unsupported regex construct {c:?} in {pattern:?}")
+            }
             '\\' => vec![chars.next().expect("escape at end of regex")],
             literal => vec![literal],
         };
@@ -295,7 +295,10 @@ fn parse_simple_regex(pattern: &str) -> Vec<RegexAtom> {
         } else {
             (1, 1)
         };
-        assert!(!set.is_empty() && min <= max, "bad regex atom in {pattern:?}");
+        assert!(
+            !set.is_empty() && min <= max,
+            "bad regex atom in {pattern:?}"
+        );
         atoms.push(RegexAtom {
             chars: set,
             min,

@@ -258,7 +258,8 @@ pub mod rngs {
             for chunk in seed.chunks(8) {
                 let mut b = [0u8; 8];
                 b[..chunk.len()].copy_from_slice(chunk);
-                acc = acc.rotate_left(23) ^ u64::from_le_bytes(b).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                acc =
+                    acc.rotate_left(23) ^ u64::from_le_bytes(b).wrapping_mul(0x2545_F491_4F6C_DD1D);
             }
             StdRng {
                 state: SplitMix64(acc),

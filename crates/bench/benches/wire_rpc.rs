@@ -1,0 +1,169 @@
+//! RPC codec snapshot: encode/decode costs of the client ↔ coordinator wire
+//! protocol (requests, responses, frames) on the paths a busy `alpenhornd`
+//! exercises per client per round.
+//!
+//! Like `hash_hot_path`, this target writes a machine-readable snapshot
+//! (`BENCH_pr4.json` by default, override with `BENCH_JSON_OUT`) so the perf
+//! trajectory is recorded in-repo and `scripts/bench_compare.sh` can diff two
+//! snapshots and flag regressions.
+//!
+//! Environment:
+//! * `BENCH_JSON_OUT` — where to write the JSON snapshot.
+//! * `BENCH_SAMPLE_MS` — per-metric sampling budget (default 300).
+//! * `BENCH_SMOKE=1` — reduce the budget for CI smoke runs.
+
+use std::time::Duration;
+
+use alpenhorn_sim::Table;
+use alpenhorn_wire::rpc::{AddFriendRoundWire, RATE_LIMIT_SERIAL_LEN};
+use alpenhorn_wire::{
+    AddFriendEnvelope, Frame, Identity, MailboxId, RateLimitToken, Request, Response, Round,
+    ADD_FRIEND_REQUEST_LEN, G1_LEN, ONION_LAYER_OVERHEAD, SIGNATURE_LEN,
+};
+
+fn measure_ns(budget: Duration, f: impl FnMut()) -> f64 {
+    criterion::measure_mean_ns(budget, f).0
+}
+
+fn sample_budget() -> Duration {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        return Duration::from_millis(60);
+    }
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn main() {
+    alpenhorn_bench::print_header(
+        "Wire RPC codec snapshot",
+        "per-request costs of the client<->coordinator boundary (docs/ARCHITECTURE.md)",
+    );
+    let budget = sample_budget();
+    let mut metrics: Vec<(&'static str, f64)> = Vec::new();
+
+    // The submit path: the hot per-client-per-round request.
+    let onion_len = ADD_FRIEND_REQUEST_LEN + 3 * ONION_LAYER_OVERHEAD;
+    let submit = Request::SubmitAddFriend {
+        round: Round(42),
+        onion: vec![0xa5; onion_len],
+        token: Some(RateLimitToken {
+            serial: [7u8; RATE_LIMIT_SERIAL_LEN],
+            signature: [9u8; SIGNATURE_LEN],
+        }),
+    };
+    let submit_bytes = submit.encode();
+    metrics.push((
+        "submit_encode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(submit.encode());
+        }),
+    ));
+    metrics.push((
+        "submit_decode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Request::decode(&submit_bytes).unwrap());
+        }),
+    ));
+
+    // Round-info response (3 onion keys + 3 PKG publics).
+    let info = Response::AddFriendRoundInfo(AddFriendRoundWire {
+        round: Round(42),
+        onion_keys: vec![[1u8; G1_LEN]; 3],
+        pkg_publics: vec![[2u8; G1_LEN]; 3],
+        num_mailboxes: 32,
+        onion_len: onion_len as u32,
+        rate_limited: true,
+    });
+    let info_bytes = info.encode();
+    metrics.push((
+        "round_info_encode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(info.encode());
+        }),
+    ));
+    metrics.push((
+        "round_info_decode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Response::decode(&info_bytes).unwrap());
+        }),
+    ));
+
+    // Mailbox download response: 64 fixed-size IBE ciphertexts (a realistic
+    // per-client mailbox with noise).
+    let mailbox = Response::AddFriendMailbox {
+        contents: vec![vec![3u8; AddFriendEnvelope::CIPHERTEXT_LEN]; 64],
+    };
+    let mailbox_bytes = mailbox.encode();
+    metrics.push((
+        "mailbox64_encode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(mailbox.encode());
+        }),
+    ));
+    metrics.push((
+        "mailbox64_decode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Response::decode(&mailbox_bytes).unwrap());
+        }),
+    ));
+
+    // Framing: wrap + unwrap (checksummed) around the submit request.
+    let framed = Frame::encode(&submit_bytes);
+    metrics.push((
+        "frame_encode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Frame::encode(&submit_bytes));
+        }),
+    ));
+    metrics.push((
+        "frame_decode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Frame::decode(&framed).unwrap());
+        }),
+    ));
+
+    // Full round trip on the wire form: frame -> request -> handle-shaped
+    // touch -> response -> frame (codec cost only, no cluster).
+    let fetch = Request::FetchAddFriendMailbox {
+        round: Round(42),
+        mailbox: MailboxId::for_recipient(&Identity::new("alice@example.com").unwrap(), 32),
+    };
+    let fetch_framed = Frame::encode(&fetch.encode());
+    metrics.push((
+        "fetch_rt_codec_ns",
+        measure_ns(budget, || {
+            let payload = Frame::decode(&fetch_framed).unwrap();
+            let request = Request::decode(payload).unwrap();
+            criterion::black_box(&request);
+            criterion::black_box(Frame::encode(&mailbox_bytes));
+        }),
+    ));
+
+    let mut table = Table::new("Wire RPC codec", &["metric", "value"]);
+    for (name, value) in &metrics {
+        table.push_row(vec![(*name).to_string(), format!("{value:.1} ns/op")]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(submit request: {} bytes; framed: {} bytes; mailbox response: {} bytes)",
+        submit_bytes.len(),
+        framed.len(),
+        mailbox_bytes.len()
+    );
+
+    let out_path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").to_string()
+    });
+    let mut json = String::from("{\n  \"schema\": \"alpenhorn-bench-snapshot-v1\",\n");
+    json.push_str("  \"bench\": \"wire_rpc\",\n  \"benches\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {value:.2}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench snapshot");
+    println!("snapshot written to {out_path}");
+}

@@ -1,0 +1,173 @@
+//! `alpenhornd` — the Alpenhorn coordinator daemon.
+//!
+//! Stands up a complete Alpenhorn deployment (PKGs + mixnet + entry server +
+//! CDN) behind the framed RPC protocol and serves concurrent clients over
+//! TCP. Rounds are driven either by admin RPCs (the default, which is what
+//! the integration tests use) or automatically on a timer with
+//! `--round-interval-ms`.
+//!
+//! ```text
+//! alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]
+//!            [--rate-limit-budget N] [--round-interval-ms MS]
+//! ```
+//!
+//! With `--round-interval-ms MS` the daemon alternates: open an add-friend
+//! and a dialing round, sleep `MS` milliseconds while clients participate,
+//! close both, repeat. Without it, an operator (or test harness) opens and
+//! closes rounds through `BeginAddFriendRound` / `CloseAddFriendRound` admin
+//! requests on the same port.
+
+use std::time::Duration;
+
+use alpenhorn_coordinator::server::serve;
+use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_wire::Round;
+
+struct Options {
+    listen: String,
+    seed: u8,
+    num_pkgs: usize,
+    num_mix_servers: usize,
+    rate_limit_budget: Option<u32>,
+    round_interval: Option<Duration>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]\n\
+         \x20                 [--rate-limit-budget N] [--round-interval-ms MS]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: "127.0.0.1:7107".to_string(),
+        seed: 0,
+        num_pkgs: 3,
+        num_mix_servers: 3,
+        rate_limit_budget: None,
+        round_interval: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("alpenhornd: {name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => options.listen = value("--listen"),
+            "--seed" => options.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--pkgs" => options.num_pkgs = value("--pkgs").parse().unwrap_or_else(|_| usage()),
+            "--mix-servers" => {
+                options.num_mix_servers = value("--mix-servers").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate-limit-budget" => {
+                options.rate_limit_budget = Some(
+                    value("--rate-limit-budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--round-interval-ms" => {
+                options.round_interval = Some(Duration::from_millis(
+                    value("--round-interval-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("alpenhornd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let config = ClusterConfig {
+        num_pkgs: options.num_pkgs,
+        num_mix_servers: options.num_mix_servers,
+        seed: [options.seed; 32],
+        ..ClusterConfig::default()
+    };
+    let service_config = ServiceConfig {
+        rate_limit: options
+            .rate_limit_budget
+            .map(|budget_per_day| RateLimitPolicy { budget_per_day }),
+    };
+    let service = CoordinatorService::with_config(Cluster::new(config), service_config);
+    let rate_limited = service.rate_limited();
+
+    let handle = match serve(service, options.listen.as_str()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("alpenhornd: cannot listen on {}: {e}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "alpenhornd listening on {} ({} PKGs, {} mixnet servers, rate limiting {})",
+        handle.local_addr(),
+        options.num_pkgs,
+        options.num_mix_servers,
+        if rate_limited { "on" } else { "off" },
+    );
+
+    match options.round_interval {
+        None => {
+            println!("rounds are admin-driven; send BeginAddFriendRound/BeginDialingRound RPCs");
+            // Serve until killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Some(interval) => {
+            // Runs until the process is killed, like the admin-driven branch.
+            println!("auto-driving rounds every {} ms", interval.as_millis());
+            let service = handle.service();
+            let mut round = Round::FIRST;
+            loop {
+                {
+                    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
+                    let cluster = svc.cluster_mut();
+                    if let Err(e) = cluster.begin_add_friend_round(round, 128) {
+                        eprintln!("alpenhornd: add-friend round {}: {e}", round.0);
+                    }
+                    if let Err(e) = cluster.begin_dialing_round(round, 128) {
+                        eprintln!("alpenhornd: dialing round {}: {e}", round.0);
+                    }
+                }
+                std::thread::sleep(interval);
+                {
+                    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
+                    let cluster = svc.cluster_mut();
+                    match cluster.close_add_friend_round(round) {
+                        Ok(stats) => println!(
+                            "add-friend round {} closed: {} client messages, {} noise",
+                            round.0,
+                            stats.client_messages,
+                            stats.total_noise()
+                        ),
+                        Err(e) => eprintln!("alpenhornd: closing add-friend {}: {e}", round.0),
+                    }
+                    match cluster.close_dialing_round(round) {
+                        Ok(stats) => println!(
+                            "dialing round {} closed: {} client messages",
+                            round.0, stats.client_messages
+                        ),
+                        Err(e) => eprintln!("alpenhornd: closing dialing {}: {e}", round.0),
+                    }
+                    cluster.advance_time(interval.as_secs().max(1));
+                }
+                round = round.next();
+            }
+        }
+    }
+}

@@ -204,6 +204,27 @@ impl Cluster {
         self.pkgs.len()
     }
 
+    /// The signing key registered for `identity`, if any (all PKGs share the
+    /// account database contents in this in-process deployment, so PKG 0 is
+    /// authoritative). Used by the service layer to authenticate requests
+    /// that are not addressed to a specific PKG, e.g. rate-limit token
+    /// issuance.
+    pub fn registered_signing_key(&self, identity: &Identity) -> Option<VerifyingKey> {
+        self.pkgs
+            .first()
+            .and_then(|pkg| pkg.registry().signing_key(identity).copied())
+    }
+
+    /// Parameters of the currently open add-friend round, if one is open.
+    pub fn open_add_friend_info(&self) -> Option<&AddFriendRoundInfo> {
+        self.open_add_friend.as_ref().map(|open| &open.info)
+    }
+
+    /// Parameters of the currently open dialing round, if one is open.
+    pub fn open_dialing_info(&self) -> Option<&DialingRoundInfo> {
+        self.open_dialing.as_ref().map(|open| &open.info)
+    }
+
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------

@@ -60,3 +60,42 @@ impl From<alpenhorn_pkg::PkgError> for CoordinatorError {
         CoordinatorError::Pkg(e)
     }
 }
+
+/// Stable numeric code for each [`alpenhorn_pkg::PkgError`] variant, carried
+/// in [`alpenhorn_wire::RpcError::Pkg`] so clients keep a typed (if coarse)
+/// view of PKG failures across the RPC boundary.
+pub fn pkg_error_code(e: &alpenhorn_pkg::PkgError) -> u8 {
+    use alpenhorn_pkg::PkgError;
+    match e {
+        PkgError::AlreadyRegistered => 1,
+        PkgError::NoPendingRegistration => 2,
+        PkgError::BadConfirmationToken => 3,
+        PkgError::UnknownIdentity => 4,
+        PkgError::AuthenticationFailed => 5,
+        PkgError::LockedOut { .. } => 6,
+        PkgError::WrongRound { .. } => 7,
+        PkgError::WrongPhase => 8,
+    }
+}
+
+impl From<CoordinatorError> for alpenhorn_wire::RpcError {
+    fn from(e: CoordinatorError) -> Self {
+        use alpenhorn_wire::RpcError;
+        match e {
+            CoordinatorError::RoundNotOpen { requested } => RpcError::RoundNotOpen { requested },
+            CoordinatorError::RoundAlreadyOpen => RpcError::RoundAlreadyOpen,
+            CoordinatorError::WrongRequestSize { expected, actual } => RpcError::WrongRequestSize {
+                expected: expected as u32,
+                actual: actual as u32,
+            },
+            CoordinatorError::UnknownMailbox => RpcError::UnknownMailbox,
+            CoordinatorError::Pkg(pkg) => RpcError::Pkg {
+                code: pkg_error_code(&pkg),
+                detail: pkg.to_string(),
+            },
+            CoordinatorError::CommitmentMismatch { pkg_index } => RpcError::CommitmentMismatch {
+                pkg_index: pkg_index as u32,
+            },
+        }
+    }
+}

@@ -18,9 +18,13 @@ pub mod cluster;
 pub mod error;
 pub mod ratelimit;
 pub mod rounds;
+pub mod server;
+pub mod service;
 
 pub use cdn::Cdn;
 pub use cluster::{AddFriendRoundInfo, Cluster, ClusterConfig, DialingRoundInfo};
 pub use error::CoordinatorError;
 pub use ratelimit::{TokenIssuer, TokenVerifier};
 pub use rounds::RoundTiming;
+pub use server::{serve, ServerHandle};
+pub use service::{CoordinatorService, RateLimitPolicy, ServiceConfig};

@@ -25,10 +25,39 @@ use std::collections::{HashMap, HashSet};
 
 use alpenhorn_ibe::blind::{sign_blinded, verify_token, BlindedMessage, BlindedSignature};
 use alpenhorn_ibe::sig::{Signature, SigningKey, VerifyingKey};
-use alpenhorn_wire::Identity;
+use alpenhorn_wire::rpc::RATE_LIMIT_SERIAL_LEN;
+use alpenhorn_wire::{Encoder, Identity, Round, RoundKind, G1_LEN, IDENTITY_FIELD_LEN};
 
 /// Number of seconds in the issuance window (one day, per the paper).
 pub const ISSUANCE_WINDOW_SECONDS: u64 = 24 * 60 * 60;
+
+/// The message a spendable token signs: domain tag, protocol, round, and the
+/// client-chosen serial. Binding the round means a token cannot be hoarded
+/// and replayed into a later round after [`TokenVerifier::roll_window`]
+/// clears the double-spend ledger.
+pub fn spend_message(
+    kind: RoundKind,
+    round: Round,
+    serial: &[u8; RATE_LIMIT_SERIAL_LEN],
+) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_bytes(b"alpenhorn-ratelimit-spend-v1");
+    e.put_bytes(kind.label().as_bytes());
+    e.put_u64(round.0);
+    e.put_bytes(serial);
+    e.finish()
+}
+
+/// The message a client signs (with its registered long-term key) to request
+/// issuance of one blind-signed token. Issuance is authenticated the same way
+/// PKG key extraction is; only spending is unlinkable.
+pub fn issue_message(identity: &Identity, blinded: &[u8; G1_LEN]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_bytes(b"alpenhorn-ratelimit-issue-v1");
+    e.put_padded(identity.as_bytes(), IDENTITY_FIELD_LEN);
+    e.put_bytes(blinded);
+    e.finish()
+}
 
 /// Errors from the rate-limiting subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +88,11 @@ pub struct TokenIssuer {
     budget_per_day: u32,
     /// (identity, day index) → tokens issued so far.
     issued: HashMap<(Identity, u64), u32>,
+    /// (identity, day index) → blinded messages already signed today, so a
+    /// replayed issuance request (an on-path attacker re-sending a captured
+    /// frame, or a client retrying after a lost response) is answered
+    /// idempotently instead of burning the user's budget again.
+    seen: HashMap<(Identity, u64), HashSet<[u8; 48]>>,
 }
 
 impl TokenIssuer {
@@ -68,6 +102,7 @@ impl TokenIssuer {
             signing_key,
             budget_per_day,
             issued: HashMap::new(),
+            seen: HashMap::new(),
         }
     }
 
@@ -83,7 +118,10 @@ impl TokenIssuer {
         self.budget_per_day.saturating_sub(used)
     }
 
-    /// Blind-signs one token for `user`, consuming one unit of today's budget.
+    /// Blind-signs one token for `user`, consuming one unit of today's
+    /// budget. Re-signing a blinded message already signed today is free:
+    /// BLS blind signing is deterministic, so the caller gets the identical
+    /// signature and a replay cannot drain the budget.
     ///
     /// The issuer authenticates the user the same way the PKG authenticates
     /// key extraction (registered signing key); that check lives with the
@@ -95,11 +133,19 @@ impl TokenIssuer {
         now: u64,
     ) -> Result<BlindedSignature, RateLimitError> {
         let day = now / ISSUANCE_WINDOW_SECONDS;
-        let used = self.issued.entry((user.clone(), day)).or_insert(0);
-        if *used >= self.budget_per_day {
-            return Err(RateLimitError::BudgetExhausted);
+        let key = (user.clone(), day);
+        let already_signed = self
+            .seen
+            .get(&key)
+            .is_some_and(|messages| messages.contains(&blinded.to_bytes()));
+        if !already_signed {
+            let used = self.issued.entry(key.clone()).or_insert(0);
+            if *used >= self.budget_per_day {
+                return Err(RateLimitError::BudgetExhausted);
+            }
+            *used += 1;
+            self.seen.entry(key).or_default().insert(blinded.to_bytes());
         }
-        *used += 1;
         Ok(sign_blinded(&self.signing_key, blinded))
     }
 }
@@ -193,6 +239,27 @@ mod tests {
         assert!(issuer
             .issue(&alice, &blinded, ISSUANCE_WINDOW_SECONDS + 1)
             .is_ok());
+    }
+
+    #[test]
+    fn replayed_issuance_is_idempotent_and_free() {
+        // A captured issuance request replayed by an on-path attacker (or a
+        // client retry after a lost response) must not drain the budget; the
+        // deterministic blind signature is simply returned again.
+        let (mut issuer, _, mut rng) = setup(1);
+        let alice = id("alice@example.com");
+        let (blinded, _) = blind(b"m", &mut rng);
+        let first = issuer.issue(&alice, &blinded, 0).unwrap();
+        let replay = issuer.issue(&alice, &blinded, 0).unwrap();
+        assert_eq!(first.to_bytes(), replay.to_bytes());
+        assert_eq!(issuer.remaining(&alice, 0), 0);
+        // A fresh blinded message is a genuine charge and hits the
+        // exhausted budget.
+        let (fresh, _) = blind(b"m2", &mut rng);
+        assert_eq!(
+            issuer.issue(&alice, &fresh, 0),
+            Err(RateLimitError::BudgetExhausted)
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! A threaded TCP server exposing a [`CoordinatorService`] to the network.
+//!
+//! This is the daemon half of the `alpenhornd` deployment: an accept loop
+//! hands each connection to its own thread, and every request on every
+//! connection funnels through the shared service behind a mutex, so the
+//! dispatch semantics are identical to the in-process loopback path. Clients
+//! speak the framed RPC protocol ([`alpenhorn_wire::rpc`] inside
+//! [`alpenhorn_wire::Frame`]); a connection that sends an undecodable frame
+//! gets a typed error reply and is then dropped.
+//!
+//! The `Cluster` behind the service is single-state (rounds are global), so a
+//! mutex — not sharding — is the right concurrency model: submissions are
+//! order-independent within a round and the expensive work (the mixnet run at
+//! round close) is already internally parallel.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use alpenhorn_wire::codec::FrameIoError;
+use alpenhorn_wire::Frame;
+
+use crate::service::CoordinatorService;
+
+/// A handle to a running RPC server.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] to stop accepting connections and join the
+/// accept thread. Connection threads exit when their peer disconnects.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    service: Arc<Mutex<CoordinatorService>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service, for server-side inspection (e.g. reading round
+    /// statistics or driving the simulated clock from tests).
+    pub fn service(&self) -> Arc<Mutex<CoordinatorService>> {
+        Arc::clone(&self.service)
+    }
+
+    /// Stops accepting new connections and joins the accept thread. Existing
+    /// connections are serviced until their peers disconnect.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Locks the service, recovering from a poisoned mutex: a panicking
+/// connection thread must not take the whole daemon down with it.
+fn lock_service(
+    service: &Arc<Mutex<CoordinatorService>>,
+) -> std::sync::MutexGuard<'_, CoordinatorService> {
+    service
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Serves `service` on `addr` (use port 0 for an ephemeral port), returning
+/// once the listener is bound and accepting. Each connection runs in its own
+/// thread; requests across all connections are serialized through the
+/// service mutex.
+pub fn serve(
+    service: CoordinatorService,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let service = Arc::new(Mutex::new(service));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_service = Arc::clone(&service);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&accept_service);
+            std::thread::spawn(move || serve_connection(stream, service));
+        }
+    });
+
+    Ok(ServerHandle {
+        local_addr,
+        service,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Services one connection until the peer disconnects or sends an
+/// undecodable frame.
+fn serve_connection(mut stream: TcpStream, service: Arc<Mutex<CoordinatorService>>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(payload) => {
+                let response = lock_service(&service).handle_request_bytes(&payload);
+                if Frame::write_to(&mut stream, &response).is_err() {
+                    return;
+                }
+            }
+            // Peer went away (EOF surfaces as UnexpectedEof from read_exact);
+            // any other I/O failure is equally fatal per-connection.
+            Err(FrameIoError::Io(_)) => return,
+            Err(FrameIoError::Wire(e)) => {
+                // Reply with a typed error, then drop the connection: after a
+                // framing error the stream offset can no longer be trusted.
+                let reply = alpenhorn_wire::Response::Error(alpenhorn_wire::RpcError::BadRequest {
+                    detail: format!("undecodable frame: {e}"),
+                })
+                .encode();
+                let _ = Frame::write_to(&mut stream, &reply);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use alpenhorn_wire::{Request, Response};
+
+    fn roundtrip(stream: &mut TcpStream, request: &Request) -> Response {
+        Frame::write_to(stream, &request.encode()).unwrap();
+        let payload = Frame::read_from(stream).unwrap();
+        Response::decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let service = CoordinatorService::new(Cluster::new(ClusterConfig::test(70)));
+        let handle = serve(service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+        let Response::PkgKeys(keys) = roundtrip(&mut stream, &Request::GetPkgKeys) else {
+            panic!("expected PKG keys");
+        };
+        assert_eq!(keys.len(), 3);
+
+        // Multiple requests on one connection.
+        assert!(matches!(
+            roundtrip(&mut stream, &Request::GetAddFriendRoundInfo),
+            Response::Error(_)
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn undecodable_frame_gets_typed_reply_then_disconnect() {
+        let service = CoordinatorService::new(Cluster::new(ClusterConfig::test(71)));
+        let handle = serve(service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+        use std::io::Write as _;
+        stream.write_all(b"XXjunk frame").unwrap();
+        stream.flush().unwrap();
+        let payload = Frame::read_from(&mut stream).unwrap();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Error(alpenhorn_wire::RpcError::BadRequest { .. })
+        ));
+        handle.shutdown();
+    }
+}

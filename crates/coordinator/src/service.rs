@@ -1,0 +1,800 @@
+//! The coordinator service: dispatches decoded RPC requests onto a
+//! [`Cluster`].
+//!
+//! This is the server half of the client ↔ coordinator API defined in
+//! [`alpenhorn_wire::rpc`]. Every transport — the in-process loopback used by
+//! tests and the simulator, and the TCP server in [`crate::server`] — funnels
+//! into [`CoordinatorService::handle`], so both paths execute exactly the
+//! same dispatch, the same validation, and the same rate limiting.
+//!
+//! Rate limiting (§9 of the paper) is enforced here: when a
+//! [`RateLimitPolicy`] is configured, every submission must carry a valid,
+//! unspent blind-signature token, and token issuance is budgeted per user per
+//! day. Deployments without the policy accept token-less submissions,
+//! matching the paper's prototype.
+
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_ibe::blind::BlindedMessage;
+use alpenhorn_ibe::sig::{Signature, SigningKey};
+use alpenhorn_mixnet::RoundStats;
+use alpenhorn_wire::rpc::{
+    AddFriendRoundWire, DialingRoundWire, IdentityKeyShareWire, RoundStatsWire,
+};
+use alpenhorn_wire::{
+    Frame, RateLimitReason, RateLimitToken, Request, Response, Round, RoundKind, RpcError,
+};
+
+use crate::cluster::{AddFriendRoundInfo, Cluster, DialingRoundInfo};
+use crate::error::pkg_error_code;
+use crate::ratelimit::{self, RateLimitError, TokenIssuer, TokenVerifier};
+
+/// Rate-limiting policy for a service (§9): per-user daily issuance budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitPolicy {
+    /// Tokens each registered user may be issued per day. One token is spent
+    /// per submission (real or cover), so the budget bounds a user's
+    /// submissions per day.
+    pub budget_per_day: u32,
+}
+
+/// Configuration for a [`CoordinatorService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Rate-limiting policy; `None` (the default, matching the paper's
+    /// prototype) accepts token-less submissions.
+    pub rate_limit: Option<RateLimitPolicy>,
+}
+
+/// Dispatches RPC requests onto an in-process [`Cluster`].
+pub struct CoordinatorService {
+    cluster: Cluster,
+    issuer: Option<TokenIssuer>,
+    verifier: Option<TokenVerifier>,
+}
+
+impl CoordinatorService {
+    /// Wraps `cluster` with the default configuration (no rate limiting).
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_config(cluster, ServiceConfig::default())
+    }
+
+    /// Wraps `cluster` with an explicit configuration. The rate-limit issuer
+    /// key is derived deterministically from the cluster seed so seeded
+    /// deployments stay reproducible.
+    pub fn with_config(cluster: Cluster, config: ServiceConfig) -> Self {
+        let (issuer, verifier) = match config.rate_limit {
+            None => (None, None),
+            Some(policy) => {
+                let mut seed = cluster.config().seed;
+                seed[28] ^= 0x77;
+                let mut rng = ChaChaRng::from_seed_bytes(seed);
+                let issuer =
+                    TokenIssuer::new(SigningKey::generate(&mut rng), policy.budget_per_day);
+                let verifier = TokenVerifier::new(issuer.verifying_key());
+                (Some(issuer), Some(verifier))
+            }
+        };
+        CoordinatorService {
+            cluster,
+            issuer,
+            verifier,
+        }
+    }
+
+    /// The wrapped cluster (read-only).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The wrapped cluster (mutable, for round driving and test inspection).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Whether submissions must carry rate-limit tokens.
+    pub fn rate_limited(&self) -> bool {
+        self.verifier.is_some()
+    }
+
+    /// Handles one decoded request, producing a response. Never panics on
+    /// hostile input: every failure maps to [`Response::Error`].
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Register {
+                identity,
+                signing_key,
+            } => {
+                let key = match alpenhorn_ibe::sig::VerifyingKey::from_bytes(&signing_key) {
+                    Ok(key) => key,
+                    Err(_) => return bad_request("malformed signing key"),
+                };
+                match self.cluster.begin_registration(&identity, key) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::CompleteRegistration { identity } => {
+                match self.cluster.complete_registration_from_inbox(&identity) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::Deregister {
+                identity,
+                signature,
+            } => {
+                let signature = match Signature::from_bytes(&signature) {
+                    Ok(sig) => sig,
+                    Err(_) => return bad_request("malformed signature"),
+                };
+                match self.cluster.deregister(&identity, &signature) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::GetPkgKeys => Response::PkgKeys(
+                self.cluster
+                    .pkg_verifying_keys()
+                    .iter()
+                    .map(|key| key.to_bytes())
+                    .collect(),
+            ),
+            Request::GetAddFriendRoundInfo => match self.cluster.open_add_friend_info() {
+                None => Response::Error(RpcError::NoOpenRound {
+                    kind: RoundKind::AddFriend,
+                }),
+                Some(info) => {
+                    Response::AddFriendRoundInfo(add_friend_wire(info, self.verifier.is_some()))
+                }
+            },
+            Request::GetDialingRoundInfo => match self.cluster.open_dialing_info() {
+                None => Response::Error(RpcError::NoOpenRound {
+                    kind: RoundKind::Dialing,
+                }),
+                Some(info) => {
+                    Response::DialingRoundInfo(dialing_wire(info, self.verifier.is_some()))
+                }
+            },
+            Request::ExtractIdentityKeys {
+                identity,
+                round,
+                auth,
+            } => {
+                let auth = match Signature::from_bytes(&auth) {
+                    Ok(sig) => sig,
+                    Err(_) => return bad_request("malformed extraction signature"),
+                };
+                match self.cluster.extract_identity_keys(&identity, round, &auth) {
+                    Ok(responses) => Response::IdentityKeys(
+                        responses
+                            .iter()
+                            .map(|r| IdentityKeyShareWire {
+                                identity_key: r.identity_key.to_bytes(),
+                                attestation: r.attestation.to_bytes(),
+                            })
+                            .collect(),
+                    ),
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::IssueRateLimitToken {
+                identity,
+                blinded,
+                auth,
+            } => self.issue_token(identity, blinded, auth),
+            Request::SubmitAddFriend {
+                round,
+                onion,
+                token,
+            } => {
+                // Validate the submission before burning the token: a
+                // rejected submission must not consume issuance budget.
+                let open = self
+                    .cluster
+                    .open_add_friend_info()
+                    .map(|info| (info.round, info.onion_len));
+                if let Err(e) = validate_submission(open, round, onion.len()) {
+                    return Response::Error(e);
+                }
+                if let Err(e) = self.spend_token(RoundKind::AddFriend, round, token) {
+                    return Response::Error(e);
+                }
+                match self.cluster.submit_add_friend(round, onion) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::SubmitDialing {
+                round,
+                onion,
+                token,
+            } => {
+                let open = self
+                    .cluster
+                    .open_dialing_info()
+                    .map(|info| (info.round, info.onion_len));
+                if let Err(e) = validate_submission(open, round, onion.len()) {
+                    return Response::Error(e);
+                }
+                if let Err(e) = self.spend_token(RoundKind::Dialing, round, token) {
+                    return Response::Error(e);
+                }
+                match self.cluster.submit_dialing(round, onion) {
+                    Ok(()) => Response::Ack,
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::FetchAddFriendMailbox { round, mailbox } => {
+                match self.cluster.cdn().fetch_add_friend_mailbox(round, mailbox) {
+                    Some(contents) => Response::AddFriendMailbox { contents },
+                    None => Response::Error(RpcError::UnknownMailbox),
+                }
+            }
+            Request::FetchDialingMailbox { round, mailbox } => {
+                match self.cluster.cdn().fetch_dialing_mailbox(round, mailbox) {
+                    Some(filter) => Response::DialingMailbox {
+                        filter: filter.to_bytes(),
+                    },
+                    None => Response::Error(RpcError::UnknownMailbox),
+                }
+            }
+            Request::BeginAddFriendRound {
+                round,
+                expected_real,
+            } => match self
+                .cluster
+                .begin_add_friend_round(round, expected_real as usize)
+            {
+                Ok(info) => {
+                    Response::AddFriendRoundInfo(add_friend_wire(&info, self.verifier.is_some()))
+                }
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::CloseAddFriendRound { round } => {
+                match self.cluster.close_add_friend_round(round) {
+                    Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::BeginDialingRound {
+                round,
+                expected_real,
+            } => match self
+                .cluster
+                .begin_dialing_round(round, expected_real as usize)
+            {
+                Ok(info) => {
+                    Response::DialingRoundInfo(dialing_wire(&info, self.verifier.is_some()))
+                }
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::CloseDialingRound { round } => match self.cluster.close_dialing_round(round) {
+                Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
+                Err(e) => Response::Error(e.into()),
+            },
+        }
+    }
+
+    /// Handles one framed request payload (already stripped of its frame),
+    /// returning the encoded response. A payload that does not decode to a
+    /// [`Request`] yields an encoded [`RpcError::BadRequest`] instead of a
+    /// connection drop, so clients always get a typed answer.
+    pub fn handle_request_bytes(&mut self, payload: &[u8]) -> Vec<u8> {
+        let response = match Request::decode(payload) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::Error(RpcError::BadRequest {
+                detail: format!("undecodable request: {e}"),
+            }),
+        };
+        let bytes = response.encode();
+        if bytes.len() > Frame::MAX_PAYLOAD_LEN {
+            // A response too large to frame (e.g. a mailbox bloated past the
+            // 16 MiB cap by an unthrottled flood of submissions) must come
+            // back as a typed error, not panic the connection thread in
+            // `Frame::encode`.
+            return Response::Error(RpcError::BadRequest {
+                detail: "response exceeds the maximum frame size".to_string(),
+            })
+            .encode();
+        }
+        bytes
+    }
+
+    /// Handles one complete frame, returning the complete response frame.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Vec<u8> {
+        let response_bytes = match Frame::decode(frame) {
+            Ok(payload) => self.handle_request_bytes(payload),
+            Err(e) => Response::Error(RpcError::BadRequest {
+                detail: format!("undecodable frame: {e}"),
+            })
+            .encode(),
+        };
+        Frame::encode(&response_bytes)
+    }
+
+    fn issue_token(
+        &mut self,
+        identity: alpenhorn_wire::Identity,
+        blinded: [u8; alpenhorn_wire::G1_LEN],
+        auth: [u8; alpenhorn_wire::SIGNATURE_LEN],
+    ) -> Response {
+        let Some(issuer) = &mut self.issuer else {
+            return Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::NotEnabled,
+            });
+        };
+        // Issuance is authenticated like key extraction: the request must be
+        // signed by the key registered for the identity.
+        let Some(registered) = self.cluster.registered_signing_key(&identity) else {
+            return Response::Error(RpcError::Pkg {
+                code: pkg_error_code(&alpenhorn_pkg::PkgError::UnknownIdentity),
+                detail: alpenhorn_pkg::PkgError::UnknownIdentity.to_string(),
+            });
+        };
+        let Ok(auth) = Signature::from_bytes(&auth) else {
+            return bad_request("malformed issuance signature");
+        };
+        if !registered.verify(&ratelimit::issue_message(&identity, &blinded), &auth) {
+            return Response::Error(RpcError::Pkg {
+                code: pkg_error_code(&alpenhorn_pkg::PkgError::AuthenticationFailed),
+                detail: alpenhorn_pkg::PkgError::AuthenticationFailed.to_string(),
+            });
+        }
+        let Ok(blinded) = BlindedMessage::from_bytes(&blinded) else {
+            return bad_request("malformed blinded message");
+        };
+        let now = self.cluster.now();
+        match issuer.issue(&identity, &blinded, now) {
+            Ok(blind_sig) => Response::TokenIssued {
+                blind_signature: blind_sig.to_bytes(),
+            },
+            Err(RateLimitError::BudgetExhausted) => Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::BudgetExhausted,
+            }),
+            Err(RateLimitError::InvalidToken | RateLimitError::DoubleSpend) => {
+                bad_request("unexpected issuance failure")
+            }
+        }
+    }
+
+    fn spend_token(
+        &mut self,
+        kind: RoundKind,
+        round: Round,
+        token: Option<RateLimitToken>,
+    ) -> Result<(), RpcError> {
+        let Some(verifier) = &mut self.verifier else {
+            return Ok(());
+        };
+        let Some(token) = token else {
+            return Err(RpcError::RateLimited {
+                reason: RateLimitReason::MissingToken,
+            });
+        };
+        let signature =
+            Signature::from_bytes(&token.signature).map_err(|_| RpcError::RateLimited {
+                reason: RateLimitReason::InvalidToken,
+            })?;
+        let message = ratelimit::spend_message(kind, round, &token.serial);
+        verifier
+            .spend(&message, &signature)
+            .map_err(|e| RpcError::RateLimited {
+                reason: match e {
+                    RateLimitError::InvalidToken => RateLimitReason::InvalidToken,
+                    RateLimitError::DoubleSpend => RateLimitReason::DoubleSpend,
+                    RateLimitError::BudgetExhausted => RateLimitReason::BudgetExhausted,
+                },
+            })
+    }
+}
+
+fn bad_request(detail: &str) -> Response {
+    Response::Error(RpcError::BadRequest {
+        detail: detail.to_string(),
+    })
+}
+
+fn add_friend_wire(info: &AddFriendRoundInfo, rate_limited: bool) -> AddFriendRoundWire {
+    AddFriendRoundWire {
+        round: info.round,
+        onion_keys: info.onion_keys.iter().map(|key| key.to_bytes()).collect(),
+        pkg_publics: info.pkg_publics.iter().map(|pk| pk.to_bytes()).collect(),
+        num_mailboxes: info.num_mailboxes,
+        onion_len: info.onion_len as u32,
+        rate_limited,
+    }
+}
+
+fn dialing_wire(info: &DialingRoundInfo, rate_limited: bool) -> DialingRoundWire {
+    DialingRoundWire {
+        round: info.round,
+        onion_keys: info.onion_keys.iter().map(|key| key.to_bytes()).collect(),
+        num_mailboxes: info.num_mailboxes,
+        onion_len: info.onion_len as u32,
+        rate_limited,
+    }
+}
+
+/// Checks a submission against the open round (if any) without mutating
+/// anything, so a rejected submission never spends a rate-limit token. The
+/// subsequent cluster call re-checks under the same lock, so the two can
+/// only agree.
+fn validate_submission(
+    open: Option<(Round, usize)>,
+    round: Round,
+    onion_len: usize,
+) -> Result<(), RpcError> {
+    let Some((open_round, expected_len)) = open else {
+        return Err(RpcError::RoundNotOpen { requested: round });
+    };
+    if open_round != round {
+        return Err(RpcError::RoundNotOpen { requested: round });
+    }
+    if onion_len != expected_len {
+        return Err(RpcError::WrongRequestSize {
+            expected: expected_len as u32,
+            actual: onion_len as u32,
+        });
+    }
+    Ok(())
+}
+
+fn round_stats_wire(stats: &RoundStats) -> RoundStatsWire {
+    RoundStatsWire {
+        client_messages: stats.client_messages as u64,
+        total_noise: stats.total_noise(),
+        final_messages: stats.final_messages as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use alpenhorn_ibe::blind::{blind, unblind};
+    use alpenhorn_wire::Identity;
+
+    fn service(seed: u8) -> CoordinatorService {
+        CoordinatorService::new(Cluster::new(ClusterConfig::test(seed)))
+    }
+
+    fn rate_limited_service(seed: u8, budget: u32) -> CoordinatorService {
+        CoordinatorService::with_config(
+            Cluster::new(ClusterConfig::test(seed)),
+            ServiceConfig {
+                rate_limit: Some(RateLimitPolicy {
+                    budget_per_day: budget,
+                }),
+            },
+        )
+    }
+
+    fn register(service: &mut CoordinatorService, email: &str) -> SigningKey {
+        let identity = Identity::new(email).unwrap();
+        let mut rng = ChaChaRng::from_seed_bytes([email.len() as u8; 32]);
+        let key = SigningKey::generate(&mut rng);
+        assert_eq!(
+            service.handle(Request::Register {
+                identity: identity.clone(),
+                signing_key: key.verifying_key().to_bytes(),
+            }),
+            Response::Ack
+        );
+        assert_eq!(
+            service.handle(Request::CompleteRegistration { identity }),
+            Response::Ack
+        );
+        key
+    }
+
+    #[test]
+    fn round_info_reports_no_open_round() {
+        let mut service = service(40);
+        assert_eq!(
+            service.handle(Request::GetAddFriendRoundInfo),
+            Response::Error(RpcError::NoOpenRound {
+                kind: RoundKind::AddFriend
+            })
+        );
+        assert_eq!(
+            service.handle(Request::GetDialingRoundInfo),
+            Response::Error(RpcError::NoOpenRound {
+                kind: RoundKind::Dialing
+            })
+        );
+    }
+
+    #[test]
+    fn begin_round_info_matches_get() {
+        let mut service = service(41);
+        let begun = service.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 10,
+        });
+        let fetched = service.handle(Request::GetAddFriendRoundInfo);
+        assert_eq!(begun, fetched);
+        let Response::AddFriendRoundInfo(info) = fetched else {
+            panic!("expected round info");
+        };
+        assert_eq!(info.round, Round(1));
+        assert_eq!(info.onion_keys.len(), 3);
+        assert_eq!(info.pkg_publics.len(), 3);
+        assert!(!info.rate_limited);
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_errors_not_panics() {
+        let mut service = service(42);
+        let identity = Identity::new("alice@example.com").unwrap();
+        assert!(matches!(
+            service.handle(Request::Register {
+                identity: identity.clone(),
+                signing_key: [0xffu8; alpenhorn_wire::SIGNING_PK_LEN],
+            }),
+            Response::Error(RpcError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            service.handle(Request::Deregister {
+                identity,
+                signature: [0xffu8; alpenhorn_wire::SIGNATURE_LEN],
+            }),
+            Response::Error(RpcError::BadRequest { .. })
+        ));
+        // Undecodable request bytes inside a valid frame.
+        let framed = Frame::encode(&[0xde, 0xad, 0xbe, 0xef]);
+        let reply = service.handle_frame(&framed);
+        let payload = Frame::decode(&reply).unwrap();
+        assert!(matches!(
+            Response::decode(payload).unwrap(),
+            Response::Error(RpcError::BadRequest { .. })
+        ));
+        // An undecodable frame still gets a framed, typed reply.
+        let reply = service.handle_frame(b"not a frame at all");
+        let payload = Frame::decode(&reply).unwrap();
+        assert!(matches!(
+            Response::decode(payload).unwrap(),
+            Response::Error(RpcError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_limited_submissions_require_valid_tokens() {
+        let mut service = rate_limited_service(43, 4);
+        let key = register(&mut service, "alice@example.com");
+        let identity = Identity::new("alice@example.com").unwrap();
+        let Response::AddFriendRoundInfo(info) = service.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 4,
+        }) else {
+            panic!("round opens");
+        };
+        assert!(info.rate_limited);
+        let onion = vec![0u8; info.onion_len as usize];
+
+        // No token: rejected.
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: onion.clone(),
+                token: None,
+            }),
+            Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::MissingToken
+            })
+        );
+
+        // Forged token: rejected.
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: onion.clone(),
+                token: Some(RateLimitToken {
+                    serial: [1u8; 16],
+                    signature: [0u8; alpenhorn_wire::SIGNATURE_LEN],
+                }),
+            }),
+            Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::InvalidToken
+            })
+        );
+
+        // Properly issued token: accepted once, double spend rejected.
+        let mut rng = ChaChaRng::from_seed_bytes([9u8; 32]);
+        let serial = [7u8; 16];
+        let message = ratelimit::spend_message(RoundKind::AddFriend, Round(1), &serial);
+        let (blinded, factor) = blind(&message, &mut rng);
+        let blinded_bytes = blinded.to_bytes();
+        let auth = key.sign(&ratelimit::issue_message(&identity, &blinded_bytes));
+        let Response::TokenIssued { blind_signature } =
+            service.handle(Request::IssueRateLimitToken {
+                identity: identity.clone(),
+                blinded: blinded_bytes,
+                auth: auth.to_bytes(),
+            })
+        else {
+            panic!("token issued");
+        };
+        let token = RateLimitToken {
+            serial,
+            signature: unblind(
+                &alpenhorn_ibe::blind::BlindedSignature::from_bytes(&blind_signature).unwrap(),
+                &factor,
+            )
+            .to_bytes(),
+        };
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: onion.clone(),
+                token: Some(token),
+            }),
+            Response::Ack
+        );
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion,
+                token: Some(token),
+            }),
+            Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::DoubleSpend
+            })
+        );
+    }
+
+    #[test]
+    fn rejected_submissions_do_not_burn_the_token() {
+        // A wrong-sized onion (or wrong round) must be rejected before the
+        // token is spent, so the same token still works on the corrected
+        // submission — otherwise one malformed request costs a unit of the
+        // daily budget.
+        let mut service = rate_limited_service(47, 1);
+        let key = register(&mut service, "erin@example.com");
+        let erin = Identity::new("erin@example.com").unwrap();
+        let Response::AddFriendRoundInfo(info) = service.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 1,
+        }) else {
+            panic!("round opens");
+        };
+
+        let mut rng = ChaChaRng::from_seed_bytes([8u8; 32]);
+        let serial = [3u8; 16];
+        let message = ratelimit::spend_message(RoundKind::AddFriend, Round(1), &serial);
+        let (blinded, factor) = blind(&message, &mut rng);
+        let blinded_bytes = blinded.to_bytes();
+        let auth = key.sign(&ratelimit::issue_message(&erin, &blinded_bytes));
+        let Response::TokenIssued { blind_signature } =
+            service.handle(Request::IssueRateLimitToken {
+                identity: erin,
+                blinded: blinded_bytes,
+                auth: auth.to_bytes(),
+            })
+        else {
+            panic!("token issued");
+        };
+        let token = RateLimitToken {
+            serial,
+            signature: unblind(
+                &alpenhorn_ibe::blind::BlindedSignature::from_bytes(&blind_signature).unwrap(),
+                &factor,
+            )
+            .to_bytes(),
+        };
+
+        // Wrong size: rejected without spending.
+        assert!(matches!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: vec![0u8; info.onion_len as usize - 1],
+                token: Some(token),
+            }),
+            Response::Error(RpcError::WrongRequestSize { .. })
+        ));
+        // Wrong round: likewise.
+        assert!(matches!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(9),
+                onion: vec![0u8; info.onion_len as usize],
+                token: Some(token),
+            }),
+            Response::Error(RpcError::RoundNotOpen { .. })
+        ));
+        // The corrected submission spends the same token successfully.
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: vec![0u8; info.onion_len as usize],
+                token: Some(token),
+            }),
+            Response::Ack
+        );
+    }
+
+    #[test]
+    fn issuance_requires_registration_and_valid_auth() {
+        let mut service = rate_limited_service(44, 2);
+        let identity = Identity::new("ghost@example.com").unwrap();
+        let mut rng = ChaChaRng::from_seed_bytes([5u8; 32]);
+        let (blinded, _) = blind(b"message", &mut rng);
+        // Unknown identity.
+        assert!(matches!(
+            service.handle(Request::IssueRateLimitToken {
+                identity: identity.clone(),
+                blinded: blinded.to_bytes(),
+                auth: [0u8; alpenhorn_wire::SIGNATURE_LEN],
+            }),
+            Response::Error(RpcError::Pkg { code: 4, .. })
+        ));
+        // Registered identity, wrong key signing the request.
+        let _real_key = register(&mut service, "carol@example.com");
+        let carol = Identity::new("carol@example.com").unwrap();
+        let rogue = SigningKey::generate(&mut rng);
+        let auth = rogue.sign(&ratelimit::issue_message(&carol, &blinded.to_bytes()));
+        assert!(matches!(
+            service.handle(Request::IssueRateLimitToken {
+                identity: carol,
+                blinded: blinded.to_bytes(),
+                auth: auth.to_bytes(),
+            }),
+            Response::Error(RpcError::Pkg { code: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn issuance_budget_is_enforced() {
+        let mut service = rate_limited_service(45, 1);
+        let key = register(&mut service, "dan@example.com");
+        let dan = Identity::new("dan@example.com").unwrap();
+        let mut rng = ChaChaRng::from_seed_bytes([6u8; 32]);
+        for attempt in 0..2 {
+            let (blinded, _) = blind(format!("m{attempt}").as_bytes(), &mut rng);
+            let blinded_bytes = blinded.to_bytes();
+            let auth = key.sign(&ratelimit::issue_message(&dan, &blinded_bytes));
+            let response = service.handle(Request::IssueRateLimitToken {
+                identity: dan.clone(),
+                blinded: blinded_bytes,
+                auth: auth.to_bytes(),
+            });
+            if attempt == 0 {
+                assert!(matches!(response, Response::TokenIssued { .. }));
+            } else {
+                assert_eq!(
+                    response,
+                    Response::Error(RpcError::RateLimited {
+                        reason: RateLimitReason::BudgetExhausted
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_are_not_required_when_disabled() {
+        let mut service = service(46);
+        let Response::AddFriendRoundInfo(info) = service.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 1,
+        }) else {
+            panic!("round opens");
+        };
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: vec![0u8; info.onion_len as usize],
+                token: None,
+            }),
+            Response::Ack
+        );
+        assert_eq!(
+            service.handle(Request::IssueRateLimitToken {
+                identity: Identity::new("a@b.co").unwrap(),
+                blinded: [0u8; alpenhorn_wire::G1_LEN],
+                auth: [0u8; alpenhorn_wire::SIGNATURE_LEN],
+            }),
+            Response::Error(RpcError::RateLimited {
+                reason: RateLimitReason::NotEnabled
+            })
+        );
+    }
+}

@@ -1,26 +1,39 @@
 //! The Alpenhorn client.
 //!
 //! Implements Algorithm 1 (the add-friend round) and the dialing protocol of
-//! §5 against an in-process [`Cluster`]. The client is round driven:
+//! §5 against a coordinator reached through a [`Transport`] — the in-process
+//! [`crate::transport::LoopbackTransport`] for tests and simulation, or
+//! [`crate::transport::TcpTransport`] against a networked `alpenhornd`
+//! daemon. The client is round driven:
 //!
-//! * **Add-friend round**: [`Client::participate_add_friend`] extracts the
-//!   round's IBE identity keys from every PKG, verifies their attestations,
-//!   and submits exactly one fixed-size request (a real friend request if one
-//!   is queued, cover traffic otherwise). After the coordinator closes the
-//!   round, [`Client::process_add_friend_mailbox`] downloads the client's
-//!   mailbox, trial-decrypts every ciphertext, verifies signatures, updates
-//!   the address book and keywheels, and erases the round's identity keys.
+//! * **Add-friend round**: [`Client::participate_add_friend`] fetches the
+//!   open round's parameters, extracts the round's IBE identity keys from
+//!   every PKG, verifies their attestations, and submits exactly one
+//!   fixed-size request (a real friend request if one is queued, cover
+//!   traffic otherwise). After the coordinator closes the round,
+//!   [`Client::process_add_friend_mailbox`] downloads the client's mailbox,
+//!   trial-decrypts every ciphertext, verifies signatures, updates the
+//!   address book and keywheels, and erases the round's identity keys.
 //! * **Dialing round**: [`Client::participate_dialing`] submits one (possibly
 //!   cover) dial token; [`Client::process_dialing_mailbox`] downloads the
 //!   round's Bloom filter, tests every (friend, intent) token, surfaces
 //!   incoming calls, and advances the keywheels (forward secrecy).
+//!
+//! When the coordinator enforces rate limiting (§9), the client transparently
+//! obtains one blind-signed token per submission via
+//! [`Request::IssueRateLimitToken`]; issuance is authenticated, spending is
+//! unlinkable.
 
 use std::collections::{HashMap, VecDeque};
 
-use alpenhorn_coordinator::{AddFriendRoundInfo, Cluster, DialingRoundInfo};
+use alpenhorn_bloom::BloomFilter;
+use alpenhorn_coordinator::ratelimit;
 use alpenhorn_crypto::ChaChaRng;
-use alpenhorn_ibe::anytrust::aggregate_identity_keys;
-use alpenhorn_ibe::bf::{decrypt as ibe_decrypt, encrypt as ibe_encrypt, IdentityPrivateKey};
+use alpenhorn_ibe::anytrust::{aggregate_identity_keys, aggregate_master_publics};
+use alpenhorn_ibe::bf::{
+    decrypt as ibe_decrypt, encrypt as ibe_encrypt, IdentityPrivateKey, MasterPublic,
+};
+use alpenhorn_ibe::blind::{blind, unblind, BlindedSignature};
 use alpenhorn_ibe::dh::{DhPublic, DhSecret};
 use alpenhorn_ibe::sig::{
     aggregate_signatures, aggregate_verifying_keys, Signature, SigningKey, VerifyingKey,
@@ -28,15 +41,17 @@ use alpenhorn_ibe::sig::{
 use alpenhorn_keywheel::{KeywheelTable, SessionKey};
 use alpenhorn_mixnet::onion::wrap_onion;
 use alpenhorn_pkg::server::extraction_request_message;
+use alpenhorn_wire::rpc::RATE_LIMIT_SERIAL_LEN;
 use alpenhorn_wire::{
-    AddFriendEnvelope, DialRequest, DialToken, FriendRequest, Identity, MailboxId, Round,
-    SIGNING_PK_LEN,
+    AddFriendEnvelope, DialRequest, DialToken, FriendRequest, Identity, MailboxId, RateLimitToken,
+    Request, Response, Round, RoundKind, SIGNING_PK_LEN,
 };
 use rand::RngCore;
 
 use crate::addressbook::{AddressBook, FriendEntry, FriendStatus};
 use crate::error::ClientError;
 use crate::events::ClientEvent;
+use crate::transport::Transport;
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +109,51 @@ struct OutgoingCall {
     intent: u32,
 }
 
+/// The client's typed view of an open add-friend round, reconstructed from
+/// the wire-form round info.
+struct AddFriendRoundView {
+    round: Round,
+    onion_keys: Vec<DhPublic>,
+    master_public: MasterPublic,
+    num_mailboxes: u32,
+    rate_limited: bool,
+}
+
+/// The client's typed view of an open dialing round.
+struct DialingRoundView {
+    round: Round,
+    onion_keys: Vec<DhPublic>,
+    num_mailboxes: u32,
+    rate_limited: bool,
+}
+
+/// Issues `request` through the transport, surfacing server-reported errors
+/// as typed [`ClientError`]s.
+fn rpc<T: Transport + ?Sized>(net: &mut T, request: Request) -> Result<Response, ClientError> {
+    match net.call(request)? {
+        Response::Error(e) => Err(e.into()),
+        response => Ok(response),
+    }
+}
+
+/// Decodes the onion keys announced in a round info. An empty chain is
+/// rejected: submitting through zero mixnet hops would put the request on
+/// the wire unwrapped.
+fn decode_onion_keys(bytes: &[[u8; alpenhorn_wire::G1_LEN]]) -> Result<Vec<DhPublic>, ClientError> {
+    if bytes.is_empty() {
+        return Err(ClientError::UnexpectedResponse {
+            context: "validating the round's onion key chain",
+        });
+    }
+    bytes
+        .iter()
+        .map(|key| DhPublic::from_bytes(key))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| ClientError::UnexpectedResponse {
+            context: "decoding round onion keys",
+        })
+}
+
 /// The Alpenhorn client for one user.
 pub struct Client {
     identity: Identity,
@@ -115,12 +175,15 @@ pub struct Client {
     /// Outgoing calls, one placed per dialing round.
     outgoing_calls: VecDeque<OutgoingCall>,
 
-    /// Identity keys for the currently open add-friend round (erased after
-    /// the mailbox is scanned, §4.4).
-    round_identity_key: Option<(Round, IdentityPrivateKey)>,
+    /// Identity key and mailbox count for the currently open add-friend round
+    /// (erased after the mailbox is scanned, §4.4).
+    round_identity_key: Option<(Round, u32, IdentityPrivateKey)>,
     /// The PKG multi-signature over (identity, signing key, round) for the
     /// current round, included in outgoing requests.
     round_attestation: Option<(Round, Signature)>,
+    /// Round and mailbox count of the dialing round last participated in
+    /// (consumed by mailbox processing).
+    dialing_round_state: Option<(Round, u32)>,
     /// The client's view of the next dialing round (used to propose keywheel
     /// start rounds).
     next_dialing_round: Round,
@@ -129,6 +192,10 @@ pub struct Client {
     /// share a mailbox the caller would otherwise see its own token and
     /// report a phantom incoming call.
     sent_dial_token: Option<(Round, DialToken)>,
+    /// An issued-but-unspent rate-limit token, kept across a failed
+    /// participation so the retry reuses it instead of burning another unit
+    /// of the daily issuance budget.
+    unspent_rate_limit_token: Option<(RoundKind, Round, RateLimitToken)>,
 
     /// Scratch for the innermost request bytes of the per-round submission,
     /// reused across rounds; [`wrap_onion`] then builds the onion around it
@@ -164,8 +231,10 @@ impl Client {
             outgoing_calls: VecDeque::new(),
             round_identity_key: None,
             round_attestation: None,
+            dialing_round_state: None,
             next_dialing_round: Round::FIRST,
             sent_dial_token: None,
+            unspent_rate_limit_token: None,
             payload_scratch: Vec::new(),
             rng,
         }
@@ -198,19 +267,66 @@ impl Client {
     }
 
     /// Registers this client's identity and signing key with every PKG (the
-    /// paper's `Register(email)`), completing the email confirmation against
-    /// the cluster's simulated inbox.
-    pub fn register(&mut self, cluster: &mut Cluster) -> Result<(), ClientError> {
+    /// paper's `Register(email)`), completing the email confirmation
+    /// round-trip.
+    pub fn register<T: Transport>(&mut self, net: &mut T) -> Result<(), ClientError> {
         if self.registered {
             // Registration is idempotent from the client's point of view; the
             // PKGs already hold this key and re-running the email round trip
             // would be a no-op.
             return Ok(());
         }
-        cluster.begin_registration(&self.identity, self.signing_key.verifying_key())?;
-        cluster.complete_registration_from_inbox(&self.identity)?;
+        match rpc(
+            net,
+            Request::Register {
+                identity: self.identity.clone(),
+                signing_key: self.signing_key.verifying_key().to_bytes(),
+            },
+        )? {
+            Response::Ack => {}
+            _ => {
+                return Err(ClientError::UnexpectedResponse {
+                    context: "registering",
+                })
+            }
+        }
+        match rpc(
+            net,
+            Request::CompleteRegistration {
+                identity: self.identity.clone(),
+            },
+        )? {
+            Response::Ack => {}
+            _ => {
+                return Err(ClientError::UnexpectedResponse {
+                    context: "completing registration",
+                })
+            }
+        }
         self.registered = true;
         Ok(())
+    }
+
+    /// Deregisters this identity at every PKG (signed with the long-term
+    /// key). The client keeps its local state; pair with
+    /// [`Client::reset_after_compromise`] for the §9 recovery flow.
+    pub fn deregister<T: Transport>(&mut self, net: &mut T) -> Result<(), ClientError> {
+        let signature = self.sign_deregistration();
+        match rpc(
+            net,
+            Request::Deregister {
+                identity: self.identity.clone(),
+                signature: signature.to_bytes(),
+            },
+        )? {
+            Response::Ack => {
+                self.registered = false;
+                Ok(())
+            }
+            _ => Err(ClientError::UnexpectedResponse {
+                context: "deregistering",
+            }),
+        }
     }
 
     /// Queues an add-friend request to `friend` (the paper's
@@ -296,12 +412,13 @@ impl Client {
         self.outgoing_calls.clear();
         self.round_identity_key = None;
         self.round_attestation = None;
+        self.unspent_rate_limit_token = None;
         self.signing_key = SigningKey::generate(&mut self.rng);
         self.registered = false;
     }
 
     /// Signs a deregistration request for this identity (sent to the PKGs via
-    /// [`Cluster::deregister`]).
+    /// [`Request::Deregister`]).
     pub fn sign_deregistration(&self) -> Signature {
         self.signing_key
             .sign(&alpenhorn_pkg::server::deregistration_message(
@@ -310,47 +427,177 @@ impl Client {
     }
 
     // ------------------------------------------------------------------
+    // Rate limiting (§9)
+    // ------------------------------------------------------------------
+
+    /// Obtains one spendable rate-limit token for a submission to `round`:
+    /// blinds a fresh serial's spend message, has the coordinator blind-sign
+    /// it (authenticated, budgeted), and unblinds the signature. The
+    /// coordinator cannot link the spent token back to this issuance.
+    fn acquire_rate_limit_token<T: Transport>(
+        &mut self,
+        net: &mut T,
+        kind: RoundKind,
+        round: Round,
+    ) -> Result<RateLimitToken, ClientError> {
+        // Reuse a token acquired for this round by a participation attempt
+        // that later failed: the budget was already charged for it.
+        if let Some((cached_kind, cached_round, token)) = self.unspent_rate_limit_token {
+            if cached_kind == kind && cached_round == round {
+                return Ok(token);
+            }
+        }
+        let mut serial = [0u8; RATE_LIMIT_SERIAL_LEN];
+        self.rng.fill_bytes(&mut serial);
+        let message = ratelimit::spend_message(kind, round, &serial);
+        let (blinded, factor) = blind(&message, &mut self.rng);
+        let blinded_bytes = blinded.to_bytes();
+        let auth = self
+            .signing_key
+            .sign(&ratelimit::issue_message(&self.identity, &blinded_bytes));
+        let response = rpc(
+            net,
+            Request::IssueRateLimitToken {
+                identity: self.identity.clone(),
+                blinded: blinded_bytes,
+                auth: auth.to_bytes(),
+            },
+        )?;
+        let Response::TokenIssued { blind_signature } = response else {
+            return Err(ClientError::UnexpectedResponse {
+                context: "requesting a rate-limit token",
+            });
+        };
+        let blind_signature = BlindedSignature::from_bytes(&blind_signature).map_err(|_| {
+            ClientError::UnexpectedResponse {
+                context: "unblinding a rate-limit token",
+            }
+        })?;
+        let token = RateLimitToken {
+            serial,
+            signature: unblind(&blind_signature, &factor).to_bytes(),
+        };
+        // Remember the token until it is actually spent, so a failure later
+        // in this participation does not strand a unit of budget.
+        self.unspent_rate_limit_token = Some((kind, round, token));
+        Ok(token)
+    }
+
+    // ------------------------------------------------------------------
     // Add-friend rounds (Algorithm 1)
     // ------------------------------------------------------------------
 
-    /// Participates in an open add-friend round: extracts identity keys from
-    /// the PKGs (step 1), then signs, encrypts, onion-wraps and submits one
-    /// request — real if one is queued, cover otherwise (steps 2-3).
-    pub fn participate_add_friend(
+    /// Fetches and validates the open add-friend round's parameters.
+    fn fetch_add_friend_round<T: Transport>(
         &mut self,
-        cluster: &mut Cluster,
-        info: &AddFriendRoundInfo,
-    ) -> Result<(), ClientError> {
+        net: &mut T,
+    ) -> Result<AddFriendRoundView, ClientError> {
+        let Response::AddFriendRoundInfo(info) = rpc(net, Request::GetAddFriendRoundInfo)? else {
+            return Err(ClientError::UnexpectedResponse {
+                context: "fetching add-friend round info",
+            });
+        };
+        let onion_keys = decode_onion_keys(&info.onion_keys)?;
+        let pkg_publics = info
+            .pkg_publics
+            .iter()
+            .map(|bytes| MasterPublic::from_bytes(bytes))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| ClientError::UnexpectedResponse {
+                context: "decoding PKG master publics",
+            })?;
+        if pkg_publics.is_empty() || info.num_mailboxes == 0 {
+            return Err(ClientError::UnexpectedResponse {
+                context: "validating add-friend round info",
+            });
+        }
+        let master_public = aggregate_master_publics(&pkg_publics);
+        Ok(AddFriendRoundView {
+            round: info.round,
+            onion_keys,
+            master_public,
+            num_mailboxes: info.num_mailboxes,
+            rate_limited: info.rate_limited,
+        })
+    }
+
+    /// Participates in the open add-friend round: fetches the round
+    /// parameters, extracts identity keys from the PKGs (step 1), then signs,
+    /// encrypts, onion-wraps and submits one request — real if one is queued,
+    /// cover otherwise (steps 2-3). Returns the round participated in.
+    pub fn participate_add_friend<T: Transport>(
+        &mut self,
+        net: &mut T,
+    ) -> Result<Round, ClientError> {
         if !self.registered {
             return Err(ClientError::NotRegistered);
         }
+        let view = self.fetch_add_friend_round(net)?;
+
+        // Acquire the rate-limit token before any state is mutated: a
+        // budget failure here must leave queued friend requests queued, not
+        // silently degrade them into cover traffic.
+        let token = if view.rate_limited {
+            Some(self.acquire_rate_limit_token(net, RoundKind::AddFriend, view.round)?)
+        } else {
+            None
+        };
 
         // Step 1: acquire identity keys and PKG attestations.
         let auth = self
             .signing_key
-            .sign(&extraction_request_message(&self.identity, info.round));
-        let responses = cluster.extract_identity_keys(&self.identity, info.round, &auth)?;
+            .sign(&extraction_request_message(&self.identity, view.round));
+        let Response::IdentityKeys(shares) = rpc(
+            net,
+            Request::ExtractIdentityKeys {
+                identity: self.identity.clone(),
+                round: view.round,
+                auth: auth.to_bytes(),
+            },
+        )?
+        else {
+            return Err(ClientError::UnexpectedResponse {
+                context: "extracting identity keys",
+            });
+        };
         // Verify each PKG's attestation with its long-term key before
         // trusting the aggregate (a malicious PKG returning garbage would
         // otherwise break our own outgoing requests).
         let attestation_msg = FriendRequest::pkg_attestation_message(
             &self.identity,
             &self.signing_key.verifying_key().to_bytes(),
-            info.round,
+            view.round,
         );
+        let mut identity_keys = Vec::with_capacity(shares.len());
+        let mut attestations = Vec::with_capacity(shares.len());
+        for share in &shares {
+            let identity_key =
+                IdentityPrivateKey::from_bytes(&share.identity_key).map_err(|_| {
+                    ClientError::UnexpectedResponse {
+                        context: "decoding an identity key share",
+                    }
+                })?;
+            let attestation = Signature::from_bytes(&share.attestation).map_err(|_| {
+                ClientError::UnexpectedResponse {
+                    context: "decoding a PKG attestation",
+                }
+            })?;
+            identity_keys.push(identity_key);
+            attestations.push(attestation);
+        }
         // Every response must be covered by a configured verification key —
         // an extra, unverifiable response folded into the aggregate would
         // defeat the anytrust check. (An empty `pkg_keys` is the explicit
         // verification opt-out.)
         if !self.pkg_keys.is_empty() {
-            if responses.len() != self.pkg_keys.len() {
+            if shares.len() != self.pkg_keys.len() {
                 return Err(ClientError::PkgResponseCount {
                     expected: self.pkg_keys.len(),
-                    actual: responses.len(),
+                    actual: shares.len(),
                 });
             }
-            for (i, response) in responses.iter().enumerate() {
-                if !self.pkg_keys[i].verify(&attestation_msg, &response.attestation) {
+            for (i, attestation) in attestations.iter().enumerate() {
+                if !self.pkg_keys[i].verify(&attestation_msg, attestation) {
                     return Err(ClientError::Coordinator(
                         alpenhorn_coordinator::CoordinatorError::CommitmentMismatch {
                             pkg_index: i,
@@ -359,30 +606,61 @@ impl Client {
                 }
             }
         }
-        let identity_key =
-            aggregate_identity_keys(&responses.iter().map(|r| r.identity_key).collect::<Vec<_>>());
-        let attestation =
-            aggregate_signatures(&responses.iter().map(|r| r.attestation).collect::<Vec<_>>());
-        self.round_identity_key = Some((info.round, identity_key));
-        self.round_attestation = Some((info.round, attestation));
+        let identity_key = aggregate_identity_keys(&identity_keys);
+        let attestation = aggregate_signatures(&attestations);
+        self.round_identity_key = Some((view.round, view.num_mailboxes, identity_key));
+        self.round_attestation = Some((view.round, attestation));
 
         // Steps 2-3: build and submit exactly one fixed-size request. The
         // envelope is encoded into a reused scratch buffer and the onion is
-        // built in place around it, at its exact final size.
-        let envelope = self.build_add_friend_envelope(info)?;
+        // built in place around it, at its exact final size. The queued item
+        // is held aside so a failed submission can put it back at the head
+        // of the queue for the next round (over TCP the submit can fail for
+        // reasons the old in-process API could not hit); a build failure
+        // means the item itself is malformed and it is dropped instead.
+        let queued = self.outgoing_add_friend.pop_front();
+        let envelope = self.build_add_friend_envelope(queued.as_ref(), &view)?;
         envelope.encode_into(&mut self.payload_scratch);
-        let onion = wrap_onion(&self.payload_scratch, &info.onion_keys, &mut self.rng);
-        cluster.submit_add_friend(info.round, onion)?;
-        Ok(())
+        let onion = wrap_onion(&self.payload_scratch, &view.onion_keys, &mut self.rng);
+        let submitted = rpc(
+            net,
+            Request::SubmitAddFriend {
+                round: view.round,
+                onion,
+                token,
+            },
+        );
+        match submitted {
+            Ok(Response::Ack) => {
+                self.unspent_rate_limit_token = None;
+                Ok(view.round)
+            }
+            Ok(_) => {
+                if let Some(item) = queued {
+                    self.outgoing_add_friend.push_front(item);
+                }
+                Err(ClientError::UnexpectedResponse {
+                    context: "submitting an add-friend request",
+                })
+            }
+            Err(e) => {
+                if let Some(item) = queued {
+                    self.outgoing_add_friend.push_front(item);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Builds this round's add-friend envelope: a real request if one is
-    /// queued, cover traffic otherwise.
+    /// queued, cover traffic otherwise. The queued item stays owned by the
+    /// caller so it can be re-queued if the subsequent submission fails.
     fn build_add_friend_envelope(
         &mut self,
-        info: &AddFriendRoundInfo,
+        outgoing: Option<&OutgoingAddFriend>,
+        view: &AddFriendRoundView,
     ) -> Result<AddFriendEnvelope, ClientError> {
-        let Some(outgoing) = self.outgoing_add_friend.pop_front() else {
+        let Some(outgoing) = outgoing else {
             return Ok(AddFriendEnvelope::cover());
         };
         let (recipient, dialing_round, dh_public) = match outgoing {
@@ -397,7 +675,7 @@ impl Client {
                         proposed_round: proposed,
                     },
                 );
-                (to, proposed, dh_public)
+                (to.clone(), proposed, dh_public)
             }
             OutgoingAddFriend::Reply {
                 to,
@@ -409,14 +687,14 @@ impl Client {
                 let dh_secret = DhSecret::generate(&mut self.rng);
                 let dh_public = dh_secret.public();
                 let final_round = Round(their_round.0.max(self.propose_dialing_round().0));
-                let their_public = DhPublic::from_bytes(&their_dh_key)
+                let their_public = DhPublic::from_bytes(their_dh_key)
                     .map_err(|_| ClientError::NoPendingRequest(to.clone()))?;
                 let shared = dh_secret.shared_secret(&their_public);
                 self.keywheels.insert(to.clone(), shared, final_round);
-                if let Some(entry) = self.address_book.get_mut(&to) {
+                if let Some(entry) = self.address_book.get_mut(to) {
                     entry.status = FriendStatus::Confirmed;
                 }
-                (to, final_round, dh_public)
+                (to.clone(), final_round, dh_public)
             }
         };
 
@@ -435,47 +713,46 @@ impl Client {
             sender_key: self.signing_key.verifying_key().to_bytes(),
             sender_sig: sender_sig.to_bytes(),
             pkg_sigs: attestation.to_bytes(),
-            pkg_round: info.round,
+            pkg_round: view.round,
             dialing_key,
             dialing_round,
         };
         let plaintext = request.encode();
         let ciphertext = ibe_encrypt(
-            &info.master_public,
+            &view.master_public,
             recipient.as_bytes(),
             &plaintext,
             &mut self.rng,
         );
         debug_assert_eq!(ciphertext.len(), AddFriendEnvelope::CIPHERTEXT_LEN);
         Ok(AddFriendEnvelope {
-            mailbox: MailboxId::for_recipient(&recipient, info.num_mailboxes),
+            mailbox: MailboxId::for_recipient(&recipient, view.num_mailboxes),
             ciphertext,
         })
     }
 
-    /// Downloads and scans this client's add-friend mailbox for the round
-    /// (steps 4-6 of Algorithm 1), then erases the round identity key.
-    pub fn process_add_friend_mailbox(
+    /// Downloads and scans this client's add-friend mailbox for the round it
+    /// last participated in (steps 4-6 of Algorithm 1), then erases the round
+    /// identity key.
+    pub fn process_add_friend_mailbox<T: Transport>(
         &mut self,
-        cluster: &mut Cluster,
-        info: &AddFriendRoundInfo,
+        net: &mut T,
     ) -> Result<Vec<ClientEvent>, ClientError> {
-        let (key_round, identity_key) = self
-            .round_identity_key
-            .take()
-            .ok_or(ClientError::NotRegistered)?;
-        if key_round != info.round {
-            return Err(ClientError::Coordinator(
-                alpenhorn_coordinator::CoordinatorError::RoundNotOpen {
-                    requested: info.round,
-                },
-            ));
-        }
-        let mailbox = MailboxId::for_recipient(&self.identity, info.num_mailboxes);
-        let contents = cluster
-            .cdn()
-            .fetch_add_friend_mailbox(info.round, mailbox)
-            .ok_or(ClientError::MissingMailbox)?;
+        // Destroy the round identity key only after the mailbox is in hand:
+        // a transient transport failure must leave the round retryable, or
+        // every request addressed to this client that round is lost.
+        let (round, num_mailboxes, identity_key) =
+            self.round_identity_key.ok_or(ClientError::NoRoundState)?;
+        let mailbox = MailboxId::for_recipient(&self.identity, num_mailboxes);
+        let contents = match rpc(net, Request::FetchAddFriendMailbox { round, mailbox })? {
+            Response::AddFriendMailbox { contents } => contents,
+            _ => {
+                return Err(ClientError::UnexpectedResponse {
+                    context: "fetching an add-friend mailbox",
+                })
+            }
+        };
+        self.round_identity_key = None;
 
         let mut events = Vec::new();
         for ciphertext in &contents {
@@ -602,36 +879,71 @@ impl Client {
     // Dialing rounds (§5)
     // ------------------------------------------------------------------
 
-    /// Participates in an open dialing round: submits one (possibly cover)
+    /// Fetches and validates the open dialing round's parameters.
+    fn fetch_dialing_round<T: Transport>(
+        &mut self,
+        net: &mut T,
+    ) -> Result<DialingRoundView, ClientError> {
+        let Response::DialingRoundInfo(info) = rpc(net, Request::GetDialingRoundInfo)? else {
+            return Err(ClientError::UnexpectedResponse {
+                context: "fetching dialing round info",
+            });
+        };
+        let onion_keys = decode_onion_keys(&info.onion_keys)?;
+        if info.num_mailboxes == 0 {
+            return Err(ClientError::UnexpectedResponse {
+                context: "validating dialing round info",
+            });
+        }
+        Ok(DialingRoundView {
+            round: info.round,
+            onion_keys,
+            num_mailboxes: info.num_mailboxes,
+            rate_limited: info.rate_limited,
+        })
+    }
+
+    /// Participates in the open dialing round: submits one (possibly cover)
     /// dial token through the mixnet. Returns the outgoing-call event if a
     /// real call was placed.
-    pub fn participate_dialing(
+    pub fn participate_dialing<T: Transport>(
         &mut self,
-        cluster: &mut Cluster,
-        info: &DialingRoundInfo,
+        net: &mut T,
     ) -> Result<Option<ClientEvent>, ClientError> {
-        self.next_dialing_round = Round(self.next_dialing_round.0.max(info.round.0));
+        let view = self.fetch_dialing_round(net)?;
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(view.round.0));
 
+        // Acquire the rate-limit token before popping a queued call: a
+        // budget failure here must leave the call queued for a later round.
+        let rate_token = if view.rate_limited {
+            Some(self.acquire_rate_limit_token(net, RoundKind::Dialing, view.round)?)
+        } else {
+            None
+        };
+
+        // The chosen call is held aside so a failed submission can put it
+        // back at the head of the queue; its token and event only become
+        // client state once the coordinator has accepted the submission.
+        let chosen = self.next_sendable_call(view.round);
         let mut event = None;
-        let request = match self.next_sendable_call(info.round) {
+        let request = match &chosen {
             Some(call) => {
                 let token = self
                     .keywheels
-                    .dial_token(&call.friend, info.round, call.intent)
+                    .dial_token(&call.friend, view.round, call.intent)
                     .ok_or_else(|| ClientError::NotAFriend(call.friend.clone()))??;
                 let session_key = self
                     .keywheels
-                    .session_key(&call.friend, info.round, call.intent)
+                    .session_key(&call.friend, view.round, call.intent)
                     .ok_or_else(|| ClientError::NotAFriend(call.friend.clone()))??;
                 event = Some(ClientEvent::OutgoingCallPlaced {
                     friend: call.friend.clone(),
                     intent: call.intent,
                     session_key,
-                    round: info.round,
+                    round: view.round,
                 });
-                self.sent_dial_token = Some((info.round, token));
                 DialRequest {
-                    mailbox: MailboxId::for_recipient(&call.friend, info.num_mailboxes),
+                    mailbox: MailboxId::for_recipient(&call.friend, view.num_mailboxes),
                     token,
                 }
             }
@@ -646,8 +958,34 @@ impl Client {
             }
         };
         request.encode_into(&mut self.payload_scratch);
-        let onion = wrap_onion(&self.payload_scratch, &info.onion_keys, &mut self.rng);
-        cluster.submit_dialing(info.round, onion)?;
+        let onion = wrap_onion(&self.payload_scratch, &view.onion_keys, &mut self.rng);
+        let submitted = rpc(
+            net,
+            Request::SubmitDialing {
+                round: view.round,
+                onion,
+                token: rate_token,
+            },
+        );
+        match submitted {
+            Ok(Response::Ack) => {}
+            other => {
+                if let Some(call) = chosen {
+                    self.outgoing_calls.push_front(call);
+                }
+                return match other {
+                    Err(e) => Err(e),
+                    _ => Err(ClientError::UnexpectedResponse {
+                        context: "submitting a dial request",
+                    }),
+                };
+            }
+        }
+        self.unspent_rate_limit_token = None;
+        if chosen.is_some() {
+            self.sent_dial_token = Some((view.round, request.token));
+        }
+        self.dialing_round_state = Some((view.round, view.num_mailboxes));
         Ok(event)
     }
 
@@ -672,28 +1010,37 @@ impl Client {
         chosen
     }
 
-    /// Downloads the round's Bloom filter mailbox, scans it for calls from
-    /// any friend with any intent, and advances all keywheels past the round
-    /// (erasing old keys, §5.1).
-    pub fn process_dialing_mailbox(
+    /// Downloads the Bloom filter mailbox of the dialing round last
+    /// participated in, scans it for calls from any friend with any intent,
+    /// and advances all keywheels past the round (erasing old keys, §5.1).
+    pub fn process_dialing_mailbox<T: Transport>(
         &mut self,
-        cluster: &mut Cluster,
-        info: &DialingRoundInfo,
+        net: &mut T,
     ) -> Result<Vec<ClientEvent>, ClientError> {
-        let mailbox = MailboxId::for_recipient(&self.identity, info.num_mailboxes);
-        let filter = cluster
-            .cdn()
-            .fetch_dialing_mailbox(info.round, mailbox)
-            .ok_or(ClientError::MissingMailbox)?;
+        let (round, num_mailboxes) = self.dialing_round_state.ok_or(ClientError::NoRoundState)?;
+        let mailbox = MailboxId::for_recipient(&self.identity, num_mailboxes);
+        let filter_bytes = match rpc(net, Request::FetchDialingMailbox { round, mailbox })? {
+            Response::DialingMailbox { filter } => filter,
+            _ => {
+                return Err(ClientError::UnexpectedResponse {
+                    context: "fetching a dialing mailbox",
+                })
+            }
+        };
+        let filter =
+            BloomFilter::from_bytes(&filter_bytes).ok_or(ClientError::UnexpectedResponse {
+                context: "decoding a dialing Bloom filter",
+            })?;
+        self.dialing_round_state = None;
 
         let own_token = match self.sent_dial_token {
-            Some((round, token)) if round == info.round => Some(token),
+            Some((token_round, token)) if token_round == round => Some(token),
             _ => None,
         };
         let mut events = Vec::new();
         for (friend, intent, token) in self
             .keywheels
-            .expected_tokens(info.round, self.config.num_intents)
+            .expected_tokens(round, self.config.num_intents)
         {
             if own_token == Some(token) {
                 // Our own outgoing token for this round; not an incoming call.
@@ -702,21 +1049,21 @@ impl Client {
             if filter.contains(token.as_bytes()) {
                 let session_key: SessionKey = self
                     .keywheels
-                    .session_key(&friend, info.round, intent)
+                    .session_key(&friend, round, intent)
                     .expect("friend has a keywheel")?;
                 events.push(ClientEvent::IncomingCall {
                     from: friend,
                     intent,
                     session_key,
-                    round: info.round,
+                    round,
                 });
             }
         }
 
         // The round is fully handled (sent and scanned): advance keywheels so
         // a later compromise cannot reconstruct this round's tokens.
-        self.keywheels.advance_to(info.round.next());
-        self.next_dialing_round = Round(self.next_dialing_round.0.max(info.round.next().0));
+        self.keywheels.advance_to(round.next());
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(round.next().0));
         Ok(events)
     }
 
@@ -725,6 +1072,9 @@ impl Client {
     /// preserve forward secrecy, accepting that calls from that round are
     /// lost).
     pub fn abandon_dialing_round(&mut self, round: Round) {
+        if matches!(self.dialing_round_state, Some((r, _)) if r == round) {
+            self.dialing_round_state = None;
+        }
         self.keywheels.advance_to(round.next());
         self.next_dialing_round = Round(self.next_dialing_round.0.max(round.next().0));
     }

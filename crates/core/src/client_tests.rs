@@ -1,4 +1,5 @@
-//! Scenario tests for the client against an in-process cluster.
+//! Scenario tests for the client against an in-process cluster, driven
+//! through the loopback transport.
 
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_wire::{Identity, Round};
@@ -6,67 +7,79 @@ use alpenhorn_wire::{Identity, Round};
 use crate::client::{Client, ClientConfig};
 use crate::error::ClientError;
 use crate::events::ClientEvent;
+use crate::transport::LoopbackTransport;
 
 fn id(s: &str) -> Identity {
     Identity::new(s).unwrap()
 }
 
-fn new_client(cluster: &mut Cluster, email: &str, seed: u8, config: ClientConfig) -> Client {
-    let mut client = Client::new(id(email), cluster.pkg_verifying_keys(), config, [seed; 32]);
-    client.register(cluster).unwrap();
+fn deployment(seed: u8) -> LoopbackTransport {
+    LoopbackTransport::new(Cluster::new(ClusterConfig::test(seed)))
+}
+
+fn new_client(net: &mut LoopbackTransport, email: &str, seed: u8, config: ClientConfig) -> Client {
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+    let mut client = Client::new(id(email), pkg_keys, config, [seed; 32]);
+    client.register(net).unwrap();
     client
 }
 
 /// Runs one complete add-friend round for the given clients and returns each
 /// client's events, in the same order as `clients`.
 fn run_add_friend_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster
-        .begin_add_friend_round(round, clients.len())
+    net.with_cluster(|c| c.begin_add_friend_round(round, clients.len()))
         .unwrap();
     for client in clients.iter_mut() {
-        client.participate_add_friend(cluster, &info).unwrap();
+        client.participate_add_friend(net).unwrap();
     }
-    cluster.close_add_friend_round(round).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(round))
+        .unwrap();
     clients
         .iter_mut()
-        .map(|c| c.process_add_friend_mailbox(cluster, &info).unwrap())
+        .map(|c| c.process_add_friend_mailbox(net).unwrap())
         .collect()
 }
 
 /// Runs one complete dialing round and returns each client's events
 /// (participation events followed by mailbox events).
 fn run_dialing_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+    net.with_cluster(|c| c.begin_dialing_round(round, clients.len()))
+        .unwrap();
     let mut events: Vec<Vec<ClientEvent>> = Vec::new();
     for client in clients.iter_mut() {
         let mut mine = Vec::new();
-        if let Some(e) = client.participate_dialing(cluster, &info).unwrap() {
+        if let Some(e) = client.participate_dialing(net).unwrap() {
             mine.push(e);
         }
         events.push(mine);
     }
-    cluster.close_dialing_round(round).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(round)).unwrap();
     for (client, mine) in clients.iter_mut().zip(events.iter_mut()) {
-        mine.extend(client.process_dialing_mailbox(cluster, &info).unwrap());
+        mine.extend(client.process_dialing_mailbox(net).unwrap());
     }
     events
 }
 
 /// Establishes a confirmed friendship between two clients (two add-friend
 /// rounds: request then confirmation).
-fn befriend(cluster: &mut Cluster, a: &mut Client, b: &mut Client, first_round: u64) -> Round {
+fn befriend(
+    net: &mut LoopbackTransport,
+    a: &mut Client,
+    b: &mut Client,
+    first_round: u64,
+) -> Round {
     let bob = b.identity().clone();
     a.add_friend(bob, None);
-    run_add_friend_round(cluster, Round(first_round), &mut [a, b]);
-    let events = run_add_friend_round(cluster, Round(first_round + 1), &mut [a, b]);
+    run_add_friend_round(net, Round(first_round), &mut [a, b]);
+    let events = run_add_friend_round(net, Round(first_round + 1), &mut [a, b]);
     // The initiator sees the confirmation in the second round.
     let confirmed = events[0]
         .iter()
@@ -80,19 +93,14 @@ fn befriend(cluster: &mut Cluster, a: &mut Client, b: &mut Client, first_round: 
 
 #[test]
 fn add_friend_handshake_confirms_both_sides() {
-    let mut cluster = Cluster::new(ClusterConfig::test(10));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        1,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 2, ClientConfig::default());
+    let mut net = deployment(10);
+    let mut alice = new_client(&mut net, "alice@example.com", 1, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 2, ClientConfig::default());
 
     alice.add_friend(id("bob@gmail.com"), None);
 
     // Round 1: Alice's request reaches Bob.
-    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
     assert!(events[0].is_empty());
     assert!(matches!(
         events[1].as_slice(),
@@ -100,7 +108,7 @@ fn add_friend_handshake_confirms_both_sides() {
     ));
 
     // Round 2: Bob's confirmation reaches Alice.
-    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
     let confirmed_round = match events[0].as_slice() {
         [ClientEvent::FriendConfirmed {
             friend,
@@ -138,15 +146,10 @@ fn add_friend_handshake_confirms_both_sides() {
 
 #[test]
 fn dialing_delivers_call_and_matching_session_keys() {
-    let mut cluster = Cluster::new(ClusterConfig::test(11));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        3,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 4, ClientConfig::default());
-    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut net = deployment(11);
+    let mut alice = new_client(&mut net, "alice@example.com", 3, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 4, ClientConfig::default());
+    let start = befriend(&mut net, &mut alice, &mut bob, 1);
 
     alice.call(id("bob@gmail.com"), 2).unwrap();
 
@@ -154,7 +157,7 @@ fn dialing_delivers_call_and_matching_session_keys() {
     let mut alice_key = None;
     let mut bob_key = None;
     for r in 1..=start.as_u64() {
-        let events = run_dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        let events = run_dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
         for e in &events[0] {
             if let ClientEvent::OutgoingCallPlaced {
                 session_key,
@@ -187,32 +190,27 @@ fn dialing_delivers_call_and_matching_session_keys() {
 
 #[test]
 fn idle_clients_send_cover_traffic_and_receive_nothing() {
-    let mut cluster = Cluster::new(ClusterConfig::test(12));
-    let mut carol = new_client(&mut cluster, "carol@x.org", 5, ClientConfig::default());
+    let mut net = deployment(12);
+    let mut carol = new_client(&mut net, "carol@x.org", 5, ClientConfig::default());
 
-    let af = run_add_friend_round(&mut cluster, Round(1), &mut [&mut carol]);
+    let af = run_add_friend_round(&mut net, Round(1), &mut [&mut carol]);
     assert!(af[0].is_empty());
-    let dial = run_dialing_round(&mut cluster, Round(1), &mut [&mut carol]);
+    let dial = run_dialing_round(&mut net, Round(1), &mut [&mut carol]);
     assert!(dial[0].is_empty());
 }
 
 #[test]
 fn manual_accept_flow() {
-    let mut cluster = Cluster::new(ClusterConfig::test(13));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        6,
-        ClientConfig::default(),
-    );
+    let mut net = deployment(13);
+    let mut alice = new_client(&mut net, "alice@example.com", 6, ClientConfig::default());
     let manual = ClientConfig {
         auto_accept_friends: false,
         ..ClientConfig::default()
     };
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 7, manual);
+    let mut bob = new_client(&mut net, "bob@gmail.com", 7, manual);
 
     alice.add_friend(id("bob@gmail.com"), None);
-    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
     assert!(matches!(
         events[1].as_slice(),
         [ClientEvent::FriendRequestReceived {
@@ -222,59 +220,44 @@ fn manual_accept_flow() {
     ));
 
     // Without an accept, nothing is confirmed in round 2.
-    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
     assert!(events[0].is_empty());
 
     // Bob accepts; round 3 confirms.
     bob.accept_friend_request(&id("alice@example.com")).unwrap();
-    let events = run_add_friend_round(&mut cluster, Round(3), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(3), &mut [&mut alice, &mut bob]);
     assert!(events[0].iter().any(|e| e.is_friend_confirmed()));
 }
 
 #[test]
 fn reject_flow_discards_request() {
-    let mut cluster = Cluster::new(ClusterConfig::test(14));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        8,
-        ClientConfig::default(),
-    );
+    let mut net = deployment(14);
+    let mut alice = new_client(&mut net, "alice@example.com", 8, ClientConfig::default());
     let manual = ClientConfig {
         auto_accept_friends: false,
         ..ClientConfig::default()
     };
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 9, manual);
+    let mut bob = new_client(&mut net, "bob@gmail.com", 9, manual);
 
     alice.add_friend(id("bob@gmail.com"), None);
-    run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
     bob.reject_friend_request(&id("alice@example.com")).unwrap();
     assert_eq!(
         bob.reject_friend_request(&id("alice@example.com")),
         Err(ClientError::NoPendingRequest(id("alice@example.com")))
     );
     // No confirmation ever arrives for Alice.
-    let events = run_add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
     assert!(events[0].is_empty());
     assert!(!bob.keywheels().contains(&id("alice@example.com")));
 }
 
 #[test]
 fn out_of_band_key_mismatch_is_rejected() {
-    let mut cluster = Cluster::new(ClusterConfig::test(15));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        10,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 11, ClientConfig::default());
-    let mut mallory = new_client(
-        &mut cluster,
-        "mallory@evil.com",
-        12,
-        ClientConfig::default(),
-    );
+    let mut net = deployment(15);
+    let mut alice = new_client(&mut net, "alice@example.com", 10, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 11, ClientConfig::default());
+    let mut mallory = new_client(&mut net, "mallory@evil.com", 12, ClientConfig::default());
 
     // Alice knows Bob's real key out-of-band, so a request from a different
     // identity is unaffected, but if she had pinned the wrong key for Bob the
@@ -283,12 +266,12 @@ fn out_of_band_key_mismatch_is_rejected() {
     alice.add_friend(id("bob@gmail.com"), Some(mallory.signing_public_key()));
 
     run_add_friend_round(
-        &mut cluster,
+        &mut net,
         Round(1),
         &mut [&mut alice, &mut bob, &mut mallory],
     );
     let events = run_add_friend_round(
-        &mut cluster,
+        &mut net,
         Round(2),
         &mut [&mut alice, &mut bob, &mut mallory],
     );
@@ -301,20 +284,15 @@ fn out_of_band_key_mismatch_is_rejected() {
 
 #[test]
 fn call_requires_confirmed_friend_and_valid_intent() {
-    let mut cluster = Cluster::new(ClusterConfig::test(16));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        13,
-        ClientConfig::default(),
-    );
+    let mut net = deployment(16);
+    let mut alice = new_client(&mut net, "alice@example.com", 13, ClientConfig::default());
     assert_eq!(
         alice.call(id("stranger@x.com"), 0),
         Err(ClientError::NotAFriend(id("stranger@x.com")))
     );
 
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 14, ClientConfig::default());
-    befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut bob = new_client(&mut net, "bob@gmail.com", 14, ClientConfig::default());
+    befriend(&mut net, &mut alice, &mut bob, 1);
     assert_eq!(
         alice.call(id("bob@gmail.com"), 10),
         Err(ClientError::InvalidIntent {
@@ -327,32 +305,44 @@ fn call_requires_confirmed_friend_and_valid_intent() {
 
 #[test]
 fn unregistered_client_cannot_participate() {
-    let mut cluster = Cluster::new(ClusterConfig::test(17));
+    let mut net = deployment(17);
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
     let mut ghost = Client::new(
         id("ghost@x.com"),
-        cluster.pkg_verifying_keys(),
+        pkg_keys,
         ClientConfig::default(),
         [99u8; 32],
     );
-    let info = cluster.begin_add_friend_round(Round(1), 1).unwrap();
+    net.with_cluster(|c| c.begin_add_friend_round(Round(1), 1))
+        .unwrap();
     assert_eq!(
-        ghost.participate_add_friend(&mut cluster, &info),
+        ghost.participate_add_friend(&mut net),
         Err(ClientError::NotRegistered)
     );
-    cluster.close_add_friend_round(Round(1)).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
+}
+
+#[test]
+fn mailbox_processing_without_participation_is_an_error() {
+    let mut net = deployment(25);
+    let mut alice = new_client(&mut net, "alice@example.com", 26, ClientConfig::default());
+    assert_eq!(
+        alice.process_add_friend_mailbox(&mut net),
+        Err(ClientError::NoRoundState)
+    );
+    assert_eq!(
+        alice.process_dialing_mailbox(&mut net),
+        Err(ClientError::NoRoundState)
+    );
 }
 
 #[test]
 fn remove_friend_erases_keywheel() {
-    let mut cluster = Cluster::new(ClusterConfig::test(18));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        15,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 16, ClientConfig::default());
-    befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut net = deployment(18);
+    let mut alice = new_client(&mut net, "alice@example.com", 15, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 16, ClientConfig::default());
+    befriend(&mut net, &mut alice, &mut bob, 1);
 
     assert!(alice.keywheels().contains(&id("bob@gmail.com")));
     alice.remove_friend(&id("bob@gmail.com"));
@@ -366,21 +356,13 @@ fn remove_friend_erases_keywheel() {
 
 #[test]
 fn compromise_recovery_resets_state() {
-    let mut cluster = Cluster::new(ClusterConfig::test(19));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        17,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 18, ClientConfig::default());
-    befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut net = deployment(19);
+    let mut alice = new_client(&mut net, "alice@example.com", 17, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 18, ClientConfig::default());
+    befriend(&mut net, &mut alice, &mut bob, 1);
 
     let old_key = alice.signing_public_key();
-    let dereg = alice.sign_deregistration();
-    cluster
-        .deregister(&id("alice@example.com"), &dereg)
-        .unwrap();
+    alice.deregister(&mut net).unwrap();
     alice.reset_after_compromise();
 
     assert!(!alice.is_registered());
@@ -389,9 +371,9 @@ fn compromise_recovery_resets_state() {
     assert!(!alice.keywheels().contains(&id("bob@gmail.com")));
 
     // Re-registration is blocked by the 30-day lockout, then succeeds.
-    assert!(alice.register(&mut cluster).is_err());
-    cluster.advance_time(31 * 24 * 60 * 60);
-    alice.register(&mut cluster).unwrap();
+    assert!(alice.register(&mut net).is_err());
+    net.with_cluster(|c| c.advance_time(31 * 24 * 60 * 60));
+    alice.register(&mut net).unwrap();
     assert!(alice.is_registered());
 }
 
@@ -399,19 +381,14 @@ fn compromise_recovery_resets_state() {
 fn simultaneous_add_friend_converges() {
     // Both users add each other in the same round; both must end up with the
     // same keywheel.
-    let mut cluster = Cluster::new(ClusterConfig::test(20));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        19,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 20, ClientConfig::default());
+    let mut net = deployment(20);
+    let mut alice = new_client(&mut net, "alice@example.com", 19, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 20, ClientConfig::default());
 
     alice.add_friend(id("bob@gmail.com"), None);
     bob.add_friend(id("alice@example.com"), None);
 
-    let events = run_add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    let events = run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
     // Each sees the other's request as the confirmation of their own.
     assert!(events[0].iter().any(|e| e.is_friend_confirmed()));
     assert!(events[1].iter().any(|e| e.is_friend_confirmed()));
@@ -428,15 +405,10 @@ fn simultaneous_add_friend_converges() {
 
 #[test]
 fn abandon_dialing_round_preserves_forward_secrecy() {
-    let mut cluster = Cluster::new(ClusterConfig::test(21));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        21,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 22, ClientConfig::default());
-    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut net = deployment(21);
+    let mut alice = new_client(&mut net, "alice@example.com", 21, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 22, ClientConfig::default());
+    let start = befriend(&mut net, &mut alice, &mut bob, 1);
 
     // Alice gives up on the start round (e.g. mailbox never downloaded).
     alice.abandon_dialing_round(start);
@@ -463,26 +435,21 @@ fn abandon_dialing_round_preserves_forward_secrecy() {
 
 #[test]
 fn queued_call_waits_for_keywheel_start_round() {
-    let mut cluster = Cluster::new(ClusterConfig::test(22));
-    let mut alice = new_client(
-        &mut cluster,
-        "alice@example.com",
-        23,
-        ClientConfig::default(),
-    );
-    let mut bob = new_client(&mut cluster, "bob@gmail.com", 24, ClientConfig::default());
-    let start = befriend(&mut cluster, &mut alice, &mut bob, 1);
+    let mut net = deployment(22);
+    let mut alice = new_client(&mut net, "alice@example.com", 23, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 24, ClientConfig::default());
+    let start = befriend(&mut net, &mut alice, &mut bob, 1);
     assert!(start.as_u64() > 1, "keywheel starts in the future");
 
     alice.call(id("bob@gmail.com"), 0).unwrap();
     // Round 1 is before the keywheel start: the call is deferred and Bob
     // receives nothing.
-    let events = run_dialing_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
+    let events = run_dialing_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
     assert!(events[0].is_empty());
     assert!(events[1].is_empty());
     // At the start round the deferred call goes out.
     for r in 2..=start.as_u64() {
-        let events = run_dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        let events = run_dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
         if r == start.as_u64() {
             assert!(events[0]
                 .iter()
@@ -490,4 +457,116 @@ fn queued_call_waits_for_keywheel_start_round() {
             assert!(events[1].iter().any(|e| e.is_incoming_call()));
         }
     }
+}
+
+#[test]
+fn rate_limited_deployment_is_transparent_to_clients() {
+    // With a rate-limiting policy configured, the client transparently
+    // obtains blind-signed tokens and the full handshake + call flow works
+    // unchanged; server-side the spent tokens are recorded.
+    use alpenhorn_coordinator::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+    let service = CoordinatorService::with_config(
+        Cluster::new(ClusterConfig::test(23)),
+        ServiceConfig {
+            rate_limit: Some(RateLimitPolicy { budget_per_day: 64 }),
+        },
+    );
+    let mut net = LoopbackTransport::with_service(service);
+    let mut alice = new_client(&mut net, "alice@example.com", 27, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 28, ClientConfig::default());
+    let start = befriend(&mut net, &mut alice, &mut bob, 1);
+    alice.call(id("bob@gmail.com"), 1).unwrap();
+    let mut delivered = false;
+    for r in 1..=start.as_u64() {
+        let events = run_dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
+        delivered |= events[1].iter().any(|e| e.is_incoming_call());
+    }
+    assert!(delivered, "call delivered under rate limiting");
+}
+
+#[test]
+fn budget_failure_keeps_queued_friend_request() {
+    // A rate-limit failure during participation must not silently degrade a
+    // queued friend request into cover traffic: once the budget recovers,
+    // the request still goes out.
+    use alpenhorn_coordinator::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+    use alpenhorn_wire::RateLimitReason;
+    let service = CoordinatorService::with_config(
+        Cluster::new(ClusterConfig::test(26)),
+        ServiceConfig {
+            rate_limit: Some(RateLimitPolicy { budget_per_day: 1 }),
+        },
+    );
+    let mut net = LoopbackTransport::with_service(service);
+    let mut alice = new_client(&mut net, "alice@example.com", 30, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 31, ClientConfig::default());
+
+    // Round 1 burns Alice's single daily token on cover traffic.
+    net.with_cluster(|c| c.begin_add_friend_round(Round(1), 2))
+        .unwrap();
+    alice.participate_add_friend(&mut net).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
+    alice.process_add_friend_mailbox(&mut net).unwrap();
+
+    // Now she queues a real request; participation fails on the exhausted
+    // budget, but the request must stay queued.
+    alice.add_friend(id("bob@gmail.com"), None);
+    net.with_cluster(|c| c.begin_add_friend_round(Round(2), 2))
+        .unwrap();
+    assert_eq!(
+        alice.participate_add_friend(&mut net),
+        Err(ClientError::RateLimited(RateLimitReason::BudgetExhausted))
+    );
+
+    // The budget window rolls; the retry sends the preserved request and
+    // Bob receives it.
+    net.with_cluster(|c| c.advance_time(24 * 60 * 60 + 1));
+    alice.participate_add_friend(&mut net).unwrap();
+    bob.participate_add_friend(&mut net).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(2)))
+        .unwrap();
+    alice.process_add_friend_mailbox(&mut net).unwrap();
+    let events = bob.process_add_friend_mailbox(&mut net).unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ClientEvent::FriendRequestReceived { .. })),
+        "queued request survived the rate-limit failure, got {events:?}"
+    );
+}
+
+#[test]
+fn exhausted_budget_blocks_participation() {
+    use alpenhorn_coordinator::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+    use alpenhorn_wire::RateLimitReason;
+    let service = CoordinatorService::with_config(
+        Cluster::new(ClusterConfig::test(24)),
+        ServiceConfig {
+            rate_limit: Some(RateLimitPolicy { budget_per_day: 1 }),
+        },
+    );
+    let mut net = LoopbackTransport::with_service(service);
+    let mut alice = new_client(&mut net, "alice@example.com", 29, ClientConfig::default());
+    net.with_cluster(|c| c.begin_add_friend_round(Round(1), 1))
+        .unwrap();
+    alice.participate_add_friend(&mut net).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
+    alice.process_add_friend_mailbox(&mut net).unwrap();
+
+    // The single daily token is spent; the next round's participation fails
+    // with a typed rate-limit error until the budget window rolls.
+    net.with_cluster(|c| c.begin_add_friend_round(Round(2), 1))
+        .unwrap();
+    assert_eq!(
+        alice.participate_add_friend(&mut net),
+        Err(ClientError::RateLimited(RateLimitReason::BudgetExhausted))
+    );
+    net.with_cluster(|c| {
+        c.advance_time(24 * 60 * 60 + 1);
+    });
+    alice.participate_add_friend(&mut net).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(2)))
+        .unwrap();
 }

@@ -1,6 +1,16 @@
 //! Error type for the Alpenhorn client.
+//!
+//! Boundary errors are unified here: wire-codec failures
+//! ([`alpenhorn_wire::WireError`]), transport failures
+//! ([`crate::transport::TransportError`]), typed server errors reported over
+//! the RPC boundary ([`alpenhorn_wire::RpcError`]), and in-process
+//! coordinator errors ([`alpenhorn_coordinator::CoordinatorError`]) all
+//! convert into typed [`ClientError`] variants via `From`, so call sites
+//! use `?` instead of ad-hoc mapping.
 
-use alpenhorn_wire::Identity;
+use alpenhorn_wire::{Identity, RateLimitReason, RpcError, WireError};
+
+use crate::transport::TransportError;
 
 /// Errors returned by [`crate::Client`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,21 +31,40 @@ pub enum ClientError {
         /// The number of intents the client was configured with.
         num_intents: u32,
     },
-    /// The cluster returned a different number of PKG extraction responses
-    /// than the client has configured PKG verification keys, so the anytrust
-    /// attestation check cannot cover the whole aggregate.
+    /// The coordinator returned a different number of PKG extraction
+    /// responses than the client has configured PKG verification keys, so the
+    /// anytrust attestation check cannot cover the whole aggregate.
     PkgResponseCount {
         /// Number of configured PKG verification keys.
         expected: usize,
-        /// Number of responses the cluster returned.
+        /// Number of responses the coordinator returned.
         actual: usize,
     },
+    /// The client has no stored round state to process a mailbox against
+    /// (participate was not called for this round).
+    NoRoundState,
     /// An error from the coordinator/cluster.
     Coordinator(alpenhorn_coordinator::CoordinatorError),
     /// An error from the keywheel (e.g. dialing a round whose key is erased).
     Keywheel(alpenhorn_keywheel::KeywheelError),
-    /// The cluster did not have a mailbox the client expected to download.
+    /// The coordinator did not have a mailbox the client expected to
+    /// download.
     MissingMailbox,
+    /// The submission or token issuance was rate limited by the coordinator.
+    RateLimited(RateLimitReason),
+    /// The transport failed (connection, framing, codec).
+    Transport(TransportError),
+    /// A wire encoding or decoding failed client-side.
+    Wire(WireError),
+    /// The coordinator reported a typed error with no more specific client
+    /// mapping (e.g. a PKG rejection).
+    Rpc(RpcError),
+    /// The coordinator returned a structurally valid but semantically
+    /// unusable response (wrong variant, undecodable curve point, ...).
+    UnexpectedResponse {
+        /// What the client was trying to do.
+        context: &'static str,
+    },
 }
 
 impl core::fmt::Display for ClientError {
@@ -64,12 +93,22 @@ impl core::fmt::Display for ClientError {
             ClientError::PkgResponseCount { expected, actual } => {
                 write!(
                     f,
-                    "cluster returned {actual} PKG responses but {expected} PKG keys are configured"
+                    "coordinator returned {actual} PKG responses but {expected} PKG keys are configured"
                 )
+            }
+            ClientError::NoRoundState => {
+                write!(f, "no stored round state (participate was not called)")
             }
             ClientError::Coordinator(e) => write!(f, "coordinator error: {e}"),
             ClientError::Keywheel(e) => write!(f, "keywheel error: {e}"),
             ClientError::MissingMailbox => write!(f, "expected mailbox was not available"),
+            ClientError::RateLimited(reason) => write!(f, "rate limited: {reason}"),
+            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Rpc(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { context } => {
+                write!(f, "unexpected coordinator response while {context}")
+            }
         }
     }
 }
@@ -85,5 +124,48 @@ impl From<alpenhorn_coordinator::CoordinatorError> for ClientError {
 impl From<alpenhorn_keywheel::KeywheelError> for ClientError {
     fn from(e: alpenhorn_keywheel::KeywheelError) -> Self {
         ClientError::Keywheel(e)
+    }
+}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<RpcError> for ClientError {
+    fn from(e: RpcError) -> Self {
+        use alpenhorn_coordinator::CoordinatorError;
+        match e {
+            // Server errors with an exact in-process equivalent map back to
+            // the typed coordinator variants, so loopback and TCP behave
+            // identically and pre-RPC matches keep working.
+            RpcError::RoundNotOpen { requested } => {
+                ClientError::Coordinator(CoordinatorError::RoundNotOpen { requested })
+            }
+            RpcError::RoundAlreadyOpen => {
+                ClientError::Coordinator(CoordinatorError::RoundAlreadyOpen)
+            }
+            RpcError::WrongRequestSize { expected, actual } => {
+                ClientError::Coordinator(CoordinatorError::WrongRequestSize {
+                    expected: expected as usize,
+                    actual: actual as usize,
+                })
+            }
+            RpcError::CommitmentMismatch { pkg_index } => {
+                ClientError::Coordinator(CoordinatorError::CommitmentMismatch {
+                    pkg_index: pkg_index as usize,
+                })
+            }
+            RpcError::UnknownMailbox => ClientError::MissingMailbox,
+            RpcError::RateLimited { reason } => ClientError::RateLimited(reason),
+            other => ClientError::Rpc(other),
+        }
     }
 }

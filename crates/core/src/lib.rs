@@ -33,6 +33,14 @@
 //! client submits one (possibly cover) dial token and scans the round's Bloom
 //! filter for calls from its friends. See the `quickstart` example for the
 //! full loop against an in-process cluster.
+//!
+//! ## Transports
+//!
+//! The client reaches its coordinator through the [`Transport`] trait: the
+//! deterministic in-process [`LoopbackTransport`] (tests, simulation) or
+//! [`TcpTransport`] against a networked `alpenhornd` daemon. Both carry the
+//! same versioned RPC protocol ([`alpenhorn_wire::rpc`]); see
+//! `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,11 +51,13 @@ pub mod client;
 mod client_tests;
 pub mod error;
 pub mod events;
+pub mod transport;
 
 pub use addressbook::{AddressBook, FriendEntry, FriendStatus};
 pub use client::{Client, ClientConfig};
 pub use error::ClientError;
 pub use events::ClientEvent;
+pub use transport::{LoopbackTransport, TcpTransport, Transport, TransportError};
 
 pub use alpenhorn_keywheel::{Intent, SessionKey};
 pub use alpenhorn_wire::{Identity, Round};

@@ -1,0 +1,201 @@
+//! Transports carrying the client ↔ coordinator RPC protocol.
+//!
+//! The [`Client`](crate::Client) never touches a server object directly; it
+//! issues [`Request`]s through a [`Transport`] and interprets the
+//! [`Response`]s. Two transports are provided:
+//!
+//! * [`LoopbackTransport`] — wraps an in-process
+//!   [`CoordinatorService`] (and thus a [`Cluster`]). No serialization, no
+//!   I/O, fully deterministic: this is what tests, examples, and the
+//!   evaluation harness use, and it preserves the exact semantics of the
+//!   pre-RPC in-process cluster. Cloning a loopback transport yields another
+//!   handle to the *same* deployment, mirroring multiple TCP connections to
+//!   one daemon.
+//! * [`TcpTransport`] — a persistent framed connection to a remote
+//!   `alpenhornd` (see `alpenhorn-coordinator`'s `server` module), one
+//!   request/response exchange per call.
+//!
+//! Both paths funnel into the same service dispatch on the server side, so a
+//! seeded scenario produces byte-identical client events over either
+//! transport (covered by `tests/transport_equivalence.rs`).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use alpenhorn_coordinator::service::CoordinatorService;
+use alpenhorn_coordinator::Cluster;
+use alpenhorn_wire::codec::FrameIoError;
+use alpenhorn_wire::{Frame, Request, Response, WireError};
+
+/// Errors raised by a transport itself (as opposed to typed errors the
+/// coordinator reports inside a [`Response::Error`], which the client
+/// surfaces as [`crate::ClientError`] variants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A message or frame failed to encode or decode.
+    Wire(WireError),
+    /// The underlying connection failed.
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::Wire(e) => write!(f, "transport wire error: {e}"),
+            TransportError::Io { kind, detail } => {
+                write!(f, "transport I/O error ({kind:?}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<FrameIoError> for TransportError {
+    fn from(e: FrameIoError) -> Self {
+        match e {
+            FrameIoError::Io(e) => e.into(),
+            FrameIoError::Wire(e) => e.into(),
+        }
+    }
+}
+
+/// A bidirectional request/response channel to an Alpenhorn coordinator.
+pub trait Transport {
+    /// Sends one request and waits for its response.
+    fn call(&mut self, request: Request) -> Result<Response, TransportError>;
+}
+
+/// In-process transport: dispatches requests straight onto a
+/// [`CoordinatorService`] with no serialization or I/O.
+///
+/// Clones share the underlying deployment, so one test can hand "connections"
+/// to several clients plus a round-driving admin, exactly like multiple TCP
+/// connections to one daemon.
+#[derive(Clone)]
+pub struct LoopbackTransport {
+    service: Arc<Mutex<CoordinatorService>>,
+}
+
+impl LoopbackTransport {
+    /// Wraps a cluster in a default-configured service (no rate limiting).
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_service(CoordinatorService::new(cluster))
+    }
+
+    /// Wraps an explicitly configured service.
+    pub fn with_service(service: CoordinatorService) -> Self {
+        LoopbackTransport {
+            service: Arc::new(Mutex::new(service)),
+        }
+    }
+
+    /// Locks and returns the service, for server-side operations (driving
+    /// rounds, inspecting the CDN, advancing the simulated clock). Do not
+    /// hold the guard across a [`Transport::call`] on the same transport.
+    pub fn service(&self) -> MutexGuard<'_, CoordinatorService> {
+        self.service
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs `f` with mutable access to the underlying cluster — the
+    /// server-side escape hatch for round driving and test inspection.
+    pub fn with_cluster<R>(&self, f: impl FnOnce(&mut Cluster) -> R) -> R {
+        f(self.service().cluster_mut())
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn call(&mut self, request: Request) -> Result<Response, TransportError> {
+        Ok(self.service().handle(request))
+    }
+}
+
+/// TCP transport: one persistent framed connection to an `alpenhornd`
+/// daemon, one request/response exchange per call.
+///
+/// After any I/O or framing failure the connection is poisoned: the stream
+/// offset can no longer be trusted (a partial frame may remain buffered), so
+/// every later call fails fast with a `NotConnected` error instead of
+/// parsing mid-frame bytes as a header and hanging. Reconnect to recover.
+pub struct TcpTransport {
+    stream: TcpStream,
+    poisoned: bool,
+}
+
+impl TcpTransport {
+    /// Connects to a coordinator at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            poisoned: false,
+        })
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        TcpTransport {
+            stream,
+            poisoned: false,
+        }
+    }
+
+    /// Whether the connection has been poisoned by an earlier failure and
+    /// must be replaced.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn poison(&mut self) {
+        self.poisoned = true;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, request: Request) -> Result<Response, TransportError> {
+        if self.poisoned {
+            return Err(TransportError::Io {
+                kind: std::io::ErrorKind::NotConnected,
+                detail: "connection poisoned by an earlier transport failure; reconnect".into(),
+            });
+        }
+        if let Err(e) = Frame::write_to(&mut self.stream, &request.encode()) {
+            self.poison();
+            return Err(e.into());
+        }
+        let payload = match Frame::read_from(&mut self.stream) {
+            Ok(payload) => payload,
+            Err(e) => {
+                self.poison();
+                return Err(e.into());
+            }
+        };
+        // A response that fails to decode arrived inside an intact frame, so
+        // the stream is still aligned — no need to poison.
+        Ok(Response::decode(&payload)?)
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use alpenhorn::{Client, ClientConfig, ClientEvent};
+use alpenhorn::{Client, ClientConfig, ClientEvent, LoopbackTransport};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_wire::{Identity, Round};
 
@@ -36,10 +36,12 @@ pub struct DialingRunResult {
     pub calls_delivered: usize,
 }
 
-/// An in-process population of registered clients attached to one cluster.
+/// An in-process population of registered clients attached to one cluster
+/// through the loopback transport (the deterministic fast path — no
+/// serialization, no sockets).
 pub struct SmallDeployment {
-    /// The cluster (PKGs + mixnet + CDN).
-    pub cluster: Cluster,
+    /// The loopback transport wrapping the cluster (PKGs + mixnet + CDN).
+    pub net: LoopbackTransport,
     /// The clients, in creation order.
     pub clients: Vec<Client>,
     next_add_friend_round: u64,
@@ -49,27 +51,32 @@ pub struct SmallDeployment {
 impl SmallDeployment {
     /// Builds a deployment with `num_clients` registered clients.
     pub fn new(num_clients: usize, seed: u8) -> Self {
-        let mut cluster = Cluster::new(ClusterConfig::test(seed));
+        let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(seed)));
+        let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
         let mut clients = Vec::with_capacity(num_clients);
         for i in 0..num_clients {
             let identity = Identity::new(&format!("user{i}@example.com")).expect("valid identity");
             let mut client = Client::new(
                 identity,
-                cluster.pkg_verifying_keys(),
+                pkg_keys.clone(),
                 ClientConfig::default(),
                 [seed.wrapping_add(i as u8 + 1); 32],
             );
-            client
-                .register(&mut cluster)
-                .expect("registration succeeds");
+            client.register(&mut net).expect("registration succeeds");
             clients.push(client);
         }
         SmallDeployment {
-            cluster,
+            net,
             clients,
             next_add_friend_round: 1,
             next_dialing_round: 1,
         }
+    }
+
+    /// Runs `f` with mutable access to the underlying cluster (server-side
+    /// inspection: CDN counters, simulated clock, round statistics).
+    pub fn with_cluster<R>(&mut self, f: impl FnOnce(&mut Cluster) -> R) -> R {
+        self.net.with_cluster(f)
     }
 
     /// Identity of client `i`.
@@ -82,19 +89,19 @@ impl SmallDeployment {
     pub fn run_add_friend_round(&mut self) -> (AddFriendRunResult, Vec<Vec<ClientEvent>>) {
         let round = Round(self.next_add_friend_round);
         self.next_add_friend_round += 1;
-        let info = self
-            .cluster
-            .begin_add_friend_round(round, self.clients.len())
+        let clients = self.clients.len();
+        self.net
+            .with_cluster(|c| c.begin_add_friend_round(round, clients))
             .expect("round opens");
         for client in &mut self.clients {
             client
-                .participate_add_friend(&mut self.cluster, &info)
+                .participate_add_friend(&mut self.net)
                 .expect("participation succeeds");
         }
         let server_start = Instant::now();
         let stats = self
-            .cluster
-            .close_add_friend_round(round)
+            .net
+            .with_cluster(|c| c.close_add_friend_round(round))
             .expect("round closes");
         let server_time = server_start.elapsed();
 
@@ -103,7 +110,7 @@ impl SmallDeployment {
         let mut delivered = 0;
         for client in &mut self.clients {
             let events = client
-                .process_add_friend_mailbox(&mut self.cluster, &info)
+                .process_add_friend_mailbox(&mut self.net)
                 .expect("mailbox scan succeeds");
             delivered += events
                 .iter()
@@ -133,15 +140,15 @@ impl SmallDeployment {
     pub fn run_dialing_round(&mut self) -> (DialingRunResult, Vec<Vec<ClientEvent>>) {
         let round = Round(self.next_dialing_round);
         self.next_dialing_round += 1;
-        let info = self
-            .cluster
-            .begin_dialing_round(round, self.clients.len())
+        let clients = self.clients.len();
+        self.net
+            .with_cluster(|c| c.begin_dialing_round(round, clients))
             .expect("round opens");
         let mut all_events: Vec<Vec<ClientEvent>> = Vec::with_capacity(self.clients.len());
         for client in &mut self.clients {
             let mut events = Vec::new();
             if let Some(e) = client
-                .participate_dialing(&mut self.cluster, &info)
+                .participate_dialing(&mut self.net)
                 .expect("participation succeeds")
             {
                 events.push(e);
@@ -149,8 +156,8 @@ impl SmallDeployment {
             all_events.push(events);
         }
         let server_start = Instant::now();
-        self.cluster
-            .close_dialing_round(round)
+        self.net
+            .with_cluster(|c| c.close_dialing_round(round))
             .expect("round closes");
         let server_time = server_start.elapsed();
 
@@ -158,7 +165,7 @@ impl SmallDeployment {
         let mut delivered = 0;
         for (client, events) in self.clients.iter_mut().zip(all_events.iter_mut()) {
             let incoming = client
-                .process_dialing_mailbox(&mut self.cluster, &info)
+                .process_dialing_mailbox(&mut self.net)
                 .expect("scan succeeds");
             delivered += incoming.iter().filter(|e| e.is_incoming_call()).count();
             events.extend(incoming);

@@ -7,7 +7,7 @@
 //! points a chat client would wire to its UI.
 
 use alpenhorn::SessionKey;
-use alpenhorn::{Client, ClientError, ClientEvent, Identity};
+use alpenhorn::{Client, ClientError, ClientEvent, Identity, Transport};
 use alpenhorn_wire::Round;
 
 use crate::conversation::{Conversation, ConversationError};
@@ -102,6 +102,28 @@ pub fn command_call(client: &mut Client, who: &str, intent: u32) -> Result<(), C
     client.call(identity, intent)
 }
 
+/// Extracts every conversation session a batch of client events produced
+/// (placed and received calls alike), in event order.
+pub fn sessions_from_events(events: &[ClientEvent]) -> Vec<ConversationSession> {
+    events
+        .iter()
+        .filter_map(ConversationSession::from_event)
+        .collect()
+}
+
+/// Scans the just-closed dialing round's mailbox through any [`Transport`]
+/// (loopback or a TCP connection to `alpenhornd`) and returns the
+/// conversation sessions it produced. This is the chat client's per-round
+/// hookup: incoming calls become live, already-keyed conversations with no
+/// out-of-band exchange.
+pub fn collect_sessions<T: Transport>(
+    client: &mut Client,
+    net: &mut T,
+) -> Result<Vec<ConversationSession>, ClientError> {
+    let events = client.process_dialing_mailbox(net)?;
+    Ok(sessions_from_events(&events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +186,86 @@ mod tests {
         assert_eq!(session.send(&mut server, b"one").unwrap(), Round(1));
         assert_eq!(session.send(&mut server, b"two").unwrap(), Round(2));
         assert_eq!(session.next_round, Round(3));
+    }
+
+    #[test]
+    fn collect_sessions_bootstraps_a_conversation_over_the_rpc_boundary() {
+        // The §8.5 flow end-to-end, with all Alpenhorn traffic going through
+        // the Transport RPC API: /addfriend, handshake rounds, /call, and
+        // per-round session collection on the callee side.
+        use alpenhorn::{ClientConfig, LoopbackTransport};
+        use alpenhorn_coordinator::{Cluster, ClusterConfig};
+
+        let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(33)));
+        let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+        let mut alice = Client::new(
+            id("alice@example.com"),
+            pkg_keys.clone(),
+            ClientConfig::default(),
+            [1u8; 32],
+        );
+        let mut bob = Client::new(
+            id("bob@gmail.com"),
+            pkg_keys,
+            ClientConfig::default(),
+            [2u8; 32],
+        );
+        alice.register(&mut net).unwrap();
+        bob.register(&mut net).unwrap();
+
+        command_add_friend(&mut alice, "bob@gmail.com").unwrap();
+        let mut start = Round(0);
+        for r in 1..=2u64 {
+            net.with_cluster(|c| c.begin_add_friend_round(Round(r), 2))
+                .unwrap();
+            alice.participate_add_friend(&mut net).unwrap();
+            bob.participate_add_friend(&mut net).unwrap();
+            net.with_cluster(|c| c.close_add_friend_round(Round(r)))
+                .unwrap();
+            for e in alice.process_add_friend_mailbox(&mut net).unwrap() {
+                if let ClientEvent::FriendConfirmed { dialing_round, .. } = e {
+                    start = dialing_round;
+                }
+            }
+            bob.process_add_friend_mailbox(&mut net).unwrap();
+        }
+        assert!(start.as_u64() > 0);
+
+        command_call(&mut alice, "bob@gmail.com", 2).unwrap();
+        let mut caller_sessions = Vec::new();
+        let mut callee_sessions = Vec::new();
+        for r in 1..=start.as_u64() {
+            net.with_cluster(|c| c.begin_dialing_round(Round(r), 2))
+                .unwrap();
+            let placed: Vec<ClientEvent> = alice
+                .participate_dialing(&mut net)
+                .unwrap()
+                .into_iter()
+                .collect();
+            bob.participate_dialing(&mut net).unwrap();
+            net.with_cluster(|c| c.close_dialing_round(Round(r)))
+                .unwrap();
+            caller_sessions.extend(sessions_from_events(&placed));
+            alice.process_dialing_mailbox(&mut net).unwrap();
+            callee_sessions.extend(collect_sessions(&mut bob, &mut net).unwrap());
+        }
+        let mut alice_session = caller_sessions.pop().expect("alice placed the call");
+        let mut bob_session = callee_sessions.pop().expect("bob received the call");
+        assert_eq!(alice_session.intent, 2);
+        assert_eq!(bob_session.intent, 2);
+
+        // The sessions interoperate: one dead-drop exchange.
+        let mut server = DeadDropServer::new();
+        let round = alice_session
+            .send(&mut server, b"bootstrapped over rpc")
+            .unwrap();
+        bob_session.send(&mut server, b"ack").unwrap();
+        let exchanged = server.exchange();
+        let pair = &exchanged[&alice_session.conversation.dead_drop(round)];
+        assert_eq!(alice_session.receive(round, &pair[0]).unwrap(), b"ack");
+        assert_eq!(
+            bob_session.receive(round, &pair[1]).unwrap(),
+            b"bootstrapped over rpc"
+        );
     }
 }

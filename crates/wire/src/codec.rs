@@ -1,9 +1,17 @@
-//! A small fixed-layout binary codec.
+//! A small fixed-layout binary codec and the RPC frame format.
 //!
 //! Alpenhorn messages must be fixed-size (cover traffic has to be
 //! indistinguishable from real traffic), so the codec favours explicit
 //! fixed-width fields; variable-length data is always carried with an
 //! explicit length prefix inside a fixed-size padded field.
+//!
+//! [`Frame`] is the outermost envelope of the client ↔ coordinator RPC
+//! protocol (see [`crate::rpc`]): a magic-tagged, versioned, length-prefixed,
+//! checksummed wrapper that lets the receiving side reject malformed,
+//! mis-versioned, or corrupted traffic at the boundary before any message
+//! decoding runs.
+
+use std::io::{Read, Write};
 
 use crate::error::WireError;
 
@@ -189,6 +197,187 @@ impl<'a> Decoder<'a> {
             });
         }
         Ok(())
+    }
+}
+
+/// Errors from reading a frame off a byte stream: either the underlying I/O
+/// failed or the frame itself was malformed.
+#[derive(Debug)]
+pub enum FrameIoError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The frame was structurally invalid (bad magic, version, length, or
+    /// checksum).
+    Wire(WireError),
+}
+
+impl core::fmt::Display for FrameIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameIoError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameIoError::Wire(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameIoError {}
+
+impl From<std::io::Error> for FrameIoError {
+    fn from(e: std::io::Error) -> Self {
+        FrameIoError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameIoError {
+    fn from(e: WireError) -> Self {
+        FrameIoError::Wire(e)
+    }
+}
+
+/// The length-prefixed, versioned, checksummed RPC frame.
+///
+/// Layout (all integers big-endian):
+///
+/// ```text
+/// +-------+---------+-----------+----------------+------------+
+/// | magic | version |  length   |    payload     |  checksum  |
+/// | 2 B   | 1 B     | 4 B (u32) | `length` bytes | 4 B        |
+/// +-------+---------+-----------+----------------+------------+
+/// ```
+///
+/// The checksum is the first four bytes of SHA-256 over the header and the
+/// payload, so truncation, bit flips, and length corruption are all caught.
+/// Versioning rule: any change to the frame layout or to the encoding of the
+/// RPC messages inside it bumps [`Frame::VERSION`]; there is no negotiation —
+/// a receiver rejects every version other than its own with
+/// [`WireError::UnsupportedVersion`].
+pub struct Frame;
+
+impl Frame {
+    /// Magic bytes every frame starts with ("AH" for Alpenhorn).
+    pub const MAGIC: [u8; 2] = *b"AH";
+    /// The protocol version this implementation speaks.
+    pub const VERSION: u8 = 1;
+    /// Header length: magic + version + length prefix.
+    pub const HEADER_LEN: usize = 2 + 1 + 4;
+    /// Trailing checksum length.
+    pub const CHECKSUM_LEN: usize = 4;
+    /// Maximum payload size a frame may carry (16 MiB). A length prefix
+    /// beyond this is rejected before any allocation happens, so a hostile
+    /// peer cannot make the receiver reserve unbounded memory.
+    pub const MAX_PAYLOAD_LEN: usize = 1 << 24;
+
+    fn checksum(header: &[u8], payload: &[u8]) -> [u8; Self::CHECKSUM_LEN] {
+        let mut hasher = alpenhorn_crypto::sha256::Sha256::new();
+        hasher.update(header);
+        hasher.update(payload);
+        let digest = hasher.finalize();
+        let mut out = [0u8; Self::CHECKSUM_LEN];
+        out.copy_from_slice(&digest[..Self::CHECKSUM_LEN]);
+        out
+    }
+
+    fn header(payload_len: usize) -> [u8; Self::HEADER_LEN] {
+        let mut header = [0u8; Self::HEADER_LEN];
+        header[..2].copy_from_slice(&Self::MAGIC);
+        header[2] = Self::VERSION;
+        header[3..].copy_from_slice(&(payload_len as u32).to_be_bytes());
+        header
+    }
+
+    /// Wraps `payload` in a complete frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`Frame::MAX_PAYLOAD_LEN`]; no RPC
+    /// message comes close (mailbox responses are the largest and are bounded
+    /// by the round's mailbox size).
+    pub fn encode(payload: &[u8]) -> Vec<u8> {
+        assert!(
+            payload.len() <= Self::MAX_PAYLOAD_LEN,
+            "frame payload of {} bytes exceeds the maximum",
+            payload.len()
+        );
+        let header = Self::header(payload.len());
+        let mut out = Vec::with_capacity(Self::HEADER_LEN + payload.len() + Self::CHECKSUM_LEN);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&Self::checksum(&header, payload));
+        out
+    }
+
+    /// Decodes one complete frame from `buf`, returning the payload.
+    ///
+    /// The whole buffer must be exactly one frame; malformed input (wrong
+    /// magic, unsupported version, oversized or lying length prefix,
+    /// truncation, checksum mismatch) is rejected with a typed error and
+    /// never panics.
+    pub fn decode(buf: &[u8]) -> Result<&[u8], WireError> {
+        if buf.len() < Self::HEADER_LEN + Self::CHECKSUM_LEN {
+            return Err(WireError::UnexpectedEnd {
+                context: "frame header",
+            });
+        }
+        if buf[..2] != Self::MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if buf[2] != Self::VERSION {
+            return Err(WireError::UnsupportedVersion { version: buf[2] });
+        }
+        let claimed = u32::from_be_bytes([buf[3], buf[4], buf[5], buf[6]]) as usize;
+        if claimed > Self::MAX_PAYLOAD_LEN {
+            return Err(WireError::FrameTooLarge { claimed });
+        }
+        let total = Self::HEADER_LEN + claimed + Self::CHECKSUM_LEN;
+        if buf.len() < total {
+            return Err(WireError::UnexpectedEnd {
+                context: "frame payload",
+            });
+        }
+        if buf.len() > total {
+            return Err(WireError::TrailingBytes {
+                remaining: buf.len() - total,
+            });
+        }
+        let payload = &buf[Self::HEADER_LEN..Self::HEADER_LEN + claimed];
+        let expected = Self::checksum(&buf[..Self::HEADER_LEN], payload);
+        if buf[total - Self::CHECKSUM_LEN..] != expected {
+            return Err(WireError::ChecksumMismatch);
+        }
+        Ok(payload)
+    }
+
+    /// Writes `payload` as one frame to `writer` and flushes.
+    pub fn write_to(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+        writer.write_all(&Frame::encode(payload))?;
+        writer.flush()
+    }
+
+    /// Reads one complete frame from `reader`, returning the payload.
+    ///
+    /// Validates magic, version, length bound, and checksum before returning;
+    /// the oversized-length check runs before the payload allocation.
+    pub fn read_from(reader: &mut impl Read) -> Result<Vec<u8>, FrameIoError> {
+        let mut header = [0u8; Self::HEADER_LEN];
+        reader.read_exact(&mut header)?;
+        if header[..2] != Self::MAGIC {
+            return Err(WireError::BadMagic.into());
+        }
+        if header[2] != Self::VERSION {
+            return Err(WireError::UnsupportedVersion { version: header[2] }.into());
+        }
+        let claimed = u32::from_be_bytes([header[3], header[4], header[5], header[6]]) as usize;
+        if claimed > Self::MAX_PAYLOAD_LEN {
+            return Err(WireError::FrameTooLarge { claimed }.into());
+        }
+        let mut payload = vec![0u8; claimed];
+        reader.read_exact(&mut payload)?;
+        let mut checksum = [0u8; Self::CHECKSUM_LEN];
+        reader.read_exact(&mut checksum)?;
+        if checksum != Self::checksum(&header, &payload) {
+            return Err(WireError::ChecksumMismatch.into());
+        }
+        Ok(payload)
     }
 }
 

@@ -28,6 +28,20 @@ pub enum WireError {
         /// Actual size in bytes.
         actual: usize,
     },
+    /// A frame did not start with the protocol magic bytes.
+    BadMagic,
+    /// A frame carried a protocol version this implementation does not speak.
+    UnsupportedVersion {
+        /// The version byte found in the frame header.
+        version: u8,
+    },
+    /// A frame's length prefix exceeded the maximum payload size.
+    FrameTooLarge {
+        /// The length the frame header claimed.
+        claimed: usize,
+    },
+    /// A frame's checksum did not match its contents (corruption in transit).
+    ChecksumMismatch,
 }
 
 impl core::fmt::Display for WireError {
@@ -44,6 +58,17 @@ impl core::fmt::Display for WireError {
             WireError::WrongLength { expected, actual } => {
                 write!(f, "wrong message length: expected {expected}, got {actual}")
             }
+            WireError::BadMagic => write!(f, "frame does not start with the protocol magic"),
+            WireError::UnsupportedVersion { version } => {
+                write!(f, "unsupported protocol version {version}")
+            }
+            WireError::FrameTooLarge { claimed } => {
+                write!(
+                    f,
+                    "frame length prefix {claimed} exceeds the maximum payload size"
+                )
+            }
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
         }
     }
 }

@@ -13,6 +13,10 @@
 //! All encodings are hand-rolled fixed-layout binary (see [`codec`]): requests
 //! must be fixed-size so that cover traffic is indistinguishable from real
 //! traffic, and the exact sizes feed the evaluation's bandwidth model.
+//!
+//! The [`rpc`] module defines the versioned client ↔ coordinator RPC API
+//! (requests, responses, typed errors), carried inside the checksummed
+//! [`codec::Frame`]; see `docs/ARCHITECTURE.md` for the layering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,8 +30,9 @@ pub mod identity;
 pub mod mailbox;
 pub mod onion;
 pub mod round;
+pub mod rpc;
 
-pub use codec::{Decoder, Encoder};
+pub use codec::{Decoder, Encoder, Frame, FrameIoError};
 pub use constants::*;
 pub use dial::{DialRequest, DialToken};
 pub use error::WireError;
@@ -36,3 +41,4 @@ pub use identity::Identity;
 pub use mailbox::MailboxId;
 pub use onion::{OnionEnvelope, OnionEnvelopeRef};
 pub use round::{Round, RoundKind};
+pub use rpc::{RateLimitReason, RateLimitToken, Request, Response, RpcError};

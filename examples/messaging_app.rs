@@ -6,71 +6,69 @@
 //! This mirrors §8.5 of the paper, where Alpenhorn replaced Vuvuzela's
 //! original dialing protocol: `/addfriend` and `/call` commands drive the
 //! Alpenhorn client, and the resulting session key seeds the conversation
-//! layer with no out-of-band key exchange at all.
+//! layer with no out-of-band key exchange at all. The clients reach the
+//! deployment only through the [`alpenhorn::Transport`] RPC API.
 
-use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, LoopbackTransport, Round};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_vuvuzela::integration::{command_add_friend, command_call};
 use alpenhorn_vuvuzela::{ConversationSession, DeadDropServer};
 
 /// Runs one add-friend round for both clients, returning their events.
 fn add_friend_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster
-        .begin_add_friend_round(round, clients.len())
+    net.with_cluster(|c| c.begin_add_friend_round(round, clients.len()))
         .unwrap();
     for c in clients.iter_mut() {
-        c.participate_add_friend(cluster, &info).unwrap();
+        c.participate_add_friend(net).unwrap();
     }
-    cluster.close_add_friend_round(round).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(round))
+        .unwrap();
     clients
         .iter_mut()
-        .map(|c| c.process_add_friend_mailbox(cluster, &info).unwrap())
+        .map(|c| c.process_add_friend_mailbox(net).unwrap())
         .collect()
 }
 
 /// Runs one dialing round for both clients, returning their events.
 fn dialing_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<Vec<ClientEvent>> {
-    let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+    net.with_cluster(|c| c.begin_dialing_round(round, clients.len()))
+        .unwrap();
     let mut events: Vec<Vec<ClientEvent>> = clients
         .iter_mut()
-        .map(|c| {
-            c.participate_dialing(cluster, &info)
-                .unwrap()
-                .into_iter()
-                .collect()
-        })
+        .map(|c| c.participate_dialing(net).unwrap().into_iter().collect())
         .collect();
-    cluster.close_dialing_round(round).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(round)).unwrap();
     for (c, ev) in clients.iter_mut().zip(events.iter_mut()) {
-        ev.extend(c.process_dialing_mailbox(cluster, &info).unwrap());
+        ev.extend(c.process_dialing_mailbox(net).unwrap());
     }
     events
 }
 
 fn main() {
-    let mut cluster = Cluster::new(ClusterConfig::test(11));
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(11)));
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
     let mut alice = Client::new(
         Identity::new("alice@example.com").unwrap(),
-        cluster.pkg_verifying_keys(),
+        pkg_keys.clone(),
         ClientConfig::default(),
         [10u8; 32],
     );
     let mut bob = Client::new(
         Identity::new("bob@gmail.com").unwrap(),
-        cluster.pkg_verifying_keys(),
+        pkg_keys,
         ClientConfig::default(),
         [11u8; 32],
     );
-    alice.register(&mut cluster).unwrap();
-    bob.register(&mut cluster).unwrap();
+    alice.register(&mut net).unwrap();
+    bob.register(&mut net).unwrap();
 
     // The chat UI's /addfriend command.
     println!("alice> /addfriend bob@gmail.com");
@@ -78,7 +76,7 @@ fn main() {
 
     let mut keywheel_start = Round(0);
     for r in 1..=2 {
-        let events = add_friend_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        let events = add_friend_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
         for e in events.concat() {
             if let ClientEvent::FriendConfirmed { dialing_round, .. } = e {
                 keywheel_start = dialing_round;
@@ -94,7 +92,7 @@ fn main() {
     let mut alice_session = None;
     let mut bob_session = None;
     for r in 1..=keywheel_start.as_u64() {
-        let events = dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        let events = dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
         for e in &events[0] {
             if let Some(s) = ConversationSession::from_event(e) {
                 alice_session = Some(s);

@@ -8,14 +8,15 @@
 //! call each other and then *prints* the resulting shared secret, which the
 //! users paste into PANDA — eliminating the out-of-band secret exchange.
 //! This example is that standalone client, driven for two users in one
-//! process.
+//! process over the loopback transport.
 
-use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, LoopbackTransport, Round};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_crypto::hex;
 
 fn main() {
-    let mut cluster = Cluster::new(ClusterConfig::test(23));
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(23)));
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
     let users = ["laurel@example.org", "hardy@example.org"];
     let mut clients: Vec<Client> = users
         .iter()
@@ -23,11 +24,11 @@ fn main() {
         .map(|(i, email)| {
             let mut c = Client::new(
                 Identity::new(email).unwrap(),
-                cluster.pkg_verifying_keys(),
+                pkg_keys.clone(),
                 ClientConfig::default(),
                 [40 + i as u8; 32],
             );
-            c.register(&mut cluster).unwrap();
+            c.register(&mut net).unwrap();
             println!("$ alpenhorn register {email}   # confirmation email round-trip done");
             c
         })
@@ -40,15 +41,16 @@ fn main() {
     let mut keywheel_start = Round(0);
     for r in 1..=2u64 {
         let round = Round(r);
-        let info = cluster
-            .begin_add_friend_round(round, clients.len())
+        let count = clients.len();
+        net.with_cluster(|c| c.begin_add_friend_round(round, count))
             .unwrap();
         for c in clients.iter_mut() {
-            c.participate_add_friend(&mut cluster, &info).unwrap();
+            c.participate_add_friend(&mut net).unwrap();
         }
-        cluster.close_add_friend_round(round).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(round))
+            .unwrap();
         for c in clients.iter_mut() {
-            for e in c.process_add_friend_mailbox(&mut cluster, &info).unwrap() {
+            for e in c.process_add_friend_mailbox(&mut net).unwrap() {
                 if let ClientEvent::FriendConfirmed { dialing_round, .. } = e {
                     keywheel_start = dialing_round;
                 }
@@ -64,17 +66,19 @@ fn main() {
     let mut secrets = Vec::new();
     for r in 1..=keywheel_start.as_u64() {
         let round = Round(r);
-        let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+        let count = clients.len();
+        net.with_cluster(|c| c.begin_dialing_round(round, count))
+            .unwrap();
         for c in clients.iter_mut() {
             if let Some(ClientEvent::OutgoingCallPlaced { session_key, .. }) =
-                c.participate_dialing(&mut cluster, &info).unwrap()
+                c.participate_dialing(&mut net).unwrap()
             {
                 secrets.push(("laurel (caller)", session_key));
             }
         }
-        cluster.close_dialing_round(round).unwrap();
+        net.with_cluster(|c| c.close_dialing_round(round)).unwrap();
         for c in clients.iter_mut() {
-            for e in c.process_dialing_mailbox(&mut cluster, &info).unwrap() {
+            for e in c.process_dialing_mailbox(&mut net).unwrap() {
                 if let ClientEvent::IncomingCall { session_key, .. } = e {
                     secrets.push(("hardy (callee)", session_key));
                 }

@@ -4,34 +4,39 @@
 //! Run with `cargo run --example quickstart`.
 //!
 //! The example stands up a complete in-process Alpenhorn deployment (3 PKGs +
-//! a 3-server mixnet + entry server + CDN), registers Alice and Bob, runs the
-//! add-friend protocol, and then the dialing protocol, printing the session
-//! key both sides derive.
+//! a 3-server mixnet + entry server + CDN) behind the loopback transport,
+//! registers Alice and Bob over the RPC API, runs the add-friend protocol,
+//! and then the dialing protocol, printing the session key both sides derive.
+//! Swap [`alpenhorn::LoopbackTransport`] for [`alpenhorn::TcpTransport`] and
+//! the same client code talks to a networked `alpenhornd` daemon.
 
-use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, LoopbackTransport, Round};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 
 fn main() {
     // 1. Stand up the servers. In a real deployment these run on separate
-    //    machines operated by independent parties; only one needs to be honest.
-    let mut cluster = Cluster::new(ClusterConfig::test(7));
-    println!("cluster: {} PKGs, 3 mixnet servers", cluster.num_pkgs());
+    //    machines operated by independent parties; only one needs to be
+    //    honest. The loopback transport speaks the same RPC API a remote
+    //    `alpenhornd` daemon serves over TCP.
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(7)));
+    let (num_pkgs, pkg_keys) = net.with_cluster(|c| (c.num_pkgs(), c.pkg_verifying_keys()));
+    println!("cluster: {num_pkgs} PKGs, 3 mixnet servers");
 
     // 2. Register two users (the paper's `Register(email)`).
     let mut alice = Client::new(
         Identity::new("alice@example.com").unwrap(),
-        cluster.pkg_verifying_keys(),
+        pkg_keys.clone(),
         ClientConfig::default(),
         [1u8; 32],
     );
     let mut bob = Client::new(
         Identity::new("bob@gmail.com").unwrap(),
-        cluster.pkg_verifying_keys(),
+        pkg_keys,
         ClientConfig::default(),
         [2u8; 32],
     );
-    alice.register(&mut cluster).expect("alice registers");
-    bob.register(&mut cluster).expect("bob registers");
+    alice.register(&mut net).expect("alice registers");
+    bob.register(&mut net).expect("bob registers");
     println!("registered {} and {}", alice.identity(), bob.identity());
 
     // 3. Alice adds Bob as a friend knowing only his email address
@@ -41,15 +46,14 @@ fn main() {
     // 4. Run two add-friend rounds: Alice's request, then Bob's confirmation.
     let mut confirmed_round = Round(0);
     for round in [Round(1), Round(2)] {
-        let info = cluster.begin_add_friend_round(round, 2).unwrap();
-        alice.participate_add_friend(&mut cluster, &info).unwrap();
-        bob.participate_add_friend(&mut cluster, &info).unwrap();
-        cluster.close_add_friend_round(round).unwrap();
+        net.with_cluster(|c| c.begin_add_friend_round(round, 2))
+            .unwrap();
+        alice.participate_add_friend(&mut net).unwrap();
+        bob.participate_add_friend(&mut net).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(round))
+            .unwrap();
         for (name, client) in [("alice", &mut alice), ("bob", &mut bob)] {
-            for event in client
-                .process_add_friend_mailbox(&mut cluster, &info)
-                .unwrap()
-            {
+            for event in client.process_add_friend_mailbox(&mut net).unwrap() {
                 println!("  [{name}] {event:?}");
                 if let ClientEvent::FriendConfirmed { dialing_round, .. } = event {
                     confirmed_round = dialing_round;
@@ -68,16 +72,17 @@ fn main() {
     let mut bob_key = None;
     for r in 1..=confirmed_round.as_u64() {
         let round = Round(r);
-        let info = cluster.begin_dialing_round(round, 2).unwrap();
+        net.with_cluster(|c| c.begin_dialing_round(round, 2))
+            .unwrap();
         if let Some(ClientEvent::OutgoingCallPlaced { session_key, .. }) =
-            alice.participate_dialing(&mut cluster, &info).unwrap()
+            alice.participate_dialing(&mut net).unwrap()
         {
             alice_key = Some(session_key);
         }
-        bob.participate_dialing(&mut cluster, &info).unwrap();
-        cluster.close_dialing_round(round).unwrap();
-        alice.process_dialing_mailbox(&mut cluster, &info).unwrap();
-        for event in bob.process_dialing_mailbox(&mut cluster, &info).unwrap() {
+        bob.participate_dialing(&mut net).unwrap();
+        net.with_cluster(|c| c.close_dialing_round(round)).unwrap();
+        alice.process_dialing_mailbox(&mut net).unwrap();
+        for event in bob.process_dialing_mailbox(&mut net).unwrap() {
             if let ClientEvent::IncomingCall {
                 from, session_key, ..
             } = event

@@ -32,12 +32,24 @@ cargo build --release
 stage "tests"
 cargo test -q
 
+# Loopback-vs-TCP equivalence smoke: the same seeded scenario must produce
+# byte-identical client events over the in-process loopback transport and
+# over TCP against a live localhost daemon (plus concurrent-client and
+# hostile-peer coverage). Runs inside `cargo test -q` too; this named stage
+# makes a transport regression point at itself.
+stage "transport equivalence smoke (loopback vs TCP alpenhornd)"
+cargo test -q --test transport_equivalence
+
 # Full sampling budget, not BENCH_SMOKE: this stage's output IS the recorded
 # perf trajectory (≈3 s total), and overwriting the committed baseline with
 # noisy smoke numbers would make bench_compare.sh diffs meaningless.
 stage "bench snapshot: hash hot path (writes BENCH_pr3.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr3.json" \
     cargo bench -p alpenhorn-bench --bench hash_hot_path
+
+stage "bench snapshot: wire RPC codec (writes BENCH_pr4.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr4.json" \
+    cargo bench -p alpenhorn-bench --bench wire_rpc
 
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by

@@ -1,7 +1,8 @@
 //! End-to-end integration tests spanning every crate: clients, PKGs, mixnet,
-//! coordinator, keywheels, and the Vuvuzela conversation layer.
+//! coordinator, keywheels, and the Vuvuzela conversation layer, driven
+//! through the loopback transport.
 
-use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, Round};
+use alpenhorn::{Client, ClientConfig, ClientEvent, Identity, LoopbackTransport, Round};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_vuvuzela::{ConversationSession, DeadDropServer};
 
@@ -9,65 +10,66 @@ fn id(s: &str) -> Identity {
     Identity::new(s).unwrap()
 }
 
-fn registered_client(cluster: &mut Cluster, email: &str, seed: u8) -> Client {
-    let mut c = Client::new(
-        id(email),
-        cluster.pkg_verifying_keys(),
-        ClientConfig::default(),
-        [seed; 32],
-    );
-    c.register(cluster).unwrap();
+fn deployment(seed: u8) -> LoopbackTransport {
+    LoopbackTransport::new(Cluster::new(ClusterConfig::test(seed)))
+}
+
+fn registered_client(net: &mut LoopbackTransport, email: &str, seed: u8) -> Client {
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+    let mut c = Client::new(id(email), pkg_keys, ClientConfig::default(), [seed; 32]);
+    c.register(net).unwrap();
     c
 }
 
 fn add_friend_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<ClientEvent> {
-    let info = cluster
-        .begin_add_friend_round(round, clients.len())
+    net.with_cluster(|c| c.begin_add_friend_round(round, clients.len()))
         .unwrap();
     for c in clients.iter_mut() {
-        c.participate_add_friend(cluster, &info).unwrap();
+        c.participate_add_friend(net).unwrap();
     }
-    cluster.close_add_friend_round(round).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(round))
+        .unwrap();
     let mut events = Vec::new();
     for c in clients.iter_mut() {
-        events.extend(c.process_add_friend_mailbox(cluster, &info).unwrap());
+        events.extend(c.process_add_friend_mailbox(net).unwrap());
     }
     events
 }
 
 fn dialing_round(
-    cluster: &mut Cluster,
+    net: &mut LoopbackTransport,
     round: Round,
     clients: &mut [&mut Client],
 ) -> Vec<ClientEvent> {
-    let info = cluster.begin_dialing_round(round, clients.len()).unwrap();
+    net.with_cluster(|c| c.begin_dialing_round(round, clients.len()))
+        .unwrap();
     let mut events = Vec::new();
     for c in clients.iter_mut() {
-        if let Some(e) = c.participate_dialing(cluster, &info).unwrap() {
+        if let Some(e) = c.participate_dialing(net).unwrap() {
             events.push(e);
         }
     }
-    cluster.close_dialing_round(round).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(round)).unwrap();
     for c in clients.iter_mut() {
-        events.extend(c.process_dialing_mailbox(cluster, &info).unwrap());
+        events.extend(c.process_dialing_mailbox(net).unwrap());
     }
     events
 }
 
 #[test]
 fn full_lifecycle_register_friend_call_converse() {
-    let mut cluster = Cluster::new(ClusterConfig::test(50));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 1);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 2);
+    let mut net = deployment(50);
+    let mut alice = registered_client(&mut net, "alice@example.com", 1);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 2);
 
     // Add-friend handshake.
     alice.add_friend(id("bob@gmail.com"), None);
-    add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
-    let events = add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
+    let events = add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
     let start = events
         .iter()
         .find_map(|e| match e {
@@ -81,7 +83,7 @@ fn full_lifecycle_register_friend_call_converse() {
     let mut caller_session = None;
     let mut callee_session = None;
     for r in 1..=start.as_u64() {
-        for event in dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]) {
+        for event in dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]) {
             if let Some(session) = ConversationSession::from_event(&event) {
                 match event {
                     ClientEvent::OutgoingCallPlaced { .. } => caller_session = Some(session),
@@ -114,12 +116,12 @@ fn full_lifecycle_register_friend_call_converse() {
 
 #[test]
 fn many_users_multiple_friendships_and_calls() {
-    let mut cluster = Cluster::new(ClusterConfig::test(51));
+    let mut net = deployment(51);
     let emails: Vec<String> = (0..8).map(|i| format!("user{i}@example.com")).collect();
     let mut clients: Vec<Client> = emails
         .iter()
         .enumerate()
-        .map(|(i, e)| registered_client(&mut cluster, e, 100 + i as u8))
+        .map(|(i, e)| registered_client(&mut net, e, 100 + i as u8))
         .collect();
 
     // user0 friends everyone else (one request per round, so this takes
@@ -129,15 +131,16 @@ fn many_users_multiple_friendships_and_calls() {
     }
     let mut confirmed = std::collections::HashSet::new();
     for r in 1..=16u64 {
-        let info = cluster
-            .begin_add_friend_round(Round(r), clients.len())
+        let count = clients.len();
+        net.with_cluster(|c| c.begin_add_friend_round(Round(r), count))
             .unwrap();
         for c in clients.iter_mut() {
-            c.participate_add_friend(&mut cluster, &info).unwrap();
+            c.participate_add_friend(&mut net).unwrap();
         }
-        cluster.close_add_friend_round(Round(r)).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(Round(r)))
+            .unwrap();
         for c in clients.iter_mut() {
-            for e in c.process_add_friend_mailbox(&mut cluster, &info).unwrap() {
+            for e in c.process_add_friend_mailbox(&mut net).unwrap() {
                 if let ClientEvent::FriendConfirmed { friend, .. } = e {
                     confirmed.insert(friend);
                 }
@@ -160,15 +163,16 @@ fn many_users_multiple_friendships_and_calls() {
     }
     let mut incoming = 0;
     for r in 1..=12u64 {
-        let info = cluster
-            .begin_dialing_round(Round(r), clients.len())
+        let count = clients.len();
+        net.with_cluster(|c| c.begin_dialing_round(Round(r), count))
             .unwrap();
         for c in clients.iter_mut() {
-            c.participate_dialing(&mut cluster, &info).unwrap();
+            c.participate_dialing(&mut net).unwrap();
         }
-        cluster.close_dialing_round(Round(r)).unwrap();
+        net.with_cluster(|c| c.close_dialing_round(Round(r)))
+            .unwrap();
         for c in clients.iter_mut() {
-            for e in c.process_dialing_mailbox(&mut cluster, &info).unwrap() {
+            for e in c.process_dialing_mailbox(&mut net).unwrap() {
                 if e.is_incoming_call() {
                     incoming += 1;
                 }
@@ -180,13 +184,13 @@ fn many_users_multiple_friendships_and_calls() {
 
 #[test]
 fn forward_secrecy_erased_rounds_cannot_be_replayed() {
-    let mut cluster = Cluster::new(ClusterConfig::test(52));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 3);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 4);
+    let mut net = deployment(52);
+    let mut alice = registered_client(&mut net, "alice@example.com", 3);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 4);
 
     alice.add_friend(id("bob@gmail.com"), None);
-    add_friend_round(&mut cluster, Round(1), &mut [&mut alice, &mut bob]);
-    let events = add_friend_round(&mut cluster, Round(2), &mut [&mut alice, &mut bob]);
+    add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
+    let events = add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
     let start = events
         .iter()
         .find_map(|e| match e {
@@ -197,7 +201,7 @@ fn forward_secrecy_erased_rounds_cannot_be_replayed() {
 
     // Run dialing rounds past the start round with no calls.
     for r in 1..=start.as_u64() + 1 {
-        dialing_round(&mut cluster, Round(r), &mut [&mut alice, &mut bob]);
+        dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
     }
     // Keywheel state for already-processed rounds is erased on both sides, so
     // neither can produce (nor check) tokens for those rounds any more.
@@ -220,60 +224,52 @@ fn forward_secrecy_erased_rounds_cannot_be_replayed() {
 
 #[test]
 fn cover_traffic_users_receive_nothing_and_upload_fixed_sizes() {
-    let mut cluster = Cluster::new(ClusterConfig::test(53));
+    let mut net = deployment(53);
     let mut idle_users: Vec<Client> = (0..4)
-        .map(|i| registered_client(&mut cluster, &format!("idle{i}@example.com"), 60 + i as u8))
+        .map(|i| registered_client(&mut net, &format!("idle{i}@example.com"), 60 + i as u8))
         .collect();
 
-    let info = cluster
-        .begin_add_friend_round(Round(1), idle_users.len())
+    let count = idle_users.len();
+    net.with_cluster(|c| c.begin_add_friend_round(Round(1), count))
         .unwrap();
     for c in idle_users.iter_mut() {
-        c.participate_add_friend(&mut cluster, &info).unwrap();
+        c.participate_add_friend(&mut net).unwrap();
     }
-    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    let stats = net
+        .with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
     assert_eq!(stats.client_messages, 4);
     // Nothing is delivered to anyone.
     for c in idle_users.iter_mut() {
-        assert!(c
-            .process_add_friend_mailbox(&mut cluster, &info)
-            .unwrap()
-            .is_empty());
+        assert!(c.process_add_friend_mailbox(&mut net).unwrap().is_empty());
     }
 
     // Same for dialing.
-    let dial_info = cluster
-        .begin_dialing_round(Round(1), idle_users.len())
+    net.with_cluster(|c| c.begin_dialing_round(Round(1), count))
         .unwrap();
     for c in idle_users.iter_mut() {
-        c.participate_dialing(&mut cluster, &dial_info).unwrap();
+        c.participate_dialing(&mut net).unwrap();
     }
-    cluster.close_dialing_round(Round(1)).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(Round(1)))
+        .unwrap();
     for c in idle_users.iter_mut() {
-        assert!(c
-            .process_dialing_mailbox(&mut cluster, &dial_info)
-            .unwrap()
-            .is_empty());
+        assert!(c.process_dialing_mailbox(&mut net).unwrap().is_empty());
     }
 }
 
 #[test]
 fn three_way_friendships_stay_consistent() {
-    let mut cluster = Cluster::new(ClusterConfig::test(54));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 70);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 71);
-    let mut carol = registered_client(&mut cluster, "carol@x.org", 72);
+    let mut net = deployment(54);
+    let mut alice = registered_client(&mut net, "alice@example.com", 70);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 71);
+    let mut carol = registered_client(&mut net, "carol@x.org", 72);
 
     alice.add_friend(id("bob@gmail.com"), None);
     bob.add_friend(id("carol@x.org"), None);
     carol.add_friend(id("alice@example.com"), None);
 
     for r in 1..=3u64 {
-        add_friend_round(
-            &mut cluster,
-            Round(r),
-            &mut [&mut alice, &mut bob, &mut carol],
-        );
+        add_friend_round(&mut net, Round(r), &mut [&mut alice, &mut bob, &mut carol]);
     }
     // Every pair along the triangle is confirmed with a shared keywheel.
     assert!(alice.keywheels().contains(&id("bob@gmail.com")));

@@ -1,7 +1,9 @@
 //! Failure-injection integration tests: malformed input, misbehaving clients,
 //! lost mailboxes, and recovery paths.
 
-use alpenhorn::{Client, ClientConfig, ClientError, ClientEvent, Identity, Round};
+use alpenhorn::{
+    Client, ClientConfig, ClientError, ClientEvent, Identity, LoopbackTransport, Round,
+};
 use alpenhorn_coordinator::{Cluster, ClusterConfig, CoordinatorError};
 use alpenhorn_crypto::ChaChaRng;
 use alpenhorn_ibe::bf::encrypt as ibe_encrypt;
@@ -12,63 +14,67 @@ fn id(s: &str) -> Identity {
     Identity::new(s).unwrap()
 }
 
-fn registered_client(cluster: &mut Cluster, email: &str, seed: u8) -> Client {
-    let mut c = Client::new(
-        id(email),
-        cluster.pkg_verifying_keys(),
-        ClientConfig::default(),
-        [seed; 32],
-    );
-    c.register(cluster).unwrap();
+fn deployment(seed: u8) -> LoopbackTransport {
+    LoopbackTransport::new(Cluster::new(ClusterConfig::test(seed)))
+}
+
+fn registered_client(net: &mut LoopbackTransport, email: &str, seed: u8) -> Client {
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+    let mut c = Client::new(id(email), pkg_keys, ClientConfig::default(), [seed; 32]);
+    c.register(net).unwrap();
     c
 }
 
 #[test]
 fn entry_server_rejects_malformed_submissions() {
-    let mut cluster = Cluster::new(ClusterConfig::test(90));
-    let info = cluster.begin_add_friend_round(Round(1), 4).unwrap();
+    let net = deployment(90);
+    let info = net
+        .with_cluster(|c| c.begin_add_friend_round(Round(1), 4))
+        .unwrap();
     // Too small, too large, and empty submissions are all rejected.
     for bad in [vec![0u8; 10], vec![0u8; info.onion_len + 1], Vec::new()] {
         assert!(matches!(
-            cluster.submit_add_friend(Round(1), bad),
+            net.with_cluster(|c| c.submit_add_friend(Round(1), bad)),
             Err(CoordinatorError::WrongRequestSize { .. })
         ));
     }
     // Submissions for a round that is not open are rejected too.
     assert!(matches!(
-        cluster.submit_add_friend(Round(7), vec![0u8; info.onion_len]),
+        net.with_cluster(|c| c.submit_add_friend(Round(7), vec![0u8; info.onion_len])),
         Err(CoordinatorError::RoundNotOpen { .. })
     ));
-    cluster.close_add_friend_round(Round(1)).unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
 }
 
 #[test]
 fn garbage_onions_are_dropped_by_the_mixnet_not_delivered() {
     // A malicious client submits correctly-sized garbage; the mixnet drops it
     // during layer decryption and honest traffic is unaffected.
-    let mut cluster = Cluster::new(ClusterConfig::test(91));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 1);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 2);
+    let mut net = deployment(91);
+    let mut alice = registered_client(&mut net, "alice@example.com", 1);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 2);
     alice.add_friend(id("bob@gmail.com"), None);
 
-    let info = cluster.begin_add_friend_round(Round(1), 2).unwrap();
-    alice.participate_add_friend(&mut cluster, &info).unwrap();
-    bob.participate_add_friend(&mut cluster, &info).unwrap();
-    cluster
-        .submit_add_friend(Round(1), vec![0xAB; info.onion_len])
+    let info = net
+        .with_cluster(|c| c.begin_add_friend_round(Round(1), 2))
         .unwrap();
-    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    alice.participate_add_friend(&mut net).unwrap();
+    bob.participate_add_friend(&mut net).unwrap();
+    net.with_cluster(|c| c.submit_add_friend(Round(1), vec![0xAB; info.onion_len]))
+        .unwrap();
+    let stats = net
+        .with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
     assert_eq!(stats.client_messages, 3);
     assert_eq!(stats.dropped_per_server.iter().sum::<u64>(), 1);
 
     // Bob still receives Alice's request.
-    let events = bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+    let events = bob.process_add_friend_mailbox(&mut net).unwrap();
     assert!(events
         .iter()
         .any(|e| matches!(e, ClientEvent::FriendRequestReceived { .. })));
-    alice
-        .process_add_friend_mailbox(&mut cluster, &info)
-        .unwrap();
+    alice.process_add_friend_mailbox(&mut net).unwrap();
 }
 
 #[test]
@@ -77,12 +83,14 @@ fn spoofed_friend_requests_without_pkg_attestation_are_rejected() {
     // him (encryption is public), but cannot produce a valid PKG
     // multi-signature binding the claimed identity to a signing key, so Bob's
     // client rejects the request.
-    let mut cluster = Cluster::new(ClusterConfig::test(92));
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 3);
+    let mut net = deployment(92);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 3);
     let mut rng = ChaChaRng::from_seed_bytes([66u8; 32]);
 
-    let info = cluster.begin_add_friend_round(Round(1), 2).unwrap();
-    bob.participate_add_friend(&mut cluster, &info).unwrap();
+    let info = net
+        .with_cluster(|c| c.begin_add_friend_round(Round(1), 2))
+        .unwrap();
+    bob.participate_add_friend(&mut net).unwrap();
 
     // Forge a structurally valid friend request claiming to be from Alice.
     let forged = alpenhorn_wire::FriendRequest {
@@ -105,10 +113,12 @@ fn spoofed_friend_requests_without_pkg_attestation_are_rejected() {
         ciphertext,
     };
     let onion = wrap_onion(&envelope.encode(), &info.onion_keys, &mut rng);
-    cluster.submit_add_friend(Round(1), onion).unwrap();
-    cluster.close_add_friend_round(Round(1)).unwrap();
+    net.with_cluster(|c| c.submit_add_friend(Round(1), onion))
+        .unwrap();
+    net.with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
 
-    let events = bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+    let events = bob.process_add_friend_mailbox(&mut net).unwrap();
     assert!(
         events
             .iter()
@@ -120,33 +130,35 @@ fn spoofed_friend_requests_without_pkg_attestation_are_rejected() {
 
 #[test]
 fn missing_mailbox_is_reported_and_round_can_be_abandoned() {
-    let mut cluster = Cluster::new(ClusterConfig::test(93));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 4);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 5);
+    let mut net = deployment(93);
+    let mut alice = registered_client(&mut net, "alice@example.com", 4);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 5);
 
     // Establish a friendship so Alice has a keywheel to advance.
     alice.add_friend(id("bob@gmail.com"), None);
     for r in 1..=2u64 {
-        let info = cluster.begin_add_friend_round(Round(r), 2).unwrap();
-        alice.participate_add_friend(&mut cluster, &info).unwrap();
-        bob.participate_add_friend(&mut cluster, &info).unwrap();
-        cluster.close_add_friend_round(Round(r)).unwrap();
-        alice
-            .process_add_friend_mailbox(&mut cluster, &info)
+        net.with_cluster(|c| c.begin_add_friend_round(Round(r), 2))
             .unwrap();
-        bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice.participate_add_friend(&mut net).unwrap();
+        bob.participate_add_friend(&mut net).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(Round(r)))
+            .unwrap();
+        alice.process_add_friend_mailbox(&mut net).unwrap();
+        bob.process_add_friend_mailbox(&mut net).unwrap();
     }
 
     // A dialing round is opened and closed, then the CDN expires it before
     // Alice can download (e.g. she was offline for a day, §5.1).
-    let info = cluster.begin_dialing_round(Round(1), 2).unwrap();
-    alice.participate_dialing(&mut cluster, &info).unwrap();
-    bob.participate_dialing(&mut cluster, &info).unwrap();
-    cluster.close_dialing_round(Round(1)).unwrap();
-    cluster.cdn().expire_before(Round(2));
+    net.with_cluster(|c| c.begin_dialing_round(Round(1), 2))
+        .unwrap();
+    alice.participate_dialing(&mut net).unwrap();
+    bob.participate_dialing(&mut net).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(Round(1)))
+        .unwrap();
+    net.with_cluster(|c| c.cdn().expire_before(Round(2)));
 
     assert_eq!(
-        alice.process_dialing_mailbox(&mut cluster, &info),
+        alice.process_dialing_mailbox(&mut net),
         Err(ClientError::MissingMailbox)
     );
     // She gives up on the round; forward secrecy is preserved by advancing.
@@ -160,36 +172,37 @@ fn missing_mailbox_is_reported_and_round_can_be_abandoned() {
 
 #[test]
 fn double_registration_and_duplicate_tokens_handled() {
-    let mut cluster = Cluster::new(ClusterConfig::test(94));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 6);
+    let mut net = deployment(94);
+    let mut alice = registered_client(&mut net, "alice@example.com", 6);
     // Registering again with the same key is a harmless no-op.
-    assert!(alice.register(&mut cluster).is_ok());
+    assert!(alice.register(&mut net).is_ok());
 
     // A different client claiming the same address cannot take it over.
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
     let mut imposter = Client::new(
         id("alice@example.com"),
-        cluster.pkg_verifying_keys(),
+        pkg_keys,
         ClientConfig::default(),
         [77u8; 32],
     );
-    assert!(imposter.register(&mut cluster).is_err());
+    assert!(imposter.register(&mut net).is_err());
 }
 
 #[test]
 fn calls_to_removed_friends_fail_cleanly() {
-    let mut cluster = Cluster::new(ClusterConfig::test(95));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 8);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 9);
+    let mut net = deployment(95);
+    let mut alice = registered_client(&mut net, "alice@example.com", 8);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 9);
     alice.add_friend(id("bob@gmail.com"), None);
     for r in 1..=2u64 {
-        let info = cluster.begin_add_friend_round(Round(r), 2).unwrap();
-        alice.participate_add_friend(&mut cluster, &info).unwrap();
-        bob.participate_add_friend(&mut cluster, &info).unwrap();
-        cluster.close_add_friend_round(Round(r)).unwrap();
-        alice
-            .process_add_friend_mailbox(&mut cluster, &info)
+        net.with_cluster(|c| c.begin_add_friend_round(Round(r), 2))
             .unwrap();
-        bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice.participate_add_friend(&mut net).unwrap();
+        bob.participate_add_friend(&mut net).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(Round(r)))
+            .unwrap();
+        alice.process_add_friend_mailbox(&mut net).unwrap();
+        bob.process_add_friend_mailbox(&mut net).unwrap();
     }
     alice.remove_friend(&id("bob@gmail.com"));
     assert_eq!(

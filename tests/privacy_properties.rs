@@ -2,7 +2,7 @@
 //! servers and the network actually see must not depend on whether a client
 //! is communicating, and destroying state must actually destroy it.
 
-use alpenhorn::{Client, ClientConfig, Identity, Round};
+use alpenhorn::{Client, ClientConfig, Identity, LoopbackTransport, Round};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_mixnet::NoiseConfig;
 use alpenhorn_wire::{AddFriendEnvelope, DIAL_REQUEST_LEN, ONION_LAYER_OVERHEAD};
@@ -11,14 +11,10 @@ fn id(s: &str) -> Identity {
     Identity::new(s).unwrap()
 }
 
-fn registered_client(cluster: &mut Cluster, email: &str, seed: u8) -> Client {
-    let mut c = Client::new(
-        id(email),
-        cluster.pkg_verifying_keys(),
-        ClientConfig::default(),
-        [seed; 32],
-    );
-    c.register(cluster).unwrap();
+fn registered_client(net: &mut LoopbackTransport, email: &str, seed: u8) -> Client {
+    let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+    let mut c = Client::new(id(email), pkg_keys, ClientConfig::default(), [seed; 32]);
+    c.register(net).unwrap();
     c
 }
 
@@ -28,26 +24,32 @@ fn upload_size_is_identical_for_real_and_cover_traffic() {
     // sending a real friend request and a client sending cover traffic submit
     // byte-for-byte equally sized onions (otherwise size alone would leak who
     // is adding friends).
-    let mut cluster = Cluster::new(ClusterConfig::test(80));
-    let mut active = registered_client(&mut cluster, "active@example.com", 1);
-    let mut idle = registered_client(&mut cluster, "idle@example.com", 2);
-    let mut target = registered_client(&mut cluster, "target@example.com", 3);
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(80)));
+    let mut active = registered_client(&mut net, "active@example.com", 1);
+    let mut idle = registered_client(&mut net, "idle@example.com", 2);
+    let mut target = registered_client(&mut net, "target@example.com", 3);
 
     active.add_friend(id("target@example.com"), None);
-    let info = cluster.begin_add_friend_round(Round(1), 3).unwrap();
+    let info = net
+        .with_cluster(|c| c.begin_add_friend_round(Round(1), 3))
+        .unwrap();
     // The expected onion size is fixed and announced by the round info.
     let expected = AddFriendEnvelope::ENCODED_LEN + 3 * ONION_LAYER_OVERHEAD;
     assert_eq!(info.onion_len, expected);
-    active.participate_add_friend(&mut cluster, &info).unwrap();
-    idle.participate_add_friend(&mut cluster, &info).unwrap();
-    target.participate_add_friend(&mut cluster, &info).unwrap();
-    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    active.participate_add_friend(&mut net).unwrap();
+    idle.participate_add_friend(&mut net).unwrap();
+    target.participate_add_friend(&mut net).unwrap();
+    let stats = net
+        .with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
     // All three submissions were accepted, which (per the entry server's size
     // check) means they all had exactly `info.onion_len` bytes.
     assert_eq!(stats.client_messages, 3);
 
     // Dialing requests are likewise fixed-size.
-    let dial_info = cluster.begin_dialing_round(Round(1), 3).unwrap();
+    let dial_info = net
+        .with_cluster(|c| c.begin_dialing_round(Round(1), 3))
+        .unwrap();
     assert_eq!(
         dial_info.onion_len,
         DIAL_REQUEST_LEN + 3 * ONION_LAYER_OVERHEAD
@@ -64,15 +66,19 @@ fn mailbox_contents_dominated_by_noise_even_with_one_active_user() {
         add_friend_noise: NoiseConfig::deterministic(50.0),
         ..ClusterConfig::test(81)
     };
-    let mut cluster = Cluster::new(config);
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 4);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 5);
+    let mut net = LoopbackTransport::new(Cluster::new(config));
+    let mut alice = registered_client(&mut net, "alice@example.com", 4);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 5);
     alice.add_friend(id("bob@gmail.com"), None);
 
-    let info = cluster.begin_add_friend_round(Round(1), 2).unwrap();
-    alice.participate_add_friend(&mut cluster, &info).unwrap();
-    bob.participate_add_friend(&mut cluster, &info).unwrap();
-    let stats = cluster.close_add_friend_round(Round(1)).unwrap();
+    let info = net
+        .with_cluster(|c| c.begin_add_friend_round(Round(1), 2))
+        .unwrap();
+    alice.participate_add_friend(&mut net).unwrap();
+    bob.participate_add_friend(&mut net).unwrap();
+    let stats = net
+        .with_cluster(|c| c.close_add_friend_round(Round(1)))
+        .unwrap();
     assert_eq!(
         stats.total_noise(),
         3 * 50 * (info.num_mailboxes as u64 + 1)
@@ -80,9 +86,8 @@ fn mailbox_contents_dominated_by_noise_even_with_one_active_user() {
 
     let mailbox =
         alpenhorn_wire::MailboxId::for_recipient(&id("bob@gmail.com"), info.num_mailboxes);
-    let contents = cluster
-        .cdn()
-        .fetch_add_friend_mailbox(Round(1), mailbox)
+    let contents = net
+        .with_cluster(|c| c.cdn().fetch_add_friend_mailbox(Round(1), mailbox))
         .unwrap();
     // 1 real request + 50 noise entries from each of the 3 servers.
     assert_eq!(contents.len(), 1 + 3 * 50);
@@ -99,15 +104,19 @@ fn noise_tokens_inflate_dialing_mailboxes_uniformly() {
         dialing_noise: NoiseConfig::deterministic(40.0),
         ..ClusterConfig::test(82)
     };
-    let mut cluster = Cluster::new(config);
-    let mut idle = registered_client(&mut cluster, "idle@example.com", 6);
+    let mut net = LoopbackTransport::new(Cluster::new(config));
+    let mut idle = registered_client(&mut net, "idle@example.com", 6);
 
-    let info = cluster.begin_dialing_round(Round(1), 1).unwrap();
-    idle.participate_dialing(&mut cluster, &info).unwrap();
-    cluster.close_dialing_round(Round(1)).unwrap();
-    let filter = cluster
-        .cdn()
-        .fetch_dialing_mailbox(Round(1), alpenhorn_wire::MailboxId(0))
+    net.with_cluster(|c| c.begin_dialing_round(Round(1), 1))
+        .unwrap();
+    idle.participate_dialing(&mut net).unwrap();
+    net.with_cluster(|c| c.close_dialing_round(Round(1)))
+        .unwrap();
+    let filter = net
+        .with_cluster(|c| {
+            c.cdn()
+                .fetch_dialing_mailbox(Round(1), alpenhorn_wire::MailboxId(0))
+        })
         .unwrap();
     // The idle client's cover token went to the cover mailbox; only noise is
     // encoded here, and there is plenty of it.
@@ -118,20 +127,20 @@ fn noise_tokens_inflate_dialing_mailboxes_uniformly() {
 fn removing_a_friend_destroys_the_evidence() {
     // §3.2: after removing a friend from the address book, a device
     // compromise no longer reveals whether the two users were friends.
-    let mut cluster = Cluster::new(ClusterConfig::test(83));
-    let mut alice = registered_client(&mut cluster, "alice@example.com", 7);
-    let mut bob = registered_client(&mut cluster, "bob@gmail.com", 8);
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(83)));
+    let mut alice = registered_client(&mut net, "alice@example.com", 7);
+    let mut bob = registered_client(&mut net, "bob@gmail.com", 8);
 
     alice.add_friend(id("bob@gmail.com"), None);
     for r in 1..=2u64 {
-        let info = cluster.begin_add_friend_round(Round(r), 2).unwrap();
-        alice.participate_add_friend(&mut cluster, &info).unwrap();
-        bob.participate_add_friend(&mut cluster, &info).unwrap();
-        cluster.close_add_friend_round(Round(r)).unwrap();
-        alice
-            .process_add_friend_mailbox(&mut cluster, &info)
+        net.with_cluster(|c| c.begin_add_friend_round(Round(r), 2))
             .unwrap();
-        bob.process_add_friend_mailbox(&mut cluster, &info).unwrap();
+        alice.participate_add_friend(&mut net).unwrap();
+        bob.participate_add_friend(&mut net).unwrap();
+        net.with_cluster(|c| c.close_add_friend_round(Round(r)))
+            .unwrap();
+        alice.process_add_friend_mailbox(&mut net).unwrap();
+        bob.process_add_friend_mailbox(&mut net).unwrap();
     }
     assert!(alice.keywheels().contains(&id("bob@gmail.com")));
 

@@ -1,0 +1,150 @@
+//! Storage snapshot: costs of the durable-state substrate (`alpenhorn-storage`)
+//! on the paths a busy coordinator exercises — record framing, WAL appends
+//! (buffered and fsynced), recovery replay, and atomic snapshots.
+//!
+//! Like `hash_hot_path` and `wire_rpc`, this target writes a machine-readable
+//! snapshot (`BENCH_pr5.json` by default, override with `BENCH_JSON_OUT`) so
+//! the perf trajectory is recorded in-repo and `scripts/bench_compare.sh` can
+//! diff two snapshots and flag regressions.
+//!
+//! Environment:
+//! * `BENCH_JSON_OUT` — where to write the JSON snapshot.
+//! * `BENCH_SAMPLE_MS` — per-metric sampling budget (default 300).
+//! * `BENCH_SMOKE=1` — reduce the budget for CI smoke runs.
+
+use std::time::Duration;
+
+use alpenhorn_sim::Table;
+use alpenhorn_storage::{record, snapshot, Wal};
+
+fn measure_ns(budget: Duration, f: impl FnMut()) -> f64 {
+    criterion::measure_mean_ns(budget, f).0
+}
+
+fn sample_budget() -> Duration {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        return Duration::from_millis(60);
+    }
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn main() {
+    alpenhorn_bench::print_header(
+        "Storage WAL snapshot",
+        "durable-state substrate costs (docs/ARCHITECTURE.md, Durability & recovery)",
+    );
+    let budget = sample_budget();
+    let mut metrics: Vec<(&'static str, f64)> = Vec::new();
+
+    let dir = std::env::temp_dir().join(format!("alpenhorn-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+
+    // A coordinator-journal-shaped record: identity + key + timestamp ≈ 150 B.
+    let payload = vec![0xa5u8; 150];
+    let encoded = record::encode(1, &payload);
+    metrics.push((
+        "record_encode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(record::encode(1, &payload));
+        }),
+    ));
+    metrics.push((
+        "record_decode_ns",
+        measure_ns(budget, || {
+            criterion::black_box(record::decode_at(&encoded, 0).unwrap());
+        }),
+    ));
+
+    // Buffered appends (group commit: fsync batched far away).
+    {
+        let (mut wal, _) = Wal::open(dir.join("buffered.log"), u32::MAX).unwrap();
+        metrics.push((
+            "wal_append_buffered_ns",
+            measure_ns(budget, || {
+                wal.append(1, &payload).unwrap();
+            }),
+        ));
+        wal.sync().unwrap();
+    }
+
+    // Synced appends (sync_every = 1): the full durability cost per record.
+    // This is fsync-dominated, so the sample budget bounds the iteration
+    // count naturally.
+    {
+        let (mut wal, _) = Wal::open(dir.join("synced.log"), 1).unwrap();
+        metrics.push((
+            "wal_append_fsync_ns",
+            measure_ns(budget, || {
+                wal.append(1, &payload).unwrap();
+            }),
+        ));
+    }
+
+    // Recovery replay throughput over a 10k-record log (the acceptance
+    // workload), reported per record.
+    {
+        let replay_path = dir.join("replay.log");
+        let (mut wal, _) = Wal::open(&replay_path, u32::MAX).unwrap();
+        for i in 0..10_000u32 {
+            wal.append((i % 7) as u8, &payload).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let per_open = measure_ns(budget, || {
+            let (_, recovery) = Wal::open(&replay_path, u32::MAX).unwrap();
+            assert_eq!(recovery.records.len(), 10_000);
+            criterion::black_box(recovery.records.len());
+        });
+        metrics.push(("wal_replay_per_record_ns", per_open / 10_000.0));
+    }
+
+    // Atomic snapshot write + validated read of a 64 KiB state (a small
+    // deployment's registrations).
+    {
+        let state = vec![0x5au8; 64 << 10];
+        let snap_path = dir.join("state.snap");
+        metrics.push((
+            "snapshot_write_64k_ns",
+            measure_ns(budget, || {
+                snapshot::write_atomic(&snap_path, &state).unwrap();
+            }),
+        ));
+        metrics.push((
+            "snapshot_read_64k_ns",
+            measure_ns(budget, || {
+                criterion::black_box(snapshot::read(&snap_path).unwrap().unwrap());
+            }),
+        ));
+    }
+
+    let mut table = Table::new("Storage WAL", &["metric", "value"]);
+    for (name, value) in &metrics {
+        table.push_row(vec![(*name).to_string(), format!("{value:.1} ns/op")]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(record: {} B payload, {} B on disk; replay log: 10k records)",
+        payload.len(),
+        encoded.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out_path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json").to_string()
+    });
+    let mut json = String::from("{\n  \"schema\": \"alpenhorn-bench-snapshot-v1\",\n");
+    json.push_str("  \"bench\": \"storage_wal\",\n  \"benches\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {value:.2}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench snapshot");
+    println!("snapshot written to {out_path}");
+}

@@ -9,7 +9,18 @@
 //! ```text
 //! alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]
 //!            [--rate-limit-budget N] [--round-interval-ms MS]
+//!            [--data-dir DIR] [--sync-every N]
 //! ```
+//!
+//! With `--data-dir DIR` the daemon is durable: registrations, PKG key
+//! ratchets, rate-limit budgets, and the round counter are journalled to a
+//! write-ahead log with periodic snapshots (`alpenhorn-storage`), and a
+//! restarted daemon **recovers that state before it accepts its first
+//! connection** — previously registered clients keep working across a crash,
+//! and auto-driven rounds resume from where the crashed process left off.
+//! Restart with the same `--seed`/`--pkgs`/`--mix-servers` so the long-term
+//! keys re-derive identically; the journal restores everything that evolved
+//! at runtime.
 //!
 //! With `--round-interval-ms MS` the daemon alternates: open an add-friend
 //! and a dialing round, sleep `MS` milliseconds while clients participate,
@@ -22,7 +33,8 @@ use std::time::Duration;
 use alpenhorn_coordinator::server::serve;
 use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
-use alpenhorn_wire::Round;
+use alpenhorn_storage::StorageConfig;
+use alpenhorn_wire::{Request, Response};
 
 struct Options {
     listen: String,
@@ -31,12 +43,15 @@ struct Options {
     num_mix_servers: usize,
     rate_limit_budget: Option<u32>,
     round_interval: Option<Duration>,
+    data_dir: Option<String>,
+    sync_every: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]\n\
-         \x20                 [--rate-limit-budget N] [--round-interval-ms MS]"
+         \x20                 [--rate-limit-budget N] [--round-interval-ms MS]\n\
+         \x20                 [--data-dir DIR] [--sync-every N]"
     );
     std::process::exit(2)
 }
@@ -49,6 +64,8 @@ fn parse_options() -> Options {
         num_mix_servers: 3,
         rate_limit_budget: None,
         round_interval: None,
+        data_dir: None,
+        sync_every: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -79,6 +96,10 @@ fn parse_options() -> Options {
                         .unwrap_or_else(|_| usage()),
                 ))
             }
+            "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--sync-every" => {
+                options.sync_every = value("--sync-every").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("alpenhornd: unknown flag {other}");
@@ -87,6 +108,23 @@ fn parse_options() -> Options {
         }
     }
     options
+}
+
+/// Issues one admin request on the shared service, logging server-side
+/// errors (round-lifecycle hiccups must not kill the daemon).
+fn admin(
+    service: &std::sync::Arc<std::sync::Mutex<CoordinatorService>>,
+    what: &str,
+    request: Request,
+) -> Option<Response> {
+    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
+    match svc.handle(request) {
+        Response::Error(e) => {
+            eprintln!("alpenhornd: {what}: {e}");
+            None
+        }
+        response => Some(response),
+    }
 }
 
 fn main() {
@@ -102,8 +140,48 @@ fn main() {
             .rate_limit_budget
             .map(|budget_per_day| RateLimitPolicy { budget_per_day }),
     };
-    let service = CoordinatorService::with_config(Cluster::new(config), service_config);
+
+    // Recovery happens here, before the listener binds: a durable daemon
+    // never accepts a connection until its previous life's state is back.
+    let cluster = Cluster::new(config);
+    let service = match &options.data_dir {
+        None => CoordinatorService::with_config(cluster, service_config),
+        Some(dir) => {
+            let storage = StorageConfig {
+                sync_every: options.sync_every,
+                ..StorageConfig::default()
+            };
+            match CoordinatorService::with_storage(cluster, service_config, dir, storage) {
+                Ok((service, report)) => {
+                    if report.recovered {
+                        println!(
+                            "recovered state from {dir}: generation {}, snapshot {}, \
+                             {} log records replayed, {} torn bytes discarded; \
+                             next round {}",
+                            report.generation,
+                            if report.snapshot_loaded {
+                                "loaded"
+                            } else {
+                                "absent"
+                            },
+                            report.records_replayed,
+                            report.truncated_bytes,
+                            service.next_round().as_u64(),
+                        );
+                    } else {
+                        println!("initialized empty data dir {dir}");
+                    }
+                    service
+                }
+                Err(e) => {
+                    eprintln!("alpenhornd: cannot open data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     let rate_limited = service.rate_limited();
+    let first_round = service.next_round();
 
     let handle = match serve(service, options.listen.as_str()) {
         Ok(handle) => handle,
@@ -113,11 +191,16 @@ fn main() {
         }
     };
     println!(
-        "alpenhornd listening on {} ({} PKGs, {} mixnet servers, rate limiting {})",
+        "alpenhornd listening on {} ({} PKGs, {} mixnet servers, rate limiting {}, durability {})",
         handle.local_addr(),
         options.num_pkgs,
         options.num_mix_servers,
         if rate_limited { "on" } else { "off" },
+        if options.data_dir.is_some() {
+            "on"
+        } else {
+            "off"
+        },
     );
 
     match options.round_interval {
@@ -130,43 +213,62 @@ fn main() {
         }
         Some(interval) => {
             // Runs until the process is killed, like the admin-driven branch.
-            println!("auto-driving rounds every {} ms", interval.as_millis());
+            // Rounds go through the same `handle` dispatch as remote admin
+            // RPCs, so the durable journal sees them and a restarted daemon
+            // resumes from the recovered round counter.
+            println!(
+                "auto-driving rounds every {} ms starting at round {}",
+                interval.as_millis(),
+                first_round.as_u64()
+            );
             let service = handle.service();
-            let mut round = Round::FIRST;
+            let mut round = first_round;
             loop {
-                {
-                    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
-                    let cluster = svc.cluster_mut();
-                    if let Err(e) = cluster.begin_add_friend_round(round, 128) {
-                        eprintln!("alpenhornd: add-friend round {}: {e}", round.0);
-                    }
-                    if let Err(e) = cluster.begin_dialing_round(round, 128) {
-                        eprintln!("alpenhornd: dialing round {}: {e}", round.0);
-                    }
-                }
+                admin(
+                    &service,
+                    "opening add-friend round",
+                    Request::BeginAddFriendRound {
+                        round,
+                        expected_real: 128,
+                    },
+                );
+                admin(
+                    &service,
+                    "opening dialing round",
+                    Request::BeginDialingRound {
+                        round,
+                        expected_real: 128,
+                    },
+                );
                 std::thread::sleep(interval);
+                if let Some(Response::RoundClosed(stats)) = admin(
+                    &service,
+                    "closing add-friend round",
+                    Request::CloseAddFriendRound { round },
+                ) {
+                    println!(
+                        "add-friend round {} closed: {} client messages, {} noise",
+                        round.as_u64(),
+                        stats.client_messages,
+                        stats.total_noise
+                    );
+                }
+                if let Some(Response::RoundClosed(stats)) = admin(
+                    &service,
+                    "closing dialing round",
+                    Request::CloseDialingRound { round },
+                ) {
+                    println!(
+                        "dialing round {} closed: {} client messages",
+                        round.as_u64(),
+                        stats.client_messages
+                    );
+                }
                 {
                     let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
-                    let cluster = svc.cluster_mut();
-                    match cluster.close_add_friend_round(round) {
-                        Ok(stats) => println!(
-                            "add-friend round {} closed: {} client messages, {} noise",
-                            round.0,
-                            stats.client_messages,
-                            stats.total_noise()
-                        ),
-                        Err(e) => eprintln!("alpenhornd: closing add-friend {}: {e}", round.0),
-                    }
-                    match cluster.close_dialing_round(round) {
-                        Ok(stats) => println!(
-                            "dialing round {} closed: {} client messages",
-                            round.0, stats.client_messages
-                        ),
-                        Err(e) => eprintln!("alpenhornd: closing dialing {}: {e}", round.0),
-                    }
-                    cluster.advance_time(interval.as_secs().max(1));
+                    svc.advance_clock(interval.as_secs().max(1));
+                    round = svc.next_round();
                 }
-                round = round.next();
             }
         }
     }

@@ -226,6 +226,107 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Durability hooks (`alpenhorn-storage`)
+    //
+    // These restore logged *effects* during crash recovery: accounts are
+    // installed directly (the email confirmation already ran before the
+    // effect was logged), lockouts and extraction timestamps are replayed,
+    // and PKG ratchets are advanced or restored without ever re-deriving a
+    // closed round's master secret. The journalling itself lives in
+    // `crate::persist`; see `docs/ARCHITECTURE.md` § "Durability & recovery".
+    // ------------------------------------------------------------------
+
+    /// Sets the simulated clock during crash recovery.
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Re-installs a completed registration at every PKG.
+    pub fn restore_registration(
+        &mut self,
+        identity: &Identity,
+        signing_key: VerifyingKey,
+        last_seen: u64,
+    ) {
+        for pkg in &mut self.pkgs {
+            pkg.registry_mut()
+                .restore_account(identity.clone(), signing_key, last_seen);
+        }
+    }
+
+    /// Re-installs a deregistration lockout at every PKG.
+    pub fn restore_deregistration(&mut self, identity: &Identity, deregistered_at: u64) {
+        for pkg in &mut self.pkgs {
+            pkg.registry_mut()
+                .restore_lockout(identity.clone(), deregistered_at);
+        }
+    }
+
+    /// Replays a legitimate key extraction's inactivity-window refresh.
+    pub fn restore_touch(&mut self, identity: &Identity, now: u64) {
+        for pkg in &mut self.pkgs {
+            pkg.registry_mut().touch(identity, now);
+        }
+    }
+
+    /// Advances every PKG's round-key ratchet by one round without deriving
+    /// the round's (lost) master key — the replay form of
+    /// [`Cluster::begin_add_friend_round`]'s ratchet side effect.
+    pub fn skip_add_friend_round(&mut self) {
+        for pkg in &mut self.pkgs {
+            pkg.round_keys_mut().skip_round();
+        }
+    }
+
+    /// Every PKG's current ratchet state, in PKG order (snapshot capture).
+    pub fn pkg_ratchets(&self) -> Vec<[u8; 32]> {
+        self.pkgs
+            .iter()
+            .map(|pkg| pkg.round_keys().ratchet_state())
+            .collect()
+    }
+
+    /// Restores every PKG's ratchet state from a snapshot. The count must
+    /// match the deployment's PKG count.
+    pub fn restore_pkg_ratchets(&mut self, ratchets: &[[u8; 32]]) {
+        assert_eq!(
+            ratchets.len(),
+            self.pkgs.len(),
+            "snapshot PKG count must match the deployment"
+        );
+        for (pkg, ratchet) in self.pkgs.iter_mut().zip(ratchets) {
+            pkg.round_keys_mut().restore_ratchet(*ratchet);
+        }
+    }
+
+    /// Abandons the open add-friend round without running the mixnet:
+    /// queued submissions are dropped and every PKG's round master secret is
+    /// destroyed. Used when durably journalling the round open failed — a
+    /// round that cannot be recovered must not be served.
+    pub fn abandon_open_add_friend_round(&mut self) {
+        self.open_add_friend = None;
+        self.add_friend_chain.end_round();
+        for pkg in &mut self.pkgs {
+            pkg.end_round();
+        }
+    }
+
+    /// Abandons the open dialing round without running the mixnet.
+    pub fn abandon_open_dialing_round(&mut self) {
+        self.open_dialing = None;
+        self.dialing_chain.end_round();
+    }
+
+    /// The authoritative (PKG 0) account registry, for snapshot capture. All
+    /// PKGs share registration state in this deployment shape.
+    pub fn account_registry(&self) -> &alpenhorn_pkg::AccountRegistry {
+        self.pkgs
+            .first()
+            .expect("a cluster always has at least one PKG")
+            .registry()
+    }
+
+    // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------
 

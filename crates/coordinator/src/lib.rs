@@ -16,6 +16,7 @@
 pub mod cdn;
 pub mod cluster;
 pub mod error;
+pub mod persist;
 pub mod ratelimit;
 pub mod rounds;
 pub mod server;

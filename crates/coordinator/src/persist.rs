@@ -1,0 +1,325 @@
+//! Durable coordinator state: the journalled core behind
+//! [`crate::service::CoordinatorService`].
+//!
+//! [`CoordinatorCore`] bundles everything the service mutates — the
+//! [`Cluster`] (PKG registries and round-key ratchets included), the
+//! rate-limit issuer/verifier, and the round counter — and implements
+//! [`alpenhorn_storage::Persist`] so a [`Durable`](alpenhorn_storage::Durable)
+//! can recover it as snapshot + WAL suffix after a crash.
+//!
+//! The log is an *effect* log: each record describes a mutation that already
+//! completed (an account installed, a ratchet advanced, a token spent), so
+//! replay never re-runs RNG-dependent code paths and never re-derives a
+//! closed round's master secret. What is deliberately **not** persisted:
+//!
+//! * pending registrations (the emailed confirmation token restarts the
+//!   idempotent flow),
+//! * open rounds and their submission batches (a crash mid-round abandons the
+//!   round; clients participate in the next one),
+//! * published CDN mailboxes (re-fetchable only within a round's lifetime;
+//!   a crash between rounds has already delivered them),
+//! * any per-round master secret (forward secrecy — only the forward-only
+//!   ratchet position touches disk).
+
+use alpenhorn_ibe::sig::VerifyingKey;
+use alpenhorn_storage::codec::{get_identity, put_identity};
+use alpenhorn_storage::{Persist, StorageError};
+use alpenhorn_wire::{Decoder, Encoder, Identity, Round, G1_LEN, SIGNING_PK_LEN};
+
+use crate::cluster::Cluster;
+use crate::ratelimit::{TokenIssuer, TokenVerifier};
+
+/// Snapshot payload version; bump on any change to the snapshot layout or to
+/// a record kind's payload encoding (no negotiation — see the versioning
+/// rules in `docs/ARCHITECTURE.md`).
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// A completed registration was installed at every PKG.
+pub const REC_ACCOUNT_REGISTERED: u8 = 0x01;
+/// An account was deregistered (lockout installed) at every PKG.
+pub const REC_ACCOUNT_DEREGISTERED: u8 = 0x02;
+/// A signed key extraction refreshed an account's inactivity window.
+pub const REC_ACCOUNT_TOUCHED: u8 = 0x03;
+/// A rate-limit token was blind-signed (budget charged).
+pub const REC_TOKEN_ISSUED: u8 = 0x04;
+/// A rate-limit token was spent (double-spend ledger entry).
+pub const REC_TOKEN_SPENT: u8 = 0x05;
+/// An add-friend round opened (every PKG ratchet advanced once).
+pub const REC_ADD_FRIEND_ROUND_BEGUN: u8 = 0x06;
+/// A dialing round opened (round counter advanced).
+pub const REC_DIALING_ROUND_BEGUN: u8 = 0x07;
+/// The deployment clock advanced.
+pub const REC_CLOCK_ADVANCED: u8 = 0x08;
+
+/// The state a coordinator must not lose across a restart.
+pub struct CoordinatorCore {
+    /// The deployment: PKGs (registries + ratchets), mixnet, CDN, mail.
+    pub cluster: Cluster,
+    /// Rate-limit token issuance (per-user daily budgets), when enabled.
+    pub issuer: Option<TokenIssuer>,
+    /// Rate-limit spend verification (double-spend ledger), when enabled.
+    pub verifier: Option<TokenVerifier>,
+    /// The next round an automatic round driver should open (one past the
+    /// highest round ever begun).
+    pub next_round: Round,
+}
+
+// ---------------------------------------------------------------------------
+// Effect-record payload builders (the service calls these right after the
+// matching mutation succeeds) and their replay in `apply_record`.
+// ---------------------------------------------------------------------------
+
+/// Payload for [`REC_ACCOUNT_REGISTERED`].
+pub fn account_registered(identity: &Identity, key: &VerifyingKey, now: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_identity(&mut e, identity);
+    e.put_bytes(&key.to_bytes());
+    e.put_u64(now);
+    e.finish()
+}
+
+/// Payload for [`REC_ACCOUNT_DEREGISTERED`] and [`REC_ACCOUNT_TOUCHED`].
+pub fn account_event(identity: &Identity, now: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_identity(&mut e, identity);
+    e.put_u64(now);
+    e.finish()
+}
+
+/// Payload for [`REC_TOKEN_ISSUED`].
+pub fn token_issued(identity: &Identity, now: u64, blinded: &[u8; G1_LEN]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_identity(&mut e, identity);
+    e.put_u64(now);
+    e.put_bytes(blinded);
+    e.finish()
+}
+
+/// Payload for [`REC_TOKEN_SPENT`].
+pub fn token_spent(signature: &[u8; G1_LEN]) -> Vec<u8> {
+    signature.to_vec()
+}
+
+/// Payload for the round-begun and clock records (one `u64`).
+pub fn u64_payload(value: u64) -> Vec<u8> {
+    value.to_be_bytes().to_vec()
+}
+
+fn get_u64_payload(payload: &[u8], context: &'static str) -> Result<u64, StorageError> {
+    let mut d = Decoder::new(payload);
+    let value = d.get_u64(context)?;
+    d.finish()?;
+    Ok(value)
+}
+
+impl Persist for CoordinatorCore {
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(SNAPSHOT_VERSION);
+        e.put_u64(self.cluster.now());
+        e.put_u64(self.next_round.as_u64());
+
+        let ratchets = self.cluster.pkg_ratchets();
+        e.put_u32(ratchets.len() as u32);
+        for ratchet in &ratchets {
+            e.put_bytes(ratchet);
+        }
+
+        let registry = self.cluster.account_registry();
+        let accounts: Vec<_> = registry.accounts().collect();
+        e.put_u32(accounts.len() as u32);
+        for (identity, key, last_seen) in accounts {
+            put_identity(&mut e, identity);
+            e.put_bytes(&key.to_bytes());
+            e.put_u64(last_seen);
+        }
+        let lockouts: Vec<_> = registry.lockouts().collect();
+        e.put_u32(lockouts.len() as u32);
+        for (identity, at) in lockouts {
+            put_identity(&mut e, identity);
+            e.put_u64(at);
+        }
+
+        match &self.issuer {
+            None => {
+                e.put_u8(0);
+            }
+            Some(issuer) => {
+                e.put_u8(1);
+                let issued: Vec<_> = issuer.issued_entries().collect();
+                e.put_u32(issued.len() as u32);
+                for (identity, day, blinded) in issued {
+                    put_identity(&mut e, identity);
+                    e.put_u64(day);
+                    e.put_bytes(&blinded);
+                }
+            }
+        }
+        match &self.verifier {
+            None => {
+                e.put_u8(0);
+            }
+            Some(verifier) => {
+                e.put_u8(1);
+                let spent: Vec<_> = verifier.spent_entries().collect();
+                e.put_u32(spent.len() as u32);
+                for token in spent {
+                    e.put_bytes(&token);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    fn restore_snapshot(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        let mut d = Decoder::new(payload);
+        let version = d.get_u8("snapshot version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(StorageError::BadPayload {
+                context: "unsupported coordinator snapshot version",
+            });
+        }
+        let now = d.get_u64("snapshot clock")?;
+        let next_round = d.get_u64("snapshot round counter")?;
+
+        let ratchet_count = d.get_u32("snapshot ratchet count")? as usize;
+        if ratchet_count != self.cluster.num_pkgs() {
+            return Err(StorageError::BadPayload {
+                context: "snapshot PKG count does not match the deployment",
+            });
+        }
+        let mut ratchets = Vec::with_capacity(ratchet_count);
+        for _ in 0..ratchet_count {
+            ratchets.push(d.get_array::<32>("snapshot ratchet")?);
+        }
+
+        // Counts come from disk: never reserve on their say-so (a tampered
+        // or corrupt count must fail on decode, not abort on allocation).
+        let account_count = d.get_u32("snapshot account count")? as usize;
+        let mut accounts = Vec::new();
+        for _ in 0..account_count {
+            let identity = get_identity(&mut d, "snapshot account identity")?;
+            let key_bytes = d.get_array::<SIGNING_PK_LEN>("snapshot account key")?;
+            let key =
+                VerifyingKey::from_bytes(&key_bytes).map_err(|_| StorageError::BadPayload {
+                    context: "snapshot account signing key",
+                })?;
+            let last_seen = d.get_u64("snapshot account last_seen")?;
+            accounts.push((identity, key, last_seen));
+        }
+        let lockout_count = d.get_u32("snapshot lockout count")? as usize;
+        let mut lockouts = Vec::new();
+        for _ in 0..lockout_count {
+            let identity = get_identity(&mut d, "snapshot lockout identity")?;
+            let at = d.get_u64("snapshot lockout time")?;
+            lockouts.push((identity, at));
+        }
+
+        let mut issued = Vec::new();
+        if d.get_u8("snapshot issuer flag")? == 1 {
+            let count = d.get_u32("snapshot issued count")? as usize;
+            for _ in 0..count {
+                let identity = get_identity(&mut d, "snapshot issued identity")?;
+                let day = d.get_u64("snapshot issued day")?;
+                let blinded = d.get_array::<G1_LEN>("snapshot issued blinded")?;
+                issued.push((identity, day, blinded));
+            }
+        }
+        let mut spent = Vec::new();
+        if d.get_u8("snapshot verifier flag")? == 1 {
+            let count = d.get_u32("snapshot spent count")? as usize;
+            for _ in 0..count {
+                spent.push(d.get_array::<G1_LEN>("snapshot spent token")?);
+            }
+        }
+        d.finish()?;
+
+        // All fields decoded; now install them.
+        self.cluster.set_now(now);
+        self.next_round = Round(next_round);
+        self.cluster.restore_pkg_ratchets(&ratchets);
+        for (identity, key, last_seen) in accounts {
+            self.cluster.restore_registration(&identity, key, last_seen);
+        }
+        for (identity, at) in lockouts {
+            self.cluster.restore_deregistration(&identity, at);
+        }
+        if let Some(issuer) = &mut self.issuer {
+            for (identity, day, blinded) in issued {
+                issuer.restore_issuance(identity, day, blinded);
+            }
+        }
+        if let Some(verifier) = &mut self.verifier {
+            for token in spent {
+                verifier.restore_spent(token);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+        match kind {
+            REC_ACCOUNT_REGISTERED => {
+                let mut d = Decoder::new(payload);
+                let identity = get_identity(&mut d, "registered identity")?;
+                let key_bytes = d.get_array::<SIGNING_PK_LEN>("registered key")?;
+                let key =
+                    VerifyingKey::from_bytes(&key_bytes).map_err(|_| StorageError::BadPayload {
+                        context: "registered signing key",
+                    })?;
+                let now = d.get_u64("registered at")?;
+                d.finish()?;
+                self.cluster.restore_registration(&identity, key, now);
+            }
+            REC_ACCOUNT_DEREGISTERED => {
+                let mut d = Decoder::new(payload);
+                let identity = get_identity(&mut d, "deregistered identity")?;
+                let now = d.get_u64("deregistered at")?;
+                d.finish()?;
+                self.cluster.restore_deregistration(&identity, now);
+            }
+            REC_ACCOUNT_TOUCHED => {
+                let mut d = Decoder::new(payload);
+                let identity = get_identity(&mut d, "touched identity")?;
+                let now = d.get_u64("touched at")?;
+                d.finish()?;
+                self.cluster.restore_touch(&identity, now);
+            }
+            REC_TOKEN_ISSUED => {
+                let mut d = Decoder::new(payload);
+                let identity = get_identity(&mut d, "issued identity")?;
+                let now = d.get_u64("issued at")?;
+                let blinded = d.get_array::<G1_LEN>("issued blinded")?;
+                d.finish()?;
+                if let Some(issuer) = &mut self.issuer {
+                    let day = now / crate::ratelimit::ISSUANCE_WINDOW_SECONDS;
+                    issuer.restore_issuance(identity, day, blinded);
+                }
+            }
+            REC_TOKEN_SPENT => {
+                let mut d = Decoder::new(payload);
+                let token = d.get_array::<G1_LEN>("spent token")?;
+                d.finish()?;
+                if let Some(verifier) = &mut self.verifier {
+                    verifier.restore_spent(token);
+                }
+            }
+            REC_ADD_FRIEND_ROUND_BEGUN => {
+                let round = get_u64_payload(payload, "add-friend round")?;
+                self.cluster.skip_add_friend_round();
+                self.next_round = Round(self.next_round.as_u64().max(round + 1));
+            }
+            REC_DIALING_ROUND_BEGUN => {
+                let round = get_u64_payload(payload, "dialing round")?;
+                self.next_round = Round(self.next_round.as_u64().max(round + 1));
+            }
+            REC_CLOCK_ADVANCED => {
+                let seconds = get_u64_payload(payload, "clock advance")?;
+                let now = self.cluster.now() + seconds;
+                self.cluster.set_now(now);
+            }
+            other => return Err(StorageError::UnknownRecordKind { kind: other }),
+        }
+        Ok(())
+    }
+}

@@ -148,6 +148,37 @@ impl TokenIssuer {
         }
         Ok(sign_blinded(&self.signing_key, blinded))
     }
+
+    // ------------------------------------------------------------------
+    // Durability hooks (`alpenhorn-storage`)
+    // ------------------------------------------------------------------
+
+    /// Iterates every blinded message signed so far, as
+    /// `(identity, day, blinded)`, in deterministic order. The budget counts
+    /// are implied: one unit per entry, so a snapshot needs only this list.
+    pub fn issued_entries(&self) -> impl Iterator<Item = (&Identity, u64, [u8; 48])> {
+        let mut keys: Vec<_> = self.seen.keys().collect();
+        keys.sort();
+        keys.into_iter().flat_map(move |key| {
+            let mut messages: Vec<[u8; 48]> = self.seen[key].iter().copied().collect();
+            messages.sort();
+            messages
+                .into_iter()
+                .map(move |blinded| (&key.0, key.1, blinded))
+        })
+    }
+
+    /// Re-records one issuance during crash recovery: charges the budget and
+    /// marks the blinded message seen, exactly as [`TokenIssuer::issue`] did
+    /// when the record was logged (idempotent for an already-seen message, so
+    /// a record replayed over a snapshot that includes it is harmless).
+    pub fn restore_issuance(&mut self, user: Identity, day: u64, blinded: [u8; 48]) {
+        let key = (user, day);
+        let seen = self.seen.entry(key.clone()).or_default();
+        if seen.insert(blinded) {
+            *self.issued.entry(key).or_insert(0) += 1;
+        }
+    }
 }
 
 /// Entry-server side: verifies spent tokens and rejects double spends.
@@ -188,6 +219,31 @@ impl TokenVerifier {
     /// replayed into the new window).
     pub fn roll_window(&mut self) {
         self.spent.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Durability hooks (`alpenhorn-storage`)
+    // ------------------------------------------------------------------
+
+    /// Iterates the spent-token ledger in deterministic order. Persisting it
+    /// is what keeps "already spent" true across a coordinator restart — the
+    /// crash would otherwise reopen every spent token for double spending.
+    pub fn spent_entries(&self) -> impl Iterator<Item = [u8; 48]> + '_ {
+        let mut entries: Vec<[u8; 48]> = self.spent.iter().copied().collect();
+        entries.sort();
+        entries.into_iter()
+    }
+
+    /// Re-records one spent token during crash recovery.
+    pub fn restore_spent(&mut self, token: [u8; 48]) {
+        self.spent.insert(token);
+    }
+
+    /// Rolls back a [`TokenVerifier::spend`] whose surrounding operation
+    /// failed after the ledger insert (e.g. the journal append), so the
+    /// client's retry with the same token is not punished as a double spend.
+    pub fn forget_spent(&mut self, token: &[u8; 48]) {
+        self.spent.remove(token);
     }
 }
 

@@ -13,10 +13,13 @@
 //! day. Deployments without the policy accept token-less submissions,
 //! matching the paper's prototype.
 
+use std::path::Path;
+
 use alpenhorn_crypto::ChaChaRng;
 use alpenhorn_ibe::blind::BlindedMessage;
 use alpenhorn_ibe::sig::{Signature, SigningKey};
 use alpenhorn_mixnet::RoundStats;
+use alpenhorn_storage::{Durable, RecoveryReport, StorageConfig, StorageError};
 use alpenhorn_wire::rpc::{
     AddFriendRoundWire, DialingRoundWire, IdentityKeyShareWire, RoundStatsWire,
 };
@@ -26,6 +29,7 @@ use alpenhorn_wire::{
 
 use crate::cluster::{AddFriendRoundInfo, Cluster, DialingRoundInfo};
 use crate::error::pkg_error_code;
+use crate::persist::{self, CoordinatorCore};
 use crate::ratelimit::{self, RateLimitError, TokenIssuer, TokenVerifier};
 
 /// Rate-limiting policy for a service (§9): per-user daily issuance budget.
@@ -46,54 +50,118 @@ pub struct ServiceConfig {
 }
 
 /// Dispatches RPC requests onto an in-process [`Cluster`].
+///
+/// The cluster, the rate-limit state, and the round counter live inside a
+/// [`Durable<CoordinatorCore>`]: ephemeral by default (tests, simulation) or
+/// backed by a data directory ([`CoordinatorService::with_storage`]), in
+/// which case every state-changing request appends an effect record to the
+/// WAL and the whole deployment recovers across a crash (see
+/// [`crate::persist`]).
 pub struct CoordinatorService {
-    cluster: Cluster,
-    issuer: Option<TokenIssuer>,
-    verifier: Option<TokenVerifier>,
+    core: Durable<CoordinatorCore>,
+}
+
+fn build_core(cluster: Cluster, config: ServiceConfig) -> CoordinatorCore {
+    let (issuer, verifier) = match config.rate_limit {
+        None => (None, None),
+        Some(policy) => {
+            let mut seed = cluster.config().seed;
+            seed[28] ^= 0x77;
+            let mut rng = ChaChaRng::from_seed_bytes(seed);
+            let issuer = TokenIssuer::new(SigningKey::generate(&mut rng), policy.budget_per_day);
+            let verifier = TokenVerifier::new(issuer.verifying_key());
+            (Some(issuer), Some(verifier))
+        }
+    };
+    CoordinatorCore {
+        cluster,
+        issuer,
+        verifier,
+        next_round: Round::FIRST,
+    }
 }
 
 impl CoordinatorService {
-    /// Wraps `cluster` with the default configuration (no rate limiting).
+    /// Wraps `cluster` with the default configuration (no rate limiting, no
+    /// durability).
     pub fn new(cluster: Cluster) -> Self {
         Self::with_config(cluster, ServiceConfig::default())
     }
 
-    /// Wraps `cluster` with an explicit configuration. The rate-limit issuer
-    /// key is derived deterministically from the cluster seed so seeded
-    /// deployments stay reproducible.
+    /// Wraps `cluster` with an explicit configuration but no backing storage.
+    /// The rate-limit issuer key is derived deterministically from the
+    /// cluster seed so seeded deployments stay reproducible.
     pub fn with_config(cluster: Cluster, config: ServiceConfig) -> Self {
-        let (issuer, verifier) = match config.rate_limit {
-            None => (None, None),
-            Some(policy) => {
-                let mut seed = cluster.config().seed;
-                seed[28] ^= 0x77;
-                let mut rng = ChaChaRng::from_seed_bytes(seed);
-                let issuer =
-                    TokenIssuer::new(SigningKey::generate(&mut rng), policy.budget_per_day);
-                let verifier = TokenVerifier::new(issuer.verifying_key());
-                (Some(issuer), Some(verifier))
-            }
-        };
         CoordinatorService {
-            cluster,
-            issuer,
-            verifier,
+            core: Durable::ephemeral(build_core(cluster, config)),
         }
+    }
+
+    /// Wraps `cluster` with durable state in `data_dir`, recovering any
+    /// previous deployment's registrations, ratchet positions, rate-limit
+    /// budgets, and round counter before returning — so a daemon built this
+    /// way has fully recovered before it accepts its first connection.
+    ///
+    /// `cluster` must be freshly built from the same [`ClusterConfig`]
+    /// (seed included) as the crashed deployment: long-term keys are
+    /// re-derived from the seed, while the journal restores everything that
+    /// evolved at runtime.
+    ///
+    /// [`ClusterConfig`]: crate::cluster::ClusterConfig
+    pub fn with_storage(
+        cluster: Cluster,
+        config: ServiceConfig,
+        data_dir: impl AsRef<Path>,
+        storage: StorageConfig,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let (core, report) = Durable::open(build_core(cluster, config), data_dir, storage)?;
+        Ok((CoordinatorService { core }, report))
     }
 
     /// The wrapped cluster (read-only).
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        &self.core.state().cluster
     }
 
     /// The wrapped cluster (mutable, for round driving and test inspection).
+    ///
+    /// Mutations made through this escape hatch are **not journalled**;
+    /// durable deployments must drive rounds through [`Request`] dispatch
+    /// (as `alpenhornd` does) so the effects reach the WAL.
     pub fn cluster_mut(&mut self) -> &mut Cluster {
-        &mut self.cluster
+        &mut self.core.state_mut().cluster
     }
 
     /// Whether submissions must carry rate-limit tokens.
     pub fn rate_limited(&self) -> bool {
-        self.verifier.is_some()
+        self.core.state().verifier.is_some()
+    }
+
+    /// One past the highest round ever begun — where an automatic round
+    /// driver resumes after a restart.
+    pub fn next_round(&self) -> Round {
+        self.core.state().next_round
+    }
+
+    /// Advances the deployment clock, journalling the advance.
+    pub fn advance_clock(&mut self, seconds: u64) {
+        self.core.state_mut().cluster.advance_time(seconds);
+        // Clock drift on a failed append costs at most coarser rate-limit
+        // windows; not worth failing the round loop over.
+        let _ = self
+            .core
+            .record(persist::REC_CLOCK_ADVANCED, &persist::u64_payload(seconds));
+    }
+
+    /// Appends one effect record for a mutation that just succeeded. An
+    /// append failure surfaces as a typed RPC error: the caller's retry will
+    /// re-run the (idempotent) mutation once storage recovers.
+    fn journal(&mut self, kind: u8, payload: &[u8]) -> Result<(), RpcError> {
+        self.core
+            .record(kind, payload)
+            .map_err(|e| RpcError::Unavailable {
+                detail: format!("durable log write failed: {e}"),
+            })
     }
 
     /// Handles one decoded request, producing a response. Never panics on
@@ -108,16 +176,46 @@ impl CoordinatorService {
                     Ok(key) => key,
                     Err(_) => return bad_request("malformed signing key"),
                 };
-                match self.cluster.begin_registration(&identity, key) {
+                // Pending registrations are deliberately not journalled: the
+                // flow is idempotent and restarts cleanly after a crash.
+                match self.cluster_mut().begin_registration(&identity, key) {
                     Ok(()) => Response::Ack,
                     Err(e) => Response::Error(e.into()),
                 }
             }
             Request::CompleteRegistration { identity } => {
-                match self.cluster.complete_registration_from_inbox(&identity) {
-                    Ok(()) => Response::Ack,
-                    Err(e) => Response::Error(e.into()),
+                let completed = self
+                    .cluster_mut()
+                    .complete_registration_from_inbox(&identity);
+                if let Err(e) = completed {
+                    // A retry after a journal failure (or a duplicate request
+                    // after a lost response) finds the account installed but
+                    // the pending entry consumed. Fall through so the effect
+                    // record is (re-)journalled — replaying a duplicate is
+                    // idempotent — instead of stranding an account that
+                    // exists in memory but never reached the log.
+                    if self.cluster().registered_signing_key(&identity).is_none() {
+                        return Response::Error(e.into());
+                    }
                 }
+                let Some(key) = self.cluster().registered_signing_key(&identity) else {
+                    return bad_request("registration completed without an account");
+                };
+                // Journal the registry's stored timestamp, not the clock: a
+                // duplicated request must re-record the installed effect
+                // verbatim, not refresh the 30-day inactivity window.
+                let last_seen = self
+                    .cluster()
+                    .account_registry()
+                    .account_last_seen(&identity)
+                    .expect("registered accounts have a last_seen");
+                if let Err(e) = self.journal(
+                    persist::REC_ACCOUNT_REGISTERED,
+                    &persist::account_registered(&identity, &key, last_seen),
+                ) {
+                    return Response::Error(e);
+                }
+                Response::Ack
             }
             Request::Deregister {
                 identity,
@@ -127,34 +225,61 @@ impl CoordinatorService {
                     Ok(sig) => sig,
                     Err(_) => return bad_request("malformed signature"),
                 };
-                match self.cluster.deregister(&identity, &signature) {
-                    Ok(()) => Response::Ack,
-                    Err(e) => Response::Error(e.into()),
+                let deregistered_at = match self.cluster_mut().deregister(&identity, &signature) {
+                    Ok(()) => self.cluster().now(),
+                    // A retry after a journal failure (or a duplicate
+                    // request) finds the account already gone but locked
+                    // out. Re-journal the *original* lockout time — the only
+                    // observable effect is re-recording an existing public
+                    // fact, so accepting it without a live key to verify
+                    // against is safe and keeps deregistration idempotent.
+                    Err(_)
+                        if self
+                            .cluster()
+                            .account_registry()
+                            .lockout_time(&identity)
+                            .is_some() =>
+                    {
+                        self.cluster()
+                            .account_registry()
+                            .lockout_time(&identity)
+                            .expect("checked in the guard")
+                    }
+                    Err(e) => return Response::Error(e.into()),
+                };
+                if let Err(e) = self.journal(
+                    persist::REC_ACCOUNT_DEREGISTERED,
+                    &persist::account_event(&identity, deregistered_at),
+                ) {
+                    return Response::Error(e);
                 }
+                Response::Ack
             }
             Request::GetPkgKeys => Response::PkgKeys(
-                self.cluster
+                self.cluster()
                     .pkg_verifying_keys()
                     .iter()
                     .map(|key| key.to_bytes())
                     .collect(),
             ),
-            Request::GetAddFriendRoundInfo => match self.cluster.open_add_friend_info() {
-                None => Response::Error(RpcError::NoOpenRound {
-                    kind: RoundKind::AddFriend,
-                }),
-                Some(info) => {
-                    Response::AddFriendRoundInfo(add_friend_wire(info, self.verifier.is_some()))
+            Request::GetAddFriendRoundInfo => {
+                let rate_limited = self.rate_limited();
+                match self.cluster().open_add_friend_info() {
+                    None => Response::Error(RpcError::NoOpenRound {
+                        kind: RoundKind::AddFriend,
+                    }),
+                    Some(info) => Response::AddFriendRoundInfo(add_friend_wire(info, rate_limited)),
                 }
-            },
-            Request::GetDialingRoundInfo => match self.cluster.open_dialing_info() {
-                None => Response::Error(RpcError::NoOpenRound {
-                    kind: RoundKind::Dialing,
-                }),
-                Some(info) => {
-                    Response::DialingRoundInfo(dialing_wire(info, self.verifier.is_some()))
+            }
+            Request::GetDialingRoundInfo => {
+                let rate_limited = self.rate_limited();
+                match self.cluster().open_dialing_info() {
+                    None => Response::Error(RpcError::NoOpenRound {
+                        kind: RoundKind::Dialing,
+                    }),
+                    Some(info) => Response::DialingRoundInfo(dialing_wire(info, rate_limited)),
                 }
-            },
+            }
             Request::ExtractIdentityKeys {
                 identity,
                 round,
@@ -164,16 +289,31 @@ impl CoordinatorService {
                     Ok(sig) => sig,
                     Err(_) => return bad_request("malformed extraction signature"),
                 };
-                match self.cluster.extract_identity_keys(&identity, round, &auth) {
-                    Ok(responses) => Response::IdentityKeys(
-                        responses
-                            .iter()
-                            .map(|r| IdentityKeyShareWire {
-                                identity_key: r.identity_key.to_bytes(),
-                                attestation: r.attestation.to_bytes(),
-                            })
-                            .collect(),
-                    ),
+                match self
+                    .cluster_mut()
+                    .extract_identity_keys(&identity, round, &auth)
+                {
+                    Ok(responses) => {
+                        // Extraction refreshed the account's inactivity
+                        // window; journal the refresh so the 30-day
+                        // re-registration policy survives a restart.
+                        let now = self.cluster().now();
+                        if let Err(e) = self.journal(
+                            persist::REC_ACCOUNT_TOUCHED,
+                            &persist::account_event(&identity, now),
+                        ) {
+                            return Response::Error(e);
+                        }
+                        Response::IdentityKeys(
+                            responses
+                                .iter()
+                                .map(|r| IdentityKeyShareWire {
+                                    identity_key: r.identity_key.to_bytes(),
+                                    attestation: r.attestation.to_bytes(),
+                                })
+                                .collect(),
+                        )
+                    }
                     Err(e) => Response::Error(e.into()),
                 }
             }
@@ -190,7 +330,7 @@ impl CoordinatorService {
                 // Validate the submission before burning the token: a
                 // rejected submission must not consume issuance budget.
                 let open = self
-                    .cluster
+                    .cluster()
                     .open_add_friend_info()
                     .map(|info| (info.round, info.onion_len));
                 if let Err(e) = validate_submission(open, round, onion.len()) {
@@ -199,7 +339,7 @@ impl CoordinatorService {
                 if let Err(e) = self.spend_token(RoundKind::AddFriend, round, token) {
                     return Response::Error(e);
                 }
-                match self.cluster.submit_add_friend(round, onion) {
+                match self.cluster_mut().submit_add_friend(round, onion) {
                     Ok(()) => Response::Ack,
                     Err(e) => Response::Error(e.into()),
                 }
@@ -210,7 +350,7 @@ impl CoordinatorService {
                 token,
             } => {
                 let open = self
-                    .cluster
+                    .cluster()
                     .open_dialing_info()
                     .map(|info| (info.round, info.onion_len));
                 if let Err(e) = validate_submission(open, round, onion.len()) {
@@ -219,19 +359,27 @@ impl CoordinatorService {
                 if let Err(e) = self.spend_token(RoundKind::Dialing, round, token) {
                     return Response::Error(e);
                 }
-                match self.cluster.submit_dialing(round, onion) {
+                match self.cluster_mut().submit_dialing(round, onion) {
                     Ok(()) => Response::Ack,
                     Err(e) => Response::Error(e.into()),
                 }
             }
             Request::FetchAddFriendMailbox { round, mailbox } => {
-                match self.cluster.cdn().fetch_add_friend_mailbox(round, mailbox) {
+                match self
+                    .cluster_mut()
+                    .cdn()
+                    .fetch_add_friend_mailbox(round, mailbox)
+                {
                     Some(contents) => Response::AddFriendMailbox { contents },
                     None => Response::Error(RpcError::UnknownMailbox),
                 }
             }
             Request::FetchDialingMailbox { round, mailbox } => {
-                match self.cluster.cdn().fetch_dialing_mailbox(round, mailbox) {
+                match self
+                    .cluster_mut()
+                    .cdn()
+                    .fetch_dialing_mailbox(round, mailbox)
+                {
                     Some(filter) => Response::DialingMailbox {
                         filter: filter.to_bytes(),
                     },
@@ -241,17 +389,24 @@ impl CoordinatorService {
             Request::BeginAddFriendRound {
                 round,
                 expected_real,
-            } => match self
-                .cluster
-                .begin_add_friend_round(round, expected_real as usize)
-            {
-                Ok(info) => {
-                    Response::AddFriendRoundInfo(add_friend_wire(&info, self.verifier.is_some()))
+            } => {
+                let rate_limited = self.rate_limited();
+                match self
+                    .cluster_mut()
+                    .begin_add_friend_round(round, expected_real as usize)
+                {
+                    Ok(info) => {
+                        if let Err(e) = self.round_begun(persist::REC_ADD_FRIEND_ROUND_BEGUN, round)
+                        {
+                            return Response::Error(e);
+                        }
+                        Response::AddFriendRoundInfo(add_friend_wire(&info, rate_limited))
+                    }
+                    Err(e) => Response::Error(e.into()),
                 }
-                Err(e) => Response::Error(e.into()),
-            },
+            }
             Request::CloseAddFriendRound { round } => {
-                match self.cluster.close_add_friend_round(round) {
+                match self.cluster_mut().close_add_friend_round(round) {
                     Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
                     Err(e) => Response::Error(e.into()),
                 }
@@ -259,20 +414,65 @@ impl CoordinatorService {
             Request::BeginDialingRound {
                 round,
                 expected_real,
-            } => match self
-                .cluster
-                .begin_dialing_round(round, expected_real as usize)
-            {
-                Ok(info) => {
-                    Response::DialingRoundInfo(dialing_wire(&info, self.verifier.is_some()))
+            } => {
+                let rate_limited = self.rate_limited();
+                match self
+                    .cluster_mut()
+                    .begin_dialing_round(round, expected_real as usize)
+                {
+                    Ok(info) => {
+                        if let Err(e) = self.round_begun(persist::REC_DIALING_ROUND_BEGUN, round) {
+                            return Response::Error(e);
+                        }
+                        Response::DialingRoundInfo(dialing_wire(&info, rate_limited))
+                    }
+                    Err(e) => Response::Error(e.into()),
                 }
-                Err(e) => Response::Error(e.into()),
-            },
-            Request::CloseDialingRound { round } => match self.cluster.close_dialing_round(round) {
-                Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
-                Err(e) => Response::Error(e.into()),
-            },
+            }
+            Request::CloseDialingRound { round } => {
+                match self.cluster_mut().close_dialing_round(round) {
+                    Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
         }
+    }
+
+    /// Journals a begun round and advances the persistent round counter. An
+    /// add-friend round additionally forces a checkpoint: opening the round
+    /// advanced every PKG ratchet, and compaction deletes the files holding
+    /// the superseded ratchet position, keeping forward secrecy for closed
+    /// rounds even against disk theft.
+    fn round_begun(&mut self, kind: u8, round: Round) -> Result<(), RpcError> {
+        {
+            let core = self.core.state_mut();
+            core.next_round = Round(core.next_round.as_u64().max(round.as_u64() + 1));
+        }
+        let journalled = self.journal(kind, &persist::u64_payload(round.as_u64()));
+        let result = match journalled {
+            Ok(()) if kind == persist::REC_ADD_FRIEND_ROUND_BEGUN => {
+                self.core.checkpoint().map_err(|e| RpcError::Unavailable {
+                    detail: format!("durable checkpoint failed: {e}"),
+                })
+            }
+            other => other,
+        };
+        if let Err(e) = result {
+            // The open could not be made durable, so the round must not be
+            // served: abandon it before any client can fetch its info. (The
+            // PKG ratchet advance cannot roll back — it is one-way by design
+            // — but since no client ever sees this round, a recovery that
+            // misses the advance still interoperates: clients fetch fresh
+            // round keys every round and never pin server ratchet state.)
+            let cluster = self.cluster_mut();
+            if kind == persist::REC_ADD_FRIEND_ROUND_BEGUN {
+                cluster.abandon_open_add_friend_round();
+            } else {
+                cluster.abandon_open_dialing_round();
+            }
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Handles one framed request payload (already stripped of its frame),
@@ -318,42 +518,56 @@ impl CoordinatorService {
         blinded: [u8; alpenhorn_wire::G1_LEN],
         auth: [u8; alpenhorn_wire::SIGNATURE_LEN],
     ) -> Response {
-        let Some(issuer) = &mut self.issuer else {
-            return Response::Error(RpcError::RateLimited {
-                reason: RateLimitReason::NotEnabled,
-            });
-        };
-        // Issuance is authenticated like key extraction: the request must be
-        // signed by the key registered for the identity.
-        let Some(registered) = self.cluster.registered_signing_key(&identity) else {
-            return Response::Error(RpcError::Pkg {
-                code: pkg_error_code(&alpenhorn_pkg::PkgError::UnknownIdentity),
-                detail: alpenhorn_pkg::PkgError::UnknownIdentity.to_string(),
-            });
-        };
-        let Ok(auth) = Signature::from_bytes(&auth) else {
-            return bad_request("malformed issuance signature");
-        };
-        if !registered.verify(&ratelimit::issue_message(&identity, &blinded), &auth) {
-            return Response::Error(RpcError::Pkg {
-                code: pkg_error_code(&alpenhorn_pkg::PkgError::AuthenticationFailed),
-                detail: alpenhorn_pkg::PkgError::AuthenticationFailed.to_string(),
-            });
-        }
-        let Ok(blinded) = BlindedMessage::from_bytes(&blinded) else {
-            return bad_request("malformed blinded message");
-        };
-        let now = self.cluster.now();
-        match issuer.issue(&identity, &blinded, now) {
-            Ok(blind_sig) => Response::TokenIssued {
-                blind_signature: blind_sig.to_bytes(),
-            },
-            Err(RateLimitError::BudgetExhausted) => Response::Error(RpcError::RateLimited {
-                reason: RateLimitReason::BudgetExhausted,
-            }),
-            Err(RateLimitError::InvalidToken | RateLimitError::DoubleSpend) => {
-                bad_request("unexpected issuance failure")
+        let blinded_bytes = blinded;
+        let issued = {
+            let core = self.core.state_mut();
+            let Some(issuer) = &mut core.issuer else {
+                return Response::Error(RpcError::RateLimited {
+                    reason: RateLimitReason::NotEnabled,
+                });
+            };
+            // Issuance is authenticated like key extraction: the request must
+            // be signed by the key registered for the identity.
+            let Some(registered) = core.cluster.registered_signing_key(&identity) else {
+                return Response::Error(RpcError::Pkg {
+                    code: pkg_error_code(&alpenhorn_pkg::PkgError::UnknownIdentity),
+                    detail: alpenhorn_pkg::PkgError::UnknownIdentity.to_string(),
+                });
+            };
+            let Ok(auth) = Signature::from_bytes(&auth) else {
+                return bad_request("malformed issuance signature");
+            };
+            if !registered.verify(&ratelimit::issue_message(&identity, &blinded), &auth) {
+                return Response::Error(RpcError::Pkg {
+                    code: pkg_error_code(&alpenhorn_pkg::PkgError::AuthenticationFailed),
+                    detail: alpenhorn_pkg::PkgError::AuthenticationFailed.to_string(),
+                });
             }
+            let Ok(blinded) = BlindedMessage::from_bytes(&blinded) else {
+                return bad_request("malformed blinded message");
+            };
+            let now = core.cluster.now();
+            match issuer.issue(&identity, &blinded, now) {
+                Ok(blind_sig) => (blind_sig, now),
+                Err(RateLimitError::BudgetExhausted) => {
+                    return Response::Error(RpcError::RateLimited {
+                        reason: RateLimitReason::BudgetExhausted,
+                    })
+                }
+                Err(RateLimitError::InvalidToken | RateLimitError::DoubleSpend) => {
+                    return bad_request("unexpected issuance failure")
+                }
+            }
+        };
+        let (blind_sig, now) = issued;
+        if let Err(e) = self.journal(
+            persist::REC_TOKEN_ISSUED,
+            &persist::token_issued(&identity, now, &blinded_bytes),
+        ) {
+            return Response::Error(e);
+        }
+        Response::TokenIssued {
+            blind_signature: blind_sig.to_bytes(),
         }
     }
 
@@ -363,28 +577,46 @@ impl CoordinatorService {
         round: Round,
         token: Option<RateLimitToken>,
     ) -> Result<(), RpcError> {
-        let Some(verifier) = &mut self.verifier else {
-            return Ok(());
-        };
-        let Some(token) = token else {
-            return Err(RpcError::RateLimited {
-                reason: RateLimitReason::MissingToken,
-            });
-        };
-        let signature =
-            Signature::from_bytes(&token.signature).map_err(|_| RpcError::RateLimited {
-                reason: RateLimitReason::InvalidToken,
-            })?;
-        let message = ratelimit::spend_message(kind, round, &token.serial);
-        verifier
-            .spend(&message, &signature)
-            .map_err(|e| RpcError::RateLimited {
-                reason: match e {
-                    RateLimitError::InvalidToken => RateLimitReason::InvalidToken,
-                    RateLimitError::DoubleSpend => RateLimitReason::DoubleSpend,
-                    RateLimitError::BudgetExhausted => RateLimitReason::BudgetExhausted,
-                },
-            })
+        {
+            let core = self.core.state_mut();
+            let Some(verifier) = &mut core.verifier else {
+                return Ok(());
+            };
+            let Some(token) = token else {
+                return Err(RpcError::RateLimited {
+                    reason: RateLimitReason::MissingToken,
+                });
+            };
+            let signature =
+                Signature::from_bytes(&token.signature).map_err(|_| RpcError::RateLimited {
+                    reason: RateLimitReason::InvalidToken,
+                })?;
+            let message = ratelimit::spend_message(kind, round, &token.serial);
+            verifier
+                .spend(&message, &signature)
+                .map_err(|e| RpcError::RateLimited {
+                    reason: match e {
+                        RateLimitError::InvalidToken => RateLimitReason::InvalidToken,
+                        RateLimitError::DoubleSpend => RateLimitReason::DoubleSpend,
+                        RateLimitError::BudgetExhausted => RateLimitReason::BudgetExhausted,
+                    },
+                })?;
+        }
+        let token = token.expect("spend succeeded, so a token was present");
+        if let Err(e) = self.journal(
+            persist::REC_TOKEN_SPENT,
+            &persist::token_spent(&token.signature),
+        ) {
+            // The submission is about to be rejected with a storage error,
+            // so the ledger insert must roll back: the client's retry with
+            // the same (still unspent) token must not read as a double
+            // spend and strand a unit of its daily budget.
+            if let Some(verifier) = &mut self.core.state_mut().verifier {
+                verifier.forget_spent(&token.signature);
+            }
+            return Err(e);
+        }
+        Ok(())
     }
 }
 
@@ -767,6 +999,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_completion_and_deregistration_are_idempotent() {
+        // A client retrying after a lost response (or after the server
+        // reported a transient journal failure) must get Ack, not an error:
+        // the effect is already installed and the retry exists so it can be
+        // (re-)journalled.
+        let mut service = service(48);
+        let key = register(&mut service, "frank@example.com");
+        let frank = Identity::new("frank@example.com").unwrap();
+        assert_eq!(
+            service.handle(Request::CompleteRegistration {
+                identity: frank.clone(),
+            }),
+            Response::Ack,
+            "duplicate completion is idempotent"
+        );
+
+        let signature = key.sign(&alpenhorn_pkg::server::deregistration_message(&frank));
+        assert_eq!(
+            service.handle(Request::Deregister {
+                identity: frank.clone(),
+                signature: signature.to_bytes(),
+            }),
+            Response::Ack
+        );
+        assert_eq!(
+            service.handle(Request::Deregister {
+                identity: frank.clone(),
+                signature: signature.to_bytes(),
+            }),
+            Response::Ack,
+            "duplicate deregistration is idempotent"
+        );
+        // An identity that never existed still gets a typed error.
+        assert!(matches!(
+            service.handle(Request::Deregister {
+                identity: Identity::new("ghost@example.com").unwrap(),
+                signature: signature.to_bytes(),
+            }),
+            Response::Error(RpcError::Pkg { .. })
+        ));
     }
 
     #[test]

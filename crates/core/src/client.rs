@@ -1080,6 +1080,402 @@ impl Client {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable client state (`alpenhorn-storage`)
+// ---------------------------------------------------------------------------
+
+/// Record kind for a serialized client state (see `alpenhorn_storage::record`).
+const CLIENT_STATE_RECORD_KIND: u8 = 0x20;
+/// Client snapshot payload version; bump on any layout change (no
+/// negotiation — a loader rejects every other version).
+const CLIENT_STATE_VERSION: u8 = 1;
+
+use alpenhorn_storage::codec::{get_identity, put_identity};
+use alpenhorn_storage::StorageError;
+
+fn round_kind_tag(kind: RoundKind) -> u8 {
+    match kind {
+        RoundKind::AddFriend => 0,
+        RoundKind::Dialing => 1,
+    }
+}
+
+fn round_kind_from_tag(tag: u8) -> Result<RoundKind, StorageError> {
+    match tag {
+        0 => Ok(RoundKind::AddFriend),
+        1 => Ok(RoundKind::Dialing),
+        _ => Err(StorageError::BadPayload {
+            context: "round kind tag",
+        }),
+    }
+}
+
+fn status_tag(status: FriendStatus) -> u8 {
+    match status {
+        FriendStatus::OutgoingPending => 0,
+        FriendStatus::IncomingPending => 1,
+        FriendStatus::Confirmed => 2,
+    }
+}
+
+fn status_from_tag(tag: u8) -> Result<FriendStatus, StorageError> {
+    match tag {
+        0 => Ok(FriendStatus::OutgoingPending),
+        1 => Ok(FriendStatus::IncomingPending),
+        2 => Ok(FriendStatus::Confirmed),
+        _ => Err(StorageError::BadPayload {
+            context: "friend status tag",
+        }),
+    }
+}
+
+impl Client {
+    /// Serializes the client's full durable state as one checksummed,
+    /// versioned record: identity, config, long-term signing key, PKG keys,
+    /// address book, keywheels, queued friend requests and calls, pending
+    /// handshakes (with their ephemeral DH secrets), the cached unspent
+    /// rate-limit token, and the RNG position — everything needed for a
+    /// client process to die and resume at the next round.
+    ///
+    /// Deliberately **excluded**: the open round's IBE identity key and PKG
+    /// attestation. Those are erased after every mailbox scan for forward
+    /// secrecy (§4.4), and persisting them would extend their lifetime onto
+    /// disk; a reloaded client simply cannot scan the mailbox of a round it
+    /// was mid-way through, and participates in the next round instead.
+    ///
+    /// The output contains long-term and ephemeral secrets; store it like a
+    /// key file, and overwrite rather than archive old saves (a hoarded old
+    /// save is a hoarded old keywheel position).
+    pub fn save_state(&self) -> Vec<u8> {
+        alpenhorn_storage::record::encode(CLIENT_STATE_RECORD_KIND, &self.encode_state_payload())
+    }
+
+    /// Reconstructs a client from [`Client::save_state`] bytes, verifying the
+    /// record checksum and version. Corruption (torn write, bit flip) is
+    /// detected and reported, never silently loaded.
+    pub fn load_state(bytes: &[u8]) -> Result<Self, StorageError> {
+        let record = alpenhorn_storage::record::decode_exact(bytes)?;
+        if record.kind != CLIENT_STATE_RECORD_KIND {
+            return Err(StorageError::BadPayload {
+                context: "client state record kind",
+            });
+        }
+        Self::decode_state_payload(&record.payload)
+    }
+
+    /// Saves the client's state to `path` atomically (write-temp, fsync,
+    /// rename), so a crash mid-save leaves the previous save intact.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), StorageError> {
+        alpenhorn_storage::snapshot::write_atomic(path, &self.encode_state_payload())
+    }
+
+    /// Loads a client saved with [`Client::save_to`]. Returns `Ok(None)` if
+    /// no save exists at `path`.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Option<Self>, StorageError> {
+        match alpenhorn_storage::snapshot::read(path)? {
+            None => Ok(None),
+            Some(payload) => Self::decode_state_payload(&payload).map(Some),
+        }
+    }
+
+    fn encode_state_payload(&self) -> Vec<u8> {
+        let mut e = alpenhorn_wire::Encoder::new();
+        e.put_u8(CLIENT_STATE_VERSION);
+        put_identity(&mut e, &self.identity);
+        e.put_u32(self.config.num_intents);
+        e.put_u8(self.config.auto_accept_friends as u8);
+        e.put_u64(self.config.dialing_round_slack);
+        e.put_bytes(&self.signing_key.to_bytes());
+        e.put_u32(self.pkg_keys.len() as u32);
+        for key in &self.pkg_keys {
+            e.put_bytes(&key.to_bytes());
+        }
+        e.put_u8(self.registered as u8);
+
+        e.put_u32(self.address_book.len() as u32);
+        for entry in self.address_book.iter() {
+            put_identity(&mut e, &entry.identity);
+            match &entry.long_term_key {
+                None => {
+                    e.put_u8(0);
+                }
+                Some(key) => {
+                    e.put_u8(1);
+                    e.put_bytes(key);
+                }
+            }
+            e.put_u8(entry.key_out_of_band as u8);
+            e.put_u8(status_tag(entry.status));
+        }
+
+        e.put_u32(self.keywheels.len() as u32);
+        for (friend, wheel) in self.keywheels.wheels() {
+            put_identity(&mut e, friend);
+            e.put_bytes(&wheel.export_secret());
+            e.put_u64(wheel.round().as_u64());
+        }
+
+        e.put_u32(self.outgoing_add_friend.len() as u32);
+        for outgoing in &self.outgoing_add_friend {
+            match outgoing {
+                OutgoingAddFriend::Initiate { to } => {
+                    e.put_u8(0);
+                    put_identity(&mut e, to);
+                }
+                OutgoingAddFriend::Reply {
+                    to,
+                    their_dh_key,
+                    their_round,
+                } => {
+                    e.put_u8(1);
+                    put_identity(&mut e, to);
+                    e.put_bytes(their_dh_key);
+                    e.put_u64(their_round.as_u64());
+                }
+            }
+        }
+
+        let mut pending_outgoing: Vec<_> = self.pending_outgoing.iter().collect();
+        pending_outgoing.sort_by(|a, b| a.0.cmp(b.0));
+        e.put_u32(pending_outgoing.len() as u32);
+        for (to, pending) in pending_outgoing {
+            put_identity(&mut e, to);
+            e.put_bytes(&pending.dh_secret.to_bytes());
+            e.put_u64(pending.proposed_round.as_u64());
+        }
+
+        let mut pending_incoming: Vec<_> = self.pending_incoming.iter().collect();
+        pending_incoming.sort_by(|a, b| a.0.cmp(b.0));
+        e.put_u32(pending_incoming.len() as u32);
+        for (from, pending) in pending_incoming {
+            put_identity(&mut e, from);
+            e.put_bytes(&pending.their_key);
+            e.put_bytes(&pending.their_dh_key);
+            e.put_u64(pending.their_round.as_u64());
+        }
+
+        e.put_u32(self.outgoing_calls.len() as u32);
+        for call in &self.outgoing_calls {
+            put_identity(&mut e, &call.friend);
+            e.put_u32(call.intent);
+        }
+
+        e.put_u64(self.next_dialing_round.as_u64());
+        match &self.sent_dial_token {
+            None => {
+                e.put_u8(0);
+            }
+            Some((round, token)) => {
+                e.put_u8(1);
+                e.put_u64(round.as_u64());
+                e.put_bytes(&token.0);
+            }
+        }
+        match &self.dialing_round_state {
+            None => {
+                e.put_u8(0);
+            }
+            Some((round, num_mailboxes)) => {
+                e.put_u8(1);
+                e.put_u64(round.as_u64());
+                e.put_u32(*num_mailboxes);
+            }
+        }
+        match &self.unspent_rate_limit_token {
+            None => {
+                e.put_u8(0);
+            }
+            Some((kind, round, token)) => {
+                e.put_u8(1);
+                e.put_u8(round_kind_tag(*kind));
+                e.put_u64(round.as_u64());
+                e.put_bytes(&token.serial);
+                e.put_bytes(&token.signature);
+            }
+        }
+        e.put_bytes(&self.rng.state_bytes());
+        e.finish()
+    }
+
+    fn decode_state_payload(payload: &[u8]) -> Result<Self, StorageError> {
+        let mut d = alpenhorn_wire::Decoder::new(payload);
+        let version = d.get_u8("client state version")?;
+        if version != CLIENT_STATE_VERSION {
+            return Err(StorageError::BadPayload {
+                context: "unsupported client state version",
+            });
+        }
+        let identity = get_identity(&mut d, "client identity")?;
+        let config = ClientConfig {
+            num_intents: d.get_u32("config num_intents")?,
+            auto_accept_friends: d.get_u8("config auto_accept")? != 0,
+            dialing_round_slack: d.get_u64("config slack")?,
+        };
+        let signing_key =
+            SigningKey::from_bytes(&d.get_array::<32>("signing key")?).map_err(|_| {
+                StorageError::BadPayload {
+                    context: "client signing key",
+                }
+            })?;
+        // The count comes from disk: never reserve on its say-so.
+        let pkg_key_count = d.get_u32("pkg key count")? as usize;
+        let mut pkg_keys = Vec::new();
+        for _ in 0..pkg_key_count {
+            let bytes = d.get_array::<SIGNING_PK_LEN>("pkg key")?;
+            pkg_keys.push(VerifyingKey::from_bytes(&bytes).map_err(|_| {
+                StorageError::BadPayload {
+                    context: "pkg verification key",
+                }
+            })?);
+        }
+        let registered = d.get_u8("registered flag")? != 0;
+
+        let mut address_book = AddressBook::new();
+        for _ in 0..d.get_u32("address book count")? {
+            let identity = get_identity(&mut d, "address book identity")?;
+            let long_term_key = match d.get_u8("address book key flag")? {
+                0 => None,
+                _ => Some(d.get_array::<SIGNING_PK_LEN>("address book key")?),
+            };
+            let key_out_of_band = d.get_u8("address book oob flag")? != 0;
+            let status = status_from_tag(d.get_u8("address book status")?)?;
+            address_book.insert(FriendEntry {
+                identity,
+                long_term_key,
+                key_out_of_band,
+                status,
+            });
+        }
+
+        let mut keywheels = KeywheelTable::new();
+        for _ in 0..d.get_u32("keywheel count")? {
+            let friend = get_identity(&mut d, "keywheel identity")?;
+            let secret = d.get_array::<32>("keywheel secret")?;
+            let round = Round(d.get_u64("keywheel round")?);
+            keywheels.insert(friend, secret, round);
+        }
+
+        let mut outgoing_add_friend = VecDeque::new();
+        for _ in 0..d.get_u32("outgoing add-friend count")? {
+            let item = match d.get_u8("outgoing add-friend tag")? {
+                0 => OutgoingAddFriend::Initiate {
+                    to: get_identity(&mut d, "initiate recipient")?,
+                },
+                1 => OutgoingAddFriend::Reply {
+                    to: get_identity(&mut d, "reply recipient")?,
+                    their_dh_key: d.get_array::<{ alpenhorn_wire::DH_PK_LEN }>("reply dh key")?,
+                    their_round: Round(d.get_u64("reply round")?),
+                },
+                _ => {
+                    return Err(StorageError::BadPayload {
+                        context: "outgoing add-friend tag",
+                    })
+                }
+            };
+            outgoing_add_friend.push_back(item);
+        }
+
+        let mut pending_outgoing = HashMap::new();
+        for _ in 0..d.get_u32("pending outgoing count")? {
+            let to = get_identity(&mut d, "pending outgoing identity")?;
+            let dh_secret = DhSecret::from_bytes(&d.get_array::<32>("pending outgoing secret")?)
+                .map_err(|_| StorageError::BadPayload {
+                    context: "pending outgoing DH secret",
+                })?;
+            let proposed_round = Round(d.get_u64("pending outgoing round")?);
+            pending_outgoing.insert(
+                to,
+                PendingOutgoing {
+                    dh_secret,
+                    proposed_round,
+                },
+            );
+        }
+
+        let mut pending_incoming = HashMap::new();
+        for _ in 0..d.get_u32("pending incoming count")? {
+            let from = get_identity(&mut d, "pending incoming identity")?;
+            let their_key = d.get_array::<SIGNING_PK_LEN>("pending incoming key")?;
+            let their_dh_key =
+                d.get_array::<{ alpenhorn_wire::DH_PK_LEN }>("pending incoming dh key")?;
+            let their_round = Round(d.get_u64("pending incoming round")?);
+            pending_incoming.insert(
+                from,
+                PendingIncoming {
+                    their_key,
+                    their_dh_key,
+                    their_round,
+                },
+            );
+        }
+
+        let mut outgoing_calls = VecDeque::new();
+        for _ in 0..d.get_u32("outgoing call count")? {
+            let friend = get_identity(&mut d, "outgoing call identity")?;
+            let intent = d.get_u32("outgoing call intent")?;
+            outgoing_calls.push_back(OutgoingCall { friend, intent });
+        }
+
+        let next_dialing_round = Round(d.get_u64("next dialing round")?);
+        let sent_dial_token = match d.get_u8("sent token flag")? {
+            0 => None,
+            _ => {
+                let round = Round(d.get_u64("sent token round")?);
+                let token = DialToken(d.get_array::<32>("sent token")?);
+                Some((round, token))
+            }
+        };
+        let dialing_round_state = match d.get_u8("dialing state flag")? {
+            0 => None,
+            _ => {
+                let round = Round(d.get_u64("dialing state round")?);
+                let num_mailboxes = d.get_u32("dialing state mailboxes")?;
+                Some((round, num_mailboxes))
+            }
+        };
+        let unspent_rate_limit_token = match d.get_u8("unspent token flag")? {
+            0 => None,
+            _ => {
+                let kind = round_kind_from_tag(d.get_u8("unspent token kind")?)?;
+                let round = Round(d.get_u64("unspent token round")?);
+                let serial = d.get_array::<RATE_LIMIT_SERIAL_LEN>("unspent token serial")?;
+                let signature =
+                    d.get_array::<{ alpenhorn_wire::SIGNATURE_LEN }>("unspent token signature")?;
+                Some((kind, round, RateLimitToken { serial, signature }))
+            }
+        };
+        let rng_state = d.get_array::<{ ChaChaRng::STATE_LEN }>("rng state")?;
+        let rng = ChaChaRng::from_state_bytes(&rng_state).ok_or(StorageError::BadPayload {
+            context: "client rng state",
+        })?;
+        d.finish()?;
+
+        Ok(Client {
+            identity,
+            config,
+            signing_key,
+            pkg_keys,
+            registered,
+            address_book,
+            keywheels,
+            outgoing_add_friend,
+            pending_outgoing,
+            pending_incoming,
+            outgoing_calls,
+            // Round-scoped secrets are never persisted (forward secrecy):
+            // a reloaded client starts outside any open round.
+            round_identity_key: None,
+            round_attestation: None,
+            dialing_round_state,
+            next_dialing_round,
+            sent_dial_token,
+            unspent_rate_limit_token,
+            payload_scratch: Vec::new(),
+            rng,
+        })
+    }
+}
+
 impl core::fmt::Debug for Client {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Client")

@@ -570,3 +570,96 @@ fn exhausted_budget_blocks_participation() {
     net.with_cluster(|c| c.close_add_friend_round(Round(2)))
         .unwrap();
 }
+
+#[test]
+fn saved_client_round_trips_byte_identically() {
+    // Save → load → save must reproduce the exact payload: every field
+    // (including the RNG position) survives the round trip.
+    let mut net = deployment(30);
+    let mut alice = new_client(&mut net, "alice@example.com", 31, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 32, ClientConfig::default());
+    alice.add_friend(id("bob@gmail.com"), None);
+    run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
+
+    let saved = alice.save_state();
+    let reloaded = Client::load_state(&saved).unwrap();
+    assert_eq!(reloaded.save_state(), saved);
+    assert_eq!(reloaded.identity(), alice.identity());
+    assert_eq!(
+        reloaded.signing_public_key().to_bytes(),
+        alice.signing_public_key().to_bytes()
+    );
+    assert_eq!(reloaded.is_registered(), alice.is_registered());
+    assert_eq!(reloaded.address_book().len(), alice.address_book().len());
+    assert_eq!(reloaded.keywheels().len(), alice.keywheels().len());
+}
+
+#[test]
+fn corrupted_save_is_rejected_not_loaded() {
+    let mut net = deployment(33);
+    let alice = new_client(&mut net, "alice@example.com", 34, ClientConfig::default());
+    let saved = alice.save_state();
+    // Every single-byte corruption must be caught by the record checksum.
+    for byte in [0, saved.len() / 2, saved.len() - 1] {
+        let mut bad = saved.clone();
+        bad[byte] ^= 0x10;
+        assert!(Client::load_state(&bad).is_err(), "flip at {byte}");
+    }
+    // Truncation too.
+    assert!(Client::load_state(&saved[..saved.len() - 3]).is_err());
+}
+
+#[test]
+fn reloaded_client_resumes_mid_handshake_and_dials() {
+    // Alice dies after the first add-friend round (her reply from Bob still
+    // in flight) and Bob dies after the handshake; both resume from saved
+    // state and complete the friendship and a call.
+    let mut net = deployment(35);
+    let mut alice = new_client(&mut net, "alice@example.com", 36, ClientConfig::default());
+    let mut bob = new_client(&mut net, "bob@gmail.com", 37, ClientConfig::default());
+    alice.add_friend(id("bob@gmail.com"), None);
+    run_add_friend_round(&mut net, Round(1), &mut [&mut alice, &mut bob]);
+
+    // Alice's process dies; a new process loads her state (queued handshake,
+    // pending DH secret and all).
+    let mut alice = Client::load_state(&alice.save_state()).unwrap();
+    let events = run_add_friend_round(&mut net, Round(2), &mut [&mut alice, &mut bob]);
+    assert!(
+        events[0].iter().any(ClientEvent::is_friend_confirmed),
+        "reloaded Alice still completes the handshake: {events:?}"
+    );
+
+    // Bob's process dies too; his reloaded state still dials Alice.
+    let mut bob = Client::load_state(&bob.save_state()).unwrap();
+    bob.call(id("alice@example.com"), 2).unwrap();
+    let start = alice
+        .keywheels()
+        .get(&id("bob@gmail.com"))
+        .expect("keywheel established")
+        .round();
+    for r in 1..=start.as_u64() {
+        let events = run_dialing_round(&mut net, Round(r), &mut [&mut alice, &mut bob]);
+        if r == start.as_u64() {
+            assert!(
+                events[0].iter().any(ClientEvent::is_incoming_call),
+                "Alice receives the reloaded Bob's call: {events:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn save_to_and_load_from_files_atomically() {
+    let dir = std::env::temp_dir().join(format!("alpenhorn-client-save-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("alice.state");
+
+    assert!(Client::load_from(&path).unwrap().is_none());
+    let mut net = deployment(38);
+    let alice = new_client(&mut net, "alice@example.com", 39, ClientConfig::default());
+    alice.save_to(&path).unwrap();
+    let reloaded = Client::load_from(&path).unwrap().expect("save exists");
+    assert_eq!(reloaded.save_state(), alice.save_state());
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -54,6 +54,14 @@ pub enum ClientError {
     RateLimited(RateLimitReason),
     /// The transport failed (connection, framing, codec).
     Transport(TransportError),
+    /// The transport was reused after an earlier failure poisoned it; the
+    /// boxed error is the original failure (e.g. the framing error that
+    /// desynchronized the stream). The connection must be replaced — retrying
+    /// on it cannot succeed.
+    TransportPoisoned {
+        /// The failure that poisoned the connection.
+        original: Box<TransportError>,
+    },
     /// A wire encoding or decoding failed client-side.
     Wire(WireError),
     /// The coordinator reported a typed error with no more specific client
@@ -104,6 +112,12 @@ impl core::fmt::Display for ClientError {
             ClientError::MissingMailbox => write!(f, "expected mailbox was not available"),
             ClientError::RateLimited(reason) => write!(f, "rate limited: {reason}"),
             ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::TransportPoisoned { original } => {
+                write!(
+                    f,
+                    "transport reused after being poisoned by: {original}; reconnect"
+                )
+            }
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Rpc(e) => write!(f, "server error: {e}"),
             ClientError::UnexpectedResponse { context } => {
@@ -129,7 +143,12 @@ impl From<alpenhorn_keywheel::KeywheelError> for ClientError {
 
 impl From<TransportError> for ClientError {
     fn from(e: TransportError) -> Self {
-        ClientError::Transport(e)
+        match e {
+            // Reuse-after-poisoning gets its own typed variant so callers
+            // can distinguish "replace the connection" from transient I/O.
+            TransportError::Poisoned { original } => ClientError::TransportPoisoned { original },
+            other => ClientError::Transport(other),
+        }
     }
 }
 

@@ -41,6 +41,14 @@ pub enum TransportError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// The connection was poisoned by an earlier failure and must be
+    /// replaced; `original` is that first failure (e.g. the framing error
+    /// that desynchronized the stream). Returned by every call made on a
+    /// poisoned [`TcpTransport`] until the caller reconnects.
+    Poisoned {
+        /// The failure that poisoned the connection.
+        original: Box<TransportError>,
+    },
 }
 
 impl core::fmt::Display for TransportError {
@@ -49,6 +57,12 @@ impl core::fmt::Display for TransportError {
             TransportError::Wire(e) => write!(f, "transport wire error: {e}"),
             TransportError::Io { kind, detail } => {
                 write!(f, "transport I/O error ({kind:?}): {detail}")
+            }
+            TransportError::Poisoned { original } => {
+                write!(
+                    f,
+                    "connection poisoned by an earlier transport failure ({original}); reconnect"
+                )
             }
         }
     }
@@ -137,11 +151,13 @@ impl Transport for LoopbackTransport {
 ///
 /// After any I/O or framing failure the connection is poisoned: the stream
 /// offset can no longer be trusted (a partial frame may remain buffered), so
-/// every later call fails fast with a `NotConnected` error instead of
-/// parsing mid-frame bytes as a header and hanging. Reconnect to recover.
+/// every later call fails fast with [`TransportError::Poisoned`] — carrying
+/// the original failure — instead of parsing mid-frame bytes as a header and
+/// hanging. Reconnect to recover.
 pub struct TcpTransport {
     stream: TcpStream,
-    poisoned: bool,
+    /// The first failure, kept so reuse reports *why* the connection died.
+    poisoned: Option<TransportError>,
 }
 
 impl TcpTransport {
@@ -151,7 +167,7 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         Ok(TcpTransport {
             stream,
-            poisoned: false,
+            poisoned: None,
         })
     }
 
@@ -159,40 +175,36 @@ impl TcpTransport {
     pub fn from_stream(stream: TcpStream) -> Self {
         TcpTransport {
             stream,
-            poisoned: false,
+            poisoned: None,
         }
     }
 
     /// Whether the connection has been poisoned by an earlier failure and
     /// must be replaced.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poisoned.is_some()
     }
 
-    fn poison(&mut self) {
-        self.poisoned = true;
+    fn poison(&mut self, original: TransportError) -> TransportError {
+        self.poisoned = Some(original.clone());
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        original
     }
 }
 
 impl Transport for TcpTransport {
     fn call(&mut self, request: Request) -> Result<Response, TransportError> {
-        if self.poisoned {
-            return Err(TransportError::Io {
-                kind: std::io::ErrorKind::NotConnected,
-                detail: "connection poisoned by an earlier transport failure; reconnect".into(),
+        if let Some(original) = &self.poisoned {
+            return Err(TransportError::Poisoned {
+                original: Box::new(original.clone()),
             });
         }
         if let Err(e) = Frame::write_to(&mut self.stream, &request.encode()) {
-            self.poison();
-            return Err(e.into());
+            return Err(self.poison(e.into()));
         }
         let payload = match Frame::read_from(&mut self.stream) {
             Ok(payload) => payload,
-            Err(e) => {
-                self.poison();
-                return Err(e.into());
-            }
+            Err(e) => return Err(self.poison(e.into())),
         };
         // A response that fails to decode arrived inside an intact frame, so
         // the stream is still aligned — no need to poison.

@@ -87,6 +87,17 @@ impl ChaCha20 {
         ChaCha20 { state }
     }
 
+    /// The 16-word internal state (constants, key, counter, nonce). Used by
+    /// [`crate::rng::ChaChaRng`] to persist generator positions.
+    pub fn state_words(&self) -> [u32; 16] {
+        self.state
+    }
+
+    /// Rebuilds a cipher from exported [`ChaCha20::state_words`].
+    pub fn from_state_words(state: [u32; 16]) -> Self {
+        ChaCha20 { state }
+    }
+
     /// The ChaCha20 quarter round on four state words.
     #[inline]
     fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {

@@ -32,6 +32,10 @@ pub struct ChaChaRng {
 }
 
 impl ChaChaRng {
+    /// Length of the serialized generator state: the 16-word cipher state,
+    /// the buffered keystream block, and the buffer offset.
+    pub const STATE_LEN: usize = 64 + BLOCK_LEN + 1;
+
     /// Creates a generator from a 32-byte seed.
     pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
         ChaChaRng {
@@ -63,6 +67,43 @@ impl ChaChaRng {
         self.buf = self.cipher.block();
         self.cipher.advance();
         self.pos = 0;
+    }
+
+    /// Serializes the generator's exact position: the cipher state, the
+    /// buffered keystream block, and the read offset. Restoring with
+    /// [`ChaChaRng::from_state_bytes`] continues the stream byte-for-byte,
+    /// which is what lets a saved client resume with its randomness intact.
+    ///
+    /// The export contains key-equivalent secret material; callers must
+    /// protect it like any other persisted secret.
+    pub fn state_bytes(&self) -> [u8; Self::STATE_LEN] {
+        let mut out = [0u8; Self::STATE_LEN];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.cipher.state_words()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out[64..64 + BLOCK_LEN].copy_from_slice(&self.buf);
+        out[64 + BLOCK_LEN] = self.pos as u8;
+        out
+    }
+
+    /// Rebuilds a generator from [`ChaChaRng::state_bytes`]. Returns `None`
+    /// if the trailing position byte is out of range.
+    pub fn from_state_bytes(bytes: &[u8; Self::STATE_LEN]) -> Option<Self> {
+        let mut words = [0u32; 16];
+        for (word, chunk) in words.iter_mut().zip(bytes[..64].chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut buf = [0u8; BLOCK_LEN];
+        buf.copy_from_slice(&bytes[64..64 + BLOCK_LEN]);
+        let pos = bytes[64 + BLOCK_LEN] as usize;
+        if pos > BLOCK_LEN {
+            return None;
+        }
+        Some(ChaChaRng {
+            cipher: ChaCha20::from_state_words(words),
+            buf,
+            pos,
+        })
     }
 
     /// Returns a uniformly random integer in `[0, bound)` using rejection
@@ -219,6 +260,29 @@ mod tests {
         let mut a = ChaChaRng::from_os_entropy();
         let mut b = ChaChaRng::from_os_entropy();
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_export_resumes_byte_for_byte() {
+        let mut rng = ChaChaRng::from_seed_bytes([9u8; 32]);
+        // Land mid-block so the buffered keystream and offset matter.
+        let mut skip = [0u8; 37];
+        rng.fill_bytes(&mut skip);
+        let saved = rng.state_bytes();
+        let mut resumed = ChaChaRng::from_state_bytes(&saved).unwrap();
+        let mut a = [0u8; 200];
+        let mut b = [0u8; 200];
+        rng.fill_bytes(&mut a);
+        resumed.fill_bytes(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_import_rejects_bad_offset() {
+        let rng = ChaChaRng::from_seed_bytes([9u8; 32]);
+        let mut saved = rng.state_bytes();
+        saved[ChaChaRng::STATE_LEN - 1] = (BLOCK_LEN + 1) as u8;
+        assert!(ChaChaRng::from_state_bytes(&saved).is_none());
     }
 
     #[test]

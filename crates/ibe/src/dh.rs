@@ -73,6 +73,20 @@ impl DhSecret {
     pub fn erase(&mut self) {
         self.x = Fr::zero();
     }
+
+    /// Serializes the secret scalar (32 bytes) for durable client state
+    /// (pending add-friend handshakes must survive a client restart). The
+    /// output is the ephemeral secret itself; persist it accordingly.
+    pub fn to_bytes(&self) -> [u8; crate::points::FR_LEN] {
+        crate::points::fr_to_bytes(&self.x)
+    }
+
+    /// Parses a secret scalar serialized by [`DhSecret::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbeError> {
+        Ok(DhSecret {
+            x: crate::points::fr_from_bytes(bytes)?,
+        })
+    }
 }
 
 impl core::fmt::Debug for DhSecret {

@@ -74,6 +74,19 @@ impl SigningKey {
     pub fn sign_point(&self, point: G1Projective) -> G1Projective {
         point * self.sk
     }
+
+    /// Serializes the secret scalar (32 bytes) for durable client state.
+    /// The output is the long-term secret itself; persist it accordingly.
+    pub fn to_bytes(&self) -> [u8; crate::points::FR_LEN] {
+        crate::points::fr_to_bytes(&self.sk)
+    }
+
+    /// Parses a secret scalar serialized by [`SigningKey::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IbeError> {
+        Ok(SigningKey {
+            sk: crate::points::fr_from_bytes(bytes)?,
+        })
+    }
 }
 
 impl core::fmt::Debug for SigningKey {

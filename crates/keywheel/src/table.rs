@@ -68,6 +68,12 @@ impl KeywheelTable {
         self.wheels.keys()
     }
 
+    /// Iterates over every (friend, wheel) pair, in identity order. Used to
+    /// capture the table for durable client state.
+    pub fn wheels(&self) -> impl Iterator<Item = (&Identity, &Keywheel)> {
+        self.wheels.iter()
+    }
+
     /// Whether `friend` has a keywheel.
     pub fn contains(&self, friend: &Identity) -> bool {
         self.wheels.contains_key(friend)

@@ -237,6 +237,17 @@ impl Keywheel {
         self.key.zeroize();
         self.clear_memo();
     }
+
+    /// The wheel's current key, for durable client state
+    /// (`alpenhorn::Client::save_state`). Together with [`Keywheel::round`]
+    /// this is the whole wheel: [`Keywheel::new`] rebuilds it exactly. The
+    /// output is the live ratchet secret; persist it accordingly — and note
+    /// that saving, advancing, and keeping the old save trades away forward
+    /// secrecy for the rounds in between (which is why saved state should be
+    /// overwritten in place, not archived).
+    pub fn export_secret(&self) -> [u8; 32] {
+        self.key
+    }
 }
 
 /// `HMAC(round_key, label || round || intent)` with precomputed key states.

@@ -183,6 +183,74 @@ impl AccountRegistry {
         self.lockouts.insert(identity.clone(), now);
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Durability hooks (`alpenhorn-storage`)
+    //
+    // Registered accounts and lockout timestamps are the registry state that
+    // must survive a restart; pending registrations deliberately are not
+    // persisted (their confirmation tokens live in email, and a client whose
+    // registration was interrupted simply restarts the idempotent flow).
+    // ------------------------------------------------------------------
+
+    /// Iterates registered accounts as `(identity, signing key, last_seen)`,
+    /// in identity order (deterministic snapshots).
+    pub fn accounts(&self) -> impl Iterator<Item = (&Identity, &VerifyingKey, u64)> {
+        let mut entries: Vec<_> = self.accounts.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+            .into_iter()
+            .map(|(id, account)| (id, &account.signing_key, account.last_seen))
+    }
+
+    /// Iterates deregistration lockouts as `(identity, deregistered_at)`, in
+    /// identity order.
+    pub fn lockouts(&self) -> impl Iterator<Item = (&Identity, u64)> {
+        let mut entries: Vec<_> = self.lockouts.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter().map(|(id, at)| (id, *at))
+    }
+
+    /// Directly installs a registered account during crash recovery,
+    /// bypassing the email confirmation flow (which already ran before the
+    /// state was logged). Clears any lockout for the identity, mirroring
+    /// [`AccountRegistry::complete_registration`].
+    pub fn restore_account(
+        &mut self,
+        identity: Identity,
+        signing_key: VerifyingKey,
+        last_seen: u64,
+    ) {
+        self.lockouts.remove(&identity);
+        self.accounts.insert(
+            identity,
+            Account {
+                signing_key,
+                last_seen,
+            },
+        );
+    }
+
+    /// The time `identity` was deregistered, if it is under a lockout.
+    pub fn lockout_time(&self, identity: &Identity) -> Option<u64> {
+        self.lockouts.get(identity).copied()
+    }
+
+    /// The registered account's `last_seen` timestamp, if it exists. Used by
+    /// the coordinator journal so a (possibly duplicated) registration
+    /// record always captures the stored timestamp, never the current clock.
+    pub fn account_last_seen(&self, identity: &Identity) -> Option<u64> {
+        self.accounts.get(identity).map(|a| a.last_seen)
+    }
+
+    /// Directly installs a deregistration lockout during crash recovery,
+    /// removing any account for the identity (mirroring
+    /// [`AccountRegistry::deregister`]).
+    pub fn restore_lockout(&mut self, identity: Identity, deregistered_at: u64) {
+        self.accounts.remove(&identity);
+        self.pending.remove(&identity);
+        self.lockouts.insert(identity, deregistered_at);
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,39 @@ impl RoundKeyManager {
         self.current.as_ref().map(|k| k.round)
     }
 
+    // ------------------------------------------------------------------
+    // Durability hooks (`alpenhorn-storage`)
+    // ------------------------------------------------------------------
+
+    /// The current ratchet state, for durable PKG state. Only the ratchet is
+    /// ever persisted — never a round's master secret — so what is on disk
+    /// can only derive *future* rounds, preserving forward secrecy for every
+    /// round that already closed.
+    pub fn ratchet_state(&self) -> [u8; 32] {
+        self.ratchet
+    }
+
+    /// Replaces the ratchet state during crash recovery. Any open round is
+    /// discarded: a crash mid-round loses that round's keys by design
+    /// (clients re-extract in the next round).
+    pub fn restore_ratchet(&mut self, ratchet: [u8; 32]) {
+        self.end_round();
+        self.ratchet.zeroize();
+        self.ratchet = ratchet;
+    }
+
+    /// Advances the ratchet exactly as [`RoundKeyManager::begin_round`] does,
+    /// without deriving the round's master key. Used when replaying a logged
+    /// round-open during recovery: the round itself is gone (its secret was
+    /// never persisted), but the ratchet position must move so the *next*
+    /// round's keys match an uncrashed deployment's.
+    pub fn skip_round(&mut self) {
+        self.end_round();
+        let next = hmac_sha256(&self.ratchet, RATCHET_LABEL);
+        self.ratchet.zeroize();
+        self.ratchet = next;
+    }
+
     fn require_round(&mut self, round: Round) -> Result<&mut RoundKeys, PkgError> {
         let current_round = self.current.as_ref().map(|k| k.round);
         match current_round {
@@ -229,6 +262,39 @@ mod tests {
         assert!(decrypt(&new_key, &ct).is_err());
         // And the round-1 key can no longer be extracted at all.
         assert!(mgr.extract(Round(1), b"bob@gmail.com").is_err());
+    }
+
+    #[test]
+    fn skip_round_matches_begin_round_ratchet() {
+        // A recovered manager that skip-replays rounds 1..=2 must produce the
+        // same round-3 keys as one that actually ran them.
+        let mut live = RoundKeyManager::new([9u8; 32]);
+        live.begin_round(Round(1));
+        live.begin_round(Round(2));
+        live.begin_round(Round(3));
+        let (live_pk, _) = live.reveal(Round(3)).unwrap();
+
+        let mut recovered = RoundKeyManager::new([9u8; 32]);
+        recovered.skip_round();
+        recovered.skip_round();
+        recovered.begin_round(Round(3));
+        let (recovered_pk, _) = recovered.reveal(Round(3)).unwrap();
+        assert_eq!(live_pk.to_bytes(), recovered_pk.to_bytes());
+    }
+
+    #[test]
+    fn restore_ratchet_resumes_the_chain() {
+        let mut live = RoundKeyManager::new([10u8; 32]);
+        live.begin_round(Round(1));
+        let saved = live.ratchet_state();
+        live.begin_round(Round(2));
+        let (live_pk, _) = live.reveal(Round(2)).unwrap();
+
+        let mut recovered = RoundKeyManager::new([0u8; 32]);
+        recovered.restore_ratchet(saved);
+        recovered.begin_round(Round(2));
+        let (recovered_pk, _) = recovered.reveal(Round(2)).unwrap();
+        assert_eq!(live_pk.to_bytes(), recovered_pk.to_bytes());
     }
 
     #[test]

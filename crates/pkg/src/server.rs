@@ -72,6 +72,23 @@ impl PkgServer {
         &self.registry
     }
 
+    /// Mutable access to the account registry, for crash recovery
+    /// (`restore_account` / `restore_lockout`).
+    pub fn registry_mut(&mut self) -> &mut AccountRegistry {
+        &mut self.registry
+    }
+
+    /// Access to the round-key manager, for durable ratchet state.
+    pub fn round_keys(&self) -> &RoundKeyManager {
+        &self.round_keys
+    }
+
+    /// Mutable access to the round-key manager, for crash recovery
+    /// (`restore_ratchet` / `skip_round`).
+    pub fn round_keys_mut(&mut self) -> &mut RoundKeyManager {
+        &mut self.round_keys
+    }
+
     /// Begins registration of `identity` under `signing_key` (sends the
     /// confirmation email).
     pub fn begin_registration(

@@ -1,0 +1,552 @@
+//! The generic snapshot + log-suffix replay engine.
+//!
+//! [`Durable<T>`] wraps a state object implementing [`Persist`] and keeps it
+//! recoverable on disk as *one snapshot generation plus a WAL suffix*:
+//!
+//! ```text
+//! data-dir/
+//!   snapshot-<gen>.snap   one checksummed record: T::encode_snapshot()
+//!   wal-<gen>.log         effect records appended since that snapshot
+//! ```
+//!
+//! Mutation protocol (a write-behind redo log): the caller mutates the live
+//! state through [`Durable::state_mut`], then appends an *effect record*
+//! describing the completed mutation with [`Durable::record`]. During
+//! recovery the snapshot is restored and each logged record is re-applied via
+//! [`Persist::apply_record`]; effect records therefore must capture the
+//! mutation's result (inserted account, advanced ratchet, spent token), never
+//! non-deterministic inputs.
+//!
+//! Checkpointing bumps the generation: the new snapshot is written atomically
+//! (temp + fsync + rename), a fresh WAL is started, and only then are the old
+//! generation's files deleted. A crash at any point leaves at least one
+//! recoverable generation on disk:
+//!
+//! * crash mid-snapshot-write → only a `.tmp` file; the previous generation's
+//!   snapshot + WAL are untouched;
+//! * crash after the rename but before cleanup → both generations valid; the
+//!   newest wins and the stale one is deleted on open;
+//! * torn WAL tail → truncated to the last valid record (see [`crate::wal`]).
+//!
+//! Checkpoints are also the compaction *and erasure* mechanism: once the old
+//! generation is deleted, secrets that were rotated out of the state (e.g.
+//! superseded PKG ratchet positions) no longer exist anywhere on disk —
+//! which is why the coordinator forces a checkpoint on every ratchet advance.
+
+use std::path::{Path, PathBuf};
+
+use crate::record::LogRecord;
+use crate::wal::Wal;
+use crate::{snapshot, StorageError};
+
+/// State that can be made durable by [`Durable`].
+pub trait Persist {
+    /// Encodes the complete current state for a snapshot.
+    fn encode_snapshot(&self) -> Vec<u8>;
+
+    /// Restores the complete state from a snapshot payload, replacing the
+    /// receiver's contents.
+    fn restore_snapshot(&mut self, payload: &[u8]) -> Result<(), StorageError>;
+
+    /// Re-applies one logged effect record during recovery. Records arrive in
+    /// append order, after the snapshot (if any) has been restored.
+    fn apply_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError>;
+}
+
+/// Tuning for a durable store.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageConfig {
+    /// Fsync the WAL after this many appends (1 = every append). A crash
+    /// loses at most the unsynced suffix.
+    pub sync_every: u32,
+    /// Automatically checkpoint after this many records accumulate in the
+    /// WAL. Explicit [`Durable::checkpoint`] calls reset the counter too.
+    pub checkpoint_every_records: u64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            sync_every: 1,
+            checkpoint_every_records: 4096,
+        }
+    }
+}
+
+/// What recovery found on disk when opening a durable store.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Whether any prior state (snapshot or records) was recovered.
+    pub recovered: bool,
+    /// The snapshot generation in use after open.
+    pub generation: u64,
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Number of WAL records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Bytes discarded from a torn or corrupt WAL tail.
+    pub truncated_bytes: u64,
+    /// Number of corrupt newer snapshot generations that were skipped before
+    /// a valid one was found.
+    pub snapshot_fallbacks: u32,
+}
+
+struct Backing {
+    dir: PathBuf,
+    wal: Wal,
+    generation: u64,
+    records_since_checkpoint: u64,
+    config: StorageConfig,
+}
+
+/// A state object kept recoverable as snapshot + WAL suffix.
+///
+/// The ephemeral mode ([`Durable::ephemeral`]) keeps the exact same API with
+/// no backing files, so call sites need not branch on whether durability is
+/// configured.
+pub struct Durable<T: Persist> {
+    state: T,
+    backing: Option<Backing>,
+}
+
+fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot-{generation}.snap"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation}.log"))
+}
+
+/// Parses `<stem>-<gen>.<ext>` file names, returning the generation.
+fn parse_generation(name: &str, stem: &str, ext: &str) -> Option<u64> {
+    name.strip_prefix(stem)?
+        .strip_prefix('-')?
+        .strip_suffix(ext)?
+        .strip_suffix('.')?
+        .parse()
+        .ok()
+}
+
+impl<T: Persist> Durable<T> {
+    /// Wraps `state` with no backing storage: `record` and `checkpoint` are
+    /// no-ops. Used by deployments that opt out of durability (tests, the
+    /// in-process simulator).
+    pub fn ephemeral(state: T) -> Self {
+        Durable {
+            state,
+            backing: None,
+        }
+    }
+
+    /// Opens (creating if needed) the durable store in `dir`, recovering any
+    /// existing state into `initial` as snapshot + log suffix.
+    pub fn open(
+        mut initial: T,
+        dir: impl AsRef<Path>,
+        config: StorageConfig,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut snapshot_gens = Vec::new();
+        let mut wal_gens = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(gen) = parse_generation(name, "snapshot", "snap") {
+                snapshot_gens.push(gen);
+            } else if let Some(gen) = parse_generation(name, "wal", "log") {
+                wal_gens.push(gen);
+            }
+        }
+        snapshot_gens.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut report = RecoveryReport::default();
+        let mut generation = None;
+        for &gen in &snapshot_gens {
+            match snapshot::read(snapshot_path(&dir, gen)) {
+                Ok(Some(payload)) => {
+                    initial.restore_snapshot(&payload)?;
+                    report.snapshot_loaded = true;
+                    generation = Some(gen);
+                    break;
+                }
+                // A corrupt newer generation: fall back to the previous one
+                // (its files are still present — cleanup only runs after a
+                // newer snapshot is durable).
+                Ok(None) | Err(StorageError::Corrupt(_)) => report.snapshot_fallbacks += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        // No valid snapshot. That is only legitimate before the first
+        // checkpoint (a bare `wal-0.log` over the initial state); if
+        // snapshot files exist but none decodes, the WAL suffix alone is NOT
+        // the state — refuse to "recover" into a silently emptied deployment
+        // (and leave every file untouched for offline repair).
+        if generation.is_none() && !snapshot_gens.is_empty() {
+            return Err(StorageError::BadPayload {
+                context: "every snapshot generation is corrupt; refusing to recover from the \
+                          WAL suffix alone (files left in place for offline repair)",
+            });
+        }
+        let generation = generation.unwrap_or_else(|| wal_gens.iter().copied().max().unwrap_or(0));
+        report.generation = generation;
+
+        let (wal, wal_recovery) = Wal::open(wal_path(&dir, generation), config.sync_every)?;
+        for LogRecord { kind, payload } in &wal_recovery.records {
+            initial.apply_record(*kind, payload)?;
+        }
+        report.records_replayed = wal_recovery.records.len();
+        report.truncated_bytes = wal_recovery.truncated_bytes;
+        report.recovered = report.snapshot_loaded || report.records_replayed > 0;
+
+        let records_since_checkpoint = wal_recovery.records.len() as u64;
+        let mut durable = Durable {
+            state: initial,
+            backing: Some(Backing {
+                dir,
+                wal,
+                generation,
+                records_since_checkpoint,
+                config,
+            }),
+        };
+        durable.cleanup_stale_generations();
+        Ok((durable, report))
+    }
+
+    /// Removes files from generations *older* than the live one, plus
+    /// leftover snapshot temp files. Files from newer generations are kept:
+    /// after a corrupt-snapshot fallback, the newer generation's WAL holds
+    /// valid records that exist nowhere else, and deleting them would
+    /// foreclose offline repair. (A later checkpoint into that generation
+    /// number atomically replaces its snapshot and clears its WAL anyway.)
+    /// Best-effort: a failure here only costs disk.
+    fn cleanup_stale_generations(&mut self) {
+        let Some(backing) = &self.backing else { return };
+        let Ok(entries) = std::fs::read_dir(&backing.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = match (
+                parse_generation(name, "snapshot", "snap"),
+                parse_generation(name, "wal", "log"),
+            ) {
+                (Some(gen), _) | (_, Some(gen)) => gen < backing.generation,
+                _ => name.ends_with(".tmp"),
+            };
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// The wrapped state.
+    pub fn state(&self) -> &T {
+        &self.state
+    }
+
+    /// Mutable access to the wrapped state. Callers that change durable state
+    /// must follow the mutation with a [`Durable::record`] describing it, or
+    /// the change will not survive a restart.
+    pub fn state_mut(&mut self) -> &mut T {
+        &mut self.state
+    }
+
+    /// Whether this store has backing files (false for ephemeral).
+    pub fn is_durable(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// The live snapshot generation (0 for ephemeral stores).
+    pub fn generation(&self) -> u64 {
+        self.backing.as_ref().map_or(0, |b| b.generation)
+    }
+
+    /// Appends one effect record describing an already-applied mutation,
+    /// checkpointing if the WAL has grown past the configured threshold.
+    ///
+    /// An `Err` means the record is **not** durable (the WAL rolls a failed
+    /// append back), so callers may undo the in-memory mutation and have the
+    /// client retry. A *checkpoint* failure after a successful append is
+    /// deliberately not surfaced here: the record is already durable, so
+    /// reporting failure would trigger exactly the wrong rollback; the
+    /// compaction retries on the next append (the counter stays above the
+    /// threshold until a checkpoint succeeds).
+    pub fn record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+        let Some(backing) = &mut self.backing else {
+            return Ok(());
+        };
+        backing.wal.append(kind, payload)?;
+        backing.records_since_checkpoint += 1;
+        if backing.records_since_checkpoint >= backing.config.checkpoint_every_records {
+            let _ = self.checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Writes a fresh snapshot generation and starts an empty WAL, then
+    /// deletes the previous generation's files (compaction + erasure of
+    /// rotated-out secrets). No-op for ephemeral stores.
+    ///
+    /// Failure-atomic: if starting the new generation's WAL fails after its
+    /// snapshot was written, the snapshot is removed again before returning,
+    /// so a process that keeps journalling to the old generation can never
+    /// be shadowed by a newer frozen snapshot at the next recovery.
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        let payload = self.state.encode_snapshot();
+        let Some(backing) = &mut self.backing else {
+            return Ok(());
+        };
+        let next = backing.generation + 1;
+        let next_snapshot_path = snapshot_path(&backing.dir, next);
+        snapshot::write_atomic(&next_snapshot_path, &payload)?;
+        // A crashed earlier attempt at this generation may have left a WAL;
+        // it contains nothing the fresh snapshot does not, so clear it.
+        let next_wal_path = wal_path(&backing.dir, next);
+        let _ = std::fs::remove_file(&next_wal_path);
+        let wal = match Wal::open(next_wal_path, backing.config.sync_every) {
+            Ok((wal, _)) => wal,
+            Err(e) => {
+                let _ = std::fs::remove_file(&next_snapshot_path);
+                return Err(e);
+            }
+        };
+        let old = backing.generation;
+        backing.wal = wal;
+        backing.generation = next;
+        backing.records_since_checkpoint = 0;
+        let _ = std::fs::remove_file(wal_path(&backing.dir, old));
+        let _ = std::fs::remove_file(snapshot_path(&backing.dir, old));
+        Ok(())
+    }
+
+    /// Forces the WAL to stable storage (see [`StorageConfig::sync_every`]).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        match &mut self.backing {
+            Some(backing) => backing.wal.sync(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpenhorn_wire::{Decoder, Encoder};
+
+    /// A toy durable state: an append-only tally of (key, amount) additions.
+    #[derive(Default, Debug, PartialEq)]
+    struct Tally {
+        totals: std::collections::BTreeMap<u8, u64>,
+    }
+
+    const ADD: u8 = 1;
+
+    impl Tally {
+        fn add(&mut self, key: u8, amount: u64) -> (u8, Vec<u8>) {
+            *self.totals.entry(key).or_default() += amount;
+            let mut e = Encoder::new();
+            e.put_u8(key).put_u64(amount);
+            (ADD, e.finish())
+        }
+    }
+
+    impl Persist for Tally {
+        fn encode_snapshot(&self) -> Vec<u8> {
+            let mut e = Encoder::new();
+            e.put_u32(self.totals.len() as u32);
+            for (key, total) in &self.totals {
+                e.put_u8(*key).put_u64(*total);
+            }
+            e.finish()
+        }
+
+        fn restore_snapshot(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+            let mut d = Decoder::new(payload);
+            let count = d.get_u32("tally count")?;
+            let mut totals = std::collections::BTreeMap::new();
+            for _ in 0..count {
+                let key = d.get_u8("tally key")?;
+                let total = d.get_u64("tally total")?;
+                totals.insert(key, total);
+            }
+            d.finish()?;
+            self.totals = totals;
+            Ok(())
+        }
+
+        fn apply_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+            if kind != ADD {
+                return Err(StorageError::UnknownRecordKind { kind });
+            }
+            let mut d = Decoder::new(payload);
+            let key = d.get_u8("add key")?;
+            let amount = d.get_u64("add amount")?;
+            d.finish()?;
+            *self.totals.entry(key).or_default() += amount;
+            Ok(())
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "alpenhorn-durable-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn commit(d: &mut Durable<Tally>, key: u8, amount: u64) {
+        let (kind, payload) = d.state_mut().add(key, amount);
+        d.record(kind, &payload).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_snapshot_plus_suffix() {
+        let dir = tmpdir("replay");
+        {
+            let (mut d, report) =
+                Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+            assert!(!report.recovered);
+            commit(&mut d, 1, 10);
+            commit(&mut d, 2, 20);
+            d.checkpoint().unwrap();
+            commit(&mut d, 1, 5); // suffix after the snapshot
+        }
+        let (d, report) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        assert!(report.recovered);
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(d.state().totals.get(&1), Some(&15));
+        assert_eq!(d.state().totals.get(&2), Some(&20));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_snapshot_replays_bare_wal() {
+        let dir = tmpdir("bare");
+        {
+            let (mut d, _) =
+                Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+            commit(&mut d, 7, 7);
+        }
+        let (d, report) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(d.state().totals.get(&7), Some(&7));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_compacts_the_wal() {
+        let dir = tmpdir("auto");
+        let config = StorageConfig {
+            sync_every: 1,
+            checkpoint_every_records: 4,
+        };
+        let (mut d, _) = Durable::open(Tally::default(), &dir, config).unwrap();
+        for i in 0..10 {
+            commit(&mut d, 1, i);
+        }
+        assert!(d.generation() >= 2, "two auto-checkpoints expected");
+        drop(d);
+        let (d, report) = Durable::open(Tally::default(), &dir, config).unwrap();
+        assert_eq!(d.state().totals.get(&1), Some(&45));
+        assert!(report.records_replayed < 4);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous_generation() {
+        let dir = tmpdir("fallback");
+        let (mut d, _) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        commit(&mut d, 1, 100);
+        d.checkpoint().unwrap(); // generation 1
+        let gen1_snap = snapshot_path(&dir, 1);
+        let gen1_bytes = std::fs::read(&gen1_snap).unwrap();
+        commit(&mut d, 2, 200);
+        d.checkpoint().unwrap(); // generation 2
+        drop(d);
+        // Corrupt generation 2's snapshot and resurrect generation 1's files
+        // (as if cleanup had not run before the corruption hit).
+        let gen2_snap = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&gen2_snap).unwrap();
+        let byte = bytes.len() - 1;
+        bytes[byte] ^= 0xff;
+        std::fs::write(&gen2_snap, &bytes).unwrap();
+        std::fs::write(&gen1_snap, &gen1_bytes).unwrap();
+        std::fs::write(wal_path(&dir, 1), b"").unwrap();
+
+        let (d, report) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        assert_eq!(report.snapshot_fallbacks, 1);
+        assert_eq!(report.generation, 1);
+        assert_eq!(d.state().totals.get(&1), Some(&100));
+        assert_eq!(d.state().totals.get(&2), None);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_refuses_to_recover_and_preserves_files() {
+        // With every snapshot generation corrupt, the WAL suffix alone is
+        // not the state: open must fail (not serve an emptied deployment)
+        // and must leave the files in place for offline repair.
+        let dir = tmpdir("allcorrupt");
+        {
+            let (mut d, _) =
+                Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+            commit(&mut d, 1, 10);
+            d.checkpoint().unwrap();
+            commit(&mut d, 1, 5);
+        }
+        let snap = snapshot_path(&dir, 1);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let byte = bytes.len() / 2;
+        bytes[byte] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        assert!(matches!(
+            Durable::open(Tally::default(), &dir, StorageConfig::default()),
+            Err(StorageError::BadPayload { .. })
+        ));
+        assert!(snap.exists(), "corrupt snapshot preserved for repair");
+        assert!(
+            wal_path(&dir, 1).exists(),
+            "WAL suffix preserved for repair"
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn mid_snapshot_crash_leaves_previous_generation_intact() {
+        let dir = tmpdir("midsnap");
+        {
+            let (mut d, _) =
+                Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+            commit(&mut d, 3, 30);
+            d.checkpoint().unwrap();
+            commit(&mut d, 3, 3);
+        }
+        // Simulate a crash mid-checkpoint: a half-written snapshot temp file
+        // for the next generation, rename never happened.
+        std::fs::write(dir.join("snapshot-2.tmp"), b"AL\x01\xffgarbage").unwrap();
+        let (d, report) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(d.state().totals.get(&3), Some(&33));
+        assert!(!dir.join("snapshot-2.tmp").exists(), "tmp cleaned up");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_mode_is_inert() {
+        let mut d = Durable::ephemeral(Tally::default());
+        commit(&mut d, 1, 1);
+        d.checkpoint().unwrap();
+        d.sync().unwrap();
+        assert!(!d.is_durable());
+        assert_eq!(d.state().totals.get(&1), Some(&1));
+    }
+}

@@ -1,0 +1,260 @@
+//! The on-disk record format shared by the WAL and snapshots.
+//!
+//! Layout (all integers big-endian), mirroring the framing discipline of
+//! `alpenhorn_wire::codec::Frame`:
+//!
+//! ```text
+//! +-------+---------+------+-----------+----------------+------------+
+//! | magic | version | kind |  length   |    payload     |  checksum  |
+//! | "AL"  | 1 B     | 1 B  | 4 B (u32) | `length` bytes | 4 B        |
+//! +-------+---------+------+-----------+----------------+------------+
+//! ```
+//!
+//! The checksum is the first four bytes of SHA-256 over header + payload, so
+//! truncation, bit flips, and a lying length prefix are all caught.
+//! Versioning rule: any change to this layout or to the meaning of a `kind`'s
+//! payload encoding bumps [`VERSION`]; a reader rejects every other version
+//! (there is no negotiation — recovery tooling migrates old files offline).
+//!
+//! Decoding is *positional*: [`decode_at`] distinguishes "this prefix is not
+//! a whole record yet" ([`RecordError::Truncated`]) from "these bytes can
+//! never be a record" (corruption), which is what lets the WAL treat a torn
+//! tail as clean end-of-log while still refusing mid-log corruption.
+
+/// Magic bytes every record starts with ("AL" for Alpenhorn Log).
+pub const MAGIC: [u8; 2] = *b"AL";
+/// The record format version this implementation reads and writes.
+pub const VERSION: u8 = 1;
+/// Header length: magic + version + kind + length prefix.
+pub const HEADER_LEN: usize = 2 + 1 + 1 + 4;
+/// Trailing checksum length.
+pub const CHECKSUM_LEN: usize = 4;
+/// Maximum payload one record may carry (64 MiB). A length prefix beyond
+/// this is rejected before any allocation: a corrupt length byte cannot make
+/// recovery reserve unbounded memory. Snapshots of very large deployments
+/// are the biggest records; 64 MiB bounds ~500k registered accounts per
+/// snapshot record, beyond which state must shard across stores.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 26;
+
+/// One decoded record: a kind tag and its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The record kind (meaning assigned by the consumer's `Persist` impl).
+    pub kind: u8,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl LogRecord {
+    /// Creates a record.
+    pub fn new(kind: u8, payload: Vec<u8>) -> Self {
+        LogRecord { kind, payload }
+    }
+
+    /// The encoded on-disk size of this record.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + CHECKSUM_LEN
+    }
+}
+
+/// Why a byte range failed to decode as a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The buffer ends before the record does (a torn tail, or simply not
+    /// enough bytes yet). The WAL treats this at end-of-file as a clean stop.
+    Truncated,
+    /// The first two bytes are not the record magic.
+    BadMagic,
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD_LEN`].
+    TooLarge {
+        /// The claimed payload length.
+        claimed: usize,
+    },
+    /// The trailing checksum does not match header + payload.
+    ChecksumMismatch,
+}
+
+impl core::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "record truncated"),
+            RecordError::BadMagic => write!(f, "bad record magic"),
+            RecordError::UnsupportedVersion { version } => {
+                write!(f, "unsupported record version {version}")
+            }
+            RecordError::TooLarge { claimed } => {
+                write!(f, "record payload of {claimed} bytes exceeds the maximum")
+            }
+            RecordError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+fn checksum(header: &[u8], payload: &[u8]) -> [u8; CHECKSUM_LEN] {
+    let mut hasher = alpenhorn_crypto::sha256::Sha256::new();
+    hasher.update(header);
+    hasher.update(payload);
+    let digest = hasher.finalize();
+    let mut out = [0u8; CHECKSUM_LEN];
+    out.copy_from_slice(&digest[..CHECKSUM_LEN]);
+    out
+}
+
+/// Encodes one record into its on-disk form.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD_LEN`]; writers size payloads
+/// (the storage crate's own snapshot/WAL callers never come close).
+pub fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN,
+        "record payload of {} bytes exceeds the maximum",
+        payload.len()
+    );
+    let mut header = [0u8; HEADER_LEN];
+    header[..2].copy_from_slice(&MAGIC);
+    header[2] = VERSION;
+    header[3] = kind;
+    header[4..].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&header);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(&header, payload));
+    out
+}
+
+/// Decodes the record starting at `offset` in `buf`, returning the record and
+/// the number of bytes it occupied.
+///
+/// Total: every malformed input maps to a typed [`RecordError`]; nothing
+/// panics, and no allocation happens before the length prefix is validated.
+pub fn decode_at(buf: &[u8], offset: usize) -> Result<(LogRecord, usize), RecordError> {
+    let buf = buf.get(offset..).ok_or(RecordError::Truncated)?;
+    if buf.len() < HEADER_LEN {
+        return Err(RecordError::Truncated);
+    }
+    if buf[..2] != MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    if buf[2] != VERSION {
+        return Err(RecordError::UnsupportedVersion { version: buf[2] });
+    }
+    let kind = buf[3];
+    let claimed = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    if claimed > MAX_PAYLOAD_LEN {
+        return Err(RecordError::TooLarge { claimed });
+    }
+    let total = HEADER_LEN + claimed + CHECKSUM_LEN;
+    if buf.len() < total {
+        return Err(RecordError::Truncated);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + claimed];
+    if buf[total - CHECKSUM_LEN..total] != checksum(&buf[..HEADER_LEN], payload) {
+        return Err(RecordError::ChecksumMismatch);
+    }
+    Ok((
+        LogRecord {
+            kind,
+            payload: payload.to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Decodes a buffer that must contain exactly one record (snapshot files).
+pub fn decode_exact(buf: &[u8]) -> Result<LogRecord, RecordError> {
+    let (record, consumed) = decode_at(buf, 0)?;
+    if consumed != buf.len() {
+        // Trailing bytes after a snapshot record mean the file was not
+        // written by us; treat as corruption, not as a second record.
+        return Err(RecordError::ChecksumMismatch);
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let encoded = encode(7, b"hello durable world");
+        let (record, consumed) = decode_at(&encoded, 0).unwrap();
+        assert_eq!(consumed, encoded.len());
+        assert_eq!(record.kind, 7);
+        assert_eq!(record.payload, b"hello durable world");
+        assert_eq!(record.encoded_len(), encoded.len());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let encoded = encode(0, b"");
+        let (record, consumed) = decode_at(&encoded, 0).unwrap();
+        assert_eq!(consumed, HEADER_LEN + CHECKSUM_LEN);
+        assert!(record.payload.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_reported_as_truncated() {
+        let encoded = encode(3, b"payload bytes");
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                decode_at(&encoded[..cut], 0),
+                Err(RecordError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let encoded = encode(3, b"payload bytes");
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_at(&bad, 0).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut encoded = encode(1, b"x");
+        encoded[4..8].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(
+            decode_at(&encoded, 0),
+            Err(RecordError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut encoded = encode(1, b"x");
+        encoded[2] = VERSION + 1;
+        assert_eq!(
+            decode_at(&encoded, 0),
+            Err(RecordError::UnsupportedVersion {
+                version: VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn decode_exact_rejects_trailing_bytes() {
+        let mut encoded = encode(1, b"x");
+        encoded.push(0);
+        assert!(decode_exact(&encoded).is_err());
+    }
+}

@@ -256,8 +256,10 @@ pub struct Frame;
 impl Frame {
     /// Magic bytes every frame starts with ("AH" for Alpenhorn).
     pub const MAGIC: [u8; 2] = *b"AH";
-    /// The protocol version this implementation speaks.
-    pub const VERSION: u8 = 1;
+    /// The protocol version this implementation speaks. History: v1 = the
+    /// PR 4 RPC surface; v2 added [`crate::rpc::RpcError::Unavailable`]
+    /// (typed transient server faults, PR 5).
+    pub const VERSION: u8 = 2;
     /// Header length: magic + version + length prefix.
     pub const HEADER_LEN: usize = 2 + 1 + 4;
     /// Trailing checksum length.

@@ -336,6 +336,13 @@ pub enum RpcError {
         /// Human-readable description.
         detail: String,
     },
+    /// A transient server-side fault (e.g. the durable journal could not be
+    /// written). Unlike [`RpcError::BadRequest`], retrying the same request
+    /// later is expected to succeed.
+    Unavailable {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for RpcError {
@@ -359,6 +366,9 @@ impl core::fmt::Display for RpcError {
             RpcError::Pkg { detail, .. } => write!(f, "PKG error: {detail}"),
             RpcError::RateLimited { reason } => write!(f, "rate limited: {reason}"),
             RpcError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            RpcError::Unavailable { detail } => {
+                write!(f, "server temporarily unavailable: {detail}")
+            }
         }
     }
 }
@@ -731,6 +741,7 @@ const ERR_COMMITMENT_MISMATCH: u8 = 6;
 const ERR_PKG: u8 = 7;
 const ERR_RATE_LIMITED: u8 = 8;
 const ERR_BAD_REQUEST: u8 = 9;
+const ERR_UNAVAILABLE: u8 = 10;
 
 impl RpcError {
     fn encode_into(&self, e: &mut Encoder) {
@@ -771,6 +782,10 @@ impl RpcError {
                 e.put_u8(ERR_BAD_REQUEST);
                 put_detail(e, detail);
             }
+            RpcError::Unavailable { detail } => {
+                e.put_u8(ERR_UNAVAILABLE);
+                put_detail(e, detail);
+            }
         }
     }
 
@@ -800,6 +815,9 @@ impl RpcError {
                 reason: RateLimitReason::from_code(d.get_u8("error rate limit reason")?)?,
             },
             ERR_BAD_REQUEST => RpcError::BadRequest {
+                detail: get_detail(d, "error detail")?,
+            },
+            ERR_UNAVAILABLE => RpcError::Unavailable {
                 detail: get_detail(d, "error detail")?,
             },
             _ => {

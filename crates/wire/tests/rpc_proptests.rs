@@ -170,7 +170,10 @@ fn all_responses(round: u64, fill: u8, counts: (usize, usize), detail: String) -
                 _ => RateLimitReason::NotEnabled,
             },
         },
-        RpcError::BadRequest { detail },
+        RpcError::BadRequest {
+            detail: detail.clone(),
+        },
+        RpcError::Unavailable { detail },
     ];
     responses.extend(errors.into_iter().map(Response::Error));
     responses

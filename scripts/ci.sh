@@ -51,6 +51,10 @@ stage "bench snapshot: wire RPC codec (writes BENCH_pr4.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr4.json" \
     cargo bench -p alpenhorn-bench --bench wire_rpc
 
+stage "bench snapshot: storage WAL (writes BENCH_pr5.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr5.json" \
+    cargo bench -p alpenhorn-bench --bench storage_wal
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
@@ -58,6 +62,14 @@ if [[ -n "${BENCH_BASELINE:-}" ]]; then
     stage "bench compare (vs $BENCH_BASELINE)"
     scripts/bench_compare.sh "$BENCH_BASELINE" "$PWD/BENCH_pr3.json"
 fi
+
+# Crash-recovery smoke: start a durable alpenhornd, run a full seeded
+# scenario with a SIGKILL + restart between rounds, and require the client
+# event stream to be byte-identical to an uncrashed daemon's. The test
+# spawns the release alpenhornd built above (same profile as this stage's
+# test harness).
+stage "crash-recovery smoke (SIGKILL alpenhornd --data-dir, restart, finish scenario)"
+cargo test -q --release --test crash_recovery -- --ignored
 
 stage "bench smoke: mixnet round pipeline"
 BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench mixnet_ops

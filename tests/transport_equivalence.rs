@@ -253,3 +253,59 @@ fn daemon_survives_garbage_connections() {
     drop(garbage);
     handle.shutdown();
 }
+
+/// Reusing a TCP transport after a failure poisons it: the retry gets the
+/// typed `ClientError::TransportPoisoned` carrying the *original* failure,
+/// not a generic transport error — callers can tell "replace the connection"
+/// apart from transient I/O.
+#[test]
+fn poisoned_transport_reports_typed_error_with_original_failure() {
+    use alpenhorn::{ClientError, TransportError};
+    use alpenhorn_wire::WireError;
+    use std::io::{Read as _, Write as _};
+
+    // A hostile "coordinator" that answers the first frame with garbage
+    // (valid length on the socket, invalid frame magic) and then hangs up.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let _ = stream.write_all(b"XX not a frame at all.............");
+        let _ = stream.flush();
+    });
+
+    let mut net = TcpTransport::connect(addr).unwrap();
+    let mut client = Client::new(
+        id("poison@example.com"),
+        Vec::new(),
+        ClientConfig::default(),
+        [9u8; 32],
+    );
+
+    // First call: the garbage reply surfaces as a wire-level transport error
+    // and poisons the connection.
+    let first = client.register(&mut net).unwrap_err();
+    assert_eq!(
+        first,
+        ClientError::Transport(TransportError::Wire(WireError::BadMagic))
+    );
+    assert!(net.is_poisoned());
+
+    // Second call: typed poisoned error, original failure preserved inside.
+    let second = client.register(&mut net).unwrap_err();
+    let ClientError::TransportPoisoned { original } = second else {
+        panic!("expected TransportPoisoned, got {second:?}");
+    };
+    assert_eq!(*original, TransportError::Wire(WireError::BadMagic));
+
+    // A fresh connection recovers (to a daemon this time).
+    let service = CoordinatorService::new(Cluster::new(ClusterConfig::test(63)));
+    let handle = serve(service, "127.0.0.1:0").expect("server binds");
+    let mut net = TcpTransport::connect(handle.local_addr()).unwrap();
+    assert!(!net.is_poisoned());
+    assert_eq!(pkg_keys(&mut net).len(), 3);
+    handle.shutdown();
+    server.join().unwrap();
+}

@@ -1,0 +1,147 @@
+//! Fault-injection overhead snapshot: the per-call cost the chaos machinery
+//! adds on the paths every client RPC now crosses — the retry funnel
+//! (`RetryPolicy` around every `Client` call) and, in tests, the
+//! `FaultyTransport` wrapper with its per-call deterministic fault draws.
+//!
+//! The interesting number is the *zero-fault* case: a quiet plan and a
+//! healthy transport must stay within `scripts/bench_compare.sh`'s
+//! regression gate of the bare loopback numbers, because that is the
+//! configuration production clients run in (retry armed, nothing failing).
+//!
+//! Environment:
+//! * `BENCH_JSON_OUT` — where to write the JSON snapshot (`BENCH_pr6.json`).
+//! * `BENCH_SAMPLE_MS` — per-metric sampling budget (default 300).
+//! * `BENCH_SMOKE=1` — reduce the budget for CI smoke runs.
+
+use std::time::Duration;
+
+use alpenhorn::{FaultPlan, FaultyTransport, LoopbackTransport, RetryPolicy, Transport};
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_sim::Table;
+use alpenhorn_wire::{Request, Round};
+
+fn measure_ns(budget: Duration, f: impl FnMut()) -> f64 {
+    criterion::measure_mean_ns(budget, f).0
+}
+
+fn sample_budget() -> Duration {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        return Duration::from_millis(60);
+    }
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn main() {
+    alpenhorn_bench::print_header(
+        "Fault-injection overhead snapshot",
+        "zero-fault cost of FaultyTransport and the client retry funnel (docs/ARCHITECTURE.md)",
+    );
+    let budget = sample_budget();
+    let mut metrics: Vec<(&'static str, f64)> = Vec::new();
+
+    let mut net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(70)));
+    net.with_cluster(|c| c.begin_add_friend_round(Round(1), 8))
+        .expect("round opens");
+
+    // Baseline: the bare loopback, cheap read-only RPCs (key fetch and the
+    // per-round info fetch every participating client performs).
+    metrics.push((
+        "bare_get_pkg_keys_ns",
+        measure_ns(budget, || {
+            criterion::black_box(net.call(Request::GetPkgKeys).unwrap());
+        }),
+    ));
+    metrics.push((
+        "bare_round_info_ns",
+        measure_ns(budget, || {
+            criterion::black_box(net.call(Request::GetAddFriendRoundInfo).unwrap());
+        }),
+    ));
+
+    // Zero-fault FaultyTransport: the full per-call decision pipeline (the
+    // seeded rng construction plus five fault draws) runs on every call, but
+    // with a quiet plan nothing fires. This is the overhead a chaos-suite
+    // run pays on its non-faulted calls.
+    let mut quiet = FaultyTransport::new(net.clone(), FaultPlan::quiet(7));
+    metrics.push((
+        "quiet_fault_get_pkg_keys_ns",
+        measure_ns(budget, || {
+            criterion::black_box(quiet.call(Request::GetPkgKeys).unwrap());
+        }),
+    ));
+    metrics.push((
+        "quiet_fault_round_info_ns",
+        measure_ns(budget, || {
+            criterion::black_box(quiet.call(Request::GetAddFriendRoundInfo).unwrap());
+        }),
+    ));
+
+    // The retry funnel every production client call crosses. `none` is the
+    // default policy's fast path (a bare call); `standard` is the armed
+    // policy on a healthy transport — classification machinery engaged,
+    // zero retries taken.
+    let mut rng = ChaChaRng::from_seed_bytes([0x42; 32]);
+    let none = RetryPolicy::none();
+    metrics.push((
+        "retry_none_get_pkg_keys_ns",
+        measure_ns(budget, || {
+            criterion::black_box(
+                alpenhorn::retry::execute(&none, &mut rng, &mut net, Request::GetPkgKeys).unwrap(),
+            );
+        }),
+    ));
+    let standard = RetryPolicy::standard();
+    metrics.push((
+        "retry_armed_get_pkg_keys_ns",
+        measure_ns(budget, || {
+            criterion::black_box(
+                alpenhorn::retry::execute(&standard, &mut rng, &mut net, Request::GetPkgKeys)
+                    .unwrap(),
+            );
+        }),
+    ));
+
+    // Worst case for the bookkeeping itself: armed retry through the quiet
+    // fault wrapper — the whole chaos stack with nothing injected.
+    metrics.push((
+        "retry_armed_quiet_fault_ns",
+        measure_ns(budget, || {
+            criterion::black_box(
+                alpenhorn::retry::execute(&standard, &mut rng, &mut quiet, Request::GetPkgKeys)
+                    .unwrap(),
+            );
+        }),
+    ));
+
+    let mut table = Table::new("Fault-injection overhead", &["metric", "value"]);
+    for (name, value) in &metrics {
+        table.push_row(vec![(*name).to_string(), format!("{value:.1} ns/op")]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(faults injected across the measured quiet-plan calls: {})",
+        quiet.schedule().len()
+    );
+    assert!(
+        quiet.schedule().is_empty(),
+        "quiet plan must not inject faults during measurement"
+    );
+
+    let out_path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json").to_string()
+    });
+    let mut json = String::from("{\n  \"schema\": \"alpenhorn-bench-snapshot-v1\",\n");
+    json.push_str("  \"bench\": \"fault_injection\",\n  \"benches\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {value:.2}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench snapshot");
+    println!("snapshot written to {out_path}");
+}

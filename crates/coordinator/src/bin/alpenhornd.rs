@@ -10,6 +10,8 @@
 //! alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]
 //!            [--rate-limit-budget N] [--round-interval-ms MS]
 //!            [--data-dir DIR] [--sync-every N]
+//!            [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!            [--max-connections N]
 //! ```
 //!
 //! With `--data-dir DIR` the daemon is durable: registrations, PKG key
@@ -30,7 +32,7 @@
 
 use std::time::Duration;
 
-use alpenhorn_coordinator::server::serve;
+use alpenhorn_coordinator::server::{serve_with_config, ServerConfig};
 use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_storage::StorageConfig;
@@ -45,13 +47,18 @@ struct Options {
     round_interval: Option<Duration>,
     data_dir: Option<String>,
     sync_every: u32,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
+    max_connections: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]\n\
          \x20                 [--rate-limit-budget N] [--round-interval-ms MS]\n\
-         \x20                 [--data-dir DIR] [--sync-every N]"
+         \x20                 [--data-dir DIR] [--sync-every N]\n\
+         \x20                 [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
+         \x20                 [--max-connections N]"
     );
     std::process::exit(2)
 }
@@ -66,6 +73,9 @@ fn parse_options() -> Options {
         round_interval: None,
         data_dir: None,
         sync_every: 1,
+        read_timeout_ms: None,
+        write_timeout_ms: None,
+        max_connections: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -99,6 +109,27 @@ fn parse_options() -> Options {
             "--data-dir" => options.data_dir = Some(value("--data-dir")),
             "--sync-every" => {
                 options.sync_every = value("--sync-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--read-timeout-ms" => {
+                options.read_timeout_ms = Some(
+                    value("--read-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--write-timeout-ms" => {
+                options.write_timeout_ms = Some(
+                    value("--write-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--max-connections" => {
+                options.max_connections = Some(
+                    value("--max-connections")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
             }
             "--help" | "-h" => usage(),
             other => {
@@ -183,7 +214,20 @@ fn main() {
     let rate_limited = service.rate_limited();
     let first_round = service.next_round();
 
-    let handle = match serve(service, options.listen.as_str()) {
+    // Overload policy: flag-tuned timeouts and connection cap over the
+    // library defaults (a 0 timeout flag means "no timeout").
+    let mut server_config = ServerConfig::default();
+    if let Some(ms) = options.read_timeout_ms {
+        server_config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(ms) = options.write_timeout_ms {
+        server_config.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(cap) = options.max_connections {
+        server_config.max_connections = cap;
+    }
+
+    let handle = match serve_with_config(service, options.listen.as_str(), server_config) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("alpenhornd: cannot listen on {}: {e}", options.listen);

@@ -11,6 +11,7 @@
 //! 3. submit exactly one fixed-size onion per round (real or cover),
 //! 4. after the round closes, download their mailbox from the CDN and scan it.
 
+use alpenhorn_crypto::sha256;
 use alpenhorn_ibe::anytrust::aggregate_master_publics;
 use alpenhorn_ibe::bf::MasterPublic;
 use alpenhorn_ibe::dh::DhPublic;
@@ -121,6 +122,23 @@ pub struct DialingRoundInfo {
 struct OpenRound<Info> {
     info: Info,
     batch: Vec<Vec<u8>>,
+    /// SHA-256 of every onion accepted this round. Submissions are
+    /// content-addressed: a byte-identical resend (a client retrying after a
+    /// lost response, or a duplicated frame) is recognized and accepted
+    /// without entering the batch twice, which is what makes the submit RPCs
+    /// retry-idempotent end to end. Distinct submissions never collide: every
+    /// onion is freshly encrypted, so equal bytes means the same submission.
+    seen: std::collections::HashSet<[u8; 32]>,
+}
+
+impl<Info> OpenRound<Info> {
+    fn new(info: Info) -> Self {
+        OpenRound {
+            info,
+            batch: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
 }
 
 /// An in-process Alpenhorn deployment.
@@ -421,10 +439,7 @@ impl Cluster {
             num_mailboxes,
             onion_len,
         };
-        self.open_add_friend = Some(OpenRound {
-            info: info.clone(),
-            batch: Vec::new(),
-        });
+        self.open_add_friend = Some(OpenRound::new(info.clone()));
         Ok(info)
     }
 
@@ -466,8 +481,19 @@ impl Cluster {
                 actual: onion.len(),
             });
         }
-        open.batch.push(onion);
+        if open.seen.insert(sha256::digest(&onion)) {
+            open.batch.push(onion);
+        }
         Ok(())
+    }
+
+    /// Whether a byte-identical onion was already accepted for the open
+    /// add-friend round — i.e. this submission is a retry/replay of one the
+    /// round already holds.
+    pub fn already_submitted_add_friend(&self, round: Round, onion: &[u8]) -> bool {
+        self.open_add_friend.as_ref().is_some_and(|open| {
+            open.info.round == round && open.seen.contains(&sha256::digest(onion))
+        })
     }
 
     /// Closes the open add-friend round: runs the mixnet, publishes the
@@ -521,10 +547,7 @@ impl Cluster {
             num_mailboxes,
             onion_len,
         };
-        self.open_dialing = Some(OpenRound {
-            info: info.clone(),
-            batch: Vec::new(),
-        });
+        self.open_dialing = Some(OpenRound::new(info.clone()));
         Ok(info)
     }
 
@@ -543,8 +566,18 @@ impl Cluster {
                 actual: onion.len(),
             });
         }
-        open.batch.push(onion);
+        if open.seen.insert(sha256::digest(&onion)) {
+            open.batch.push(onion);
+        }
         Ok(())
+    }
+
+    /// Whether a byte-identical onion was already accepted for the open
+    /// dialing round.
+    pub fn already_submitted_dialing(&self, round: Round, onion: &[u8]) -> bool {
+        self.open_dialing.as_ref().is_some_and(|open| {
+            open.info.round == round && open.seen.contains(&sha256::digest(onion))
+        })
     }
 
     /// Closes the open dialing round: runs the mixnet, publishes the Bloom

@@ -14,14 +14,49 @@
 //! round close) is already internally parallel.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use alpenhorn_wire::codec::FrameIoError;
 use alpenhorn_wire::Frame;
 
 use crate::service::CoordinatorService;
+
+/// Tuning knobs for [`serve_with_config`]: per-connection I/O timeouts and
+/// the accept-loop overload policy.
+///
+/// The defaults keep a daemon healthy under hostile or flaky peers: a client
+/// that stops reading or writing cannot pin a connection thread forever, and
+/// intake beyond `max_connections` is answered with a retryable
+/// [`alpenhorn_wire::RpcError::Unavailable`] (carrying a retry-after hint)
+/// instead of queueing unboundedly.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long a connection thread waits for the next request frame before
+    /// dropping the connection. `None` waits forever (pre-PR 6 behaviour).
+    pub read_timeout: Option<Duration>,
+    /// How long a blocked response write may stall before the connection is
+    /// dropped. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently served connections. An accept beyond the cap is
+    /// shed: the peer gets one `Unavailable` reply and is disconnected.
+    pub max_connections: usize,
+    /// The retry-after hint (milliseconds) carried in shed replies.
+    pub shed_retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 1024,
+            shed_retry_after_ms: 200,
+        }
+    }
+}
 
 /// A handle to a running RPC server.
 ///
@@ -77,6 +112,15 @@ pub fn serve(
     service: CoordinatorService,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ServerHandle> {
+    serve_with_config(service, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit timeout and overload-shedding configuration.
+pub fn serve_with_config(
+    service: CoordinatorService,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let service = Arc::new(Mutex::new(service));
@@ -84,14 +128,28 @@ pub fn serve(
 
     let accept_service = Arc::clone(&service);
     let accept_stop = Arc::clone(&stop);
+    let active = Arc::new(AtomicUsize::new(0));
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
             if accept_stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            // Overload shedding happens here, before a thread is spawned:
+            // the daemon's intake pressure is answered with a typed
+            // retryable error, never with an unbounded backlog.
+            if active.load(Ordering::SeqCst) >= config.max_connections {
+                shed_connection(stream, config.shed_retry_after_ms);
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
             let service = Arc::clone(&accept_service);
-            std::thread::spawn(move || serve_connection(stream, service));
+            let active = Arc::clone(&active);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                serve_connection(stream, service, &config);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
         }
     });
 
@@ -103,10 +161,30 @@ pub fn serve(
     })
 }
 
-/// Services one connection until the peer disconnects or sends an
-/// undecodable frame.
-fn serve_connection(mut stream: TcpStream, service: Arc<Mutex<CoordinatorService>>) {
+/// Answers one connection over the cap: a single retryable `Unavailable`
+/// reply with the configured retry-after hint, then disconnect. Best-effort
+/// — a peer that already hung up just gets dropped.
+fn shed_connection(mut stream: TcpStream, retry_after_ms: u32) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let reply = alpenhorn_wire::Response::Error(alpenhorn_wire::RpcError::Unavailable {
+        detail: "server at connection capacity; retry shortly".to_string(),
+        retry_after_ms,
+    })
+    .encode();
+    let _ = Frame::write_to(&mut stream, &reply);
+}
+
+/// Services one connection until the peer disconnects, stalls past the I/O
+/// timeouts, or sends an undecodable frame.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: Arc<Mutex<CoordinatorService>>,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
     loop {
         match Frame::read_from(&mut stream) {
             Ok(payload) => {

@@ -32,6 +32,11 @@ use crate::error::pkg_error_code;
 use crate::persist::{self, CoordinatorCore};
 use crate::ratelimit::{self, RateLimitError, TokenIssuer, TokenVerifier};
 
+/// Backoff hint attached to [`RpcError::Unavailable`] replies caused by a
+/// transient storage fault: long enough for a stuck disk to come back, short
+/// enough that a client with a live deadline gets several attempts in.
+const STORAGE_RETRY_AFTER_MS: u32 = 250;
+
 /// Rate-limiting policy for a service (§9): per-user daily issuance budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateLimitPolicy {
@@ -137,6 +142,29 @@ impl CoordinatorService {
         self.core.state().verifier.is_some()
     }
 
+    /// Number of distinct rate-limit tokens recorded in the double-spend
+    /// ledger, or `None` when rate limiting is off. Test/inspection hook: a
+    /// client retry storm must never move this differently than a fault-free
+    /// run (each submission spends exactly one token, retries spend none).
+    pub fn spent_token_count(&self) -> Option<usize> {
+        self.core
+            .state()
+            .verifier
+            .as_ref()
+            .map(|verifier| verifier.spent_count())
+    }
+
+    /// Remaining token-issuance budget for `identity` today, or `None` when
+    /// rate limiting is off. Test/inspection hook: a retried issuance must
+    /// charge the budget exactly once (issuance is replay-idempotent).
+    pub fn remaining_token_budget(&self, identity: &alpenhorn_wire::Identity) -> Option<u32> {
+        let state = self.core.state();
+        state
+            .issuer
+            .as_ref()
+            .map(|issuer| issuer.remaining(identity, state.cluster.now()))
+    }
+
     /// One past the highest round ever begun — where an automatic round
     /// driver resumes after a restart.
     pub fn next_round(&self) -> Round {
@@ -161,6 +189,7 @@ impl CoordinatorService {
             .record(kind, payload)
             .map_err(|e| RpcError::Unavailable {
                 detail: format!("durable log write failed: {e}"),
+                retry_after_ms: STORAGE_RETRY_AFTER_MS,
             })
     }
 
@@ -336,6 +365,14 @@ impl CoordinatorService {
                 if let Err(e) = validate_submission(open, round, onion.len()) {
                     return Response::Error(e);
                 }
+                // A byte-identical resend of an onion this round already
+                // holds is a client retrying after a lost response (or a
+                // duplicated frame). Answer Ack without touching the token:
+                // the original acceptance already spent it, and spending
+                // again would misread the retry as a double spend.
+                if self.cluster().already_submitted_add_friend(round, &onion) {
+                    return Response::Ack;
+                }
                 if let Err(e) = self.spend_token(RoundKind::AddFriend, round, token) {
                     return Response::Error(e);
                 }
@@ -355,6 +392,10 @@ impl CoordinatorService {
                     .map(|info| (info.round, info.onion_len));
                 if let Err(e) = validate_submission(open, round, onion.len()) {
                     return Response::Error(e);
+                }
+                // Same retry-idempotency contract as the add-friend path.
+                if self.cluster().already_submitted_dialing(round, &onion) {
+                    return Response::Ack;
                 }
                 if let Err(e) = self.spend_token(RoundKind::Dialing, round, token) {
                     return Response::Error(e);
@@ -453,6 +494,7 @@ impl CoordinatorService {
             Ok(()) if kind == persist::REC_ADD_FRIEND_ROUND_BEGUN => {
                 self.core.checkpoint().map_err(|e| RpcError::Unavailable {
                     detail: format!("durable checkpoint failed: {e}"),
+                    retry_after_ms: STORAGE_RETRY_AFTER_MS,
                 })
             }
             other => other,
@@ -862,10 +904,23 @@ mod tests {
             }),
             Response::Ack
         );
+        // Resubmitting the *same* onion is a retry of an already-accepted
+        // submission: acked without consulting (or burning) the token.
         assert_eq!(
             service.handle(Request::SubmitAddFriend {
                 round: Round(1),
                 onion,
+                token: Some(token),
+            }),
+            Response::Ack
+        );
+        assert_eq!(service.spent_token_count(), Some(1));
+        // Spending the same token on a *different* submission is the real
+        // double-spend and stays rejected.
+        assert_eq!(
+            service.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: vec![1u8; info.onion_len as usize],
                 token: Some(token),
             }),
             Response::Error(RpcError::RateLimited {

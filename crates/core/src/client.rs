@@ -51,6 +51,7 @@ use rand::RngCore;
 use crate::addressbook::{AddressBook, FriendEntry, FriendStatus};
 use crate::error::ClientError;
 use crate::events::ClientEvent;
+use crate::retry::RetryPolicy;
 use crate::transport::Transport;
 
 /// Client configuration.
@@ -66,6 +67,12 @@ pub struct ClientConfig {
     /// How many dialing rounds in the future a newly proposed keywheel should
     /// start (gives both sides time to finish the add-friend exchange).
     pub dialing_round_slack: u64,
+    /// Retry/backoff/deadline policy applied to every coordinator RPC (see
+    /// [`crate::retry`]). The default, [`RetryPolicy::none`], makes exactly
+    /// one attempt and surfaces failures raw. Not persisted by
+    /// [`Client::save_state`] — it is an operational knob, not protocol
+    /// state; re-apply it after loading.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -74,6 +81,7 @@ impl Default for ClientConfig {
             num_intents: 10,
             auto_accept_friends: true,
             dialing_round_slack: 2,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -127,13 +135,15 @@ struct DialingRoundView {
     rate_limited: bool,
 }
 
-/// Issues `request` through the transport, surfacing server-reported errors
-/// as typed [`ClientError`]s.
-fn rpc<T: Transport + ?Sized>(net: &mut T, request: Request) -> Result<Response, ClientError> {
-    match net.call(request)? {
-        Response::Error(e) => Err(e.into()),
-        response => Ok(response),
-    }
+/// Derives the retry-jitter RNG from 32 bytes of seed material. Domain
+/// separated from every protocol use of the seed, so drawing jitter never
+/// shifts the protocol randomness (a retried run stays byte-identical to a
+/// fault-free one).
+fn derive_retry_rng(seed: &[u8]) -> ChaChaRng {
+    let mut input = Vec::with_capacity(seed.len() + 26);
+    input.extend_from_slice(seed);
+    input.extend_from_slice(b"alpenhorn retry jitter rng");
+    ChaChaRng::from_seed_bytes(alpenhorn_crypto::sha256::digest(&input))
 }
 
 /// Decodes the onion keys announced in a round info. An empty chain is
@@ -203,6 +213,10 @@ pub struct Client {
     payload_scratch: Vec<u8>,
 
     rng: ChaChaRng,
+    /// Jitter stream for retry backoff, deliberately independent of (and
+    /// never persisted with) the protocol RNG `rng`: retries must not
+    /// perturb the deterministic event stream a seed produces.
+    retry_rng: ChaChaRng,
 }
 
 impl Client {
@@ -217,6 +231,7 @@ impl Client {
     ) -> Self {
         let mut rng = ChaChaRng::from_seed_bytes(seed);
         let signing_key = SigningKey::generate(&mut rng);
+        let retry_rng = derive_retry_rng(&seed);
         Client {
             identity,
             config,
@@ -237,7 +252,31 @@ impl Client {
             unspent_rate_limit_token: None,
             payload_scratch: Vec::new(),
             rng,
+            retry_rng,
         }
+    }
+
+    /// Issues `request` through the transport under the configured
+    /// [`RetryPolicy`], surfacing server-reported errors as typed
+    /// [`ClientError`]s. Every client RPC funnels through here, so the
+    /// policy uniformly covers registration, token issuance, submissions,
+    /// and mailbox fetches.
+    fn rpc<T: Transport + ?Sized>(
+        &mut self,
+        net: &mut T,
+        request: Request,
+    ) -> Result<Response, ClientError> {
+        crate::retry::execute(&self.config.retry, &mut self.retry_rng, net, request)
+    }
+
+    /// Replaces the retry/backoff/deadline policy applied to every RPC.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.config.retry = policy;
+    }
+
+    /// The retry policy currently applied to every RPC.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.config.retry
     }
 
     /// The client's own identity.
@@ -276,7 +315,7 @@ impl Client {
             // would be a no-op.
             return Ok(());
         }
-        match rpc(
+        match self.rpc(
             net,
             Request::Register {
                 identity: self.identity.clone(),
@@ -290,7 +329,7 @@ impl Client {
                 })
             }
         }
-        match rpc(
+        match self.rpc(
             net,
             Request::CompleteRegistration {
                 identity: self.identity.clone(),
@@ -312,7 +351,7 @@ impl Client {
     /// [`Client::reset_after_compromise`] for the §9 recovery flow.
     pub fn deregister<T: Transport>(&mut self, net: &mut T) -> Result<(), ClientError> {
         let signature = self.sign_deregistration();
-        match rpc(
+        match self.rpc(
             net,
             Request::Deregister {
                 identity: self.identity.clone(),
@@ -455,7 +494,7 @@ impl Client {
         let auth = self
             .signing_key
             .sign(&ratelimit::issue_message(&self.identity, &blinded_bytes));
-        let response = rpc(
+        let response = self.rpc(
             net,
             Request::IssueRateLimitToken {
                 identity: self.identity.clone(),
@@ -492,7 +531,8 @@ impl Client {
         &mut self,
         net: &mut T,
     ) -> Result<AddFriendRoundView, ClientError> {
-        let Response::AddFriendRoundInfo(info) = rpc(net, Request::GetAddFriendRoundInfo)? else {
+        let Response::AddFriendRoundInfo(info) = self.rpc(net, Request::GetAddFriendRoundInfo)?
+        else {
             return Err(ClientError::UnexpectedResponse {
                 context: "fetching add-friend round info",
             });
@@ -547,7 +587,7 @@ impl Client {
         let auth = self
             .signing_key
             .sign(&extraction_request_message(&self.identity, view.round));
-        let Response::IdentityKeys(shares) = rpc(
+        let Response::IdentityKeys(shares) = self.rpc(
             net,
             Request::ExtractIdentityKeys {
                 identity: self.identity.clone(),
@@ -622,7 +662,7 @@ impl Client {
         let envelope = self.build_add_friend_envelope(queued.as_ref(), &view)?;
         envelope.encode_into(&mut self.payload_scratch);
         let onion = wrap_onion(&self.payload_scratch, &view.onion_keys, &mut self.rng);
-        let submitted = rpc(
+        let submitted = self.rpc(
             net,
             Request::SubmitAddFriend {
                 round: view.round,
@@ -744,7 +784,7 @@ impl Client {
         let (round, num_mailboxes, identity_key) =
             self.round_identity_key.ok_or(ClientError::NoRoundState)?;
         let mailbox = MailboxId::for_recipient(&self.identity, num_mailboxes);
-        let contents = match rpc(net, Request::FetchAddFriendMailbox { round, mailbox })? {
+        let contents = match self.rpc(net, Request::FetchAddFriendMailbox { round, mailbox })? {
             Response::AddFriendMailbox { contents } => contents,
             _ => {
                 return Err(ClientError::UnexpectedResponse {
@@ -884,7 +924,7 @@ impl Client {
         &mut self,
         net: &mut T,
     ) -> Result<DialingRoundView, ClientError> {
-        let Response::DialingRoundInfo(info) = rpc(net, Request::GetDialingRoundInfo)? else {
+        let Response::DialingRoundInfo(info) = self.rpc(net, Request::GetDialingRoundInfo)? else {
             return Err(ClientError::UnexpectedResponse {
                 context: "fetching dialing round info",
             });
@@ -959,7 +999,7 @@ impl Client {
         };
         request.encode_into(&mut self.payload_scratch);
         let onion = wrap_onion(&self.payload_scratch, &view.onion_keys, &mut self.rng);
-        let submitted = rpc(
+        let submitted = self.rpc(
             net,
             Request::SubmitDialing {
                 round: view.round,
@@ -1019,7 +1059,7 @@ impl Client {
     ) -> Result<Vec<ClientEvent>, ClientError> {
         let (round, num_mailboxes) = self.dialing_round_state.ok_or(ClientError::NoRoundState)?;
         let mailbox = MailboxId::for_recipient(&self.identity, num_mailboxes);
-        let filter_bytes = match rpc(net, Request::FetchDialingMailbox { round, mailbox })? {
+        let filter_bytes = match self.rpc(net, Request::FetchDialingMailbox { round, mailbox })? {
             Response::DialingMailbox { filter } => filter,
             _ => {
                 return Err(ClientError::UnexpectedResponse {
@@ -1310,6 +1350,10 @@ impl Client {
             num_intents: d.get_u32("config num_intents")?,
             auto_accept_friends: d.get_u8("config auto_accept")? != 0,
             dialing_round_slack: d.get_u64("config slack")?,
+            // Operational knob, not protocol state: a loaded client starts
+            // with the default (no-retry) policy; re-apply via
+            // `set_retry_policy` if wanted.
+            retry: RetryPolicy::none(),
         };
         let signing_key =
             SigningKey::from_bytes(&d.get_array::<32>("signing key")?).map_err(|_| {
@@ -1472,6 +1516,9 @@ impl Client {
             unspent_rate_limit_token,
             payload_scratch: Vec::new(),
             rng,
+            // Jitter only — any deterministic derivation works; the saved
+            // RNG state is secret material, so hash it rather than reuse it.
+            retry_rng: derive_retry_rng(&rng_state),
         })
     }
 }

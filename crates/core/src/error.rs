@@ -73,6 +73,24 @@ pub enum ClientError {
         /// What the client was trying to do.
         context: &'static str,
     },
+    /// The per-call deadline configured in the client's
+    /// [`crate::retry::RetryPolicy`] expired before a retryable call
+    /// succeeded; `last` is the failure observed on the final attempt.
+    Deadline {
+        /// How many attempts were made before the deadline expired.
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<ClientError>,
+    },
+    /// Every attempt permitted by the client's
+    /// [`crate::retry::RetryPolicy`] failed with a retryable error; `last`
+    /// is the failure observed on the final attempt.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl core::fmt::Display for ClientError {
@@ -122,6 +140,18 @@ impl core::fmt::Display for ClientError {
             ClientError::Rpc(e) => write!(f, "server error: {e}"),
             ClientError::UnexpectedResponse { context } => {
                 write!(f, "unexpected coordinator response while {context}")
+            }
+            ClientError::Deadline { attempts, last } => {
+                write!(
+                    f,
+                    "call deadline expired after {attempts} attempt(s); last error: {last}"
+                )
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempt(s); last error: {last}"
+                )
             }
         }
     }

@@ -1,0 +1,367 @@
+//! Deterministic fault injection for transports.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and perturbs its calls
+//! according to a [`FaultPlan`] — a declarative description (data, not code)
+//! of request/response drops, injected delays, disconnects mid-call, frame
+//! corruption, duplicate deliveries, and scripted partition windows. Because
+//! it wraps the `Transport` trait, the same plan runs over the in-process
+//! loopback dispatch and over a real TCP connection to `alpenhornd`.
+//!
+//! Every random decision is drawn from a ChaCha stream keyed by the plan
+//! seed **and the call index**, so the fault schedule is a pure function of
+//! `(plan, sequence of calls)`: replaying a scenario with the same plan
+//! injects byte-for-byte the same faults (`tests/chaos.rs` asserts this).
+//! The injected schedule is recorded and exposed via
+//! [`FaultyTransport::schedule`] for that comparison.
+//!
+//! The faults model the client-visible failure surface of a real network:
+//!
+//! * **request drop** — the call fails before the server sees it;
+//! * **response drop / disconnect mid-call** — the server *executed* the
+//!   request but the client never learns it (the hard case for idempotency);
+//! * **duplicate delivery** — the server executes the request twice;
+//! * **corruption** — the reply arrives as an undecodable frame;
+//! * **partition window** — a scripted range of calls during which the
+//!   coordinator is unreachable.
+
+use std::time::Duration;
+
+use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_wire::{Request, Response, WireError};
+
+use crate::transport::{Transport, TransportError};
+
+/// A half-open range of transport call indices during which the coordinator
+/// is unreachable (every call fails without reaching the server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First call index inside the partition.
+    pub from: u64,
+    /// First call index after the partition heals.
+    pub until: u64,
+}
+
+impl PartitionWindow {
+    fn contains(&self, call: u64) -> bool {
+        (self.from..self.until).contains(&call)
+    }
+}
+
+/// A declarative, seed-driven fault schedule for a [`FaultyTransport`].
+///
+/// Probabilities are per call and independent; scripted fields
+/// (`disconnect_at`, `partitions`) key on the transport's zero-based call
+/// index. The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault decision stream. Two transports with equal plans
+    /// (seed included) inject identical fault schedules.
+    pub seed: u64,
+    /// Probability the request is dropped before reaching the server.
+    pub drop_request: f64,
+    /// Probability the server's response is dropped after the server
+    /// executed the request (the client sees a connection reset).
+    pub drop_response: f64,
+    /// Probability the request is delivered twice (the server executes it
+    /// twice; the client sees the second reply).
+    pub duplicate_request: f64,
+    /// Probability the response frame arrives corrupted (surfaces as a
+    /// checksum failure).
+    pub corrupt_response: f64,
+    /// Probability an extra delay is injected before the call proceeds.
+    pub delay: f64,
+    /// Upper bound (inclusive, milliseconds) for injected delays; a delay
+    /// draws uniformly from `1..=max_delay_ms`.
+    pub max_delay_ms: u64,
+    /// Call indices at which the connection dies mid-call: the request is
+    /// delivered (the server executes it), the response never arrives, and
+    /// the transport is poisoned until [`Transport::reset`].
+    pub disconnect_at: Vec<u64>,
+    /// Scripted partition windows (see [`PartitionWindow`]).
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_request: 0.0,
+            drop_response: 0.0,
+            duplicate_request: 0.0,
+            corrupt_response: 0.0,
+            delay: 0.0,
+            max_delay_ms: 0,
+            disconnect_at: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (identical to [`FaultPlan::default`] with
+    /// an explicit seed): useful as a base for builder-style construction.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn in_partition(&self, call: u64) -> bool {
+        self.partitions.iter().any(|w| w.contains(call))
+    }
+}
+
+/// One fault a [`FaultyTransport`] injected, recorded against the call index
+/// it perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The request was dropped before the server saw it.
+    DropRequest,
+    /// The server executed the request but the response was dropped.
+    DropResponse,
+    /// The request was delivered (and executed) twice.
+    DuplicateRequest,
+    /// The response arrived as a corrupted frame.
+    CorruptResponse,
+    /// An extra delay of this many milliseconds was injected.
+    Delay(u64),
+    /// The connection died mid-call (request delivered, no response) and the
+    /// transport is poisoned until reset.
+    Disconnect,
+    /// The call fell inside a scripted partition window.
+    Partition,
+}
+
+/// A [`Transport`] wrapper injecting deterministic faults per a
+/// [`FaultPlan`]. See the module docs for the fault model.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    calls: u64,
+    poisoned: Option<TransportError>,
+    schedule: Vec<(u64, InjectedFault)>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            calls: 0,
+            poisoned: None,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// The faults injected so far, `(call index, fault)` in injection order.
+    /// Two runs of the same scenario under equal plans record equal
+    /// schedules — the determinism contract `tests/chaos.rs` asserts.
+    pub fn schedule(&self) -> &[(u64, InjectedFault)] {
+        &self.schedule
+    }
+
+    /// Number of calls issued through this transport (including faulted
+    /// ones).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Scripts a disconnect on the next call: the request will be delivered,
+    /// the response lost, and the transport poisoned. Imperative counterpart
+    /// to pre-listing indices in [`FaultPlan::disconnect_at`], for tests
+    /// that arm the fault right before the RPC under scrutiny.
+    pub fn disconnect_next_call(&mut self) {
+        let next = self.calls;
+        self.plan.disconnect_at.push(next);
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably (e.g. to reach a loopback transport's
+    /// service for server-side inspection).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// The plan driving the injection.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Per-call decision stream: keyed by plan seed and call index, so the
+    /// schedule does not depend on how many draws earlier calls consumed.
+    fn call_rng(&self, call: u64) -> ChaChaRng {
+        let mut seed = *b"alpenhorn fault plan derivation!";
+        seed[..8].copy_from_slice(&self.plan.seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&call.to_le_bytes());
+        ChaChaRng::from_seed_bytes(seed)
+    }
+
+    fn record(&mut self, call: u64, fault: InjectedFault) {
+        self.schedule.push((call, fault));
+    }
+}
+
+/// Draws a probability decision: true with probability `p`.
+fn chance(rng: &mut ChaChaRng, p: f64) -> bool {
+    p > 0.0 && rng.gen_f64() < p
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn call(&mut self, request: Request) -> Result<Response, TransportError> {
+        if let Some(original) = &self.poisoned {
+            return Err(TransportError::Poisoned {
+                original: Box::new(original.clone()),
+            });
+        }
+        let call = self.calls;
+        self.calls += 1;
+
+        // Draw every probabilistic decision up front, in a fixed order, from
+        // the per-call stream: the schedule is then a pure function of
+        // (plan, call index), whatever the outcomes short-circuit below.
+        let mut rng = self.call_rng(call);
+        let delay_ms = if chance(&mut rng, self.plan.delay) && self.plan.max_delay_ms > 0 {
+            1 + rng.gen_range(self.plan.max_delay_ms)
+        } else {
+            0
+        };
+        let drop_request = chance(&mut rng, self.plan.drop_request);
+        let duplicate = chance(&mut rng, self.plan.duplicate_request);
+        let drop_response = chance(&mut rng, self.plan.drop_response);
+        let corrupt = chance(&mut rng, self.plan.corrupt_response);
+
+        if self.plan.in_partition(call) {
+            self.record(call, InjectedFault::Partition);
+            return Err(TransportError::Io {
+                kind: std::io::ErrorKind::TimedOut,
+                detail: format!("injected fault: partition window at call {call}"),
+            });
+        }
+        if self.plan.disconnect_at.contains(&call) {
+            // Mid-call disconnect: the server sees and executes the request;
+            // the client's read side is then severed and the connection is
+            // unusable until reset.
+            let _ = self.inner.call(request);
+            self.record(call, InjectedFault::Disconnect);
+            let error = TransportError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                detail: format!("injected fault: disconnect mid-call at call {call}"),
+            };
+            self.poisoned = Some(error.clone());
+            return Err(error);
+        }
+        if delay_ms > 0 {
+            self.record(call, InjectedFault::Delay(delay_ms));
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if drop_request {
+            self.record(call, InjectedFault::DropRequest);
+            return Err(TransportError::Io {
+                kind: std::io::ErrorKind::TimedOut,
+                detail: format!("injected fault: request dropped at call {call}"),
+            });
+        }
+
+        let mut response = self.inner.call(request.clone())?;
+        if duplicate {
+            self.record(call, InjectedFault::DuplicateRequest);
+            response = self.inner.call(request)?;
+        }
+        if drop_response {
+            self.record(call, InjectedFault::DropResponse);
+            return Err(TransportError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                detail: format!("injected fault: response dropped at call {call}"),
+            });
+        }
+        if corrupt {
+            self.record(call, InjectedFault::CorruptResponse);
+            return Err(TransportError::Wire(WireError::ChecksumMismatch));
+        }
+        Ok(response)
+    }
+
+    fn reset(&mut self) -> Result<(), TransportError> {
+        self.poisoned = None;
+        self.inner.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LoopbackTransport;
+    use alpenhorn_coordinator::{Cluster, ClusterConfig};
+
+    fn aggressive_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_request: 0.2,
+            drop_response: 0.15,
+            duplicate_request: 0.1,
+            corrupt_response: 0.1,
+            delay: 0.3,
+            max_delay_ms: 2,
+            disconnect_at: vec![3],
+            partitions: vec![PartitionWindow { from: 7, until: 9 }],
+        }
+    }
+
+    fn drive(plan: FaultPlan) -> Vec<(u64, InjectedFault)> {
+        let net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(50)));
+        let mut faulty = FaultyTransport::new(net, plan);
+        for _ in 0..40 {
+            if faulty.call(Request::GetPkgKeys).is_err() {
+                let _ = faulty.reset();
+            }
+        }
+        faulty.schedule().to_vec()
+    }
+
+    #[test]
+    fn same_plan_same_seed_injects_identical_schedule() {
+        let first = drive(aggressive_plan(42));
+        let second = drive(aggressive_plan(42));
+        assert!(!first.is_empty(), "an aggressive plan must inject faults");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_inject_different_schedules() {
+        assert_ne!(drive(aggressive_plan(1)), drive(aggressive_plan(2)));
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        assert!(drive(FaultPlan::quiet(9)).is_empty());
+    }
+
+    #[test]
+    fn disconnect_poisons_until_reset() {
+        let net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(51)));
+        let mut faulty = FaultyTransport::new(
+            net,
+            FaultPlan {
+                disconnect_at: vec![0],
+                ..FaultPlan::default()
+            },
+        );
+        assert!(matches!(
+            faulty.call(Request::GetPkgKeys),
+            Err(TransportError::Io { .. })
+        ));
+        // Poisoned until reset, carrying the original failure.
+        assert!(matches!(
+            faulty.call(Request::GetPkgKeys),
+            Err(TransportError::Poisoned { .. })
+        ));
+        faulty.reset().unwrap();
+        assert!(faulty.call(Request::GetPkgKeys).is_ok());
+    }
+}

@@ -41,6 +41,17 @@
 //! [`TcpTransport`] against a networked `alpenhornd` daemon. Both carry the
 //! same versioned RPC protocol ([`alpenhorn_wire::rpc`]); see
 //! `docs/ARCHITECTURE.md`.
+//!
+//! ## Fault tolerance
+//!
+//! Every RPC runs under the client's [`RetryPolicy`] ([`crate::retry`]):
+//! transport failures and typed `Unavailable` server faults are retried with
+//! jittered exponential backoff and per-call deadlines, repairing poisoned
+//! connections via [`Transport::reset`] along the way. For testing,
+//! [`FaultyTransport`] wraps any transport and injects a deterministic,
+//! seed-driven schedule of drops, delays, disconnects, corruption, and
+//! partitions from a declarative [`FaultPlan`] ([`crate::fault`]); see
+//! "Fault model & retry semantics" in `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,12 +62,16 @@ pub mod client;
 mod client_tests;
 pub mod error;
 pub mod events;
+pub mod fault;
+pub mod retry;
 pub mod transport;
 
 pub use addressbook::{AddressBook, FriendEntry, FriendStatus};
 pub use client::{Client, ClientConfig};
 pub use error::ClientError;
 pub use events::ClientEvent;
+pub use fault::{FaultPlan, FaultyTransport, InjectedFault, PartitionWindow};
+pub use retry::RetryPolicy;
 pub use transport::{LoopbackTransport, TcpTransport, Transport, TransportError};
 
 pub use alpenhorn_keywheel::{Intent, SessionKey};

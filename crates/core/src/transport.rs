@@ -21,6 +21,7 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 use alpenhorn_coordinator::service::CoordinatorService;
 use alpenhorn_coordinator::Cluster;
@@ -98,6 +99,18 @@ impl From<FrameIoError> for TransportError {
 pub trait Transport {
     /// Sends one request and waits for its response.
     fn call(&mut self, request: Request) -> Result<Response, TransportError>;
+
+    /// Attempts to restore the transport to a callable state after a
+    /// failure — the recovery hook the client's retry policy invokes before
+    /// re-attempting a call on a poisoned connection.
+    ///
+    /// The default is a no-op `Ok(())`, which is correct for stateless
+    /// transports (loopback dispatch has no connection to replace).
+    /// [`TcpTransport`] reconnects to its original address and clears the
+    /// poisoned marker.
+    fn reset(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// In-process transport: dispatches requests straight onto a
@@ -156,25 +169,85 @@ impl Transport for LoopbackTransport {
 /// hanging. Reconnect to recover.
 pub struct TcpTransport {
     stream: TcpStream,
+    /// The resolved peer address, kept so [`TcpTransport::reconnect`] can
+    /// replace a poisoned connection. `None` for
+    /// [`TcpTransport::from_stream`] wrappers, which have no address to dial.
+    peer: Option<std::net::SocketAddr>,
+    /// Read/write timeout applied to the socket (and to reconnections).
+    io_timeout: Option<Duration>,
     /// The first failure, kept so reuse reports *why* the connection died.
     poisoned: Option<TransportError>,
 }
 
 impl TcpTransport {
-    /// Connects to a coordinator at `addr`.
+    /// How long a connection attempt may take before giving up. Without a
+    /// bound, a dead coordinator holds the client in the OS connect default
+    /// (minutes).
+    pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+    /// Default socket read/write timeout: long enough for a round close (the
+    /// coordinator runs the mixnet synchronously before answering), short
+    /// enough that a hung daemon cannot strand the client indefinitely.
+    pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+    /// Connects to a coordinator at `addr` with the default connect and I/O
+    /// timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(TcpTransport {
-            stream,
-            poisoned: None,
-        })
+        Self::connect_with_timeouts(
+            addr,
+            Self::DEFAULT_CONNECT_TIMEOUT,
+            Some(Self::DEFAULT_IO_TIMEOUT),
+        )
     }
 
-    /// Wraps an already-connected stream.
+    /// Connects with explicit timeouts. Each resolved address is tried in
+    /// order with [`TcpStream::connect_timeout`]; `io_timeout: None` disables
+    /// the socket read/write timeouts.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match Self::open(candidate, connect_timeout, io_timeout) {
+                Ok(stream) => {
+                    return Ok(TcpTransport {
+                        stream,
+                        peer: Some(candidate),
+                        io_timeout,
+                        poisoned: None,
+                    })
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no candidates",
+            )
+        }))
+    }
+
+    fn open(
+        addr: std::net::SocketAddr,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(stream)
+    }
+
+    /// Wraps an already-connected stream. The wrapper cannot reconnect (it
+    /// has no address); [`TcpTransport::reconnect`] on it fails.
     pub fn from_stream(stream: TcpStream) -> Self {
         TcpTransport {
             stream,
+            peer: None,
+            io_timeout: None,
             poisoned: None,
         }
     }
@@ -183,6 +256,24 @@ impl TcpTransport {
     /// must be replaced.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.is_some()
+    }
+
+    /// Replaces the underlying connection with a fresh one to the original
+    /// peer address and clears the poisoned marker — the recovery path from
+    /// [`TransportError::Poisoned`] that does not require rebuilding the
+    /// client. Fails (leaving any poisoned state in place) if the transport
+    /// was built from a raw stream or the peer cannot be reached.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let peer = self.peer.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "transport was built from a raw stream; no address to reconnect to",
+            )
+        })?;
+        let stream = Self::open(peer, Self::DEFAULT_CONNECT_TIMEOUT, self.io_timeout)?;
+        self.stream = stream;
+        self.poisoned = None;
+        Ok(())
     }
 
     fn poison(&mut self, original: TransportError) -> TransportError {
@@ -209,5 +300,14 @@ impl Transport for TcpTransport {
         // A response that fails to decode arrived inside an intact frame, so
         // the stream is still aligned — no need to poison.
         Ok(Response::decode(&payload)?)
+    }
+
+    /// Reconnects if (and only if) the connection is poisoned; a healthy
+    /// connection is left alone.
+    fn reset(&mut self) -> Result<(), TransportError> {
+        if self.poisoned.is_none() {
+            return Ok(());
+        }
+        self.reconnect().map_err(TransportError::from)
     }
 }

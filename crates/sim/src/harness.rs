@@ -8,7 +8,10 @@
 
 use std::time::{Duration, Instant};
 
-use alpenhorn::{Client, ClientConfig, ClientEvent, LoopbackTransport};
+use alpenhorn::{
+    Client, ClientConfig, ClientEvent, FaultPlan, FaultyTransport, InjectedFault,
+    LoopbackTransport, RetryPolicy,
+};
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
 use alpenhorn_wire::{Identity, Round};
 
@@ -44,6 +47,11 @@ pub struct SmallDeployment {
     pub net: LoopbackTransport,
     /// The clients, in creation order.
     pub clients: Vec<Client>,
+    /// When set, every client RPC goes through this fault-injected view of
+    /// the same cluster instead of the clean loopback (see
+    /// [`SmallDeployment::with_chaos`]). Admin traffic (round open/close,
+    /// inspection) always stays on the clean transport.
+    chaos: Option<FaultyTransport<LoopbackTransport>>,
     next_add_friend_round: u64,
     next_dialing_round: u64,
 }
@@ -68,9 +76,30 @@ impl SmallDeployment {
         SmallDeployment {
             net,
             clients,
+            chaos: None,
             next_add_friend_round: 1,
             next_dialing_round: 1,
         }
+    }
+
+    /// Routes all subsequent client RPCs through a [`FaultyTransport`]
+    /// injecting the given deterministic [`FaultPlan`], and arms every
+    /// client with `retry` so the run converges despite the faults.
+    /// Registration (already done in [`SmallDeployment::new`]) is not
+    /// affected. Admin traffic stays clean: the round-driving RPCs are not
+    /// retry-idempotent, so a production round driver owns its scheduling.
+    pub fn with_chaos(mut self, plan: FaultPlan, retry: RetryPolicy) -> Self {
+        self.chaos = Some(FaultyTransport::new(self.net.clone(), plan));
+        for client in &mut self.clients {
+            client.set_retry_policy(retry.clone());
+        }
+        self
+    }
+
+    /// The faults injected so far (empty when not running under
+    /// [`SmallDeployment::with_chaos`]), as `(call index, fault)` pairs.
+    pub fn fault_schedule(&self) -> &[(u64, InjectedFault)] {
+        self.chaos.as_ref().map_or(&[], |f| f.schedule())
     }
 
     /// Runs `f` with mutable access to the underlying cluster (server-side
@@ -94,9 +123,11 @@ impl SmallDeployment {
             .with_cluster(|c| c.begin_add_friend_round(round, clients))
             .expect("round opens");
         for client in &mut self.clients {
-            client
-                .participate_add_friend(&mut self.net)
-                .expect("participation succeeds");
+            match &mut self.chaos {
+                Some(faulty) => client.participate_add_friend(faulty),
+                None => client.participate_add_friend(&mut self.net),
+            }
+            .expect("participation succeeds");
         }
         let server_start = Instant::now();
         let stats = self
@@ -109,9 +140,11 @@ impl SmallDeployment {
         let mut all_events = Vec::with_capacity(self.clients.len());
         let mut delivered = 0;
         for client in &mut self.clients {
-            let events = client
-                .process_add_friend_mailbox(&mut self.net)
-                .expect("mailbox scan succeeds");
+            let events = match &mut self.chaos {
+                Some(faulty) => client.process_add_friend_mailbox(faulty),
+                None => client.process_add_friend_mailbox(&mut self.net),
+            }
+            .expect("mailbox scan succeeds");
             delivered += events
                 .iter()
                 .filter(|e| {
@@ -147,9 +180,11 @@ impl SmallDeployment {
         let mut all_events: Vec<Vec<ClientEvent>> = Vec::with_capacity(self.clients.len());
         for client in &mut self.clients {
             let mut events = Vec::new();
-            if let Some(e) = client
-                .participate_dialing(&mut self.net)
-                .expect("participation succeeds")
+            if let Some(e) = match &mut self.chaos {
+                Some(faulty) => client.participate_dialing(faulty),
+                None => client.participate_dialing(&mut self.net),
+            }
+            .expect("participation succeeds")
             {
                 events.push(e);
             }
@@ -164,9 +199,11 @@ impl SmallDeployment {
         let scan_start = Instant::now();
         let mut delivered = 0;
         for (client, events) in self.clients.iter_mut().zip(all_events.iter_mut()) {
-            let incoming = client
-                .process_dialing_mailbox(&mut self.net)
-                .expect("scan succeeds");
+            let incoming = match &mut self.chaos {
+                Some(faulty) => client.process_dialing_mailbox(faulty),
+                None => client.process_dialing_mailbox(&mut self.net),
+            }
+            .expect("scan succeeds");
             delivered += incoming.iter().filter(|e| e.is_incoming_call()).count();
             events.extend(incoming);
         }
@@ -229,6 +266,40 @@ mod tests {
             delivered += result.calls_delivered;
         }
         assert_eq!(delivered, 3);
+    }
+
+    #[test]
+    fn chaotic_deployment_matches_clean_run() {
+        let run = |chaos: bool| {
+            let mut deployment = SmallDeployment::new(4, 32);
+            if chaos {
+                let plan = FaultPlan {
+                    drop_request: 0.15,
+                    drop_response: 0.1,
+                    duplicate_request: 0.1,
+                    delay: 0.2,
+                    max_delay_ms: 1,
+                    disconnect_at: vec![6],
+                    ..FaultPlan::quiet(9)
+                };
+                deployment = deployment.with_chaos(plan, RetryPolicy::aggressive_test());
+            }
+            let target = deployment.identity(1);
+            deployment.clients[0].add_friend(target, None);
+            let (result, events) = deployment.run_add_friend_round();
+            (
+                result.requests_delivered,
+                events,
+                deployment.fault_schedule().len(),
+            )
+        };
+        let (clean_delivered, clean_events, clean_faults) = run(false);
+        let (chaos_delivered, chaos_events, chaos_faults) = run(true);
+        assert_eq!(clean_faults, 0);
+        assert!(chaos_faults > 0, "the plan must actually bite");
+        assert_eq!(clean_delivered, 1);
+        assert_eq!(clean_delivered, chaos_delivered);
+        assert_eq!(clean_events, chaos_events, "faults are invisible");
     }
 
     #[test]

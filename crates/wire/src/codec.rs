@@ -258,8 +258,9 @@ impl Frame {
     pub const MAGIC: [u8; 2] = *b"AH";
     /// The protocol version this implementation speaks. History: v1 = the
     /// PR 4 RPC surface; v2 added [`crate::rpc::RpcError::Unavailable`]
-    /// (typed transient server faults, PR 5).
-    pub const VERSION: u8 = 2;
+    /// (typed transient server faults, PR 5); v3 added the `retry_after_ms`
+    /// backoff hint to `Unavailable` (overload shedding, PR 6).
+    pub const VERSION: u8 = 3;
     /// Header length: magic + version + length prefix.
     pub const HEADER_LEN: usize = 2 + 1 + 4;
     /// Trailing checksum length.

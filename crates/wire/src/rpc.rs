@@ -337,11 +337,16 @@ pub enum RpcError {
         detail: String,
     },
     /// A transient server-side fault (e.g. the durable journal could not be
-    /// written). Unlike [`RpcError::BadRequest`], retrying the same request
-    /// later is expected to succeed.
+    /// written, or the server is shedding load). Unlike
+    /// [`RpcError::BadRequest`], retrying the same request later is expected
+    /// to succeed.
     Unavailable {
         /// Human-readable description.
         detail: String,
+        /// Server's backoff hint: how long the client should wait before
+        /// retrying, in milliseconds. `0` means "no hint" (retry on the
+        /// client's own schedule).
+        retry_after_ms: u32,
     },
 }
 
@@ -366,8 +371,15 @@ impl core::fmt::Display for RpcError {
             RpcError::Pkg { detail, .. } => write!(f, "PKG error: {detail}"),
             RpcError::RateLimited { reason } => write!(f, "rate limited: {reason}"),
             RpcError::BadRequest { detail } => write!(f, "bad request: {detail}"),
-            RpcError::Unavailable { detail } => {
-                write!(f, "server temporarily unavailable: {detail}")
+            RpcError::Unavailable {
+                detail,
+                retry_after_ms,
+            } => {
+                write!(f, "server temporarily unavailable: {detail}")?;
+                if *retry_after_ms > 0 {
+                    write!(f, " (retry after {retry_after_ms} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -782,9 +794,13 @@ impl RpcError {
                 e.put_u8(ERR_BAD_REQUEST);
                 put_detail(e, detail);
             }
-            RpcError::Unavailable { detail } => {
+            RpcError::Unavailable {
+                detail,
+                retry_after_ms,
+            } => {
                 e.put_u8(ERR_UNAVAILABLE);
                 put_detail(e, detail);
+                e.put_u32(*retry_after_ms);
             }
         }
     }
@@ -819,6 +835,7 @@ impl RpcError {
             },
             ERR_UNAVAILABLE => RpcError::Unavailable {
                 detail: get_detail(d, "error detail")?,
+                retry_after_ms: d.get_u32("error retry-after hint")?,
             },
             _ => {
                 return Err(WireError::InvalidValue {

@@ -173,7 +173,10 @@ fn all_responses(round: u64, fill: u8, counts: (usize, usize), detail: String) -
         RpcError::BadRequest {
             detail: detail.clone(),
         },
-        RpcError::Unavailable { detail },
+        RpcError::Unavailable {
+            detail,
+            retry_after_ms: fill as u32 * 100,
+        },
     ];
     responses.extend(errors.into_iter().map(Response::Error));
     responses

@@ -55,6 +55,10 @@ stage "bench snapshot: storage WAL (writes BENCH_pr5.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr5.json" \
     cargo bench -p alpenhorn-bench --bench storage_wal
 
+stage "bench snapshot: fault-injection overhead (writes BENCH_pr6.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr6.json" \
+    cargo bench -p alpenhorn-bench --bench fault_injection
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
@@ -70,6 +74,16 @@ fi
 # test harness).
 stage "crash-recovery smoke (SIGKILL alpenhornd --data-dir, restart, finish scenario)"
 cargo test -q --release --test crash_recovery -- --ignored
+
+# Chaos gate: seeded fault plans (request/response drops, delays, duplicate
+# deliveries, frame corruption, scripted mid-run disconnects) over retrying
+# clients must converge to the byte-identical event stream of a fault-free
+# run, with no double effect on the coordinator's ledgers. The --ignored
+# variant layers a SIGKILL + restart of a live alpenhornd under the same
+# fault plans (crash recovery and fault injection composed).
+stage "chaos (seeded fault-plan suite + SIGKILL-under-faults alpenhornd)"
+cargo test -q --release --test chaos
+cargo test -q --release --test chaos -- --ignored
 
 stage "bench smoke: mixnet round pipeline"
 BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench mixnet_ops

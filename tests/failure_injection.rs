@@ -415,3 +415,134 @@ mod storage_injection {
         std::fs::remove_dir_all(dir).unwrap();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Disconnect-mid-call retry idempotency (ISSUE 6): the scripted
+// `FaultPlan::disconnect_at` fault executes the request on the server and
+// *then* severs the connection before the reply arrives — the worst case for
+// a retrying client, because the retry re-executes an already-applied
+// mutation. Every mutating RPC must absorb that replay without a double
+// effect on the coordinator's ledgers.
+// ---------------------------------------------------------------------------
+
+mod disconnect_mid_call {
+    use super::*;
+    use alpenhorn::{FaultPlan, FaultyTransport, InjectedFault, RetryPolicy};
+    use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+
+    /// A plan that injects nothing except lost replies at the given call
+    /// indices (request executed, response discarded, transport poisoned).
+    fn disconnect_plan(seed: u64, disconnect_at: Vec<u64>) -> FaultPlan {
+        FaultPlan {
+            disconnect_at,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    fn retrying_config() -> ClientConfig {
+        ClientConfig {
+            retry: RetryPolicy::aggressive_test(),
+            ..ClientConfig::default()
+        }
+    }
+
+    fn disconnect_count(faulty: &FaultyTransport<LoopbackTransport>) -> usize {
+        faulty
+            .schedule()
+            .iter()
+            .filter(|(_, f)| matches!(f, InjectedFault::Disconnect))
+            .count()
+    }
+
+    /// `Register` and `CompleteRegistration` both lose their replies
+    /// mid-call; the retries replay both against PKG state that already
+    /// holds the identity, and exactly one registration results.
+    #[test]
+    fn register_and_complete_registration_survive_lost_replies() {
+        let net = deployment(95);
+        // Call 0 = Register (executed, reply lost); call 1 = its retry;
+        // call 2 = CompleteRegistration (executed, reply lost); call 3 = retry.
+        let mut faulty = FaultyTransport::new(net.clone(), disconnect_plan(1, vec![0, 2]));
+        let pkg_keys = net.with_cluster(|c| c.pkg_verifying_keys());
+        let mut alice = Client::new(
+            id("alice@example.com"),
+            pkg_keys,
+            retrying_config(),
+            [1u8; 32],
+        );
+        alice.register(&mut faulty).unwrap();
+
+        assert_eq!(disconnect_count(&faulty), 2, "both replays exercised");
+        assert!(alice.is_registered());
+        // The server holds exactly the client's key — the replayed Register
+        // did not clobber or duplicate the registration.
+        let registered = net
+            .with_cluster(|c| c.registered_signing_key(&id("alice@example.com")))
+            .expect("registered after retries");
+        assert_eq!(registered.to_bytes(), alice.signing_public_key().to_bytes());
+    }
+
+    /// Token issuance and onion submission both lose their replies mid-call
+    /// during a rate-limited add-friend round. The retried issuance re-signs
+    /// the *same* blinded message without charging the budget twice, and the
+    /// retried submission is deduplicated without burning a second token.
+    #[test]
+    fn token_issuance_and_submission_replays_never_double_spend() {
+        const BUDGET: u32 = 7;
+        let service = CoordinatorService::with_config(
+            Cluster::new(ClusterConfig::test(96)),
+            ServiceConfig {
+                rate_limit: Some(RateLimitPolicy {
+                    budget_per_day: BUDGET,
+                }),
+            },
+        );
+        let net = LoopbackTransport::with_service(service);
+        let mut alice = registered_client(&mut net.clone(), "alice@example.com", 1);
+        alice.set_retry_policy(RetryPolicy::aggressive_test());
+        alice.add_friend(id("bob@gmail.com"), None);
+        net.with_cluster(|c| c.begin_add_friend_round(Round(1), 1))
+            .unwrap();
+
+        // Rate-limited participation: GetAddFriendRoundInfo (0),
+        // IssueRateLimitToken (1, reply lost; retry = 2),
+        // ExtractIdentityKeys (3), SubmitAddFriend (4, reply lost; retry = 5).
+        let mut faulty = FaultyTransport::new(net.clone(), disconnect_plan(2, vec![1, 4]));
+        alice.participate_add_friend(&mut faulty).unwrap();
+        assert_eq!(disconnect_count(&faulty), 2, "both replays exercised");
+
+        // One token charged (not two): the replayed issuance hit the
+        // issuer's seen-set and re-signed for free.
+        assert_eq!(
+            net.service()
+                .remaining_token_budget(&id("alice@example.com")),
+            Some(BUDGET - 1)
+        );
+        // One token spent and one submission batched (not two): the
+        // replayed onion was acked by content-addressed dedup.
+        assert_eq!(net.service().spent_token_count(), Some(1));
+        let stats = net
+            .with_cluster(|c| c.close_add_friend_round(Round(1)))
+            .unwrap();
+        assert_eq!(stats.client_messages, 1);
+    }
+
+    /// A `Deregister` whose reply is lost mid-call: the retry replays the
+    /// deregistration against PKGs that already dropped the identity, and
+    /// the server answers the replay with an idempotent ack.
+    #[test]
+    fn deregister_survives_lost_reply() {
+        let mut net = deployment(97);
+        let mut alice = registered_client(&mut net, "alice@example.com", 1);
+        alice.set_retry_policy(RetryPolicy::aggressive_test());
+
+        let mut faulty = FaultyTransport::new(net.clone(), disconnect_plan(3, vec![0]));
+        alice.deregister(&mut faulty).unwrap();
+
+        assert_eq!(disconnect_count(&faulty), 1);
+        assert!(!alice.is_registered());
+        assert!(net
+            .with_cluster(|c| c.registered_signing_key(&id("alice@example.com")))
+            .is_none());
+    }
+}

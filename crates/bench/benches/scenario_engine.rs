@@ -1,0 +1,140 @@
+//! Scenario-engine overhead snapshot: what the scripting layer itself costs,
+//! separate from the protocol work it drives.
+//!
+//! * `scenario_parse_ns` — parsing a representative scenario text.
+//! * `population_setup_100k_ns` — building a 100,000-client population of
+//!   lazy handles (the scaling claim: setup must not materialize clients).
+//! * `engine_build_100k_ns` — a full engine over that population.
+//! * `engine_step_idle_ns` — one step with zero registered clients: the pure
+//!   engine + round-driving overhead floor.
+//! * `engine_step_8_clients_ns` — one step with eight participating clients
+//!   (real crypto dominates; the engine's share is the delta to a
+//!   hand-driven round).
+//! * `engine_steps_per_sec` — derived throughput of the 8-client stepping.
+//!
+//! Environment:
+//! * `BENCH_JSON_OUT` — where to write the JSON snapshot (`BENCH_pr7.json`).
+//! * `BENCH_SAMPLE_MS` — per-metric sampling budget (default 300).
+//! * `BENCH_SMOKE=1` — reduce the budget for CI smoke runs.
+
+use std::time::Duration;
+
+use alpenhorn::LoopbackTransport;
+use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_scenario::{Population, Scenario, ScenarioBuilder, ScenarioEngine};
+use alpenhorn_sim::Table;
+
+fn measure_ns(budget: Duration, f: impl FnMut()) -> f64 {
+    criterion::measure_mean_ns(budget, f).0
+}
+
+fn sample_budget() -> Duration {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        return Duration::from_millis(60);
+    }
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+const PARSE_FIXTURE: &str = "
+scenario parse-fixture
+seed 90
+population 100000
+steps 8
+@1 register 0..64
+@1 befriend-zipf 0..16 16..64 1.1
+@2 register 99000..100000
+@3 partition-begin 32..40
+@4 partition-end 32..40
+@4 crash-restart
+@5 flaky-begin 0..8 drop_request=0.1 delay=0.2 max_delay_ms=1
+@6 flaky-end 0..8
+@7 call 0 1 3
+@8 advance-clock 3600
+";
+
+fn main() {
+    alpenhorn_bench::print_header(
+        "Scenario-engine overhead snapshot",
+        "scripting-layer costs: parse, 100k population setup, stepping (docs/SCENARIOS.md)",
+    );
+    let budget = sample_budget();
+    let mut metrics: Vec<(&'static str, f64)> = Vec::new();
+
+    metrics.push((
+        "scenario_parse_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Scenario::parse(PARSE_FIXTURE).unwrap());
+        }),
+    ));
+
+    // 100k lazy handles: must be cheap because nothing is materialized.
+    let net = LoopbackTransport::new(Cluster::new(ClusterConfig::test(93)));
+    metrics.push((
+        "population_setup_100k_ns",
+        measure_ns(budget, || {
+            criterion::black_box(Population::new(93, 100_000, &net));
+        }),
+    ));
+
+    let big = ScenarioBuilder::new("bench-build", 93)
+        .population(100_000)
+        .steps(1)
+        .build();
+    metrics.push((
+        "engine_build_100k_ns",
+        measure_ns(budget, || {
+            criterion::black_box(ScenarioEngine::new(big.clone()).unwrap());
+        }),
+    ));
+
+    // Stepping floor: no clients, just the engine loop plus the real round
+    // open/close RPCs and mixnet noise processing.
+    let idle = ScenarioBuilder::new("bench-idle", 94)
+        .population(0)
+        .steps(u64::MAX)
+        .build();
+    let mut idle_engine = ScenarioEngine::new(idle).unwrap();
+    metrics.push((
+        "engine_step_idle_ns",
+        measure_ns(budget, || {
+            criterion::black_box(idle_engine.step().unwrap());
+        }),
+    ));
+
+    // Eight real participants per step (protocol crypto included).
+    let active = ScenarioBuilder::new("bench-active", 95)
+        .population(8)
+        .steps(u64::MAX)
+        .register(1, 0..8)
+        .build();
+    let mut active_engine = ScenarioEngine::new(active).unwrap();
+    active_engine.step().unwrap(); // registration step outside the measurement
+    let step_ns = measure_ns(budget, || {
+        criterion::black_box(active_engine.step().unwrap());
+    });
+    metrics.push(("engine_step_8_clients_ns", step_ns));
+    metrics.push(("engine_steps_per_sec", 1e9 / step_ns));
+
+    let mut table = Table::new("Scenario-engine overhead", &["metric", "value"]);
+    for (name, value) in &metrics {
+        table.push_row(vec![(*name).to_string(), format!("{value:.1}")]);
+    }
+    println!("{}", table.render());
+
+    let out_path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").to_string()
+    });
+    let mut json = String::from("{\n  \"schema\": \"alpenhorn-bench-snapshot-v1\",\n");
+    json.push_str("  \"bench\": \"scenario_engine\",\n  \"benches\": {\n");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {value:.2}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write bench snapshot");
+    println!("snapshot written to {out_path}");
+}

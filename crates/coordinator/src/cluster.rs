@@ -211,6 +211,21 @@ impl Cluster {
         &mut self.cdn
     }
 
+    /// Installs (or with `None` removes) a scripted [`MixAdversary`] on the
+    /// chain serving `protocol` — the coordinator-level control surface for
+    /// malicious-mixer scenarios. Honest operation is unchanged while no
+    /// adversary is installed.
+    pub fn set_mix_adversary(
+        &mut self,
+        protocol: alpenhorn_mixnet::Protocol,
+        adversary: Option<alpenhorn_mixnet::MixAdversary>,
+    ) {
+        match protocol {
+            alpenhorn_mixnet::Protocol::AddFriend => self.add_friend_chain.set_adversary(adversary),
+            alpenhorn_mixnet::Protocol::Dialing => self.dialing_chain.set_adversary(adversary),
+        }
+    }
+
     /// The long-term verification keys of the PKGs, in order (these ship with
     /// the client software).
     pub fn pkg_verifying_keys(&self) -> Vec<VerifyingKey> {

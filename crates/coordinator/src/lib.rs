@@ -15,6 +15,7 @@
 
 pub mod cdn;
 pub mod cluster;
+pub mod control;
 pub mod error;
 pub mod persist;
 pub mod ratelimit;
@@ -24,6 +25,7 @@ pub mod service;
 
 pub use cdn::Cdn;
 pub use cluster::{AddFriendRoundInfo, Cluster, ClusterConfig, DialingRoundInfo};
+pub use control::DurableController;
 pub use error::CoordinatorError;
 pub use ratelimit::{TokenIssuer, TokenVerifier};
 pub use rounds::RoundTiming;

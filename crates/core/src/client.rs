@@ -1118,6 +1118,22 @@ impl Client {
         self.keywheels.advance_to(round.next());
         self.next_dialing_round = Round(self.next_dialing_round.0.max(round.next().0));
     }
+
+    /// Catches a mobile client up after sleeping through many rounds: every
+    /// keywheel is ratcheted forward to `round` (preserving forward secrecy
+    /// for the missed interval, §5.2 — the skipped keys are derived and
+    /// discarded, so a later compromise cannot reconstruct them) and any
+    /// stale in-flight dialing-round state from before the sleep is
+    /// abandoned. Calls dialed to this client during the gap are lost, which
+    /// is the paper's intended semantics for offline users. A no-op for a
+    /// client already at or past `round`.
+    pub fn fast_forward(&mut self, round: Round) {
+        if matches!(self.dialing_round_state, Some((r, _)) if r < round) {
+            self.dialing_round_state = None;
+        }
+        self.keywheels.advance_to(round);
+        self.next_dialing_round = Round(self.next_dialing_round.0.max(round.0));
+    }
 }
 
 // ---------------------------------------------------------------------------

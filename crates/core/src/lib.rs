@@ -70,7 +70,9 @@ pub use addressbook::{AddressBook, FriendEntry, FriendStatus};
 pub use client::{Client, ClientConfig};
 pub use error::ClientError;
 pub use events::ClientEvent;
-pub use fault::{FaultPlan, FaultyTransport, InjectedFault, PartitionWindow};
+pub use fault::{
+    FaultPlan, FaultProbabilities, FaultyTransport, FlakyWindow, InjectedFault, PartitionWindow,
+};
 pub use retry::RetryPolicy;
 pub use transport::{LoopbackTransport, TcpTransport, Transport, TransportError};
 

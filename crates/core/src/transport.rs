@@ -151,6 +151,25 @@ impl LoopbackTransport {
     pub fn with_cluster<R>(&self, f: impl FnOnce(&mut Cluster) -> R) -> R {
         f(self.service().cluster_mut())
     }
+
+    /// Crash-restarts the deployment behind this transport in place: the
+    /// current [`CoordinatorService`] is dropped (the "crash" — all
+    /// in-memory state is lost) and replaced by whatever `rebuild` returns,
+    /// typically a service recovered from durable storage. Every clone of
+    /// this transport — including fault-injection wrappers holding one —
+    /// sees the recovered deployment on its next call, exactly as TCP
+    /// clients see a restarted daemon. The scenario engine's crash-restart
+    /// storm events are built on this.
+    pub fn restart_with(&self, rebuild: impl FnOnce() -> CoordinatorService) {
+        let mut guard = self.service();
+        // Swap in a throwaway placeholder first so the old service (and any
+        // storage handles it owns, e.g. an open WAL) is fully dropped before
+        // `rebuild` reopens the same directory.
+        let placeholder =
+            CoordinatorService::new(Cluster::new(alpenhorn_coordinator::ClusterConfig::test(0)));
+        drop(std::mem::replace(&mut *guard, placeholder));
+        *guard = rebuild();
+    }
 }
 
 impl Transport for LoopbackTransport {

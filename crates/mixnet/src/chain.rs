@@ -7,12 +7,84 @@
 //! deployment would place each [`MixServer`](crate::server::MixServer) on its
 //! own machine, but the message flow is identical.
 
+use alpenhorn_crypto::ChaChaRng;
 use alpenhorn_ibe::dh::DhPublic;
 
 use crate::mailbox::{AddFriendMailboxes, DialingMailboxes};
 use crate::noise::NoiseConfig;
 use crate::server::MixServer;
 use crate::Protocol;
+
+/// How a compromised mix server misbehaves (see [`MixAdversary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixMisbehavior {
+    /// Silently discards about `percent`% of the onions it forwards — a
+    /// denial-of-service / intersection-attack primitive. Detected by
+    /// mailbox conservation: fewer messages come out than went in.
+    DropOnions {
+        /// Percentage of onions dropped, `0..=100`.
+        percent: u8,
+    },
+    /// Re-injects duplicates of about `percent`% of the onions it forwards —
+    /// the replay primitive behind tagging attacks. Detected by
+    /// conservation in the other direction (more messages than submitted)
+    /// and by duplicate ciphertexts in a mailbox.
+    ReplayOnions {
+        /// Percentage of onions duplicated, `0..=100`.
+        percent: u8,
+    },
+    /// Forwards every onion but sorts the batch instead of shuffling it,
+    /// making the output order a deterministic function of the message
+    /// bytes — exactly the traffic-analysis correlation mixing exists to
+    /// prevent. Conservation holds; the shuffle property check catches it.
+    ReorderOnions,
+}
+
+/// A scripted compromise of one server in a [`MixChain`]: after the honest
+/// server logic runs, the adversary tampers with the outgoing batch. The
+/// tampering randomness is ChaCha-seeded per round, so a seeded scenario
+/// replays the identical attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixAdversary {
+    /// Index (chain position) of the compromised server.
+    pub server: usize,
+    /// What the compromised server does to the batch.
+    pub misbehavior: MixMisbehavior,
+    /// Seed for the adversary's tampering decisions.
+    pub seed: u64,
+}
+
+impl MixAdversary {
+    /// Per-round tampering stream, keyed by the adversary seed and a round
+    /// counter so replayed rounds tamper identically.
+    fn rng(&self, round: u64) -> ChaChaRng {
+        let mut seed = *b"alpenhorn mix adversary stream!!";
+        seed[..8].copy_from_slice(&self.seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&round.to_le_bytes());
+        ChaChaRng::from_seed_bytes(seed)
+    }
+
+    fn tamper(&self, batch: Vec<Vec<u8>>, round: u64) -> Vec<Vec<u8>> {
+        let mut rng = self.rng(round);
+        match self.misbehavior {
+            MixMisbehavior::DropOnions { percent } => {
+                let p = f64::from(percent.min(100)) / 100.0;
+                batch.into_iter().filter(|_| rng.gen_f64() >= p).collect()
+            }
+            MixMisbehavior::ReplayOnions { percent } => {
+                let p = f64::from(percent.min(100)) / 100.0;
+                let mut out = batch.clone();
+                out.extend(batch.into_iter().filter(|_| rng.gen_f64() < p));
+                out
+            }
+            MixMisbehavior::ReorderOnions => {
+                let mut out = batch;
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
 
 /// Statistics collected from one mixnet round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +110,11 @@ impl RoundStats {
 pub struct MixChain {
     servers: Vec<MixServer>,
     noise: NoiseConfig,
+    /// Scripted compromise of one server (tests and chaos scenarios only).
+    adversary: Option<MixAdversary>,
+    /// Rounds mixed since the adversary was installed, keying its per-round
+    /// tampering stream.
+    tamper_rounds: u64,
 }
 
 impl MixChain {
@@ -53,7 +130,36 @@ impl MixChain {
                 MixServer::new(i, server_seed)
             })
             .collect();
-        MixChain { servers, noise }
+        MixChain {
+            servers,
+            noise,
+            adversary: None,
+            tamper_rounds: 0,
+        }
+    }
+
+    /// Installs (or with `None` removes) a scripted adversary compromising
+    /// one server in the chain. Panics if the server index is out of range.
+    /// This is the hook the scenario engine's malicious-mixer events drive;
+    /// honest operation is byte-identical to a chain that never had the
+    /// hook, because tampering happens strictly after the honest server
+    /// logic and only when an adversary is installed.
+    pub fn set_adversary(&mut self, adversary: Option<MixAdversary>) {
+        if let Some(a) = &adversary {
+            assert!(
+                a.server < self.servers.len(),
+                "adversary server index {} out of range ({} servers)",
+                a.server,
+                self.servers.len()
+            );
+        }
+        self.adversary = adversary;
+        self.tamper_rounds = 0;
+    }
+
+    /// The currently installed adversary, if any.
+    pub fn adversary(&self) -> Option<&MixAdversary> {
+        self.adversary.as_ref()
     }
 
     /// Number of servers in the chain.
@@ -109,6 +215,10 @@ impl MixChain {
         let noise = self.noise;
         let mut current = batch;
         let server_count = self.servers.len();
+        let tamper_round = self.tamper_rounds;
+        if self.adversary.is_some() {
+            self.tamper_rounds += 1;
+        }
         for i in 0..server_count {
             let downstream = &publics[i + 1..];
             current = self.servers[i].process(current, downstream, protocol, &noise, num_mailboxes);
@@ -118,6 +228,15 @@ impl MixChain {
             stats
                 .dropped_per_server
                 .push(self.servers[i].last_malformed_dropped());
+            // A compromised server tampers after its honest processing, so
+            // the stats record what the server *claims* and `final_messages`
+            // records what actually came out — the discrepancy is exactly
+            // what the conservation invariant checks.
+            if let Some(adversary) = self.adversary {
+                if adversary.server == i {
+                    current = adversary.tamper(current, tamper_round);
+                }
+            }
         }
         stats.final_messages = current.len();
         (current, stats)
@@ -279,5 +398,97 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_chain_rejected() {
         MixChain::new(0, NoiseConfig::light(), [0u8; 32]);
+    }
+
+    fn marker_batch(rng: &mut ChaChaRng, publics: &[DhPublic], count: u32) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|i| {
+                let env = AddFriendEnvelope {
+                    mailbox: MailboxId(0),
+                    ciphertext: {
+                        let mut c = vec![0u8; AddFriendEnvelope::CIPHERTEXT_LEN];
+                        c[..4].copy_from_slice(&i.to_be_bytes());
+                        c
+                    },
+                };
+                wrap_onion(&env.encode(), publics, rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dropping_adversary_breaks_conservation() {
+        let mut rng = rng(4);
+        let mut chain = MixChain::new(3, NoiseConfig::deterministic(0.0), [10u8; 32]);
+        chain.set_adversary(Some(MixAdversary {
+            server: 1,
+            misbehavior: MixMisbehavior::DropOnions { percent: 50 },
+            seed: 77,
+        }));
+        let publics = chain.begin_round();
+        let batch = marker_batch(&mut rng, &publics, 64);
+        let (_, stats) = chain.run_add_friend_round(batch, 1, &publics);
+        assert_eq!(stats.client_messages, 64);
+        assert_eq!(stats.total_noise(), 0);
+        assert!(
+            stats.final_messages < 64,
+            "a dropping mixer must lose messages: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn replaying_adversary_inflates_final_batch_deterministically() {
+        let run = || {
+            let mut rng = rng(5);
+            let mut chain = MixChain::new(3, NoiseConfig::deterministic(0.0), [11u8; 32]);
+            chain.set_adversary(Some(MixAdversary {
+                server: 0,
+                misbehavior: MixMisbehavior::ReplayOnions { percent: 40 },
+                seed: 78,
+            }));
+            let publics = chain.begin_round();
+            let batch = marker_batch(&mut rng, &publics, 64);
+            let (_, stats) = chain.run_add_friend_round(batch, 1, &publics);
+            stats
+        };
+        let stats = run();
+        assert!(
+            stats.final_messages > 64,
+            "a replaying mixer must add messages: {stats:?}"
+        );
+        // Seeded adversary: the replayed run tampers identically.
+        assert_eq!(stats, run());
+    }
+
+    #[test]
+    fn honest_chain_is_unchanged_by_the_hook() {
+        let run = |with_hook: bool| {
+            let mut rng = rng(6);
+            let mut chain = MixChain::new(3, NoiseConfig::deterministic(2.0), [12u8; 32]);
+            if with_hook {
+                chain.set_adversary(Some(MixAdversary {
+                    server: 2,
+                    misbehavior: MixMisbehavior::DropOnions { percent: 100 },
+                    seed: 1,
+                }));
+                chain.set_adversary(None);
+            }
+            let publics = chain.begin_round();
+            let batch = marker_batch(&mut rng, &publics, 16);
+            let (mailboxes, stats) = chain.run_add_friend_round(batch, 1, &publics);
+            (mailboxes.mailbox(MailboxId(0)).to_vec(), stats)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adversary_index_must_be_in_range() {
+        let mut chain = MixChain::new(2, NoiseConfig::light(), [0u8; 32]);
+        chain.set_adversary(Some(MixAdversary {
+            server: 2,
+            misbehavior: MixMisbehavior::ReorderOnions,
+            seed: 0,
+        }));
     }
 }

@@ -1,0 +1,51 @@
+//! Scenarios-as-data for the Alpenhorn deployment.
+//!
+//! This crate turns whole-system experiments — churn waves, coordinator
+//! crash-restart storms, partition and flaky-link windows, malicious
+//! mixers, Zipf-skewed social traffic, mobile clients that sleep for many
+//! rounds — into *data*: a [`Scenario`] is a seeded, scripted timeline of
+//! typed events, built with [`ScenarioBuilder`] or parsed from a simple
+//! line-oriented text format ([`Scenario::parse`]), and executed by a
+//! deterministic stepped [`ScenarioEngine`] against the real
+//! [`alpenhorn_coordinator::service::CoordinatorService`] dispatch.
+//!
+//! Determinism is the load-bearing property: the same scenario text and
+//! seed replays the identical timeline — identical fault schedules,
+//! identical client event streams, identical coordinator ledgers — so a
+//! scenario that exposes a bug *is* the reproducer. Pluggable
+//! [`InvariantChecker`]s run at every round boundary; the built-in
+//! [`TwinChecker`] steps a fault-free twin of the scenario in lockstep and
+//! demands event-stream convergence.
+//!
+//! ```
+//! use alpenhorn_scenario::{ScenarioBuilder, ScenarioEngine};
+//!
+//! let scenario = ScenarioBuilder::new("hello", 7)
+//!     .population(4)
+//!     .steps(3)
+//!     .register(1, 0..4)
+//!     .befriend(1, 0, 1)
+//!     .call(3, 0, 1, 3) // friendship confirms after two add-friend rounds
+//!     .build();
+//! let mut engine = ScenarioEngine::new(scenario).unwrap();
+//! engine.run().unwrap();
+//! assert_eq!(engine.rounds().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drive;
+pub mod engine;
+pub mod invariant;
+pub mod population;
+pub mod script;
+
+pub use drive::DriveError;
+pub use engine::{EngineError, RoundReport, ScenarioEngine, ScenarioReport};
+pub use invariant::{
+    InvariantChecker, LedgerConsistency, MailboxConservation, RoundContext, SubmissionAccounting,
+    TwinChecker, Violation,
+};
+pub use population::{Handle, Population};
+pub use script::{Action, ClientRange, ParseError, Scenario, ScenarioBuilder};

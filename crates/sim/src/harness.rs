@@ -13,6 +13,7 @@ use alpenhorn::{
     LoopbackTransport, RetryPolicy,
 };
 use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_scenario::drive;
 use alpenhorn_wire::{Identity, Round};
 
 /// Result of one end-to-end add-friend round.
@@ -118,10 +119,10 @@ impl SmallDeployment {
     pub fn run_add_friend_round(&mut self) -> (AddFriendRunResult, Vec<Vec<ClientEvent>>) {
         let round = Round(self.next_add_friend_round);
         self.next_add_friend_round += 1;
-        let clients = self.clients.len();
-        self.net
-            .with_cluster(|c| c.begin_add_friend_round(round, clients))
-            .expect("round opens");
+        let clients = self.clients.len() as u64;
+        // Rounds are driven through the admin RPC surface (not the
+        // `with_cluster` escape hatch) so durable deployments journal them.
+        drive::begin_add_friend_round(&mut self.net, round, clients).expect("round opens");
         for client in &mut self.clients {
             match &mut self.chaos {
                 Some(faulty) => client.participate_add_friend(faulty),
@@ -130,10 +131,7 @@ impl SmallDeployment {
             .expect("participation succeeds");
         }
         let server_start = Instant::now();
-        let stats = self
-            .net
-            .with_cluster(|c| c.close_add_friend_round(round))
-            .expect("round closes");
+        let stats = drive::close_add_friend_round(&mut self.net, round).expect("round closes");
         let server_time = server_start.elapsed();
 
         let scan_start = Instant::now();
@@ -163,7 +161,7 @@ impl SmallDeployment {
                 server_time,
                 client_scan_time,
                 requests_delivered: delivered,
-                final_messages: stats.final_messages,
+                final_messages: stats.final_messages as usize,
             },
             all_events,
         )
@@ -173,10 +171,8 @@ impl SmallDeployment {
     pub fn run_dialing_round(&mut self) -> (DialingRunResult, Vec<Vec<ClientEvent>>) {
         let round = Round(self.next_dialing_round);
         self.next_dialing_round += 1;
-        let clients = self.clients.len();
-        self.net
-            .with_cluster(|c| c.begin_dialing_round(round, clients))
-            .expect("round opens");
+        let clients = self.clients.len() as u64;
+        drive::begin_dialing_round(&mut self.net, round, clients).expect("round opens");
         let mut all_events: Vec<Vec<ClientEvent>> = Vec::with_capacity(self.clients.len());
         for client in &mut self.clients {
             let mut events = Vec::new();
@@ -191,9 +187,7 @@ impl SmallDeployment {
             all_events.push(events);
         }
         let server_start = Instant::now();
-        self.net
-            .with_cluster(|c| c.close_dialing_round(round))
-            .expect("round closes");
+        drive::close_dialing_round(&mut self.net, round).expect("round closes");
         let server_time = server_start.elapsed();
 
         let scan_start = Instant::now();
@@ -300,6 +294,72 @@ mod tests {
         assert_eq!(clean_delivered, 1);
         assert_eq!(clean_delivered, chaos_delivered);
         assert_eq!(clean_events, chaos_events, "faults are invisible");
+    }
+
+    #[test]
+    fn scenario_timeline_reproduces_hand_driven_runs_byte_for_byte() {
+        use alpenhorn::FaultProbabilities;
+        use alpenhorn_scenario::{ScenarioBuilder, ScenarioEngine};
+
+        // Hand-driven reference: seed 32, one befriending at step 1, one
+        // call at step 3, four add-friend + dialing round pairs.
+        let mut deployment = SmallDeployment::new(4, 32);
+        let target = deployment.identity(1);
+        deployment.clients[0].add_friend(target.clone(), None);
+        let mut hand: Vec<Vec<ClientEvent>> = vec![Vec::new(); 4];
+        for step in 1..=4u64 {
+            if step == 3 {
+                deployment.clients[0].call(target.clone(), 7).unwrap();
+            }
+            let (_, af_events) = deployment.run_add_friend_round();
+            let (_, dial_events) = deployment.run_dialing_round();
+            for (i, events) in af_events.into_iter().enumerate() {
+                hand[i].extend(events);
+            }
+            for (i, events) in dial_events.into_iter().enumerate() {
+                hand[i].extend(events);
+            }
+        }
+        assert!(
+            hand[1].iter().any(ClientEvent::is_incoming_call),
+            "the call landed in the reference run"
+        );
+
+        // The same workload as a scripted scenario, optionally with a flaky
+        // window overlaid on every client mid-timeline.
+        let scripted = |with_flaky: bool| {
+            let mut builder = ScenarioBuilder::new("equivalence", 32)
+                .population(4)
+                .steps(4)
+                .register(1, 0..4)
+                .befriend(1, 0, 1)
+                .call(3, 0, 1, 7);
+            if with_flaky {
+                builder = builder.flaky_window(
+                    2,
+                    4,
+                    0..4,
+                    FaultProbabilities {
+                        drop_request: 0.15,
+                        drop_response: 0.1,
+                        duplicate_request: 0.1,
+                        corrupt_response: 0.0,
+                        delay: 0.2,
+                        max_delay_ms: 1,
+                    },
+                );
+            }
+            let mut engine = ScenarioEngine::new(builder.build()).unwrap();
+            engine.run().unwrap();
+            engine.into_report().client_events
+        };
+
+        assert_eq!(scripted(false), hand, "scenario-driven ≡ hand-driven");
+        assert_eq!(
+            scripted(true),
+            hand,
+            "a scripted flaky window stays invisible to the event streams"
+        );
     }
 
     #[test]

@@ -59,6 +59,10 @@ stage "bench snapshot: fault-injection overhead (writes BENCH_pr6.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr6.json" \
     cargo bench -p alpenhorn-bench --bench fault_injection
 
+stage "bench snapshot: scenario engine (writes BENCH_pr7.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr7.json" \
+    cargo bench -p alpenhorn-bench --bench scenario_engine
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
@@ -84,6 +88,15 @@ cargo test -q --release --test crash_recovery -- --ignored
 stage "chaos (seeded fault-plan suite + SIGKILL-under-faults alpenhornd)"
 cargo test -q --release --test chaos
 cargo test -q --release --test chaos -- --ignored
+
+# Scenario smoke: three scripted timelines (churn wave, crash-restart storm,
+# partition window) in the scenarios-as-data text format, executed through
+# the deterministic engine with the full invariant-checker suite (mailbox
+# conservation, submission accounting, ledger consistency, fault-free-twin
+# convergence), plus a replay-determinism check. Runs inside `cargo test -q`
+# too; this named stage makes a scenario regression point at itself.
+stage "scenario smoke (churn wave, crash-restart storm, partition window)"
+cargo test -q --test scenario_smoke
 
 stage "bench smoke: mixnet round pipeline"
 BENCH_SMOKE=1 cargo bench -p alpenhorn-bench --bench mixnet_ops

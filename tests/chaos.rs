@@ -65,6 +65,7 @@ fn aggressive_plan(seed: u64, disconnect_at: u64) -> FaultPlan {
         max_delay_ms: 3,
         disconnect_at: vec![disconnect_at],
         partitions: Vec::new(),
+        flaky: Vec::new(),
     }
 }
 

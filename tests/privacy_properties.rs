@@ -183,3 +183,147 @@ fn differential_privacy_budget_matches_paper() {
     let dial = NoiseConfig::paper_dialing().dp();
     assert!(dial.epsilon_after(26_000, 1e-4) <= core::f64::consts::LN_2 * 1.02);
 }
+
+// ---------------------------------------------------------------------------
+// Malicious-mixer cases: a compromised mix server that drops, replays, or
+// reorders onions must be caught by the existing observable checks — message
+// conservation across the chain for drops and replays, and the
+// uniform-shuffle property for reordering.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dropping_mixer_is_flagged_by_the_conservation_invariant() {
+    use alpenhorn_mixnet::{MixMisbehavior, Protocol};
+    use alpenhorn_scenario::{Action, MailboxConservation, ScenarioBuilder, ScenarioEngine};
+
+    let build = |compromised: bool| {
+        let mut builder = ScenarioBuilder::new("dropping-mixer", 84)
+            .population(6)
+            .steps(2)
+            .register(1, 0..6);
+        if compromised {
+            builder = builder.at(
+                2,
+                Action::MaliciousMixer {
+                    server: 1,
+                    misbehavior: MixMisbehavior::DropOnions { percent: 60 },
+                },
+            );
+        }
+        builder.build()
+    };
+    let _ = Protocol::AddFriend; // the adversary taps both protocol chains
+
+    let mut honest = ScenarioEngine::new(build(false)).unwrap();
+    honest.add_checker(Box::new(MailboxConservation));
+    honest.run().unwrap();
+    assert!(
+        honest.rounds().iter().all(|r| r.violations.is_empty()),
+        "honest chain must pass conservation"
+    );
+
+    let mut compromised = ScenarioEngine::new(build(true)).unwrap();
+    compromised.add_checker(Box::new(MailboxConservation));
+    compromised.run().unwrap();
+    assert!(
+        compromised.rounds()[0].violations.is_empty(),
+        "round before the compromise is clean"
+    );
+    assert!(
+        compromised.rounds()[1]
+            .violations
+            .iter()
+            .any(|v| v.checker == "mailbox-conservation"),
+        "dropped onions must show up as a conservation deficit: {:?}",
+        compromised.rounds()[1]
+    );
+}
+
+#[test]
+fn replaying_mixer_is_flagged_by_the_conservation_invariant() {
+    use alpenhorn_mixnet::MixMisbehavior;
+    use alpenhorn_scenario::{Action, MailboxConservation, ScenarioBuilder, ScenarioEngine};
+
+    let scenario = ScenarioBuilder::new("replaying-mixer", 85)
+        .population(6)
+        .steps(2)
+        .register(1, 0..6)
+        .at(
+            2,
+            Action::MaliciousMixer {
+                server: 2,
+                misbehavior: MixMisbehavior::ReplayOnions { percent: 80 },
+            },
+        )
+        .build();
+    let mut engine = ScenarioEngine::new(scenario).unwrap();
+    engine.add_checker(Box::new(MailboxConservation));
+    engine.run().unwrap();
+
+    assert!(engine.rounds()[0].violations.is_empty());
+    let report = &engine.rounds()[1];
+    assert!(
+        report.add_friend.final_messages
+            > report.add_friend.client_messages + report.add_friend.total_noise,
+        "replayed onions must inflate the final batch: {report:?}"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.checker == "mailbox-conservation"),
+        "the surplus must be flagged"
+    );
+}
+
+#[test]
+fn reordering_mixer_defeats_the_shuffle_property() {
+    use alpenhorn_mixnet::{wrap_onion, MixAdversary, MixChain, MixMisbehavior, NoiseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Deterministic payload markers and zero noise, as in the mixnet's own
+    // shuffle test: an honest chain emits the batch in an order that is
+    // neither the input order nor sorted; a mixer that "forgets" to shuffle
+    // (sorting its batch) produces fully ordered output, which the
+    // uniform-shuffle spot check rejects.
+    let run = |adversary: Option<MixAdversary>| -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(86);
+        let mut chain = MixChain::new(3, NoiseConfig::deterministic(0.0), [86u8; 32]);
+        chain.set_adversary(adversary);
+        let publics = chain.begin_round();
+        let batch: Vec<Vec<u8>> = (0..64u32)
+            .map(|i| {
+                let env = AddFriendEnvelope {
+                    mailbox: alpenhorn_wire::MailboxId(0),
+                    ciphertext: {
+                        let mut c = vec![0u8; AddFriendEnvelope::CIPHERTEXT_LEN];
+                        c[..4].copy_from_slice(&i.to_be_bytes());
+                        c
+                    },
+                };
+                wrap_onion(&env.encode(), &publics, &mut rng)
+            })
+            .collect();
+        let (mailboxes, _) = chain.run_add_friend_round(batch, 1, &publics);
+        mailboxes
+            .mailbox(alpenhorn_wire::MailboxId(0))
+            .iter()
+            .map(|c| u32::from_be_bytes(c[..4].try_into().unwrap()))
+            .collect()
+    };
+
+    let sorted: Vec<u32> = (0..64).collect();
+    let honest = run(None);
+    assert_ne!(honest, sorted, "an honest chain shuffles");
+
+    let reordered = run(Some(MixAdversary {
+        server: 2,
+        misbehavior: MixMisbehavior::ReorderOnions,
+        seed: 86,
+    }));
+    assert_eq!(
+        reordered, sorted,
+        "the reordering mixer's output is fully ordered — the shuffle check catches it"
+    );
+}

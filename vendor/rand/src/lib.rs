@@ -159,6 +159,241 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore> Rng for R {}
 
+/// Sampling distributions over an [`RngCore`] (the subset of the
+/// `rand_distr` API this workspace uses, kept source-compatible so the real
+/// crate drops in when crates.io is reachable).
+pub mod distributions {
+    use super::{Error, RngCore, Standard};
+
+    /// Types that produce values of `T` when sampled with an RNG.
+    pub trait Distribution<T> {
+        /// Samples a value from `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Zipf distribution over `{1, 2, ..., n}` with exponent `s >= 0`:
+    /// `P(k) ∝ 1 / k^s`. Samples are returned as `f64` holding an integral
+    /// rank in `[1, n]`, matching `rand_distr::Zipf`.
+    ///
+    /// Sampling uses the rejection-inversion method of Hörmann and
+    /// Derflinger ("Rejection-inversion to generate variates from monotone
+    /// discrete distributions"), the same algorithm `rand_distr` and Apache
+    /// Commons use: O(1) per sample, no table allocation, so it scales to
+    /// the 100k-element social graphs the scenario engine draws from.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Zipf {
+        n: f64,
+        s: f64,
+        /// hIntegral(1.5) - 1
+        h_x1: f64,
+        /// hIntegral(n + 0.5)
+        h_n: f64,
+        /// Rejection threshold shortcut: 2 - hIntegralInverse(hIntegral(2.5) - h(2)).
+        threshold: f64,
+    }
+
+    impl Zipf {
+        /// Creates a Zipf distribution over `n` elements with exponent `s`.
+        /// Fails if `n == 0`, or `s` is negative or non-finite.
+        pub fn new(n: u64, s: f64) -> Result<Zipf, Error> {
+            if n == 0 {
+                return Err(Error {
+                    msg: "Zipf: n must be at least 1",
+                });
+            }
+            if s < 0.0 || !s.is_finite() {
+                return Err(Error {
+                    msg: "Zipf: exponent must be finite and non-negative",
+                });
+            }
+            let n_f = n as f64;
+            let h_x1 = h_integral(1.5, s) - 1.0;
+            let h_n = h_integral(n_f + 0.5, s);
+            let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+            Ok(Zipf {
+                n: n_f,
+                s,
+                h_x1,
+                h_n,
+                threshold,
+            })
+        }
+    }
+
+    /// `H(x) = ((x^(1-s)) - 1) / (1 - s)`, continued as `ln(x)` at `s = 1`.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^(-s)`, the unnormalized density.
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of [`h_integral`].
+    fn h_integral_inverse(x: f64, s: f64) -> f64 {
+        let mut t = x * (1.0 - s);
+        if t < -1.0 {
+            // Numerical guard (same as rand_distr): clamp so the root below
+            // stays in domain.
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// `log(1 + x) / x`, stable near zero.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+        }
+    }
+
+    /// `(exp(x) - 1) / x`, stable near zero.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+        }
+    }
+
+    impl Distribution<f64> for Zipf {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            loop {
+                let u = self.h_n + f64::sample_from(rng) * (self.h_x1 - self.h_n);
+                let x = h_integral_inverse(u, self.s);
+                let k = x.clamp(1.0, self.n).round();
+                // Accept if u falls under the histogram bar for k, with the
+                // precomputed threshold shortcut for the common k <= 2 region.
+                if k - x <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                    return k;
+                }
+            }
+        }
+    }
+
+    /// A distribution over indices `0..weights.len()` where index `i` is
+    /// drawn with probability proportional to `weights[i]` (the API shape of
+    /// `rand::distributions::WeightedIndex`, specialized to `f64` weights).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the sampler from non-negative weights. Fails on an empty
+        /// slice, a negative or non-finite weight, or an all-zero total.
+        pub fn new(weights: &[f64]) -> Result<WeightedIndex, Error> {
+            if weights.is_empty() {
+                return Err(Error {
+                    msg: "WeightedIndex: no weights",
+                });
+            }
+            let mut cumulative = Vec::with_capacity(weights.len());
+            let mut total = 0.0f64;
+            for &w in weights {
+                if w < 0.0 || !w.is_finite() {
+                    return Err(Error {
+                        msg: "WeightedIndex: weights must be finite and non-negative",
+                    });
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if total <= 0.0 {
+                return Err(Error {
+                    msg: "WeightedIndex: total weight is zero",
+                });
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let target = f64::sample_from(rng) * self.total;
+            // First index whose cumulative weight exceeds the target;
+            // partition_point keeps zero-weight entries unreachable.
+            self.cumulative
+                .partition_point(|&c| c <= target)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn zipf_stays_in_bounds_and_is_deterministic() {
+            let zipf = Zipf::new(1000, 1.1).unwrap();
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for _ in 0..2000 {
+                let x = zipf.sample(&mut a);
+                assert_eq!(x, zipf.sample(&mut b));
+                assert!((1.0..=1000.0).contains(&x));
+                assert_eq!(x, x.round(), "samples are integral ranks");
+            }
+        }
+
+        #[test]
+        fn zipf_is_head_heavy() {
+            let zipf = Zipf::new(10_000, 1.2).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            let samples = 5000;
+            let head = (0..samples)
+                .filter(|_| zipf.sample(&mut rng) <= 10.0)
+                .count();
+            // With s = 1.2 over 10k elements, well over half the mass sits in
+            // the top ten ranks; 40% is a loose deterministic lower bound.
+            assert!(head * 10 > samples * 4, "head mass too small: {head}");
+        }
+
+        #[test]
+        fn zipf_uniform_when_exponent_zero() {
+            let zipf = Zipf::new(100, 0.0).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            let tail = (0..4000).filter(|_| zipf.sample(&mut rng) > 50.0).count();
+            // Uniform: about half the samples land in the upper half.
+            assert!((1500..=2500).contains(&tail), "tail count: {tail}");
+        }
+
+        #[test]
+        fn zipf_rejects_bad_parameters() {
+            assert!(Zipf::new(0, 1.0).is_err());
+            assert!(Zipf::new(10, -1.0).is_err());
+            assert!(Zipf::new(10, f64::NAN).is_err());
+        }
+
+        #[test]
+        fn weighted_index_respects_weights() {
+            let w = WeightedIndex::new(&[0.0, 3.0, 1.0]).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut counts = [0usize; 3];
+            for _ in 0..4000 {
+                counts[w.sample(&mut rng)] += 1;
+            }
+            assert_eq!(counts[0], 0, "zero-weight index must never be drawn");
+            assert!(counts[1] > counts[2] * 2, "counts: {counts:?}");
+        }
+
+        #[test]
+        fn weighted_index_rejects_bad_weights() {
+            assert!(WeightedIndex::new(&[]).is_err());
+            assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
+            assert!(WeightedIndex::new(&[1.0, -2.0]).is_err());
+            assert!(WeightedIndex::new(&[f64::INFINITY]).is_err());
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct SplitMix64(u64);
 

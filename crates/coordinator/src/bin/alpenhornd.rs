@@ -11,7 +11,7 @@
 //!            [--rate-limit-budget N] [--round-interval-ms MS]
 //!            [--data-dir DIR] [--sync-every N]
 //!            [--read-timeout-ms MS] [--write-timeout-ms MS]
-//!            [--max-connections N]
+//!            [--max-connections N] [--workers N] [--shards N]
 //! ```
 //!
 //! With `--data-dir DIR` the daemon is durable: registrations, PKG key
@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use alpenhorn_coordinator::server::{serve_with_config, ServerConfig};
 use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
-use alpenhorn_coordinator::{Cluster, ClusterConfig};
+use alpenhorn_coordinator::{Cluster, ClusterConfig, SharedCoordinator};
 use alpenhorn_storage::StorageConfig;
 use alpenhorn_wire::{Request, Response};
 
@@ -50,6 +50,8 @@ struct Options {
     read_timeout_ms: Option<u64>,
     write_timeout_ms: Option<u64>,
     max_connections: Option<usize>,
+    workers: Option<usize>,
+    shards: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -58,7 +60,7 @@ fn usage() -> ! {
          \x20                 [--rate-limit-budget N] [--round-interval-ms MS]\n\
          \x20                 [--data-dir DIR] [--sync-every N]\n\
          \x20                 [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
-         \x20                 [--max-connections N]"
+         \x20                 [--max-connections N] [--workers N] [--shards N]"
     );
     std::process::exit(2)
 }
@@ -76,6 +78,8 @@ fn parse_options() -> Options {
         read_timeout_ms: None,
         write_timeout_ms: None,
         max_connections: None,
+        workers: None,
+        shards: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -131,6 +135,12 @@ fn parse_options() -> Options {
                         .unwrap_or_else(|_| usage()),
                 )
             }
+            "--workers" => {
+                options.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--shards" => {
+                options.shards = Some(value("--shards").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("alpenhornd: unknown flag {other}");
@@ -141,15 +151,11 @@ fn parse_options() -> Options {
     options
 }
 
-/// Issues one admin request on the shared service, logging server-side
-/// errors (round-lifecycle hiccups must not kill the daemon).
-fn admin(
-    service: &std::sync::Arc<std::sync::Mutex<CoordinatorService>>,
-    what: &str,
-    request: Request,
-) -> Option<Response> {
-    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
-    match svc.handle(request) {
+/// Issues one admin request on the shared coordinator (the same concurrent
+/// dispatch remote admin RPCs take), logging server-side errors
+/// (round-lifecycle hiccups must not kill the daemon).
+fn admin(shared: &SharedCoordinator, what: &str, request: Request) -> Option<Response> {
+    match shared.handle(request) {
         Response::Error(e) => {
             eprintln!("alpenhornd: {what}: {e}");
             None
@@ -164,6 +170,9 @@ fn main() {
         num_pkgs: options.num_pkgs,
         num_mix_servers: options.num_mix_servers,
         seed: [options.seed; 32],
+        intake_shards: options
+            .shards
+            .unwrap_or(ClusterConfig::default().intake_shards),
         ..ClusterConfig::default()
     };
     let service_config = ServiceConfig {
@@ -225,6 +234,9 @@ fn main() {
     }
     if let Some(cap) = options.max_connections {
         server_config.max_connections = cap;
+    }
+    if let Some(workers) = options.workers {
+        server_config.worker_threads = workers;
     }
 
     let handle = match serve_with_config(service, options.listen.as_str(), server_config) {
@@ -309,7 +321,7 @@ fn main() {
                     );
                 }
                 {
-                    let mut svc = service.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut svc = service.write();
                     svc.advance_clock(interval.as_secs().max(1));
                     round = svc.next_round();
                 }

@@ -7,18 +7,66 @@
 //! which the evaluation harness uses for the client-bandwidth figures.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use alpenhorn_bloom::BloomFilter;
 use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes};
 use alpenhorn_wire::{MailboxId, Round};
 
+/// Download accounting shared between the CDN and every read-path snapshot
+/// serving fetches from it, so concurrent lock-free downloads still show up
+/// in the evaluation harness's bandwidth figures.
+#[derive(Default, Debug)]
+pub struct CdnStats {
+    bytes_served: AtomicU64,
+    downloads: AtomicU64,
+}
+
+impl CdnStats {
+    fn serve(&self, bytes: u64) {
+        self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
+        self.downloads.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The simulated CDN.
+///
+/// Published mailboxes are immutable and `Arc`-shared: a read-path snapshot
+/// ([`crate::shared`]) clones the maps cheaply and serves downloads without
+/// any coordinator lock, charging the shared [`CdnStats`].
 #[derive(Default)]
 pub struct Cdn {
-    add_friend: HashMap<u64, AddFriendMailboxes>,
-    dialing: HashMap<u64, DialingMailboxes>,
-    bytes_served: u64,
-    downloads: u64,
+    add_friend: HashMap<u64, Arc<AddFriendMailboxes>>,
+    dialing: HashMap<u64, Arc<DialingMailboxes>>,
+    stats: Arc<CdnStats>,
+}
+
+/// Serves one add-friend mailbox download from a published round, charging
+/// `stats`. Shared by [`Cdn::fetch_add_friend_mailbox`] and the lock-free
+/// snapshot path.
+pub(crate) fn serve_add_friend(
+    boxes: &AddFriendMailboxes,
+    mailbox: MailboxId,
+    stats: &CdnStats,
+) -> Vec<Vec<u8>> {
+    let contents = boxes.mailbox(mailbox).to_vec();
+    let bytes: usize = contents.iter().map(|c| c.len()).sum();
+    stats.serve(bytes as u64);
+    contents
+}
+
+/// Serves one dialing mailbox download from a published round, charging
+/// `stats`. Shared by [`Cdn::fetch_dialing_mailbox`] and the lock-free
+/// snapshot path.
+pub(crate) fn serve_dialing(
+    boxes: &DialingMailboxes,
+    mailbox: MailboxId,
+    stats: &CdnStats,
+) -> Option<BloomFilter> {
+    let filter = boxes.mailbox(mailbox)?.clone();
+    stats.serve(filter.encoded_len() as u64);
+    Some(filter)
 }
 
 impl Cdn {
@@ -29,12 +77,27 @@ impl Cdn {
 
     /// Publishes the add-friend mailboxes for `round`.
     pub fn publish_add_friend(&mut self, round: Round, mailboxes: AddFriendMailboxes) {
-        self.add_friend.insert(round.0, mailboxes);
+        self.add_friend.insert(round.0, Arc::new(mailboxes));
     }
 
     /// Publishes the dialing mailboxes for `round`.
     pub fn publish_dialing(&mut self, round: Round, mailboxes: DialingMailboxes) {
-        self.dialing.insert(round.0, mailboxes);
+        self.dialing.insert(round.0, Arc::new(mailboxes));
+    }
+
+    /// The published add-friend rounds, `Arc`-shared for snapshots.
+    pub(crate) fn add_friend_rounds(&self) -> HashMap<u64, Arc<AddFriendMailboxes>> {
+        self.add_friend.clone()
+    }
+
+    /// The published dialing rounds, `Arc`-shared for snapshots.
+    pub(crate) fn dialing_rounds(&self) -> HashMap<u64, Arc<DialingMailboxes>> {
+        self.dialing.clone()
+    }
+
+    /// The shared download-accounting counters.
+    pub(crate) fn stats(&self) -> Arc<CdnStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Downloads one add-friend mailbox: the list of IBE ciphertexts.
@@ -44,11 +107,7 @@ impl Cdn {
         mailbox: MailboxId,
     ) -> Option<Vec<Vec<u8>>> {
         let boxes = self.add_friend.get(&round.0)?;
-        let contents = boxes.mailbox(mailbox).to_vec();
-        let bytes: usize = contents.iter().map(|c| c.len()).sum();
-        self.bytes_served += bytes as u64;
-        self.downloads += 1;
-        Some(contents)
+        Some(serve_add_friend(boxes, mailbox, &self.stats))
     }
 
     /// Downloads one dialing mailbox: the Bloom filter of dial tokens.
@@ -58,10 +117,7 @@ impl Cdn {
         mailbox: MailboxId,
     ) -> Option<BloomFilter> {
         let boxes = self.dialing.get(&round.0)?;
-        let filter = boxes.mailbox(mailbox)?.clone();
-        self.bytes_served += filter.encoded_len() as u64;
-        self.downloads += 1;
-        Some(filter)
+        serve_dialing(boxes, mailbox, &self.stats)
     }
 
     /// Size in bytes of one add-friend mailbox (without downloading it).
@@ -83,14 +139,16 @@ impl Cdn {
         self.dialing.retain(|r, _| *r >= keep_from.0);
     }
 
-    /// Total bytes served to clients so far.
+    /// Total bytes served to clients so far (including snapshot-path
+    /// downloads).
     pub fn bytes_served(&self) -> u64 {
-        self.bytes_served
+        self.stats.bytes_served.load(Ordering::Relaxed)
     }
 
-    /// Total number of mailbox downloads served.
+    /// Total number of mailbox downloads served (including snapshot-path
+    /// downloads).
     pub fn downloads(&self) -> u64 {
-        self.downloads
+        self.stats.downloads.load(Ordering::Relaxed)
     }
 }
 

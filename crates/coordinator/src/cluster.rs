@@ -11,7 +11,6 @@
 //! 3. submit exactly one fixed-size onion per round (real or cover),
 //! 4. after the round closes, download their mailbox from the CDN and scan it.
 
-use alpenhorn_crypto::sha256;
 use alpenhorn_ibe::anytrust::aggregate_master_publics;
 use alpenhorn_ibe::bf::MasterPublic;
 use alpenhorn_ibe::dh::DhPublic;
@@ -20,9 +19,12 @@ use alpenhorn_mixnet::{MailboxPolicy, MixChain, NoiseConfig, RoundStats};
 use alpenhorn_pkg::{ExtractResponse, PkgServer, SimulatedMail};
 use alpenhorn_wire::{AddFriendEnvelope, Identity, Round, DIAL_REQUEST_LEN, ONION_LAYER_OVERHEAD};
 
+use std::sync::Arc;
+
 use crate::cdn::Cdn;
 use crate::error::CoordinatorError;
 use crate::rounds::RoundTiming;
+use crate::shard::{Offer, SubmissionIntake};
 
 /// Configuration for building a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -42,6 +44,10 @@ pub struct ClusterConfig {
     pub timing: RoundTiming,
     /// Master seed for all server randomness (reproducible experiments).
     pub seed: [u8; 32],
+    /// Number of submission-intake shards per open round (see
+    /// [`crate::shard`]). The sealed batch is canonical-ordered, so this is
+    /// a pure concurrency knob: any value produces byte-identical rounds.
+    pub intake_shards: usize,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +60,7 @@ impl Default for ClusterConfig {
             mailbox_policy: MailboxPolicy::default(),
             timing: RoundTiming::default(),
             seed: [0u8; 32],
+            intake_shards: 8,
         }
     }
 }
@@ -85,6 +92,7 @@ impl ClusterConfig {
             },
             timing: RoundTiming::default(),
             seed: [seed; 32],
+            intake_shards: 8,
         }
     }
 }
@@ -121,22 +129,22 @@ pub struct DialingRoundInfo {
 
 struct OpenRound<Info> {
     info: Info,
-    batch: Vec<Vec<u8>>,
-    /// SHA-256 of every onion accepted this round. Submissions are
-    /// content-addressed: a byte-identical resend (a client retrying after a
-    /// lost response, or a duplicated frame) is recognized and accepted
-    /// without entering the batch twice, which is what makes the submit RPCs
-    /// retry-idempotent end to end. Distinct submissions never collide: every
-    /// onion is freshly encrypted, so equal bytes means the same submission.
-    seen: std::collections::HashSet<[u8; 32]>,
+    /// Sharded, content-addressed intake for this round's onions. A
+    /// byte-identical resend (a client retrying after a lost response, or a
+    /// duplicated frame) is recognized and accepted without entering the
+    /// batch twice, which is what makes the submit RPCs retry-idempotent end
+    /// to end; distinct submissions never collide, because every onion is
+    /// freshly encrypted. Held in an `Arc` so read-path snapshots can accept
+    /// submissions concurrently with the exclusive-path RPCs (see
+    /// [`crate::shared`]); sealing at round close makes the handoff exact.
+    intake: Arc<SubmissionIntake>,
 }
 
 impl<Info> OpenRound<Info> {
-    fn new(info: Info) -> Self {
+    fn new(info: Info, shards: usize) -> Self {
         OpenRound {
             info,
-            batch: Vec::new(),
-            seen: std::collections::HashSet::new(),
+            intake: Arc::new(SubmissionIntake::new(shards)),
         }
     }
 }
@@ -211,6 +219,11 @@ impl Cluster {
         &mut self.cdn
     }
 
+    /// Read-only CDN access for snapshot capture ([`crate::shared`]).
+    pub(crate) fn cdn_ref(&self) -> &Cdn {
+        &self.cdn
+    }
+
     /// Installs (or with `None` removes) a scripted [`MixAdversary`] on the
     /// chain serving `protocol` — the coordinator-level control surface for
     /// malicious-mixer scenarios. Honest operation is unchanged while no
@@ -256,6 +269,22 @@ impl Cluster {
     /// Parameters of the currently open dialing round, if one is open.
     pub fn open_dialing_info(&self) -> Option<&DialingRoundInfo> {
         self.open_dialing.as_ref().map(|open| &open.info)
+    }
+
+    /// The open add-friend round's submission intake, shared for concurrent
+    /// offers from read-path snapshots.
+    pub fn open_add_friend_intake(&self) -> Option<Arc<SubmissionIntake>> {
+        self.open_add_friend
+            .as_ref()
+            .map(|open| Arc::clone(&open.intake))
+    }
+
+    /// The open dialing round's submission intake, shared for concurrent
+    /// offers from read-path snapshots.
+    pub fn open_dialing_intake(&self) -> Option<Arc<SubmissionIntake>> {
+        self.open_dialing
+            .as_ref()
+            .map(|open| Arc::clone(&open.intake))
     }
 
     // ------------------------------------------------------------------
@@ -454,7 +483,7 @@ impl Cluster {
             num_mailboxes,
             onion_len,
         };
-        self.open_add_friend = Some(OpenRound::new(info.clone()));
+        self.open_add_friend = Some(OpenRound::new(info.clone(), self.config.intake_shards));
         Ok(info)
     }
 
@@ -496,19 +525,22 @@ impl Cluster {
                 actual: onion.len(),
             });
         }
-        if open.seen.insert(sha256::digest(&onion)) {
-            open.batch.push(onion);
+        match open.intake.offer(&onion) {
+            Offer::Accepted | Offer::Duplicate => Ok(()),
+            // Unreachable through `&mut self` (sealing happens at close,
+            // which also clears the slot), but a stale snapshot's intake
+            // answers the same way, so keep the mapping total.
+            Offer::Sealed => Err(CoordinatorError::RoundNotOpen { requested: round }),
         }
-        Ok(())
     }
 
     /// Whether a byte-identical onion was already accepted for the open
     /// add-friend round — i.e. this submission is a retry/replay of one the
     /// round already holds.
     pub fn already_submitted_add_friend(&self, round: Round, onion: &[u8]) -> bool {
-        self.open_add_friend.as_ref().is_some_and(|open| {
-            open.info.round == round && open.seen.contains(&sha256::digest(onion))
-        })
+        self.open_add_friend
+            .as_ref()
+            .is_some_and(|open| open.info.round == round && open.intake.contains(onion))
     }
 
     /// Closes the open add-friend round: runs the mixnet, publishes the
@@ -525,7 +557,7 @@ impl Cluster {
             return Err(CoordinatorError::RoundNotOpen { requested: round });
         }
         let (mailboxes, stats) = self.add_friend_chain.run_add_friend_round(
-            open.batch,
+            open.intake.seal(),
             open.info.num_mailboxes,
             &open.info.onion_keys,
         );
@@ -562,7 +594,7 @@ impl Cluster {
             num_mailboxes,
             onion_len,
         };
-        self.open_dialing = Some(OpenRound::new(info.clone()));
+        self.open_dialing = Some(OpenRound::new(info.clone(), self.config.intake_shards));
         Ok(info)
     }
 
@@ -581,18 +613,21 @@ impl Cluster {
                 actual: onion.len(),
             });
         }
-        if open.seen.insert(sha256::digest(&onion)) {
-            open.batch.push(onion);
+        match open.intake.offer(&onion) {
+            Offer::Accepted | Offer::Duplicate => Ok(()),
+            // Unreachable through `&mut self` (sealing happens at close,
+            // which also clears the slot), but a stale snapshot's intake
+            // answers the same way, so keep the mapping total.
+            Offer::Sealed => Err(CoordinatorError::RoundNotOpen { requested: round }),
         }
-        Ok(())
     }
 
     /// Whether a byte-identical onion was already accepted for the open
     /// dialing round.
     pub fn already_submitted_dialing(&self, round: Round, onion: &[u8]) -> bool {
-        self.open_dialing.as_ref().is_some_and(|open| {
-            open.info.round == round && open.seen.contains(&sha256::digest(onion))
-        })
+        self.open_dialing
+            .as_ref()
+            .is_some_and(|open| open.info.round == round && open.intake.contains(onion))
     }
 
     /// Closes the open dialing round: runs the mixnet, publishes the Bloom
@@ -607,7 +642,7 @@ impl Cluster {
             return Err(CoordinatorError::RoundNotOpen { requested: round });
         }
         let (mailboxes, stats) = self.dialing_chain.run_dialing_round(
-            open.batch,
+            open.intake.seal(),
             open.info.num_mailboxes,
             &open.info.onion_keys,
         );

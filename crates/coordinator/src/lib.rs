@@ -22,6 +22,8 @@ pub mod ratelimit;
 pub mod rounds;
 pub mod server;
 pub mod service;
+pub mod shard;
+pub mod shared;
 
 pub use cdn::Cdn;
 pub use cluster::{AddFriendRoundInfo, Cluster, ClusterConfig, DialingRoundInfo};
@@ -31,3 +33,5 @@ pub use ratelimit::{TokenIssuer, TokenVerifier};
 pub use rounds::RoundTiming;
 pub use server::{serve, ServerHandle};
 pub use service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
+pub use shard::SubmissionIntake;
+pub use shared::{ServiceWriteGuard, SharedCoordinator};

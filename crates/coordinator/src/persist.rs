@@ -58,7 +58,10 @@ pub struct CoordinatorCore {
     /// Rate-limit token issuance (per-user daily budgets), when enabled.
     pub issuer: Option<TokenIssuer>,
     /// Rate-limit spend verification (double-spend ledger), when enabled.
-    pub verifier: Option<TokenVerifier>,
+    /// Shared behind an `Arc` so read-path snapshots ([`crate::shared`]) can
+    /// spend tokens concurrently — every [`TokenVerifier`] method takes
+    /// `&self` over a lock-striped ledger.
+    pub verifier: Option<std::sync::Arc<TokenVerifier>>,
     /// The next round an automatic round driver should open (one past the
     /// highest round ever begun).
     pub next_round: Round,

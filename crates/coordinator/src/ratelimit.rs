@@ -22,7 +22,9 @@
 //! discussion-level defence).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 
+use alpenhorn_crypto::sha256;
 use alpenhorn_ibe::blind::{sign_blinded, verify_token, BlindedMessage, BlindedSignature};
 use alpenhorn_ibe::sig::{Signature, SigningKey, VerifyingKey};
 use alpenhorn_wire::rpc::RATE_LIMIT_SERIAL_LEN;
@@ -181,10 +183,20 @@ impl TokenIssuer {
     }
 }
 
+/// Number of independent locks striping the spent-token ledger.
+const SPENT_STRIPES: usize = 16;
+
 /// Entry-server side: verifies spent tokens and rejects double spends.
+///
+/// The spent ledger is striped across [`SPENT_STRIPES`] independently-locked
+/// sets keyed by token digest, so every method takes `&self` and concurrent
+/// submission shards can spend tokens without funnelling through the service
+/// write lock. The double-spend check stays global: a given token always
+/// lands in the same stripe. [`TokenVerifier::spent_entries`] sorts across
+/// stripes, so snapshots are byte-identical to the unstriped encoding.
 pub struct TokenVerifier {
     issuer_key: VerifyingKey,
-    spent: HashSet<[u8; 48]>,
+    spent: Vec<Mutex<HashSet<[u8; 48]>>>,
 }
 
 impl TokenVerifier {
@@ -192,18 +204,31 @@ impl TokenVerifier {
     pub fn new(issuer_key: VerifyingKey) -> Self {
         TokenVerifier {
             issuer_key,
-            spent: HashSet::new(),
+            spent: (0..SPENT_STRIPES)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
         }
+    }
+
+    /// The stripe a token belongs to. Hashing (rather than slicing the raw
+    /// signature bytes) keeps the distribution uniform even when signatures
+    /// share structure, as the vendored mock pairing's do.
+    fn stripe(&self, token: &[u8; 48]) -> std::sync::MutexGuard<'_, HashSet<[u8; 48]>> {
+        let digest = sha256::digest(token);
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&digest[..8]);
+        let index = (u64::from_be_bytes(prefix) % self.spent.len() as u64) as usize;
+        self.spent[index].lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Checks a spent token over `message` (typically the round number plus a
     /// client-chosen random serial embedded in the token message) and records
     /// it so it cannot be spent twice.
-    pub fn spend(&mut self, message: &[u8], token: &Signature) -> Result<(), RateLimitError> {
+    pub fn spend(&self, message: &[u8], token: &Signature) -> Result<(), RateLimitError> {
         if !verify_token(&self.issuer_key, message, token) {
             return Err(RateLimitError::InvalidToken);
         }
-        if !self.spent.insert(token.to_bytes()) {
+        if !self.stripe(&token.to_bytes()).insert(token.to_bytes()) {
             return Err(RateLimitError::DoubleSpend);
         }
         Ok(())
@@ -211,14 +236,19 @@ impl TokenVerifier {
 
     /// Number of tokens spent so far in this window.
     pub fn spent_count(&self) -> usize {
-        self.spent.len()
+        self.spent
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
     }
 
     /// Clears the double-spend ledger (called when the validity window rolls
     /// over; tokens embed the window in their message so old tokens cannot be
     /// replayed into the new window).
-    pub fn roll_window(&mut self) {
-        self.spent.clear();
+    pub fn roll_window(&self) {
+        for stripe in &self.spent {
+            stripe.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -228,22 +258,32 @@ impl TokenVerifier {
     /// Iterates the spent-token ledger in deterministic order. Persisting it
     /// is what keeps "already spent" true across a coordinator restart — the
     /// crash would otherwise reopen every spent token for double spending.
-    pub fn spent_entries(&self) -> impl Iterator<Item = [u8; 48]> + '_ {
-        let mut entries: Vec<[u8; 48]> = self.spent.iter().copied().collect();
+    pub fn spent_entries(&self) -> impl Iterator<Item = [u8; 48]> {
+        let mut entries: Vec<[u8; 48]> = self
+            .spent
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .iter()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         entries.sort();
         entries.into_iter()
     }
 
     /// Re-records one spent token during crash recovery.
-    pub fn restore_spent(&mut self, token: [u8; 48]) {
-        self.spent.insert(token);
+    pub fn restore_spent(&self, token: [u8; 48]) {
+        self.stripe(&token).insert(token);
     }
 
     /// Rolls back a [`TokenVerifier::spend`] whose surrounding operation
     /// failed after the ledger insert (e.g. the journal append), so the
     /// client's retry with the same token is not punished as a double spend.
-    pub fn forget_spent(&mut self, token: &[u8; 48]) {
-        self.spent.remove(token);
+    pub fn forget_spent(&self, token: &[u8; 48]) {
+        self.stripe(token).remove(token);
     }
 }
 
@@ -266,7 +306,7 @@ mod tests {
 
     #[test]
     fn issue_spend_happy_path() {
-        let (mut issuer, mut verifier, mut rng) = setup(3);
+        let (mut issuer, verifier, mut rng) = setup(3);
         let alice = id("alice@example.com");
         let message = b"round 7, serial 0xabcdef";
         let (blinded, factor) = blind(message, &mut rng);
@@ -330,7 +370,7 @@ mod tests {
 
     #[test]
     fn double_spend_rejected() {
-        let (mut issuer, mut verifier, mut rng) = setup(5);
+        let (mut issuer, verifier, mut rng) = setup(5);
         let message = b"round 9, serial 1";
         let (blinded, factor) = blind(message, &mut rng);
         let token = unblind(&issuer.issue(&id("a@x.com"), &blinded, 0).unwrap(), &factor);
@@ -347,7 +387,7 @@ mod tests {
 
     #[test]
     fn forged_tokens_rejected() {
-        let (_, mut verifier, mut rng) = setup(5);
+        let (_, verifier, mut rng) = setup(5);
         // A token signed by someone other than the issuer.
         let rogue = SigningKey::generate(&mut rng);
         let message = b"round 1, serial 7";
@@ -360,10 +400,44 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_spends_produce_the_sequential_ledger() {
+        // PR 8 determinism contract (`docs/CONCURRENCY.md`): the striped
+        // ledger reports entries in canonical order, so the persist-layer
+        // snapshot is byte-identical however spends interleave.
+        let (mut issuer, concurrent, mut rng) = setup(32);
+        let sequential = TokenVerifier::new(issuer.verifying_key());
+        let tokens: Vec<(Vec<u8>, Signature)> = (0..16)
+            .map(|i| {
+                let message = format!("round 4, serial {i}").into_bytes();
+                let (blinded, factor) = blind(&message, &mut rng);
+                let token = unblind(&issuer.issue(&id("a@x.com"), &blinded, 0).unwrap(), &factor);
+                (message, token)
+            })
+            .collect();
+        for (message, token) in &tokens {
+            sequential.spend(message, token).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for chunk in tokens.chunks(4) {
+                let concurrent = &concurrent;
+                scope.spawn(move || {
+                    for (message, token) in chunk {
+                        concurrent.spend(message, token).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            concurrent.spent_entries().collect::<Vec<_>>(),
+            sequential.spent_entries().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn issuer_cannot_link_token_to_issuance() {
         // Structural unlinkability check: the blinded message the issuer sees
         // shares no bytes with the token that is later spent.
-        let (mut issuer, mut verifier, mut rng) = setup(5);
+        let (mut issuer, verifier, mut rng) = setup(5);
         let message = b"round 3, serial 99";
         let (blinded, factor) = blind(message, &mut rng);
         let blind_sig = issuer.issue(&id("a@x.com"), &blinded, 0).unwrap();

@@ -1,21 +1,34 @@
-//! A threaded TCP server exposing a [`CoordinatorService`] to the network.
+//! A TCP server exposing a [`SharedCoordinator`] to the network.
 //!
-//! This is the daemon half of the `alpenhornd` deployment: an accept loop
-//! hands each connection to its own thread, and every request on every
-//! connection funnels through the shared service behind a mutex, so the
-//! dispatch semantics are identical to the in-process loopback path. Clients
-//! speak the framed RPC protocol ([`alpenhorn_wire::rpc`] inside
-//! [`alpenhorn_wire::Frame`]); a connection that sends an undecodable frame
-//! gets a typed error reply and is then dropped.
+//! This is the daemon half of the `alpenhornd` deployment. The design is an
+//! event-loop-style split between I/O and dispatch:
 //!
-//! The `Cluster` behind the service is single-state (rounds are global), so a
-//! mutex — not sharding — is the right concurrency model: submissions are
-//! order-independent within a round and the expensive work (the mixnet run at
-//! round close) is already internally parallel.
+//! * the **accept loop** admits connections up to `max_connections`, shedding
+//!   the excess with a retryable typed error (PR 6 semantics, unchanged);
+//! * each admitted connection gets a thin **reader thread** that does blocking
+//!   frame I/O only — it never touches coordinator state;
+//! * decoded request payloads flow through a bounded [`DispatchQueue`] into a
+//!   fixed pool of **worker threads**, each calling
+//!   [`SharedCoordinator::handle_request_bytes`]. Read-mostly RPCs are served
+//!   from the lock-free snapshot, submissions hit only an intake shard and a
+//!   verifier stripe, and exclusive RPCs serialize on the service write lock
+//!   — so the worker pool actually runs requests in parallel instead of
+//!   convoying behind one service mutex as the previous thread-per-connection
+//!   build did.
+//!
+//! One request is in flight per connection at a time (the RPC protocol is
+//! strict request/response), so per-connection ordering is preserved; the
+//! bounded queue applies backpressure instead of letting a flood of decoded
+//! requests grow an unbounded backlog. Clients speak the framed RPC protocol
+//! ([`alpenhorn_wire::rpc`] inside [`alpenhorn_wire::Frame`]); a connection
+//! that sends an undecodable frame gets a typed error reply and is then
+//! dropped.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -23,18 +36,20 @@ use alpenhorn_wire::codec::FrameIoError;
 use alpenhorn_wire::Frame;
 
 use crate::service::CoordinatorService;
+use crate::shared::SharedCoordinator;
 
-/// Tuning knobs for [`serve_with_config`]: per-connection I/O timeouts and
-/// the accept-loop overload policy.
+/// Tuning knobs for [`serve_with_config`]: per-connection I/O timeouts, the
+/// accept-loop overload policy, and the dispatch pool shape.
 ///
 /// The defaults keep a daemon healthy under hostile or flaky peers: a client
-/// that stops reading or writing cannot pin a connection thread forever, and
-/// intake beyond `max_connections` is answered with a retryable
+/// that stops reading or writing cannot pin a reader thread forever, intake
+/// beyond `max_connections` is answered with a retryable
 /// [`alpenhorn_wire::RpcError::Unavailable`] (carrying a retry-after hint)
-/// instead of queueing unboundedly.
+/// instead of queueing unboundedly, and the dispatch queue bounds how many
+/// decoded requests can be buffered ahead of the workers.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// How long a connection thread waits for the next request frame before
+    /// How long a reader thread waits for the next request frame before
     /// dropping the connection. `None` waits forever (pre-PR 6 behaviour).
     pub read_timeout: Option<Duration>,
     /// How long a blocked response write may stall before the connection is
@@ -45,6 +60,12 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// The retry-after hint (milliseconds) carried in shed replies.
     pub shed_retry_after_ms: u32,
+    /// Worker threads executing requests (minimum 1). Readers outnumbering
+    /// workers is fine: readers only block on I/O.
+    pub worker_threads: usize,
+    /// Bounded depth of the request dispatch queue (minimum 1). A full queue
+    /// blocks readers — backpressure — rather than buffering unboundedly.
+    pub dispatch_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,20 +75,105 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_connections: 1024,
             shed_retry_after_ms: 200,
+            worker_threads: 4,
+            dispatch_queue_depth: 256,
         }
+    }
+}
+
+/// One unit of work: a decoded request payload plus the channel that routes
+/// the encoded response back to the connection's reader thread.
+struct Job {
+    payload: Vec<u8>,
+    reply: SyncSender<Vec<u8>>,
+}
+
+/// A bounded multi-producer/multi-consumer queue of [`Job`]s, hand-rolled on
+/// `Mutex` + `Condvar` (the vendored `parking_lot` has no condvar). `push`
+/// blocks while full; `pop` blocks while empty; `close` wakes everyone so
+/// shutdown cannot deadlock.
+struct DispatchQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    depth: usize,
+    closed: bool,
+}
+
+impl DispatchQueue {
+    fn new(depth: usize) -> Self {
+        DispatchQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                depth: depth.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one job, blocking while the queue is full. `Err` means the
+    /// queue closed (server shutdown); the job is handed back.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if state.closed {
+                return Err(job);
+            }
+            if state.jobs.len() < state.depth {
+                state.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Dequeues one job, blocking while the queue is empty. `None` means the
+    /// queue closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushers start failing, poppers drain and exit.
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 }
 
 /// A handle to a running RPC server.
 ///
 /// Dropping the handle does **not** stop the server; call
-/// [`ServerHandle::shutdown`] to stop accepting connections and join the
-/// accept thread. Connection threads exit when their peer disconnects.
+/// [`ServerHandle::shutdown`] to stop accepting connections, drain the worker
+/// pool, and join the accept and worker threads. Reader threads exit when
+/// their peer disconnects.
 pub struct ServerHandle {
     local_addr: SocketAddr,
-    service: Arc<Mutex<CoordinatorService>>,
+    shared: SharedCoordinator,
+    queue: Arc<DispatchQueue>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -76,14 +182,17 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// The shared service, for server-side inspection (e.g. reading round
-    /// statistics or driving the simulated clock from tests).
-    pub fn service(&self) -> Arc<Mutex<CoordinatorService>> {
-        Arc::clone(&self.service)
+    /// The shared coordinator, for server-side inspection and round driving
+    /// (e.g. reading round statistics or advancing the simulated clock from
+    /// tests). Exclusive access goes through [`SharedCoordinator::write`].
+    pub fn service(&self) -> SharedCoordinator {
+        self.shared.clone()
     }
 
-    /// Stops accepting new connections and joins the accept thread. Existing
-    /// connections are serviced until their peers disconnect.
+    /// Stops accepting new connections, drains and joins the worker pool,
+    /// and joins the accept thread. Reader threads for existing connections
+    /// exit when their peers disconnect (in-flight pushes fail once the
+    /// queue closes).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -91,23 +200,15 @@ impl ServerHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }
 
-/// Locks the service, recovering from a poisoned mutex: a panicking
-/// connection thread must not take the whole daemon down with it.
-fn lock_service(
-    service: &Arc<Mutex<CoordinatorService>>,
-) -> std::sync::MutexGuard<'_, CoordinatorService> {
-    service
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 /// Serves `service` on `addr` (use port 0 for an ephemeral port), returning
-/// once the listener is bound and accepting. Each connection runs in its own
-/// thread; requests across all connections are serialized through the
-/// service mutex.
+/// once the listener is bound and accepting.
 pub fn serve(
     service: CoordinatorService,
     addr: impl ToSocketAddrs,
@@ -115,19 +216,44 @@ pub fn serve(
     serve_with_config(service, addr, ServerConfig::default())
 }
 
-/// [`serve`] with explicit timeout and overload-shedding configuration.
+/// [`serve`] with explicit timeout, shedding, and worker-pool configuration.
 pub fn serve_with_config(
     service: CoordinatorService,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_shared(SharedCoordinator::new(service), addr, config)
+}
+
+/// Serves an existing [`SharedCoordinator`] — the entry point when the
+/// caller (daemon, tests) also drives rounds through the same handle.
+pub fn serve_shared(
+    shared: SharedCoordinator,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let service = Arc::new(Mutex::new(service));
     let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(DispatchQueue::new(config.dispatch_queue_depth));
 
-    let accept_service = Arc::clone(&service);
+    let workers = (0..config.worker_threads.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let response = shared.handle_request_bytes(&job.payload);
+                    // A dead receiver means the connection is gone; the
+                    // response has nowhere to go, which is fine.
+                    let _ = job.reply.send(response);
+                }
+            })
+        })
+        .collect();
+
     let accept_stop = Arc::clone(&stop);
+    let accept_queue = Arc::clone(&queue);
     let active = Arc::new(AtomicUsize::new(0));
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
@@ -135,7 +261,7 @@ pub fn serve_with_config(
                 break;
             }
             let Ok(stream) = stream else { continue };
-            // Overload shedding happens here, before a thread is spawned:
+            // Overload shedding happens here, before a reader is spawned:
             // the daemon's intake pressure is answered with a typed
             // retryable error, never with an unbounded backlog.
             if active.load(Ordering::SeqCst) >= config.max_connections {
@@ -143,11 +269,11 @@ pub fn serve_with_config(
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
-            let service = Arc::clone(&accept_service);
+            let queue = Arc::clone(&accept_queue);
             let active = Arc::clone(&active);
             let config = config.clone();
             std::thread::spawn(move || {
-                serve_connection(stream, service, &config);
+                serve_connection(stream, &queue, &config);
                 active.fetch_sub(1, Ordering::SeqCst);
             });
         }
@@ -155,9 +281,11 @@ pub fn serve_with_config(
 
     Ok(ServerHandle {
         local_addr,
-        service,
+        shared,
+        queue,
         stop,
         accept_thread: Some(accept_thread),
+        workers,
     })
 }
 
@@ -176,19 +304,27 @@ fn shed_connection(mut stream: TcpStream, retry_after_ms: u32) {
 }
 
 /// Services one connection until the peer disconnects, stalls past the I/O
-/// timeouts, or sends an undecodable frame.
-fn serve_connection(
-    mut stream: TcpStream,
-    service: Arc<Mutex<CoordinatorService>>,
-    config: &ServerConfig,
-) {
+/// timeouts, sends an undecodable frame, or the server shuts down. Pure I/O:
+/// every request is executed by the worker pool.
+fn serve_connection(mut stream: TcpStream, queue: &DispatchQueue, config: &ServerConfig) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(config.read_timeout);
     let _ = stream.set_write_timeout(config.write_timeout);
     loop {
         match Frame::read_from(&mut stream) {
             Ok(payload) => {
-                let response = lock_service(&service).handle_request_bytes(&payload);
+                // One in-flight request per connection: hand the payload to
+                // the pool and wait for its response before reading the next
+                // frame, preserving per-connection ordering.
+                let (reply, response) = std::sync::mpsc::sync_channel(1);
+                if queue.push(Job { payload, reply }).is_err() {
+                    // Server shutting down.
+                    return;
+                }
+                let Ok(response) = response.recv() else {
+                    // Worker pool gone (shutdown drained the queue).
+                    return;
+                };
                 if Frame::write_to(&mut stream, &response).is_err() {
                     return;
                 }
@@ -214,7 +350,7 @@ fn serve_connection(
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, ClusterConfig};
-    use alpenhorn_wire::{Request, Response};
+    use alpenhorn_wire::{Request, Response, Round};
 
     fn roundtrip(stream: &mut TcpStream, request: &Request) -> Response {
         Frame::write_to(stream, &request.encode()).unwrap();
@@ -255,6 +391,72 @@ mod tests {
             Response::decode(&payload).unwrap(),
             Response::Error(alpenhorn_wire::RpcError::BadRequest { .. })
         ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_share_one_deployment() {
+        // Many connections, few workers, tiny queue: exercises backpressure
+        // and proves all submissions land in the one shared round.
+        let service = CoordinatorService::new(Cluster::new(ClusterConfig::test(72)));
+        let handle = serve_with_config(
+            service,
+            "127.0.0.1:0",
+            ServerConfig {
+                worker_threads: 2,
+                dispatch_queue_depth: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+
+        let onion_len = {
+            let mut admin = TcpStream::connect(addr).unwrap();
+            let Response::AddFriendRoundInfo(info) = roundtrip(
+                &mut admin,
+                &Request::BeginAddFriendRound {
+                    round: Round(1),
+                    expected_real: 8,
+                },
+            ) else {
+                panic!("round opens");
+            };
+            info.onion_len as usize
+        };
+
+        let submitters: Vec<_> = (0..8u8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut onion = vec![0u8; onion_len];
+                    onion[0] = i + 1;
+                    assert_eq!(
+                        roundtrip(
+                            &mut stream,
+                            &Request::SubmitAddFriend {
+                                round: Round(1),
+                                onion,
+                                token: None,
+                            },
+                        ),
+                        Response::Ack
+                    );
+                })
+            })
+            .collect();
+        for t in submitters {
+            t.join().unwrap();
+        }
+
+        let mut admin = TcpStream::connect(addr).unwrap();
+        let Response::RoundClosed(stats) = roundtrip(
+            &mut admin,
+            &Request::CloseAddFriendRound { round: Round(1) },
+        ) else {
+            panic!("round closes");
+        };
+        assert_eq!(stats.client_messages, 8);
         handle.shutdown();
     }
 }

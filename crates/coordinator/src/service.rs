@@ -35,7 +35,7 @@ use crate::ratelimit::{self, RateLimitError, TokenIssuer, TokenVerifier};
 /// Backoff hint attached to [`RpcError::Unavailable`] replies caused by a
 /// transient storage fault: long enough for a stuck disk to come back, short
 /// enough that a client with a live deadline gets several attempts in.
-const STORAGE_RETRY_AFTER_MS: u32 = 250;
+pub(crate) const STORAGE_RETRY_AFTER_MS: u32 = 250;
 
 /// Rate-limiting policy for a service (§9): per-user daily issuance budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,7 @@ fn build_core(cluster: Cluster, config: ServiceConfig) -> CoordinatorCore {
             let mut rng = ChaChaRng::from_seed_bytes(seed);
             let issuer = TokenIssuer::new(SigningKey::generate(&mut rng), policy.budget_per_day);
             let verifier = TokenVerifier::new(issuer.verifying_key());
-            (Some(issuer), Some(verifier))
+            (Some(issuer), Some(std::sync::Arc::new(verifier)))
         }
     };
     CoordinatorCore {
@@ -479,6 +479,18 @@ impl CoordinatorService {
         }
     }
 
+    /// A cloneable journal handle for the concurrent read path: snapshot
+    /// submissions append their spent-token records through this, sharing
+    /// the exclusive path's WAL via group commit.
+    pub(crate) fn journal_handle(&self) -> alpenhorn_storage::Journal {
+        self.core.journal()
+    }
+
+    /// The shared spent-token verifier, if rate limiting is enabled.
+    pub(crate) fn verifier_handle(&self) -> Option<std::sync::Arc<TokenVerifier>> {
+        self.core.state().verifier.clone()
+    }
+
     /// Journals a begun round and advances the persistent round counter. An
     /// add-friend round additionally forces a checkpoint: opening the round
     /// advanced every PKG ratchet, and compaction deletes the files holding
@@ -620,8 +632,8 @@ impl CoordinatorService {
         token: Option<RateLimitToken>,
     ) -> Result<(), RpcError> {
         {
-            let core = self.core.state_mut();
-            let Some(verifier) = &mut core.verifier else {
+            let core = self.core.state();
+            let Some(verifier) = &core.verifier else {
                 return Ok(());
             };
             let Some(token) = token else {
@@ -653,7 +665,7 @@ impl CoordinatorService {
             // so the ledger insert must roll back: the client's retry with
             // the same (still unspent) token must not read as a double
             // spend and strand a unit of its daily budget.
-            if let Some(verifier) = &mut self.core.state_mut().verifier {
+            if let Some(verifier) = &self.core.state().verifier {
                 verifier.forget_spent(&token.signature);
             }
             return Err(e);
@@ -662,13 +674,13 @@ impl CoordinatorService {
     }
 }
 
-fn bad_request(detail: &str) -> Response {
+pub(crate) fn bad_request(detail: &str) -> Response {
     Response::Error(RpcError::BadRequest {
         detail: detail.to_string(),
     })
 }
 
-fn add_friend_wire(info: &AddFriendRoundInfo, rate_limited: bool) -> AddFriendRoundWire {
+pub(crate) fn add_friend_wire(info: &AddFriendRoundInfo, rate_limited: bool) -> AddFriendRoundWire {
     AddFriendRoundWire {
         round: info.round,
         onion_keys: info.onion_keys.iter().map(|key| key.to_bytes()).collect(),
@@ -679,7 +691,7 @@ fn add_friend_wire(info: &AddFriendRoundInfo, rate_limited: bool) -> AddFriendRo
     }
 }
 
-fn dialing_wire(info: &DialingRoundInfo, rate_limited: bool) -> DialingRoundWire {
+pub(crate) fn dialing_wire(info: &DialingRoundInfo, rate_limited: bool) -> DialingRoundWire {
     DialingRoundWire {
         round: info.round,
         onion_keys: info.onion_keys.iter().map(|key| key.to_bytes()).collect(),
@@ -693,7 +705,7 @@ fn dialing_wire(info: &DialingRoundInfo, rate_limited: bool) -> DialingRoundWire
 /// anything, so a rejected submission never spends a rate-limit token. The
 /// subsequent cluster call re-checks under the same lock, so the two can
 /// only agree.
-fn validate_submission(
+pub(crate) fn validate_submission(
     open: Option<(Round, usize)>,
     round: Round,
     onion_len: usize,

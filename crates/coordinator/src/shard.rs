@@ -1,0 +1,241 @@
+//! Sharded, lock-striped submission intake for an open round.
+//!
+//! While a round is open, submissions arrive from many connections at once.
+//! The single-lock design funnels every onion through one `Mutex` around the
+//! whole service; this module replaces the per-round batch with N independent
+//! shards, each guarded by its own short mutex, so concurrent submitters only
+//! contend when their onions hash to the same shard.
+//!
+//! ## Determinism contract
+//!
+//! The mixnet is input-order-sensitive (each server applies a seeded shuffle
+//! to whatever order it is handed), so the batch handed to the chain at round
+//! close must not depend on arrival order, thread interleaving, or the shard
+//! count. [`SubmissionIntake::seal`] therefore produces a *canonical* order:
+//!
+//! * an onion's shard is a monotone function of the big-endian integer formed
+//!   by the first 8 bytes of its SHA-256 digest (`shard = prefix * N >> 64`),
+//!   so shard ranges partition the hash space in digest order;
+//! * each shard sorts its entries by full digest before draining.
+//!
+//! Concatenating shards in index order is then exactly the global
+//! sort-by-digest of the accepted set — for **any** shard count, including 1.
+//! Two runs that accept the same submission set hand the mixnet byte-identical
+//! input no matter how the submissions interleaved. (Identical onions dedup
+//! within one shard, because equal bytes have equal digests.)
+//!
+//! Note this is deliberately stronger than "shard index, then arrival order
+//! within shard": arrival order within a shard is still racy under
+//! concurrency, so it cannot be part of a reproducibility contract. Sorting
+//! by digest leaks nothing (digests are of encrypted onions) and the first
+//! mixnet server re-shuffles the batch anyway.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use alpenhorn_crypto::sha256;
+
+/// The outcome of offering one onion to the intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The onion was new and is now queued for the round.
+    Accepted,
+    /// An identical onion is already queued: a client retry. Callers answer
+    /// `Ack` without spending another token.
+    Duplicate,
+    /// The round was sealed before the offer: the submission arrived too
+    /// late and must be retried next round.
+    Sealed,
+}
+
+struct Shard {
+    sealed: bool,
+    seen: HashSet<[u8; 32]>,
+    entries: Vec<([u8; 32], Vec<u8>)>,
+}
+
+/// Concurrent intake for one open round's submissions, sharded by onion
+/// digest. See the module docs for the canonical merge order.
+pub struct SubmissionIntake {
+    shards: Vec<Mutex<Shard>>,
+}
+
+/// Monotone map from the digest's leading 8 bytes to a shard index: shard
+/// boundaries partition the hash space into `n` contiguous ranges, so
+/// per-shard sorting + index-order concatenation equals a global sort.
+fn shard_index(digest: &[u8; 32], n: usize) -> usize {
+    let mut prefix = [0u8; 8];
+    prefix.copy_from_slice(&digest[..8]);
+    let prefix = u64::from_be_bytes(prefix);
+    ((prefix as u128 * n as u128) >> 64) as usize
+}
+
+impl SubmissionIntake {
+    /// Creates an intake with `shards` independent queues (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        SubmissionIntake {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        sealed: false,
+                        seen: HashSet::new(),
+                        entries: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, digest: &[u8; 32]) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[shard_index(digest, self.shards.len())]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Offers one onion for the round. Accepts it, recognises it as a
+    /// duplicate retry, or reports the round sealed.
+    pub fn offer(&self, onion: &[u8]) -> Offer {
+        let digest = sha256::digest(onion);
+        let mut shard = self.shard(&digest);
+        if shard.sealed {
+            return Offer::Sealed;
+        }
+        if !shard.seen.insert(digest) {
+            return Offer::Duplicate;
+        }
+        shard.entries.push((digest, onion.to_vec()));
+        Offer::Accepted
+    }
+
+    /// Whether an identical onion has already been accepted.
+    pub fn contains(&self, onion: &[u8]) -> bool {
+        let digest = sha256::digest(onion);
+        self.shard(&digest).seen.contains(&digest)
+    }
+
+    /// Accepted submissions so far (racy under concurrency; exact once
+    /// sealed).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Whether no submissions have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Seals every shard against further offers and drains the accepted
+    /// onions in canonical order (global sort by digest; see module docs).
+    pub fn seal(&self) -> Vec<Vec<u8>> {
+        let mut batch = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            shard.sealed = true;
+            let mut entries = std::mem::take(&mut shard.entries);
+            entries.sort_unstable_by_key(|&(digest, _)| digest);
+            batch.extend(entries.into_iter().map(|(_, onion)| onion));
+        }
+        batch
+    }
+}
+
+impl std::fmt::Debug for SubmissionIntake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmissionIntake")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onions(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut onion = vec![0u8; 64];
+                onion[..8].copy_from_slice(&(i as u64).to_be_bytes());
+                onion
+            })
+            .collect()
+    }
+
+    #[test]
+    fn canonical_order_is_shard_count_invariant() {
+        let set = onions(200);
+        let reference = {
+            let intake = SubmissionIntake::new(1);
+            for onion in &set {
+                assert_eq!(intake.offer(onion), Offer::Accepted);
+            }
+            intake.seal()
+        };
+        for shards in 2..=16 {
+            let intake = SubmissionIntake::new(shards);
+            // Reverse arrival order; the sealed batch must not care.
+            for onion in set.iter().rev() {
+                assert_eq!(intake.offer(onion), Offer::Accepted);
+            }
+            assert_eq!(intake.seal(), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn concurrent_interleavings_yield_the_reference_batch() {
+        let set = onions(128);
+        let reference = {
+            let intake = SubmissionIntake::new(1);
+            for onion in &set {
+                intake.offer(onion);
+            }
+            intake.seal()
+        };
+        for shards in [1, 3, 8] {
+            let intake = SubmissionIntake::new(shards);
+            std::thread::scope(|s| {
+                for chunk in set.chunks(32) {
+                    let intake = &intake;
+                    s.spawn(move || {
+                        for onion in chunk {
+                            assert_eq!(intake.offer(onion), Offer::Accepted);
+                        }
+                    });
+                }
+            });
+            assert_eq!(intake.seal(), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn duplicates_dedup_across_any_shard_count() {
+        for shards in [1, 4, 16] {
+            let intake = SubmissionIntake::new(shards);
+            let onion = vec![7u8; 48];
+            assert_eq!(intake.offer(&onion), Offer::Accepted);
+            assert_eq!(intake.offer(&onion), Offer::Duplicate);
+            assert!(intake.contains(&onion));
+            assert_eq!(intake.len(), 1);
+            assert_eq!(intake.seal().len(), 1);
+        }
+    }
+
+    #[test]
+    fn sealed_intake_refuses_offers() {
+        let intake = SubmissionIntake::new(4);
+        intake.offer(&[1u8; 32]);
+        let batch = intake.seal();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(intake.offer(&[2u8; 32]), Offer::Sealed);
+        assert!(intake.seal().is_empty(), "second seal drains nothing");
+    }
+}

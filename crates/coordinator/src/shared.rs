@@ -1,0 +1,564 @@
+//! Concurrent coordinator front-end: epoch snapshots over an exclusive core.
+//!
+//! [`SharedCoordinator`] wraps a [`CoordinatorService`] so many connections
+//! can be served at once without funnelling every RPC through one mutex:
+//!
+//! * **Exclusive path** — state-changing, round-driving, and registration
+//!   RPCs take the service write lock exactly as the single-lock build did,
+//!   so their semantics (validation order, journalling, idempotency) are
+//!   unchanged.
+//! * **Read path** — the hot, read-mostly RPCs (`GetPkgKeys`,
+//!   `Get*RoundInfo`, `Fetch*Mailbox`) are answered from an immutable
+//!   [`ReadSnapshot`] behind an `Arc`, with **zero** service-lock
+//!   acquisitions.
+//! * **Submission path** — `Submit*` RPCs validate against the snapshot and
+//!   enqueue into the open round's sharded
+//!   [`SubmissionIntake`](crate::shard::SubmissionIntake), spending
+//!   rate-limit tokens through the lock-striped
+//!   [`TokenVerifier`](crate::ratelimit::TokenVerifier) and journalling the
+//!   spend through the group-commit [`Journal`]. Concurrent submitters only
+//!   contend on one intake shard and one verifier stripe.
+//!
+//! ## Epoch publication rules
+//!
+//! A fresh snapshot is captured and published **on every write-guard drop,
+//! while the write lock is still held** ([`ServiceWriteGuard`]). Because
+//! every mutation goes through the write guard, the published snapshot is
+//! never older than the last completed mutation: a reader observes either
+//! the pre-mutation or the post-mutation world, exactly as if it had taken
+//! the old mutex just before or just after — never a torn mixture. The
+//! `epoch` counter increments per publication so tests and benchmarks can
+//! observe publication without comparing snapshot contents.
+//!
+//! The intake inside a snapshot is shared (`Arc`) with the live round, not
+//! copied, and is *sealed* at round close. A submitter holding a stale
+//! snapshot whose round just closed finds the intake sealed and gets
+//! `RoundNotOpen` — the same answer the single-lock build gives a request
+//! that arrives after close wins the lock. See `docs/CONCURRENCY.md` for
+//! the full determinism argument.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use alpenhorn_ibe::sig::Signature;
+use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes};
+use alpenhorn_storage::Journal;
+use alpenhorn_wire::rpc::{AddFriendRoundWire, DialingRoundWire};
+use alpenhorn_wire::{
+    Frame, RateLimitReason, RateLimitToken, Request, Response, Round, RoundKind, RpcError,
+    SIGNING_PK_LEN,
+};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::cdn::{serve_add_friend, serve_dialing, CdnStats};
+use crate::persist;
+use crate::ratelimit::{self, RateLimitError, TokenVerifier};
+use crate::service::{
+    add_friend_wire, dialing_wire, validate_submission, CoordinatorService, STORAGE_RETRY_AFTER_MS,
+};
+use crate::shard::{Offer, SubmissionIntake};
+
+/// The open-round slice of a snapshot: everything a round-info or submit RPC
+/// needs, plus the shared intake accepting this round's onions.
+struct OpenRoundSnapshot<Wire> {
+    wire: Wire,
+    round: Round,
+    onion_len: usize,
+    intake: Arc<SubmissionIntake>,
+}
+
+/// One immutable view of the coordinator's read-mostly state, shared by
+/// every fast-path RPC served between two write-guard drops.
+struct ReadSnapshot {
+    pkg_keys: Vec<[u8; SIGNING_PK_LEN]>,
+    add_friend: Option<OpenRoundSnapshot<AddFriendRoundWire>>,
+    dialing: Option<OpenRoundSnapshot<DialingRoundWire>>,
+    verifier: Option<Arc<TokenVerifier>>,
+    journal: Journal,
+    add_friend_mailboxes: HashMap<u64, Arc<AddFriendMailboxes>>,
+    dialing_mailboxes: HashMap<u64, Arc<DialingMailboxes>>,
+    cdn_stats: Arc<CdnStats>,
+}
+
+fn capture(service: &CoordinatorService) -> Arc<ReadSnapshot> {
+    let rate_limited = service.rate_limited();
+    let cluster = service.cluster();
+    let cdn = cluster.cdn_ref();
+    Arc::new(ReadSnapshot {
+        pkg_keys: cluster
+            .pkg_verifying_keys()
+            .iter()
+            .map(|key| key.to_bytes())
+            .collect(),
+        add_friend: cluster
+            .open_add_friend_info()
+            .map(|info| OpenRoundSnapshot {
+                wire: add_friend_wire(info, rate_limited),
+                round: info.round,
+                onion_len: info.onion_len,
+                intake: cluster
+                    .open_add_friend_intake()
+                    .expect("an open round always has an intake"),
+            }),
+        dialing: cluster.open_dialing_info().map(|info| OpenRoundSnapshot {
+            wire: dialing_wire(info, rate_limited),
+            round: info.round,
+            onion_len: info.onion_len,
+            intake: cluster
+                .open_dialing_intake()
+                .expect("an open round always has an intake"),
+        }),
+        verifier: service.verifier_handle(),
+        journal: service.journal_handle(),
+        add_friend_mailboxes: cdn.add_friend_rounds(),
+        dialing_mailboxes: cdn.dialing_rounds(),
+        cdn_stats: cdn.stats(),
+    })
+}
+
+struct Inner {
+    service: RwLock<CoordinatorService>,
+    snapshot: RwLock<Arc<ReadSnapshot>>,
+    epoch: AtomicU64,
+}
+
+/// A cloneable, thread-safe handle to one coordinator deployment. See the
+/// module docs for which RPCs take the exclusive path vs. the snapshot path.
+#[derive(Clone)]
+pub struct SharedCoordinator {
+    inner: Arc<Inner>,
+}
+
+/// Write access to the wrapped [`CoordinatorService`]. Dropping the guard
+/// captures and publishes a fresh [`ReadSnapshot`] *while still holding the
+/// write lock*, so the published snapshot can never lag a completed
+/// mutation.
+pub struct ServiceWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, CoordinatorService>,
+    inner: &'a Inner,
+}
+
+impl Deref for ServiceWriteGuard<'_> {
+    type Target = CoordinatorService;
+    fn deref(&self) -> &CoordinatorService {
+        &self.guard
+    }
+}
+
+impl DerefMut for ServiceWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut CoordinatorService {
+        &mut self.guard
+    }
+}
+
+impl Drop for ServiceWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Republish before the write lock is released (the lock itself drops
+        // after this body): readers switch atomically from the pre-mutation
+        // snapshot to the post-mutation one with no in-between state.
+        *self.inner.snapshot.write() = capture(&self.guard);
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl SharedCoordinator {
+    /// Wraps a service, capturing the initial snapshot.
+    pub fn new(service: CoordinatorService) -> Self {
+        let snapshot = capture(&service);
+        SharedCoordinator {
+            inner: Arc::new(Inner {
+                service: RwLock::new(service),
+                snapshot: RwLock::new(snapshot),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Exclusive access to the service. Mutations made through the guard are
+    /// published to the read path when the guard drops.
+    pub fn write(&self) -> ServiceWriteGuard<'_> {
+        ServiceWriteGuard {
+            guard: self.inner.service.write(),
+            inner: &self.inner,
+        }
+    }
+
+    /// Shared read access to the service, for inspection that needs the live
+    /// state rather than the published snapshot (tests, stats reporting).
+    /// Does not republish.
+    pub fn read(&self) -> RwLockReadGuard<'_, CoordinatorService> {
+        self.inner.service.read()
+    }
+
+    /// Number of snapshot publications so far. Monotone; bumps once per
+    /// [`ServiceWriteGuard`] drop.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    fn snapshot(&self) -> Arc<ReadSnapshot> {
+        Arc::clone(&self.inner.snapshot.read())
+    }
+
+    /// Handles one decoded request: fast-path RPCs from the current
+    /// snapshot, everything else through the exclusive write path. The
+    /// response for any given request is one the single-lock build could
+    /// have produced under some request ordering.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::GetPkgKeys => Response::PkgKeys(self.snapshot().pkg_keys.clone()),
+            Request::GetAddFriendRoundInfo => match &self.snapshot().add_friend {
+                Some(open) => Response::AddFriendRoundInfo(open.wire.clone()),
+                None => Response::Error(RpcError::NoOpenRound {
+                    kind: RoundKind::AddFriend,
+                }),
+            },
+            Request::GetDialingRoundInfo => match &self.snapshot().dialing {
+                Some(open) => Response::DialingRoundInfo(open.wire.clone()),
+                None => Response::Error(RpcError::NoOpenRound {
+                    kind: RoundKind::Dialing,
+                }),
+            },
+            Request::FetchAddFriendMailbox { round, mailbox } => {
+                let snapshot = self.snapshot();
+                match snapshot.add_friend_mailboxes.get(&round.0) {
+                    Some(boxes) => Response::AddFriendMailbox {
+                        contents: serve_add_friend(boxes, mailbox, &snapshot.cdn_stats),
+                    },
+                    None => Response::Error(RpcError::UnknownMailbox),
+                }
+            }
+            Request::FetchDialingMailbox { round, mailbox } => {
+                let snapshot = self.snapshot();
+                match snapshot
+                    .dialing_mailboxes
+                    .get(&round.0)
+                    .and_then(|boxes| serve_dialing(boxes, mailbox, &snapshot.cdn_stats))
+                {
+                    Some(filter) => Response::DialingMailbox {
+                        filter: filter.to_bytes(),
+                    },
+                    None => Response::Error(RpcError::UnknownMailbox),
+                }
+            }
+            Request::SubmitAddFriend {
+                round,
+                onion,
+                token,
+            } => {
+                let snapshot = self.snapshot();
+                snapshot.submit(
+                    snapshot
+                        .add_friend
+                        .as_ref()
+                        .map(|open| (open.round, open.onion_len, &open.intake)),
+                    RoundKind::AddFriend,
+                    round,
+                    &onion,
+                    token,
+                )
+            }
+            Request::SubmitDialing {
+                round,
+                onion,
+                token,
+            } => {
+                let snapshot = self.snapshot();
+                snapshot.submit(
+                    snapshot
+                        .dialing
+                        .as_ref()
+                        .map(|open| (open.round, open.onion_len, &open.intake)),
+                    RoundKind::Dialing,
+                    round,
+                    &onion,
+                    token,
+                )
+            }
+            exclusive => self.write().handle(exclusive),
+        }
+    }
+
+    /// Handles one framed request payload, like
+    /// [`CoordinatorService::handle_request_bytes`] but dispatching through
+    /// the concurrent paths.
+    pub fn handle_request_bytes(&self, payload: &[u8]) -> Vec<u8> {
+        let response = match Request::decode(payload) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::Error(RpcError::BadRequest {
+                detail: format!("undecodable request: {e}"),
+            }),
+        };
+        let bytes = response.encode();
+        if bytes.len() > Frame::MAX_PAYLOAD_LEN {
+            // Same cap as the exclusive path: an overgrown response comes
+            // back as a typed error, never a panic in `Frame::encode`.
+            return Response::Error(RpcError::BadRequest {
+                detail: "response exceeds the maximum frame size".to_string(),
+            })
+            .encode();
+        }
+        bytes
+    }
+
+    /// Handles one complete frame, returning the complete response frame.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let response_bytes = match Frame::decode(frame) {
+            Ok(payload) => self.handle_request_bytes(payload),
+            Err(e) => Response::Error(RpcError::BadRequest {
+                detail: format!("undecodable frame: {e}"),
+            })
+            .encode(),
+        };
+        Frame::encode(&response_bytes)
+    }
+}
+
+impl std::fmt::Debug for SharedCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCoordinator")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl ReadSnapshot {
+    /// The lock-free submit path. Ordering mirrors the single-lock build:
+    /// validate (no side effects) → recognise retries → spend the token →
+    /// enqueue the onion. A submission recognised as a byte-identical retry
+    /// is acked without touching the token, so retry storms never misread as
+    /// double spends.
+    fn submit(
+        &self,
+        open: Option<(Round, usize, &Arc<SubmissionIntake>)>,
+        kind: RoundKind,
+        round: Round,
+        onion: &[u8],
+        token: Option<RateLimitToken>,
+    ) -> Response {
+        if let Err(e) = validate_submission(
+            open.map(|(open_round, onion_len, _)| (open_round, onion_len)),
+            round,
+            onion.len(),
+        ) {
+            return Response::Error(e);
+        }
+        let (_, _, intake) = open.expect("validation checked the round is open");
+        if intake.contains(onion) {
+            return Response::Ack;
+        }
+        if let Err(e) = self.spend_token(kind, round, token) {
+            // Two copies of the same retry can race past the `contains`
+            // check; the loser's spend reads as a double spend even though
+            // the submission is already queued. Re-check and ack it, exactly
+            // as a serial arrival order would have.
+            if matches!(
+                e,
+                RpcError::RateLimited {
+                    reason: RateLimitReason::DoubleSpend
+                }
+            ) && intake.contains(onion)
+            {
+                return Response::Ack;
+            }
+            return Response::Error(e);
+        }
+        match intake.offer(onion) {
+            Offer::Accepted | Offer::Duplicate => Response::Ack,
+            // The round closed between snapshot capture and this offer: the
+            // submission missed the round, exactly as if it had lost the
+            // single-lock race with close. (The spent token stays spent for
+            // this closed round — rejecting late arrivals is what §9's
+            // per-round tokens are for.)
+            Offer::Sealed => Response::Error(RpcError::RoundNotOpen { requested: round }),
+        }
+    }
+
+    /// Mirror of the exclusive path's token spend: verify + stripe-ledger
+    /// insert, then journal the spend through group commit, rolling the
+    /// insert back if the journal append fails.
+    fn spend_token(
+        &self,
+        kind: RoundKind,
+        round: Round,
+        token: Option<RateLimitToken>,
+    ) -> Result<(), RpcError> {
+        let Some(verifier) = &self.verifier else {
+            return Ok(());
+        };
+        let Some(token) = token else {
+            return Err(RpcError::RateLimited {
+                reason: RateLimitReason::MissingToken,
+            });
+        };
+        let signature =
+            Signature::from_bytes(&token.signature).map_err(|_| RpcError::RateLimited {
+                reason: RateLimitReason::InvalidToken,
+            })?;
+        let message = ratelimit::spend_message(kind, round, &token.serial);
+        verifier
+            .spend(&message, &signature)
+            .map_err(|e| RpcError::RateLimited {
+                reason: match e {
+                    RateLimitError::InvalidToken => RateLimitReason::InvalidToken,
+                    RateLimitError::DoubleSpend => RateLimitReason::DoubleSpend,
+                    RateLimitError::BudgetExhausted => RateLimitReason::BudgetExhausted,
+                },
+            })?;
+        if let Err(e) = self.journal.append(
+            persist::REC_TOKEN_SPENT,
+            &persist::token_spent(&token.signature),
+        ) {
+            verifier.forget_spent(&token.signature);
+            return Err(RpcError::Unavailable {
+                detail: format!("durable log write failed: {e}"),
+                retry_after_ms: STORAGE_RETRY_AFTER_MS,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    fn shared(seed: u8) -> SharedCoordinator {
+        SharedCoordinator::new(CoordinatorService::new(Cluster::new(ClusterConfig::test(
+            seed,
+        ))))
+    }
+
+    #[test]
+    fn fast_path_round_info_tracks_write_path_epochs() {
+        let shared = shared(60);
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(
+            shared.handle(Request::GetAddFriendRoundInfo),
+            Response::Error(RpcError::NoOpenRound {
+                kind: RoundKind::AddFriend
+            })
+        );
+        let begun = shared.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 4,
+        });
+        assert!(matches!(begun, Response::AddFriendRoundInfo(_)));
+        assert!(shared.epoch() >= 1, "begin republished the snapshot");
+        // The snapshot path now serves the open round without the lock.
+        assert_eq!(shared.handle(Request::GetAddFriendRoundInfo), begun);
+    }
+
+    #[test]
+    fn snapshot_submissions_reach_the_round() {
+        let shared = shared(61);
+        let Response::AddFriendRoundInfo(info) = shared.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 2,
+        }) else {
+            panic!("round opens");
+        };
+        let onion = vec![3u8; info.onion_len as usize];
+        assert_eq!(
+            shared.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion: onion.clone(),
+                token: None,
+            }),
+            Response::Ack
+        );
+        // Retry of the same onion: acked, queued once.
+        assert_eq!(
+            shared.handle(Request::SubmitAddFriend {
+                round: Round(1),
+                onion,
+                token: None,
+            }),
+            Response::Ack
+        );
+        let stats = shared.handle(Request::CloseAddFriendRound { round: Round(1) });
+        let Response::RoundClosed(stats) = stats else {
+            panic!("round closes");
+        };
+        assert_eq!(stats.client_messages, 1);
+    }
+
+    #[test]
+    fn stale_snapshot_submission_after_close_is_round_not_open() {
+        let shared = shared(62);
+        let Response::AddFriendRoundInfo(info) = shared.handle(Request::BeginAddFriendRound {
+            round: Round(1),
+            expected_real: 1,
+        }) else {
+            panic!("round opens");
+        };
+        // Capture the open-round snapshot, then close the round behind it.
+        let stale = shared.snapshot();
+        assert!(matches!(
+            shared.handle(Request::CloseAddFriendRound { round: Round(1) }),
+            Response::RoundClosed(_)
+        ));
+        let open = stale
+            .add_friend
+            .as_ref()
+            .map(|o| (o.round, o.onion_len, &o.intake));
+        assert_eq!(
+            stale.submit(
+                open,
+                RoundKind::AddFriend,
+                Round(1),
+                &vec![0u8; info.onion_len as usize],
+                None,
+            ),
+            Response::Error(RpcError::RoundNotOpen {
+                requested: Round(1)
+            })
+        );
+    }
+
+    #[test]
+    fn mailbox_fetches_come_from_the_snapshot() {
+        let shared = shared(63);
+        shared.handle(Request::BeginDialingRound {
+            round: Round(2),
+            expected_real: 1,
+        });
+        shared.handle(Request::CloseDialingRound { round: Round(2) });
+        let reply = shared.handle(Request::FetchDialingMailbox {
+            round: Round(2),
+            mailbox: alpenhorn_wire::MailboxId(0),
+        });
+        assert!(matches!(reply, Response::DialingMailbox { .. }));
+        // The lock-free download still shows up in bandwidth accounting.
+        assert!(shared.read().cluster().cdn_ref().bytes_served() > 0);
+        assert_eq!(
+            shared.handle(Request::FetchDialingMailbox {
+                round: Round(9),
+                mailbox: alpenhorn_wire::MailboxId(0),
+            }),
+            Response::Error(RpcError::UnknownMailbox)
+        );
+    }
+
+    #[test]
+    fn exclusive_rpcs_still_work_through_the_shared_handle() {
+        let shared = shared(64);
+        let identity = alpenhorn_wire::Identity::new("zoe@example.com").unwrap();
+        let mut rng = alpenhorn_crypto::ChaChaRng::from_seed_bytes([64u8; 32]);
+        let key = alpenhorn_ibe::sig::SigningKey::generate(&mut rng);
+        assert_eq!(
+            shared.handle(Request::Register {
+                identity: identity.clone(),
+                signing_key: key.verifying_key().to_bytes(),
+            }),
+            Response::Ack
+        );
+        assert_eq!(
+            shared.handle(Request::CompleteRegistration { identity }),
+            Response::Ack
+        );
+    }
+}

@@ -20,11 +20,10 @@
 //! transport (covered by `tests/transport_equivalence.rs`).
 
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use alpenhorn_coordinator::service::CoordinatorService;
-use alpenhorn_coordinator::Cluster;
+use alpenhorn_coordinator::{Cluster, ServiceWriteGuard, SharedCoordinator};
 use alpenhorn_wire::codec::FrameIoError;
 use alpenhorn_wire::{Frame, Request, Response, WireError};
 
@@ -114,14 +113,16 @@ pub trait Transport {
 }
 
 /// In-process transport: dispatches requests straight onto a
-/// [`CoordinatorService`] with no serialization or I/O.
+/// [`SharedCoordinator`] with no serialization or I/O.
 ///
 /// Clones share the underlying deployment, so one test can hand "connections"
 /// to several clients plus a round-driving admin, exactly like multiple TCP
-/// connections to one daemon.
+/// connections to one daemon. Calls go through the same snapshot fast path
+/// the TCP server uses, so loopback tests exercise the concurrent dispatch,
+/// not a privileged shortcut.
 #[derive(Clone)]
 pub struct LoopbackTransport {
-    service: Arc<Mutex<CoordinatorService>>,
+    shared: SharedCoordinator,
 }
 
 impl LoopbackTransport {
@@ -133,17 +134,23 @@ impl LoopbackTransport {
     /// Wraps an explicitly configured service.
     pub fn with_service(service: CoordinatorService) -> Self {
         LoopbackTransport {
-            service: Arc::new(Mutex::new(service)),
+            shared: SharedCoordinator::new(service),
         }
     }
 
-    /// Locks and returns the service, for server-side operations (driving
-    /// rounds, inspecting the CDN, advancing the simulated clock). Do not
-    /// hold the guard across a [`Transport::call`] on the same transport.
-    pub fn service(&self) -> MutexGuard<'_, CoordinatorService> {
-        self.service
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// The shared coordinator handle behind this transport, for callers that
+    /// dispatch requests concurrently (servers, benchmarks).
+    pub fn shared(&self) -> &SharedCoordinator {
+        &self.shared
+    }
+
+    /// Takes the service write lock and returns the guard, for server-side
+    /// operations (driving rounds, inspecting the CDN, advancing the
+    /// simulated clock). Dropping the guard republishes the read snapshot.
+    /// Do not hold the guard across a [`Transport::call`] on the same
+    /// transport.
+    pub fn service(&self) -> ServiceWriteGuard<'_> {
+        self.shared.write()
     }
 
     /// Runs `f` with mutable access to the underlying cluster — the
@@ -174,7 +181,7 @@ impl LoopbackTransport {
 
 impl Transport for LoopbackTransport {
     fn call(&mut self, request: Request) -> Result<Response, TransportError> {
-        Ok(self.service().handle(request))
+        Ok(self.shared.handle(request))
     }
 }
 

@@ -34,7 +34,9 @@
 //! which is why the coordinator forces a checkpoint on every ratchet advance.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::group::{GroupWal, Journal};
 use crate::record::LogRecord;
 use crate::wal::Wal;
 use crate::{snapshot, StorageError};
@@ -93,9 +95,8 @@ pub struct RecoveryReport {
 
 struct Backing {
     dir: PathBuf,
-    wal: Wal,
+    wal: Arc<GroupWal>,
     generation: u64,
-    records_since_checkpoint: u64,
     config: StorageConfig,
 }
 
@@ -192,7 +193,9 @@ impl<T: Persist> Durable<T> {
         let generation = generation.unwrap_or_else(|| wal_gens.iter().copied().max().unwrap_or(0));
         report.generation = generation;
 
-        let (wal, wal_recovery) = Wal::open(wal_path(&dir, generation), config.sync_every)?;
+        // The inner WAL never reaches its own batching threshold: all fsync
+        // scheduling belongs to the group-commit layer.
+        let (wal, wal_recovery) = Wal::open(wal_path(&dir, generation), u32::MAX)?;
         for LogRecord { kind, payload } in &wal_recovery.records {
             initial.apply_record(*kind, payload)?;
         }
@@ -200,14 +203,13 @@ impl<T: Persist> Durable<T> {
         report.truncated_bytes = wal_recovery.truncated_bytes;
         report.recovered = report.snapshot_loaded || report.records_replayed > 0;
 
-        let records_since_checkpoint = wal_recovery.records.len() as u64;
+        let replayed = wal_recovery.records.len() as u64;
         let mut durable = Durable {
             state: initial,
             backing: Some(Backing {
                 dir,
-                wal,
+                wal: Arc::new(GroupWal::new(wal, config.sync_every, replayed)),
                 generation,
-                records_since_checkpoint,
                 config,
             }),
         };
@@ -276,15 +278,29 @@ impl<T: Persist> Durable<T> {
     /// compaction retries on the next append (the counter stays above the
     /// threshold until a checkpoint succeeds).
     pub fn record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
-        let Some(backing) = &mut self.backing else {
+        let Some(backing) = &self.backing else {
             return Ok(());
         };
         backing.wal.append(kind, payload)?;
-        backing.records_since_checkpoint += 1;
-        if backing.records_since_checkpoint >= backing.config.checkpoint_every_records {
+        // The counter also covers records appended through Journal handles
+        // on concurrent fast paths; those cannot checkpoint themselves (a
+        // checkpoint needs exclusive access to encode the state), so the
+        // next exclusive-path record compacts for them.
+        if backing.wal.appends_since_swap() >= backing.config.checkpoint_every_records {
             let _ = self.checkpoint();
         }
         Ok(())
+    }
+
+    /// A cloneable handle for appending effect records from concurrent fast
+    /// paths without borrowing this store. Records from all handles and from
+    /// [`Durable::record`] share one group-committed WAL; handles from
+    /// ephemeral stores discard every record.
+    pub fn journal(&self) -> Journal {
+        match &self.backing {
+            Some(backing) => Journal::backed(Arc::clone(&backing.wal)),
+            None => Journal::ephemeral(),
+        }
     }
 
     /// Writes a fresh snapshot generation and starts an empty WAL, then
@@ -295,29 +311,38 @@ impl<T: Persist> Durable<T> {
     /// snapshot was written, the snapshot is removed again before returning,
     /// so a process that keeps journalling to the old generation can never
     /// be shadowed by a newer frozen snapshot at the next recovery.
+    /// Concurrency: the snapshot is encoded inside the group-commit barrier
+    /// (see [`GroupWal::checkpoint_swap`]), so effect records journalled by
+    /// concurrent [`Journal`] handles are never lost across a generation
+    /// swap — a record appended before the barrier has its effect captured
+    /// by the snapshot; one appended after lands in the new WAL and replays
+    /// idempotently.
     pub fn checkpoint(&mut self) -> Result<(), StorageError> {
-        let payload = self.state.encode_snapshot();
         let Some(backing) = &mut self.backing else {
             return Ok(());
         };
+        let state = &self.state;
         let next = backing.generation + 1;
-        let next_snapshot_path = snapshot_path(&backing.dir, next);
-        snapshot::write_atomic(&next_snapshot_path, &payload)?;
-        // A crashed earlier attempt at this generation may have left a WAL;
-        // it contains nothing the fresh snapshot does not, so clear it.
-        let next_wal_path = wal_path(&backing.dir, next);
-        let _ = std::fs::remove_file(&next_wal_path);
-        let wal = match Wal::open(next_wal_path, backing.config.sync_every) {
-            Ok((wal, _)) => wal,
-            Err(e) => {
-                let _ = std::fs::remove_file(&next_snapshot_path);
-                return Err(e);
+        let dir = backing.dir.clone();
+        backing.wal.checkpoint_swap(|_old| {
+            let payload = state.encode_snapshot();
+            let next_snapshot_path = snapshot_path(&dir, next);
+            snapshot::write_atomic(&next_snapshot_path, &payload)?;
+            // A crashed earlier attempt at this generation may have left a
+            // WAL; it contains nothing the fresh snapshot does not, so
+            // clear it.
+            let next_wal_path = wal_path(&dir, next);
+            let _ = std::fs::remove_file(&next_wal_path);
+            match Wal::open(next_wal_path, u32::MAX) {
+                Ok((wal, _)) => Ok(wal),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&next_snapshot_path);
+                    Err(e)
+                }
             }
-        };
+        })?;
         let old = backing.generation;
-        backing.wal = wal;
         backing.generation = next;
-        backing.records_since_checkpoint = 0;
         let _ = std::fs::remove_file(wal_path(&backing.dir, old));
         let _ = std::fs::remove_file(snapshot_path(&backing.dir, old));
         Ok(())
@@ -325,7 +350,7 @@ impl<T: Persist> Durable<T> {
 
     /// Forces the WAL to stable storage (see [`StorageConfig::sync_every`]).
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        match &mut self.backing {
+        match &self.backing {
             Some(backing) => backing.wal.sync(),
             None => Ok(()),
         }
@@ -548,5 +573,151 @@ mod tests {
         d.sync().unwrap();
         assert!(!d.is_durable());
         assert_eq!(d.state().totals.get(&1), Some(&1));
+        assert!(!d.journal().is_durable());
+    }
+
+    #[test]
+    fn journal_handle_records_survive_restart() {
+        let dir = tmpdir("journal");
+        {
+            let (mut d, _) =
+                Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+            let journal = d.journal();
+            let (kind, payload) = d.state_mut().add(4, 40);
+            journal.append(kind, &payload).unwrap();
+        }
+        let (d, report) = Durable::open(Tally::default(), &dir, StorageConfig::default()).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(d.state().totals.get(&4), Some(&40));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A set of serials mutated through shared references, mirroring how the
+    /// coordinator's striped spent-token set is spent by concurrent fast
+    /// paths: insert first, then journal the (idempotent) effect record.
+    #[derive(Default)]
+    struct SerialSet {
+        serials: std::sync::Mutex<std::collections::BTreeSet<u64>>,
+    }
+
+    const INSERT: u8 = 9;
+
+    impl SerialSet {
+        fn insert(&self, serial: u64) -> (u8, Vec<u8>) {
+            self.serials.lock().unwrap().insert(serial);
+            let mut e = Encoder::new();
+            e.put_u64(serial);
+            (INSERT, e.finish())
+        }
+    }
+
+    impl Persist for SerialSet {
+        fn encode_snapshot(&self) -> Vec<u8> {
+            let serials = self.serials.lock().unwrap();
+            let mut e = Encoder::new();
+            e.put_u32(serials.len() as u32);
+            for serial in serials.iter() {
+                e.put_u64(*serial);
+            }
+            e.finish()
+        }
+
+        fn restore_snapshot(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+            let mut d = Decoder::new(payload);
+            let count = d.get_u32("serial count")?;
+            let mut serials = std::collections::BTreeSet::new();
+            for _ in 0..count {
+                serials.insert(d.get_u64("serial")?);
+            }
+            d.finish()?;
+            *self.serials.get_mut().unwrap() = serials;
+            Ok(())
+        }
+
+        fn apply_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+            if kind != INSERT {
+                return Err(StorageError::UnknownRecordKind { kind });
+            }
+            let mut d = Decoder::new(payload);
+            let serial = d.get_u64("serial")?;
+            d.finish()?;
+            self.serials.get_mut().unwrap().insert(serial);
+            Ok(())
+        }
+    }
+
+    /// The checkpoint barrier: effects journalled by concurrent fast-path
+    /// handles are never lost across generation swaps — each one is either
+    /// captured by a snapshot or replayed from the live WAL suffix.
+    #[test]
+    fn concurrent_journal_with_checkpoints_recovers_every_effect() {
+        let dir = tmpdir("barrier");
+        let shared: Arc<SerialSet> = Arc::new(SerialSet::default());
+        // `Durable` owns its state; wrap the Arc so fast-path threads and
+        // the recovery machinery mutate the same shared set, the way the
+        // coordinator shares its striped spent-token set.
+        struct SharedSet(Arc<SerialSet>);
+        impl Persist for SharedSet {
+            fn encode_snapshot(&self) -> Vec<u8> {
+                self.0.encode_snapshot()
+            }
+            fn restore_snapshot(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+                let mut inner = SerialSet::default();
+                inner.restore_snapshot(payload)?;
+                let restored = std::mem::take(inner.serials.get_mut().unwrap());
+                *self.0.serials.lock().unwrap() = restored;
+                Ok(())
+            }
+            fn apply_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+                let mut inner = SerialSet::default();
+                inner.apply_record(kind, payload)?;
+                let applied = std::mem::take(inner.serials.get_mut().unwrap());
+                self.0.serials.lock().unwrap().extend(applied);
+                Ok(())
+            }
+        }
+        {
+            let (mut d, _) = Durable::open(
+                SharedSet(Arc::clone(&shared)),
+                &dir,
+                StorageConfig::default(),
+            )
+            .unwrap();
+            let journal = d.journal();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let journal = journal.clone();
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || {
+                        for i in 0..25u64 {
+                            let (kind, payload) = shared.insert(t * 1000 + i);
+                            journal.append(kind, &payload).unwrap();
+                        }
+                    });
+                }
+                // Checkpoint repeatedly while the appenders run.
+                for _ in 0..5 {
+                    d.checkpoint().unwrap();
+                }
+            });
+            d.checkpoint().unwrap();
+        }
+        let recovered: Arc<SerialSet> = Arc::new(SerialSet::default());
+        let (_, report) = Durable::open(
+            SharedSet(Arc::clone(&recovered)),
+            &dir,
+            StorageConfig::default(),
+        )
+        .unwrap();
+        assert!(report.recovered);
+        let serials = recovered.serials.lock().unwrap();
+        assert_eq!(serials.len(), 100, "every journalled effect recovered");
+        for t in 0..4u64 {
+            for i in 0..25u64 {
+                assert!(serials.contains(&(t * 1000 + i)));
+            }
+        }
+        drop(serials);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

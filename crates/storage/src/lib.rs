@@ -21,6 +21,10 @@
 //!   replay engine tying the two together: state is recovered as
 //!   *snapshot + log suffix*, mutations append effect records, and periodic
 //!   checkpoints compact the log into a fresh snapshot generation.
+//! * [`group`] — [`GroupWal`](group::GroupWal), leader-based group commit
+//!   over one WAL so concurrent appenders batch their fsyncs, plus the
+//!   cloneable [`Journal`](group::Journal) handle that lets fast-path
+//!   threads journal effects without borrowing the `Durable` store.
 //!
 //! The design follows the append-only, sequential-write discipline of
 //! log-structured storage (cf. LogRAID, arXiv:2402.17963): all writes are
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod group;
 pub mod record;
 pub mod snapshot;
 pub mod wal;
@@ -66,6 +71,7 @@ pub mod codec {
 }
 
 pub use durable::{Durable, Persist, RecoveryReport, StorageConfig};
+pub use group::{GroupWal, Journal};
 pub use record::{LogRecord, RecordError};
 pub use wal::Wal;
 

@@ -176,6 +176,32 @@ impl Wal {
         }
         Ok(())
     }
+
+    /// Clones the underlying file handle so a group-commit leader can fsync
+    /// outside the lock that guards this `Wal`.
+    pub(crate) fn try_clone_file(&self) -> std::io::Result<File> {
+        self.file.try_clone()
+    }
+
+    /// Marks every appended record as synced (a group-commit leader fsynced
+    /// the whole file through a cloned handle).
+    pub(crate) fn mark_synced(&mut self) {
+        self.unsynced = 0;
+    }
+
+    /// Truncates the file back to `len`, which must be a record boundary at
+    /// or below the last durable offset (group-commit rollback after a
+    /// failed batched fsync). Poisons the log if the truncation itself
+    /// fails, exactly like a failed append rollback.
+    pub(crate) fn truncate_to(&mut self, len: u64) {
+        debug_assert!(len <= self.len);
+        if self.file.set_len(len).is_ok() {
+            self.len = len;
+            self.unsynced = 0;
+        } else {
+            self.poisoned = true;
+        }
+    }
 }
 
 impl Drop for Wal {

@@ -40,6 +40,17 @@ cargo test -q
 stage "transport equivalence smoke (loopback vs TCP alpenhornd)"
 cargo test -q --test transport_equivalence
 
+# Concurrent-equivalence gate (PR 8): clients racing through the sharded
+# submission intake on concurrent connections must see event streams
+# byte-identical to the sequential single-lock reference, and the intake's
+# canonical merge must be shard-count- and arrival-order-invariant (property
+# tests over shard counts 1..=16, random permutations, racing threads, and
+# full published-mailbox rounds). Runs inside `cargo test -q` too; this named
+# stage makes a determinism regression point at itself.
+stage "concurrent equivalence (sharded intake determinism + racing clients vs loopback)"
+cargo test -q --test shard_determinism
+cargo test -q --test transport_equivalence concurrent
+
 # Full sampling budget, not BENCH_SMOKE: this stage's output IS the recorded
 # perf trajectory (≈3 s total), and overwriting the committed baseline with
 # noisy smoke numbers would make bench_compare.sh diffs meaningless.
@@ -63,12 +74,20 @@ stage "bench snapshot: scenario engine (writes BENCH_pr7.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr7.json" \
     cargo bench -p alpenhorn-bench --bench scenario_engine
 
+stage "bench snapshot: coordinator concurrency (writes BENCH_pr8.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr8.json" \
+    cargo bench -p alpenhorn-bench --bench coordinator_concurrency
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
 if [[ -n "${BENCH_BASELINE:-}" ]]; then
     stage "bench compare (vs $BENCH_BASELINE)"
     scripts/bench_compare.sh "$BENCH_BASELINE" "$PWD/BENCH_pr3.json"
+fi
+if [[ -n "${BENCH_BASELINE_PR8:-}" ]]; then
+    stage "bench compare: coordinator concurrency (vs $BENCH_BASELINE_PR8)"
+    scripts/bench_compare.sh "$BENCH_BASELINE_PR8" "$PWD/BENCH_pr8.json"
 fi
 
 # Crash-recovery smoke: start a durable alpenhornd, run a full seeded

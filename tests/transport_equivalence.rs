@@ -180,6 +180,123 @@ fn tcp_and_loopback_produce_identical_event_sequences() {
     assert_eq!(render(&loopback).into_bytes(), render(&tcp).into_bytes());
 }
 
+/// Runs the same seeded scenario against a live daemon, but with alice's and
+/// bob's round participation racing on concurrent connections. Mailbox
+/// processing stays in the reference order (alice, then bob) so the event
+/// streams are directly comparable.
+fn concurrent_tcp_events(addr: std::net::SocketAddr) -> Vec<(String, ClientEvent)> {
+    let mut admin_net = TcpTransport::connect(addr).unwrap();
+    let mut alice_net = TcpTransport::connect(addr).unwrap();
+    let mut bob_net = TcpTransport::connect(addr).unwrap();
+    let keys = pkg_keys(&mut admin_net);
+    let mut alice = Client::new(
+        id("alice@example.com"),
+        keys.clone(),
+        ClientConfig::default(),
+        [1u8; 32],
+    );
+    let mut bob = Client::new(
+        id("bob@gmail.com"),
+        keys,
+        ClientConfig::default(),
+        [2u8; 32],
+    );
+    alice.register(&mut alice_net).unwrap();
+    bob.register(&mut bob_net).unwrap();
+
+    alice.add_friend(id("bob@gmail.com"), None);
+
+    let mut events: Vec<(String, ClientEvent)> = Vec::new();
+    let mut keywheel_start = Round(0);
+    for r in 1..=2u64 {
+        admin(
+            &mut admin_net,
+            Request::BeginAddFriendRound {
+                round: Round(r),
+                expected_real: 2,
+            },
+        );
+        std::thread::scope(|scope| {
+            scope.spawn(|| alice.participate_add_friend(&mut alice_net).unwrap());
+            scope.spawn(|| bob.participate_add_friend(&mut bob_net).unwrap());
+        });
+        admin(
+            &mut admin_net,
+            Request::CloseAddFriendRound { round: Round(r) },
+        );
+        for event in alice.process_add_friend_mailbox(&mut alice_net).unwrap() {
+            if let ClientEvent::FriendConfirmed { dialing_round, .. } = &event {
+                keywheel_start = *dialing_round;
+            }
+            events.push(("alice".into(), event));
+        }
+        for event in bob.process_add_friend_mailbox(&mut bob_net).unwrap() {
+            events.push(("bob".into(), event));
+        }
+    }
+    assert!(keywheel_start.as_u64() > 0, "handshake must confirm");
+
+    alice.call(id("bob@gmail.com"), 1).unwrap();
+    for r in 1..=keywheel_start.as_u64() {
+        admin(
+            &mut admin_net,
+            Request::BeginDialingRound {
+                round: Round(r),
+                expected_real: 2,
+            },
+        );
+        let (alice_event, bob_event) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| alice.participate_dialing(&mut alice_net).unwrap());
+            let b = scope.spawn(|| bob.participate_dialing(&mut bob_net).unwrap());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        if let Some(event) = alice_event {
+            events.push(("alice".into(), event));
+        }
+        if let Some(event) = bob_event {
+            events.push(("bob".into(), event));
+        }
+        admin(
+            &mut admin_net,
+            Request::CloseDialingRound { round: Round(r) },
+        );
+        for event in alice.process_dialing_mailbox(&mut alice_net).unwrap() {
+            events.push(("alice".into(), event));
+        }
+        for event in bob.process_dialing_mailbox(&mut bob_net).unwrap() {
+            events.push(("bob".into(), event));
+        }
+    }
+    events
+}
+
+/// PR 8 equivalence criterion: clients whose submissions *race* through the
+/// sharded intake on concurrent connections see event streams byte-identical
+/// to the sequential single-connection loopback run — arrival order does not
+/// leak into the protocol.
+#[test]
+fn concurrent_submissions_match_sequential_loopback() {
+    let sequential = loopback_events();
+
+    let service = CoordinatorService::new(Cluster::new(ClusterConfig::test(SCENARIO_SEED)));
+    let handle = serve(service, "127.0.0.1:0").expect("server binds");
+    let concurrent = concurrent_tcp_events(handle.local_addr());
+    handle.shutdown();
+
+    assert_eq!(sequential, concurrent);
+    let render = |events: &[(String, ClientEvent)]| {
+        events
+            .iter()
+            .map(|(who, e)| format!("{who}: {e:?}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        render(&sequential).into_bytes(),
+        render(&concurrent).into_bytes()
+    );
+}
+
 /// Many clients hit one daemon concurrently: registrations and submissions
 /// race across connections, and every submission lands in the round.
 #[test]

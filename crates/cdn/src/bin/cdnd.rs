@@ -1,0 +1,96 @@
+//! `cdnd` — one erasure-coded mailbox CDN node as a standalone daemon.
+//!
+//! Stores and serves shards of closed rounds' mailbox blobs for the
+//! coordinator and clients. With `--data-dir` the node is durable: every
+//! acknowledged shard is mirrored to disk and reloaded on restart, before
+//! the listener binds. Losing a node entirely is also fine — readers
+//! reconstruct from any `k` of the `k + m` shards on the surviving fleet.
+//!
+//! ```text
+//! cdnd [--listen ADDR] [--data-dir DIR]
+//! ```
+
+use alpenhorn_cdn::{serve, CdnNodeState};
+
+struct Options {
+    listen: String,
+    data_dir: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cdnd [--listen ADDR] [--data-dir DIR]\n\
+         \x20      --listen ADDR listen address (default 127.0.0.1:7307; port 0 for ephemeral)\n\
+         \x20      --data-dir D  persist shards under DIR and reload them on restart"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: "127.0.0.1:7307".to_string(),
+        data_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("cdnd: {name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => options.listen = value("--listen"),
+            "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("cdnd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    // Recovery happens here, before the listener binds: a durable node
+    // never serves until its previous life's shards are back.
+    let state = match &options.data_dir {
+        None => CdnNodeState::new(),
+        Some(dir) => match CdnNodeState::with_data_dir(dir) {
+            Ok(state) => {
+                println!(
+                    "recovered {} shards ({} bytes) from {dir}",
+                    state.shards_stored(),
+                    state.bytes_stored()
+                );
+                state
+            }
+            Err(e) => {
+                eprintln!("cdnd: cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let handle = match serve(state, options.listen.as_str()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cdnd: cannot listen on {}: {e}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cdnd listening on {} (durability {})",
+        handle.local_addr(),
+        if options.data_dir.is_some() {
+            "on"
+        } else {
+            "off"
+        },
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

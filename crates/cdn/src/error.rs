@@ -1,0 +1,85 @@
+//! Typed errors for the CDN node boundary.
+
+use alpenhorn_erasure::ErasureError;
+use alpenhorn_wire::{FrameIoError, WireError};
+
+/// Why talking to (or decoding from) CDN nodes failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdnError {
+    /// A message or frame failed to encode or decode.
+    Wire(WireError),
+    /// The connection to a node failed.
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A node reported a request-level failure. Terminal: retrying the
+    /// identical request returns the identical answer.
+    Node(
+        /// The node's description of the failure.
+        String,
+    ),
+    /// A node answered with a response variant the request cannot produce.
+    UnexpectedResponse,
+    /// Too few shards survived to reconstruct the blob: fewer than `k` of
+    /// the `k + m` shards were retrievable across all nodes.
+    NotEnoughShards(ErasureError),
+    /// Too few shards could be stored at publish time: more than `m` of the
+    /// `k + m` shards failed to land, so a future reader might not be able
+    /// to reconstruct.
+    PublishDegraded {
+        /// Shards stored successfully.
+        stored: usize,
+        /// Shards whose `PutShard` failed.
+        failed: usize,
+    },
+}
+
+impl core::fmt::Display for CdnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CdnError::Wire(e) => write!(f, "cdn wire error: {e}"),
+            CdnError::Io { kind, detail } => write!(f, "cdn I/O error ({kind:?}): {detail}"),
+            CdnError::Node(detail) => write!(f, "cdn node error: {detail}"),
+            CdnError::UnexpectedResponse => {
+                write!(f, "cdn node sent a response of the wrong kind")
+            }
+            CdnError::NotEnoughShards(e) => {
+                write!(f, "cannot reconstruct mailbox blob: {e}")
+            }
+            CdnError::PublishDegraded { stored, failed } => write!(
+                f,
+                "publish degraded below reconstruction threshold: \
+                 {stored} shards stored, {failed} failed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CdnError {}
+
+impl From<WireError> for CdnError {
+    fn from(e: WireError) -> Self {
+        CdnError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for CdnError {
+    fn from(e: std::io::Error) -> Self {
+        CdnError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<FrameIoError> for CdnError {
+    fn from(e: FrameIoError) -> Self {
+        match e {
+            FrameIoError::Io(e) => e.into(),
+            FrameIoError::Wire(e) => e.into(),
+        }
+    }
+}

@@ -8,11 +8,21 @@
 //!
 //! ```text
 //! alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]
+//!            [--mixers ADDR,ADDR,...] [--cdn-nodes ADDR,ADDR,...]
 //!            [--rate-limit-budget N] [--round-interval-ms MS]
 //!            [--data-dir DIR] [--sync-every N]
 //!            [--read-timeout-ms MS] [--write-timeout-ms MS]
 //!            [--max-connections N] [--workers N] [--shards N]
 //! ```
+//!
+//! With `--mixers` the in-process mix chains are replaced by remote `mixd`
+//! daemons, one address per chain position (the count must equal
+//! `--mix-servers`; each daemon must run with `--seed`/`--index` matching
+//! this deployment). Rounds then produce byte-identical mailboxes to the
+//! in-process chain. With `--cdn-nodes` every closed round's mailboxes are
+//! additionally published as 3-data + 1-parity shift-XOR shards across the
+//! listed `cdnd` daemons, where clients can fetch them from any 3 live
+//! nodes.
 //!
 //! With `--data-dir DIR` the daemon is durable: registrations, PKG key
 //! ratchets, rate-limit budgets, and the round counter are journalled to a
@@ -38,11 +48,20 @@ use alpenhorn_coordinator::{Cluster, ClusterConfig, SharedCoordinator};
 use alpenhorn_storage::StorageConfig;
 use alpenhorn_wire::{Request, Response};
 
+/// The fixed erasure-code geometry of a flag-configured CDN fleet: every
+/// mailbox blob becomes 3 data + 1 parity shards, so reads survive one lost
+/// node at 33% storage overhead (the deployment shape the docs and the
+/// distributed-equivalence test pin down).
+const CDN_DATA_SHARDS: usize = 3;
+const CDN_PARITY_SHARDS: usize = 1;
+
 struct Options {
     listen: String,
     seed: u8,
     num_pkgs: usize,
     num_mix_servers: usize,
+    mixers: Vec<String>,
+    cdn_nodes: Vec<String>,
     rate_limit_budget: Option<u32>,
     round_interval: Option<Duration>,
     data_dir: Option<String>,
@@ -57,10 +76,15 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: alpenhornd [--listen ADDR] [--seed N] [--pkgs N] [--mix-servers N]\n\
+         \x20                 [--mixers ADDR,ADDR,...] [--cdn-nodes ADDR,ADDR,...]\n\
          \x20                 [--rate-limit-budget N] [--round-interval-ms MS]\n\
          \x20                 [--data-dir DIR] [--sync-every N]\n\
          \x20                 [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
-         \x20                 [--max-connections N] [--workers N] [--shards N]"
+         \x20                 [--max-connections N] [--workers N] [--shards N]\n\
+         \x20      --mixers     comma-separated mixd addresses, one per chain\n\
+         \x20                   position (count must equal --mix-servers)\n\
+         \x20      --cdn-nodes  comma-separated cdnd addresses; mailboxes are\n\
+         \x20                   published as 3+1 erasure-coded shards across them"
     );
     std::process::exit(2)
 }
@@ -71,6 +95,8 @@ fn parse_options() -> Options {
         seed: 0,
         num_pkgs: 3,
         num_mix_servers: 3,
+        mixers: Vec::new(),
+        cdn_nodes: Vec::new(),
         rate_limit_budget: None,
         round_interval: None,
         data_dir: None,
@@ -95,6 +121,20 @@ fn parse_options() -> Options {
             "--pkgs" => options.num_pkgs = value("--pkgs").parse().unwrap_or_else(|_| usage()),
             "--mix-servers" => {
                 options.num_mix_servers = value("--mix-servers").parse().unwrap_or_else(|_| usage())
+            }
+            "--mixers" => {
+                options.mixers = value("--mixers")
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--cdn-nodes" => {
+                options.cdn_nodes = value("--cdn-nodes")
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect()
             }
             "--rate-limit-budget" => {
                 options.rate_limit_budget = Some(
@@ -183,7 +223,44 @@ fn main() {
 
     // Recovery happens here, before the listener binds: a durable daemon
     // never accepts a connection until its previous life's state is back.
-    let cluster = Cluster::new(config);
+    let mut cluster = Cluster::new(config);
+    if !options.mixers.is_empty() {
+        if options.mixers.len() != options.num_mix_servers {
+            eprintln!(
+                "alpenhornd: --mixers lists {} addresses but --mix-servers is {}",
+                options.mixers.len(),
+                options.num_mix_servers
+            );
+            std::process::exit(2);
+        }
+        // One fleet per protocol over the same daemons: each mixd hosts both
+        // an add-friend and a dialing server at its chain position.
+        let fleet = |addrs: &[String]| -> Vec<Box<dyn alpenhorn_mixd::Mixer>> {
+            addrs
+                .iter()
+                .map(|addr| Box::new(alpenhorn_mixd::RemoteMixer::new(addr.clone())) as _)
+                .collect()
+        };
+        cluster.connect_remote_mixers(fleet(&options.mixers), fleet(&options.mixers));
+        println!(
+            "mixing via remote mixd fleet: {}",
+            options.mixers.join(", ")
+        );
+    }
+    if !options.cdn_nodes.is_empty() {
+        let nodes: Vec<Box<dyn alpenhorn_cdn::NodeClient>> = options
+            .cdn_nodes
+            .iter()
+            .map(|addr| Box::new(alpenhorn_cdn::TcpNode::new(addr.clone())) as _)
+            .collect();
+        cluster.connect_cdn_nodes(nodes, CDN_DATA_SHARDS, CDN_PARITY_SHARDS);
+        println!(
+            "publishing mailboxes as {CDN_DATA_SHARDS}+{CDN_PARITY_SHARDS} erasure-coded shards \
+             across {} cdn nodes: {}",
+            options.cdn_nodes.len(),
+            options.cdn_nodes.join(", ")
+        );
+    }
     let service = match &options.data_dir {
         None => CoordinatorService::with_config(cluster, service_config),
         Some(dir) => {

@@ -12,21 +12,55 @@ use std::sync::Arc;
 
 use alpenhorn_bloom::BloomFilter;
 use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes};
-use alpenhorn_wire::{MailboxId, Round};
+use alpenhorn_wire::{CdnStatsWire, MailboxId, Round};
 
 /// Download accounting shared between the CDN and every read-path snapshot
 /// serving fetches from it, so concurrent lock-free downloads still show up
 /// in the evaluation harness's bandwidth figures.
+///
+/// `bytes_served`/`downloads` count whole-mailbox payload bytes exactly as
+/// they always have, so the `evaluation_sweep` bandwidth figures stay
+/// comparable across runs that do and do not distribute shards. The
+/// erasure-coded distribution layer adds two *separate* counters: parity
+/// overhead bytes (`parity_bytes_served`) and individual shard fetches
+/// (`shard_fetches`), both zero in an undistributed deployment.
 #[derive(Default, Debug)]
 pub struct CdnStats {
     bytes_served: AtomicU64,
     downloads: AtomicU64,
+    parity_bytes_served: AtomicU64,
+    shard_fetches: AtomicU64,
 }
 
 impl CdnStats {
     fn serve(&self, bytes: u64) {
         self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
         self.downloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges one mailbox download reassembled from the shard fleet:
+    /// `shard_fetches` individual shard downloads totalling `data_bytes` of
+    /// mailbox payload plus `parity_bytes` of parity overhead. Counts as one
+    /// logical download, so `downloads` and `bytes_served` stay comparable
+    /// to an undistributed deployment while the overhead is visible in the
+    /// two new counters.
+    pub fn serve_sharded_download(&self, data_bytes: u64, parity_bytes: u64, shard_fetches: u64) {
+        self.bytes_served.fetch_add(data_bytes, Ordering::Relaxed);
+        self.downloads.fetch_add(1, Ordering::Relaxed);
+        self.parity_bytes_served
+            .fetch_add(parity_bytes, Ordering::Relaxed);
+        self.shard_fetches
+            .fetch_add(shard_fetches, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot in the wire representation.
+    pub fn wire(&self) -> CdnStatsWire {
+        CdnStatsWire {
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            downloads: self.downloads.load(Ordering::Relaxed),
+            parity_bytes_served: self.parity_bytes_served.load(Ordering::Relaxed),
+            shard_fetches: self.shard_fetches.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -149,6 +183,18 @@ impl Cdn {
     /// downloads).
     pub fn downloads(&self) -> u64 {
         self.stats.downloads.load(Ordering::Relaxed)
+    }
+
+    /// Parity overhead bytes served by the erasure-coded distribution layer
+    /// (zero when mailboxes are served whole from the origin).
+    pub fn parity_bytes_served(&self) -> u64 {
+        self.stats.parity_bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Individual shard fetches served by CDN nodes (zero when mailboxes are
+    /// served whole from the origin).
+    pub fn shard_fetches(&self) -> u64 {
+        self.stats.shard_fetches.load(Ordering::Relaxed)
     }
 }
 

@@ -11,13 +11,21 @@
 //! 3. submit exactly one fixed-size onion per round (real or cover),
 //! 4. after the round closes, download their mailbox from the CDN and scan it.
 
+use alpenhorn_cdn::{CdnFleetStats, NodeClient, ShardedCdn};
 use alpenhorn_ibe::anytrust::aggregate_master_publics;
 use alpenhorn_ibe::bf::MasterPublic;
 use alpenhorn_ibe::dh::DhPublic;
 use alpenhorn_ibe::sig::{Signature, VerifyingKey};
-use alpenhorn_mixnet::{MailboxPolicy, MixChain, NoiseConfig, RoundStats};
+use alpenhorn_mixd::{chain_seed, Mixer, RemoteMixChain};
+use alpenhorn_mixnet::{
+    AddFriendMailboxes, DialingMailboxes, MailboxPolicy, MixChain, NoiseConfig, RoundStats,
+};
 use alpenhorn_pkg::{ExtractResponse, PkgServer, SimulatedMail};
-use alpenhorn_wire::{AddFriendEnvelope, Identity, Round, DIAL_REQUEST_LEN, ONION_LAYER_OVERHEAD};
+use alpenhorn_wire::cdn::encode_add_friend_blob;
+use alpenhorn_wire::{
+    AddFriendEnvelope, Identity, MailboxId, Round, RoundKind, DIAL_REQUEST_LEN,
+    ONION_LAYER_OVERHEAD,
+};
 
 use std::sync::Arc;
 
@@ -149,14 +157,104 @@ impl<Info> OpenRound<Info> {
     }
 }
 
+/// The mix chain behind one protocol: the in-process [`MixChain`] or a
+/// [`RemoteMixChain`] of `mixd` daemons. Both derive per-server seeds through
+/// [`chain_seed`]/`server_seed` and number rounds identically from zero, so
+/// the two deployments produce byte-identical mailboxes for the same inputs.
+enum MixBackend {
+    InProcess(MixChain),
+    Remote(RemoteMixChain),
+}
+
+fn mix_error(e: alpenhorn_mixd::MixdError) -> CoordinatorError {
+    CoordinatorError::Mixnet(e.to_string())
+}
+
+impl MixBackend {
+    fn begin_round(&mut self) -> Result<Vec<DhPublic>, CoordinatorError> {
+        match self {
+            MixBackend::InProcess(chain) => Ok(chain.begin_round()),
+            MixBackend::Remote(chain) => chain.begin_round().map_err(mix_error),
+        }
+    }
+
+    /// Ends the current round. Remote failures are swallowed: ending is
+    /// cleanup, and a daemon that missed it re-derives nothing — stale open
+    /// rounds only cost it a map entry until its next restart.
+    fn end_round(&mut self) {
+        match self {
+            MixBackend::InProcess(chain) => chain.end_round(),
+            MixBackend::Remote(chain) => {
+                let _ = chain.end_round();
+            }
+        }
+    }
+
+    fn run_add_friend_round(
+        &mut self,
+        batch: Vec<Vec<u8>>,
+        num_mailboxes: u32,
+        publics: &[DhPublic],
+    ) -> Result<(AddFriendMailboxes, RoundStats), CoordinatorError> {
+        match self {
+            MixBackend::InProcess(chain) => {
+                Ok(chain.run_add_friend_round(batch, num_mailboxes, publics))
+            }
+            MixBackend::Remote(chain) => chain
+                .run_add_friend_round(batch, num_mailboxes, publics)
+                .map_err(mix_error),
+        }
+    }
+
+    fn run_dialing_round(
+        &mut self,
+        batch: Vec<Vec<u8>>,
+        num_mailboxes: u32,
+        publics: &[DhPublic],
+    ) -> Result<(DialingMailboxes, RoundStats), CoordinatorError> {
+        match self {
+            MixBackend::InProcess(chain) => {
+                Ok(chain.run_dialing_round(batch, num_mailboxes, publics))
+            }
+            MixBackend::Remote(chain) => chain
+                .run_dialing_round(batch, num_mailboxes, publics)
+                .map_err(mix_error),
+        }
+    }
+
+    fn disconnect_mixer(&mut self, index: usize) {
+        match self {
+            // In-process servers have no transport to sever.
+            MixBackend::InProcess(_) => {}
+            MixBackend::Remote(chain) => chain.disconnect_mixer(index),
+        }
+    }
+
+    fn set_adversary(&mut self, adversary: Option<alpenhorn_mixnet::MixAdversary>) {
+        match self {
+            MixBackend::InProcess(chain) => chain.set_adversary(adversary),
+            // Scripted adversaries reach into server internals; a daemon a
+            // network hop away has no such surface (by design — that is the
+            // threat model). Scenarios that need one run in-process.
+            MixBackend::Remote(_) => {
+                panic!("scripted mix adversaries require the in-process chain")
+            }
+        }
+    }
+}
+
 /// An in-process Alpenhorn deployment.
 pub struct Cluster {
     config: ClusterConfig,
     pkgs: Vec<PkgServer>,
     mail: SimulatedMail,
-    add_friend_chain: MixChain,
-    dialing_chain: MixChain,
+    add_friend_chain: MixBackend,
+    dialing_chain: MixBackend,
     cdn: Cdn,
+    /// The erasure-coded CDN fleet, when one is connected. Closed rounds'
+    /// mailboxes are published here *in addition to* the origin [`Cdn`], so
+    /// a degraded fleet never loses data — only offload.
+    sharded_cdn: Option<ShardedCdn>,
     open_add_friend: Option<OpenRound<AddFriendRoundInfo>>,
     open_dialing: Option<OpenRound<DialingRoundInfo>>,
     now: u64,
@@ -173,25 +271,96 @@ impl Cluster {
                 PkgServer::new(&format!("pkg-{i}"), seed)
             })
             .collect();
-        let mut add_seed = config.seed;
-        add_seed[29] ^= 0x11;
-        let mut dial_seed = config.seed;
-        dial_seed[29] ^= 0x22;
+        // `chain_seed` is the shared derivation: a `mixd` daemon at chain
+        // position i with the same cluster seed produces byte-identical
+        // rounds to the in-process server built here.
         Cluster {
             pkgs,
             mail: SimulatedMail::new(),
-            add_friend_chain: MixChain::new(
+            add_friend_chain: MixBackend::InProcess(MixChain::new(
                 config.num_mix_servers,
                 config.add_friend_noise,
-                add_seed,
-            ),
-            dialing_chain: MixChain::new(config.num_mix_servers, config.dialing_noise, dial_seed),
+                chain_seed(config.seed, RoundKind::AddFriend),
+            )),
+            dialing_chain: MixBackend::InProcess(MixChain::new(
+                config.num_mix_servers,
+                config.dialing_noise,
+                chain_seed(config.seed, RoundKind::Dialing),
+            )),
             cdn: Cdn::new(),
+            sharded_cdn: None,
             open_add_friend: None,
             open_dialing: None,
             now: 0,
             config,
         }
+    }
+
+    /// Replaces both in-process mix chains with remote `mixd` fleets, one
+    /// [`Mixer`] handle per chain position. Call at startup, before any round
+    /// opens, so chain-level round auto-numbering starts at zero in both
+    /// deployment shapes (that is what makes a distributed run byte-identical
+    /// to the in-process one).
+    ///
+    /// # Panics
+    ///
+    /// If either fleet's size differs from `config.num_mix_servers`, or a
+    /// round is currently open.
+    pub fn connect_remote_mixers(
+        &mut self,
+        add_friend: Vec<Box<dyn Mixer>>,
+        dialing: Vec<Box<dyn Mixer>>,
+    ) {
+        assert_eq!(
+            add_friend.len(),
+            self.config.num_mix_servers,
+            "add-friend mixer fleet must match the configured chain length"
+        );
+        assert_eq!(
+            dialing.len(),
+            self.config.num_mix_servers,
+            "dialing mixer fleet must match the configured chain length"
+        );
+        assert!(
+            self.open_add_friend.is_none() && self.open_dialing.is_none(),
+            "connect remote mixers before opening any round"
+        );
+        self.add_friend_chain = MixBackend::Remote(RemoteMixChain::new(
+            RoundKind::AddFriend,
+            add_friend,
+            self.config.add_friend_noise,
+        ));
+        self.dialing_chain = MixBackend::Remote(RemoteMixChain::new(
+            RoundKind::Dialing,
+            dialing,
+            self.config.dialing_noise,
+        ));
+    }
+
+    /// Connects an erasure-coded CDN fleet: every closed round's mailboxes
+    /// are additionally published as `data_shards + parity_shards` shift-XOR
+    /// shards across `nodes` (shard `i` on node `i mod n`), where clients can
+    /// fetch them from any `data_shards` live nodes.
+    pub fn connect_cdn_nodes(
+        &mut self,
+        nodes: Vec<Box<dyn NodeClient>>,
+        data_shards: usize,
+        parity_shards: usize,
+    ) {
+        self.sharded_cdn = Some(ShardedCdn::new(nodes, data_shards, parity_shards));
+    }
+
+    /// Aggregate counters of the connected CDN fleet, if any.
+    pub fn cdn_fleet_stats(&self) -> Option<CdnFleetStats> {
+        self.sharded_cdn.as_ref().map(|fleet| fleet.stats())
+    }
+
+    /// The shared download-accounting counters, for fetch paths that serve
+    /// mailboxes on the coordinator's behalf (the CDN-routed client
+    /// transport charges shard downloads here so the evaluation bandwidth
+    /// figures cover both deployment shapes).
+    pub fn cdn_download_stats(&self) -> Arc<crate::cdn::CdnStats> {
+        self.cdn.stats()
     }
 
     /// The cluster configuration.
@@ -224,6 +393,21 @@ impl Cluster {
         &self.cdn
     }
 
+    /// A point-in-time snapshot of the CDN download counters, in the wire
+    /// representation served to `GetCdnStats`.
+    pub fn cdn_stats(&self) -> alpenhorn_wire::CdnStatsWire {
+        self.cdn.stats().wire()
+    }
+
+    /// Expires mailboxes from rounds before `keep_from`, on the origin CDN
+    /// and (best effort) on every connected fleet node.
+    pub fn expire_mailboxes_before(&mut self, keep_from: Round) {
+        self.cdn.expire_before(keep_from);
+        if let Some(fleet) = &self.sharded_cdn {
+            fleet.expire_before(keep_from);
+        }
+    }
+
     /// Installs (or with `None` removes) a scripted [`MixAdversary`] on the
     /// chain serving `protocol` — the coordinator-level control surface for
     /// malicious-mixer scenarios. Honest operation is unchanged while no
@@ -237,6 +421,17 @@ impl Cluster {
             alpenhorn_mixnet::Protocol::AddFriend => self.add_friend_chain.set_adversary(adversary),
             alpenhorn_mixnet::Protocol::Dialing => self.dialing_chain.set_adversary(adversary),
         }
+    }
+
+    /// Severs the transport to mix server `index` on both chains — the
+    /// scenario engine's mixer-crash lever. On remote chains the next call
+    /// reconnects and retries under the mixer's retry policy; because rounds
+    /// are derived statelessly from (seed, round id), recovery is invisible
+    /// in the round's output. In-process chains have no transport, so this
+    /// is a no-op there.
+    pub fn disconnect_mixer(&mut self, index: usize) {
+        self.add_friend_chain.disconnect_mixer(index);
+        self.dialing_chain.disconnect_mixer(index);
     }
 
     /// The long-term verification keys of the PKGs, in order (these ship with
@@ -468,7 +663,7 @@ impl Cluster {
             pkg_publics.push(public);
         }
         let master_public = aggregate_master_publics(&pkg_publics);
-        let onion_keys = self.add_friend_chain.begin_round();
+        let onion_keys = self.add_friend_chain.begin_round()?;
         let num_mailboxes = self
             .config
             .mailbox_policy
@@ -556,17 +751,52 @@ impl Cluster {
             self.open_add_friend = Some(open);
             return Err(CoordinatorError::RoundNotOpen { requested: round });
         }
-        let (mailboxes, stats) = self.add_friend_chain.run_add_friend_round(
+        let run = self.add_friend_chain.run_add_friend_round(
             open.intake.seal(),
             open.info.num_mailboxes,
             &open.info.onion_keys,
         );
-        self.cdn.publish_add_friend(round, mailboxes);
+        // Round-key destruction must happen whether or not the mix ran: a
+        // remote fleet failing past its retry budget loses the round (the
+        // submissions are dropped, clients resubmit next round), but never
+        // weakens forward secrecy.
         self.add_friend_chain.end_round();
         for pkg in &mut self.pkgs {
             pkg.end_round();
         }
+        let (mailboxes, stats) = run?;
+        self.publish_add_friend_shards(round, &mailboxes);
+        self.cdn.publish_add_friend(round, mailboxes);
         Ok(stats)
+    }
+
+    /// Publishes one closed add-friend round's mailboxes to the CDN fleet,
+    /// best effort: the origin [`Cdn`] keeps the authoritative copy, so a
+    /// degraded publish costs offload, never availability.
+    fn publish_add_friend_shards(&self, round: Round, mailboxes: &AddFriendMailboxes) {
+        let Some(fleet) = &self.sharded_cdn else {
+            return;
+        };
+        for (mailbox, contents) in &mailboxes.mailboxes {
+            let blob = encode_add_friend_blob(contents);
+            let _ = fleet.publish(RoundKind::AddFriend, round, MailboxId(*mailbox), &blob);
+        }
+    }
+
+    /// Publishes one closed dialing round's Bloom filters to the CDN fleet,
+    /// best effort (see [`Cluster::publish_add_friend_shards`]).
+    fn publish_dialing_shards(&self, round: Round, mailboxes: &DialingMailboxes) {
+        let Some(fleet) = &self.sharded_cdn else {
+            return;
+        };
+        for (mailbox, filter) in &mailboxes.mailboxes {
+            let _ = fleet.publish(
+                RoundKind::Dialing,
+                round,
+                MailboxId(*mailbox),
+                &filter.to_bytes(),
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -582,7 +812,7 @@ impl Cluster {
         if self.open_dialing.is_some() {
             return Err(CoordinatorError::RoundAlreadyOpen);
         }
-        let onion_keys = self.dialing_chain.begin_round();
+        let onion_keys = self.dialing_chain.begin_round()?;
         let num_mailboxes = self
             .config
             .mailbox_policy
@@ -641,13 +871,15 @@ impl Cluster {
             self.open_dialing = Some(open);
             return Err(CoordinatorError::RoundNotOpen { requested: round });
         }
-        let (mailboxes, stats) = self.dialing_chain.run_dialing_round(
+        let run = self.dialing_chain.run_dialing_round(
             open.intake.seal(),
             open.info.num_mailboxes,
             &open.info.onion_keys,
         );
-        self.cdn.publish_dialing(round, mailboxes);
         self.dialing_chain.end_round();
+        let (mailboxes, stats) = run?;
+        self.publish_dialing_shards(round, &mailboxes);
+        self.cdn.publish_dialing(round, mailboxes);
         Ok(stats)
     }
 }

@@ -29,6 +29,8 @@ pub enum CoordinatorError {
         /// Index of the offending PKG.
         pkg_index: usize,
     },
+    /// The remote mix chain failed past its retry budget; the round is lost.
+    Mixnet(String),
 }
 
 impl core::fmt::Display for CoordinatorError {
@@ -49,6 +51,7 @@ impl core::fmt::Display for CoordinatorError {
                     "PKG {pkg_index} revealed a key that does not match its commitment"
                 )
             }
+            CoordinatorError::Mixnet(detail) => write!(f, "mixnet failure: {detail}"),
         }
     }
 }
@@ -95,6 +98,12 @@ impl From<CoordinatorError> for alpenhorn_wire::RpcError {
             },
             CoordinatorError::CommitmentMismatch { pkg_index } => RpcError::CommitmentMismatch {
                 pkg_index: pkg_index as u32,
+            },
+            // A mix outage is transient from the client's point of view: the
+            // coordinator abandons the round and opens a fresh one.
+            CoordinatorError::Mixnet(detail) => RpcError::Unavailable {
+                detail: format!("mixnet failure: {detail}"),
+                retry_after_ms: 0,
             },
         }
     }

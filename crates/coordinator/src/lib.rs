@@ -25,7 +25,7 @@ pub mod service;
 pub mod shard;
 pub mod shared;
 
-pub use cdn::Cdn;
+pub use cdn::{Cdn, CdnStats};
 pub use cluster::{AddFriendRoundInfo, Cluster, ClusterConfig, DialingRoundInfo};
 pub use control::DurableController;
 pub use error::CoordinatorError;

@@ -476,6 +476,7 @@ impl CoordinatorService {
                     Err(e) => Response::Error(e.into()),
                 }
             }
+            Request::GetCdnStats => Response::CdnStats(self.cluster().cdn_stats()),
         }
     }
 

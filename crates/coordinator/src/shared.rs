@@ -277,6 +277,9 @@ impl SharedCoordinator {
                     token,
                 )
             }
+            // The counters are shared atomics, so the snapshot always reads
+            // current totals — no lock needed.
+            Request::GetCdnStats => Response::CdnStats(self.snapshot().cdn_stats.wire()),
             exclusive => self.write().handle(exclusive),
         }
     }

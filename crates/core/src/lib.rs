@@ -74,7 +74,9 @@ pub use fault::{
     FaultPlan, FaultProbabilities, FaultyTransport, FlakyWindow, InjectedFault, PartitionWindow,
 };
 pub use retry::RetryPolicy;
-pub use transport::{LoopbackTransport, TcpTransport, Transport, TransportError};
+pub use transport::{
+    CdnRoutedTransport, LoopbackTransport, TcpTransport, Transport, TransportError,
+};
 
 pub use alpenhorn_keywheel::{Intent, SessionKey};
 pub use alpenhorn_wire::{Identity, Round};

@@ -20,12 +20,16 @@
 //! transport (covered by `tests/transport_equivalence.rs`).
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
+use alpenhorn_bloom::BloomFilter;
+use alpenhorn_cdn::ShardedCdn;
 use alpenhorn_coordinator::service::CoordinatorService;
-use alpenhorn_coordinator::{Cluster, ServiceWriteGuard, SharedCoordinator};
+use alpenhorn_coordinator::{CdnStats, Cluster, ServiceWriteGuard, SharedCoordinator};
+use alpenhorn_wire::cdn::decode_add_friend_blob;
 use alpenhorn_wire::codec::FrameIoError;
-use alpenhorn_wire::{Frame, Request, Response, WireError};
+use alpenhorn_wire::{Frame, Request, Response, RoundKind, WireError};
 
 /// Errors raised by a transport itself (as opposed to typed errors the
 /// coordinator reports inside a [`Response::Error`], which the client
@@ -335,5 +339,104 @@ impl Transport for TcpTransport {
             return Ok(());
         }
         self.reconnect().map_err(TransportError::from)
+    }
+}
+
+/// A transport that offloads mailbox downloads to an erasure-coded CDN
+/// fleet, passing everything else to the inner transport (the paper's §7
+/// deployment: the coordinator hands out mailbox state, a CDN serves it).
+///
+/// `FetchAddFriendMailbox`/`FetchDialingMailbox` are answered by fetching
+/// and reassembling the round's shards from any `k` live nodes. Any miss —
+/// unpublished round, empty mailbox, too many dead nodes, or a blob that
+/// fails validation — falls back to the inner transport, so the origin stays
+/// authoritative and this wrapper can never make a fetch *less* available.
+/// The fallback answer is byte-identical to the shard-path answer because
+/// the coordinator publishes the same encoded blobs it serves.
+pub struct CdnRoutedTransport<T> {
+    inner: T,
+    fleet: Arc<ShardedCdn>,
+    /// Download accounting to charge for shard-path fetches, so in-process
+    /// evaluation runs report the same `bytes_served`/`downloads` figures as
+    /// an undistributed deployment plus the parity/shard overhead counters.
+    /// `None` for true remote deployments, where the client has no handle on
+    /// the coordinator's counters.
+    stats: Option<Arc<CdnStats>>,
+}
+
+impl<T> CdnRoutedTransport<T> {
+    /// Routes mailbox fetches to `fleet`, everything else to `inner`.
+    pub fn new(inner: T, fleet: Arc<ShardedCdn>) -> Self {
+        CdnRoutedTransport {
+            inner,
+            fleet,
+            stats: None,
+        }
+    }
+
+    /// Charges shard-path downloads to the coordinator's CDN counters (see
+    /// [`Cluster::cdn_download_stats`]).
+    pub fn with_stats(mut self, stats: Arc<CdnStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The inner transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the inner transport (reconnection, fault levers).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Fetches one blob from the fleet, answering `None` on *any* miss or
+    /// failure — the caller falls back to the inner transport.
+    fn fetch_blob(
+        &self,
+        kind: RoundKind,
+        round: alpenhorn_wire::Round,
+        mailbox: alpenhorn_wire::MailboxId,
+    ) -> Option<Vec<u8>> {
+        let outcome = self.fleet.fetch(kind, round, mailbox).ok()?;
+        let blob = outcome.blob?;
+        if let Some(stats) = &self.stats {
+            stats.serve_sharded_download(
+                outcome.data_bytes,
+                outcome.parity_bytes,
+                outcome.shard_fetches,
+            );
+        }
+        Some(blob)
+    }
+}
+
+impl<T: Transport> Transport for CdnRoutedTransport<T> {
+    fn call(&mut self, request: Request) -> Result<Response, TransportError> {
+        match &request {
+            Request::FetchAddFriendMailbox { round, mailbox } => {
+                if let Some(blob) = self.fetch_blob(RoundKind::AddFriend, *round, *mailbox) {
+                    if let Ok(contents) = decode_add_friend_blob(&blob) {
+                        return Ok(Response::AddFriendMailbox { contents });
+                    }
+                }
+            }
+            Request::FetchDialingMailbox { round, mailbox } => {
+                if let Some(blob) = self.fetch_blob(RoundKind::Dialing, *round, *mailbox) {
+                    // Validate before serving: a corrupt blob must fall back
+                    // to the origin, not poison the client's dial scan.
+                    if BloomFilter::from_bytes(&blob).is_some() {
+                        return Ok(Response::DialingMailbox { filter: blob });
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.inner.call(request)
+    }
+
+    fn reset(&mut self) -> Result<(), TransportError> {
+        self.inner.reset()
     }
 }

@@ -1,0 +1,80 @@
+//! Property tests for the shift-XOR erasure code.
+//!
+//! For random blobs and random code shapes, every loss pattern of at most
+//! `m` shards must recover the original blob byte-identically, and losing
+//! more data shards than surviving parities must fail with the typed
+//! `TooManyErasures` error — never a panic, never wrong bytes.
+
+use proptest::prelude::*;
+
+use alpenhorn_erasure::{encode, reconstruct, CodeParams, ErasureError};
+
+fn arb_params() -> impl Strategy<Value = CodeParams> {
+    (1usize..9, 0usize..4).prop_map(|(data, parity)| CodeParams::new(data, parity))
+}
+
+/// A subset of `0..total` with at most `max_len` elements, derived from a
+/// generated bitmask so shrinking stays meaningful.
+fn loss_pattern(mask: u16, total: usize, max_len: usize) -> Vec<usize> {
+    let mut pattern: Vec<usize> = (0..total).filter(|i| mask & (1 << i) != 0).collect();
+    pattern.truncate(max_len);
+    pattern
+}
+
+proptest! {
+    #[test]
+    fn any_loss_within_parity_budget_round_trips(
+        params in arb_params(),
+        blob in proptest::collection::vec(any::<u8>(), 0..600),
+        mask in any::<u16>(),
+    ) {
+        let encoded = encode(&params, &blob);
+        prop_assert_eq!(encoded.len(), params.total());
+        let pattern = loss_pattern(mask, params.total(), params.parity);
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        for &lost in &pattern {
+            shards[lost] = None;
+        }
+        let recovered = reconstruct(&params, blob.len(), &shards).unwrap();
+        prop_assert_eq!(recovered, blob);
+    }
+
+    #[test]
+    fn excess_data_loss_is_a_typed_error(
+        params in (1usize..9, 0usize..4).prop_map(|(d, p)| CodeParams::new(d, p)),
+        blob in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        // Erase parity+1 data shards (when the shape allows it): reconstruct
+        // must refuse with TooManyErasures rather than fabricate bytes.
+        let lose = params.parity + 1;
+        prop_assume!(lose <= params.data);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            encode(&params, &blob).into_iter().map(Some).collect();
+        for slot in shards.iter_mut().take(lose) {
+            *slot = None;
+        }
+        prop_assert_eq!(
+            reconstruct(&params, blob.len(), &shards),
+            Err(ErasureError::TooManyErasures {
+                missing_data: lose,
+                surviving_parity: params.parity,
+            })
+        );
+    }
+
+    #[test]
+    fn parity_lengths_match_declared_shape(
+        params in arb_params(),
+        blob in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let encoded = encode(&params, &blob);
+        for (i, shard) in encoded.iter().enumerate() {
+            let expected = if i < params.data {
+                params.shard_len(blob.len())
+            } else {
+                params.parity_len(blob.len(), i - params.data)
+            };
+            prop_assert_eq!(shard.len(), expected);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `mixd` — one Alpenhorn mix server as a standalone daemon.
+//!
+//! Hosts the add-friend and dialing mix servers for a single chain position
+//! and answers framed [`MixerRequest`](alpenhorn_wire::MixerRequest)s from
+//! the coordinator. Because every per-round byte is derived from
+//! (`--seed`, `--index`, round id), a `mixd` fleet given the coordinator's
+//! seed and distinct indices joins the chain byte-compatibly with an
+//! in-process deployment — kill a daemon, restart it with the same flags,
+//! and the coordinator's retried requests get the identical answers.
+//!
+//! ```text
+//! mixd --index N [--listen ADDR] [--seed N] [--workers N] [--data-dir DIR]
+//! ```
+//!
+//! `--data-dir` is accepted for deployment-script symmetry with the other
+//! daemons but unused: `mixd` keeps no durable state, by design.
+
+use alpenhorn_mixd::{serve, MixdServer};
+
+struct Options {
+    listen: String,
+    seed: u8,
+    index: Option<usize>,
+    workers: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mixd --index N [--listen ADDR] [--seed N] [--workers N] [--data-dir DIR]\n\
+         \x20      --index N     chain position of this mix server (required)\n\
+         \x20      --listen ADDR listen address (default 127.0.0.1:7207; port 0 for ephemeral)\n\
+         \x20      --seed N      cluster seed byte, must match the coordinator's (default 0)\n\
+         \x20      --workers N   worker threads per round (default: available parallelism)\n\
+         \x20      --data-dir D  accepted and ignored: mixd is stateless by design"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: "127.0.0.1:7207".to_string(),
+        seed: 0,
+        index: None,
+        workers: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("mixd: {name} requires a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => options.listen = value("--listen"),
+            "--seed" => options.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--index" => options.index = Some(value("--index").parse().unwrap_or_else(|_| usage())),
+            "--workers" => {
+                options.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--data-dir" => {
+                let _ = value("--data-dir");
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mixd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let Some(index) = options.index else {
+        eprintln!("mixd: --index is required (which chain position am I?)");
+        usage()
+    };
+    let mut server = MixdServer::new([options.seed; 32], index);
+    if let Some(workers) = options.workers {
+        server.set_workers(workers);
+    }
+    let handle = match serve(server, options.listen.as_str()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("mixd: cannot listen on {}: {e}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "mixd listening on {} (chain position {}, seed {})",
+        handle.local_addr(),
+        index,
+        options.seed
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

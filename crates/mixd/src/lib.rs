@@ -1,0 +1,42 @@
+//! Networked mix-server daemons and the coordinator-side chain driving them.
+//!
+//! The paper deploys the mixnet as N independent servers on separate
+//! machines (§7); this crate is that deployment surface:
+//!
+//! * [`MixdServer`] — one daemon's state: the add-friend and dialing
+//!   [`MixServer`](alpenhorn_mixnet::MixServer)s for one chain position,
+//!   dispatching [`MixerRequest`](alpenhorn_wire::MixerRequest)s. Because
+//!   every per-round byte a mix server produces is derived from
+//!   (seed, chain position, round id), the daemon is **stateless across
+//!   requests**: retried RPCs reproduce identical responses and no replay
+//!   cache exists.
+//! * [`serve`] — the framed TCP accept loop (`mixd` binary).
+//! * [`Mixer`] — the coordinator's view of one mix server, with two
+//!   implementations: [`LoopbackMixer`] (in-process, still routed through
+//!   the wire codec) and [`RemoteMixer`] (framed TCP with
+//!   reconnect-and-retry, mirroring the client transport's recovery
+//!   policy).
+//! * [`RemoteMixChain`] — mirrors the in-process
+//!   [`MixChain`](alpenhorn_mixnet::MixChain) API over a row of [`Mixer`]s
+//!   and adds cross-round pipelining: mixer k peels round r while mixer
+//!   k+1 noises round r−1. Outputs are byte-identical to `MixChain` for
+//!   every mixer count and pipelining depth (`tests/loopback_equivalence`).
+//!
+//! Seed derivation for daemons is shared with the coordinator via
+//! [`chain_seed`] and [`alpenhorn_mixnet::server_seed`], so a daemon given
+//! only (cluster seed, index) joins the chain byte-compatibly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod daemon;
+pub mod error;
+pub mod mixer;
+pub mod seeds;
+
+pub use chain::{MixRoundInput, MixRoundOutput, RemoteMixChain};
+pub use daemon::{serve, MixdHandle, MixdServer};
+pub use error::MixdError;
+pub use mixer::{LoopbackMixer, MixRetryPolicy, Mixer, ProcessedBatch, RemoteMixer};
+pub use seeds::chain_seed;

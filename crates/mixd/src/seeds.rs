@@ -1,0 +1,42 @@
+//! Seed derivation shared by the coordinator and standalone daemons.
+//!
+//! A distributed deployment hands each `mixd` process only the cluster seed
+//! and its chain position; the daemon re-derives the same per-chain and
+//! per-server seeds the coordinator's in-process
+//! [`MixChain`](alpenhorn_mixnet::MixChain) uses, so the two deployments
+//! produce byte-identical rounds.
+
+use alpenhorn_wire::RoundKind;
+
+/// Derives the per-protocol chain seed from the cluster seed — the same
+/// tweak the coordinator applies when building its in-process chains, kept
+/// here as the single source of truth for both deployments.
+pub fn chain_seed(cluster_seed: [u8; 32], protocol: RoundKind) -> [u8; 32] {
+    let mut seed = cluster_seed;
+    seed[29] ^= match protocol {
+        RoundKind::AddFriend => 0x11,
+        RoundKind::Dialing => 0x22,
+    };
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_get_distinct_chain_seeds() {
+        let seed = [7u8; 32];
+        let add = chain_seed(seed, RoundKind::AddFriend);
+        let dial = chain_seed(seed, RoundKind::Dialing);
+        assert_ne!(add, dial);
+        assert_ne!(add, seed);
+        assert_ne!(dial, seed);
+        // The tweak touches exactly one byte, so independent server-index
+        // tweaks (bytes 0..2) cannot collide with it.
+        assert_eq!(
+            add.iter().zip(seed.iter()).filter(|(a, b)| a != b).count(),
+            1
+        );
+    }
+}

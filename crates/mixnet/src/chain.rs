@@ -106,6 +106,18 @@ impl RoundStats {
     }
 }
 
+/// Derives the seed for the server at `index` in a chain seeded with
+/// `chain_seed`. This is the single source of truth shared by the in-process
+/// [`MixChain`] and a distributed `mixd` daemon hosting the same chain
+/// position, so both derive byte-identical per-round keys, noise, and
+/// shuffles.
+pub fn server_seed(chain_seed: [u8; 32], index: usize) -> [u8; 32] {
+    let mut seed = chain_seed;
+    seed[0] ^= index as u8;
+    seed[1] ^= (index >> 8) as u8;
+    seed
+}
+
 /// A chain of mixnet servers processed in order.
 pub struct MixChain {
     servers: Vec<MixServer>,
@@ -123,12 +135,7 @@ impl MixChain {
     pub fn new(n: usize, noise: NoiseConfig, seed: [u8; 32]) -> Self {
         assert!(n >= 1, "a mixnet chain needs at least one server");
         let servers = (0..n)
-            .map(|i| {
-                let mut server_seed = seed;
-                server_seed[0] ^= i as u8;
-                server_seed[1] ^= (i >> 8) as u8;
-                MixServer::new(i, server_seed)
-            })
+            .map(|i| MixServer::new(i, server_seed(seed, i)))
             .collect();
         MixChain {
             servers,

@@ -28,7 +28,7 @@ pub mod noise;
 pub mod onion;
 pub mod server;
 
-pub use chain::{MixAdversary, MixChain, MixMisbehavior, RoundStats};
+pub use chain::{server_seed, MixAdversary, MixChain, MixMisbehavior, RoundStats};
 pub use mailbox::{AddFriendMailboxes, DialingMailboxes, MailboxPolicy};
 pub use noise::{DpParameters, NoiseConfig};
 pub use onion::{peel_layer, peel_layer_in_place, wrap_onion, wrap_onion_into};

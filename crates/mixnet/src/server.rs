@@ -21,6 +21,22 @@
 //!
 //! Forward secrecy: the round's onion secret and the permutation are erased
 //! when the round ends ([`MixServer::end_round`]).
+//!
+//! # Round identity and distribution
+//!
+//! All per-round randomness (the onion keypair, noise, the shuffle) is
+//! derived by HMAC from the server seed and an explicit **round id**
+//! ([`MixServer::begin_round_for`]), never from a sequential rng stream.
+//! Rounds are therefore independent: several may be open at once (the round
+//! pipelining a distributed chain wants), repeating an operation for the
+//! same round reproduces byte-identical output (what makes the `mixd`
+//! daemon's RPCs retry-idempotent with no replay cache), and the bytes a
+//! remote server produces depend only on (seed, index, round) — not on
+//! which process hosts it or when its calls interleave with other servers'.
+//! The id-less [`MixServer::begin_round`] API numbers rounds from 0
+//! internally and is what the in-process [`crate::MixChain`] path uses.
+
+use std::collections::BTreeMap;
 
 use alpenhorn_crypto::{ChaChaRng, HmacKey};
 use alpenhorn_ibe::dh::{DhPublic, DhSecret};
@@ -41,10 +57,14 @@ pub struct MixServer {
     index: usize,
     /// Human-readable name (for diagnostics).
     name: String,
-    /// Current round onion secret, if a round is open.
-    round_secret: Option<DhSecret>,
-    /// Server-local randomness (noise, shuffles, ephemeral keys).
-    rng: ChaChaRng,
+    /// Per-round randomness derivation key (from the server seed).
+    round_key: HmacKey,
+    /// Onion secrets of the currently open rounds, by round id.
+    open_rounds: BTreeMap<u64, DhSecret>,
+    /// Round id targeted by the id-less `begin_round`/`process`/`end_round`
+    /// API, plus its auto-numbering counter.
+    current_round: Option<u64>,
+    next_auto_round: u64,
     /// Worker threads used for round processing.
     workers: usize,
     /// Statistics from the most recent round.
@@ -61,12 +81,23 @@ impl MixServer {
         MixServer {
             index,
             name: format!("mix-{index}"),
-            round_secret: None,
-            rng: ChaChaRng::from_seed_bytes(seed),
+            round_key: HmacKey::new(&seed),
+            open_rounds: BTreeMap::new(),
+            current_round: None,
+            next_auto_round: 0,
             workers: default_workers(),
             last_noise_added: 0,
             last_malformed_dropped: 0,
         }
+    }
+
+    /// The rng for one derivation domain of one round: a pure function of
+    /// (server seed, domain, round id).
+    fn round_rng(&self, domain: &[u8], round: u64) -> ChaChaRng {
+        let mut mac = self.round_key.mac_stream();
+        mac.update(domain);
+        mac.update(&round.to_be_bytes());
+        ChaChaRng::from_seed_bytes(mac.finalize())
     }
 
     /// The server's position in the chain.
@@ -93,24 +124,52 @@ impl MixServer {
     }
 
     /// Begins a round: generates a fresh onion keypair and announces the
-    /// public half to clients.
+    /// public half to clients. Rounds are auto-numbered from 0; distributed
+    /// deployments use the explicit [`MixServer::begin_round_for`] instead.
     pub fn begin_round(&mut self) -> DhPublic {
-        let secret = DhSecret::generate(&mut self.rng);
+        let round = self.next_auto_round;
+        self.next_auto_round += 1;
+        self.current_round = Some(round);
+        self.begin_round_for(round)
+    }
+
+    /// Begins (or re-derives) round `round` and returns its onion public key.
+    ///
+    /// Idempotent: the keypair is a pure function of (seed, round id), so a
+    /// retried call returns the same key and disturbs nothing.
+    pub fn begin_round_for(&mut self, round: u64) -> DhPublic {
+        let mut rng = self.round_rng(b"onion-key", round);
+        let secret = DhSecret::generate(&mut rng);
         let public = secret.public();
-        self.round_secret = Some(secret);
+        self.open_rounds.insert(round, secret);
         public
     }
 
-    /// Ends the round, erasing the onion secret (forward secrecy).
+    /// Ends the round the id-less API has open, erasing its onion secret
+    /// (forward secrecy).
     pub fn end_round(&mut self) {
-        if let Some(mut secret) = self.round_secret.take() {
+        if let Some(round) = self.current_round.take() {
+            self.end_round_for(round);
+        }
+    }
+
+    /// Ends round `round`, erasing its onion secret (forward secrecy).
+    /// Unknown or already-ended round ids are ignored, so retries are safe.
+    pub fn end_round_for(&mut self, round: u64) {
+        if let Some(mut secret) = self.open_rounds.remove(&round) {
             secret.erase();
         }
     }
 
-    /// Whether a round is currently open.
+    /// Whether the id-less API has a round currently open.
     pub fn round_open(&self) -> bool {
-        self.round_secret.is_some()
+        self.current_round
+            .is_some_and(|round| self.open_rounds.contains_key(&round))
+    }
+
+    /// Whether round `round` is open.
+    pub fn round_open_for(&self, round: u64) -> bool {
+        self.open_rounds.contains_key(&round)
     }
 
     /// Number of noise messages this server added in the last round.
@@ -131,6 +190,32 @@ impl MixServer {
     /// `num_mailboxes` is the number of real mailboxes for the round.
     pub fn process(
         &mut self,
+        batch: Vec<Vec<u8>>,
+        downstream_publics: &[DhPublic],
+        protocol: Protocol,
+        noise: &NoiseConfig,
+        num_mailboxes: u32,
+    ) -> Vec<Vec<u8>> {
+        let round = self
+            .current_round
+            .expect("process called without begin_round");
+        self.process_for(
+            round,
+            batch,
+            downstream_publics,
+            protocol,
+            noise,
+            num_mailboxes,
+        )
+    }
+
+    /// [`MixServer::process`] for an explicit round id. The output is a pure
+    /// function of (seed, round, inputs): reprocessing the same batch for the
+    /// same round is byte-identical, which is what lets a remote driver retry
+    /// a lost `Process` RPC without a replay cache.
+    pub fn process_for(
+        &mut self,
+        round: u64,
         mut batch: Vec<Vec<u8>>,
         downstream_publics: &[DhPublic],
         protocol: Protocol,
@@ -138,15 +223,15 @@ impl MixServer {
         num_mailboxes: u32,
     ) -> Vec<Vec<u8>> {
         let secret = self
-            .round_secret
-            .as_ref()
+            .open_rounds
+            .get(&round)
             .expect("process called without begin_round")
             .clone();
 
-        // All round randomness forks from the server stream up front, so the
-        // state consumed from `self.rng` is independent of batch size, noise
-        // volume, and worker count.
-        let mut round_rng = self.rng.fork(b"mix-round");
+        // All round randomness derives from (seed, round) up front, so it is
+        // independent of batch size, noise volume, worker count, and of any
+        // other rounds open concurrently.
+        let mut round_rng = self.round_rng(b"mix-round", round);
         let mut noise_seed = [0u8; 32];
         round_rng.fill_bytes(&mut noise_seed);
         let mut shuffle_rng = round_rng.fork(b"shuffle");

@@ -17,6 +17,7 @@
 //! schedules, and reports.
 
 use alpenhorn::{Client, ClientError, ClientEvent, LoopbackTransport};
+use alpenhorn_cdn::{LoopbackNode, NodeClient};
 use alpenhorn_coordinator::service::CoordinatorService;
 use alpenhorn_coordinator::{
     Cluster, ClusterConfig, DurableController, RateLimitPolicy, ServiceConfig,
@@ -166,6 +167,7 @@ pub struct ScenarioEngine {
     rounds: Vec<RoundReport>,
     client_events: Vec<Vec<ClientEvent>>,
     last_step_events: Vec<(usize, Vec<ClientEvent>)>,
+    cdn_nodes: Vec<LoopbackNode>,
 }
 
 fn service_config(scenario: &Scenario) -> ServiceConfig {
@@ -236,7 +238,27 @@ impl ScenarioEngine {
             rounds: Vec::new(),
             client_events,
             last_step_events: Vec::new(),
+            cdn_nodes: Vec::new(),
         })
+    }
+
+    /// Attaches an in-process erasure-coded CDN fleet of `node_count`
+    /// [`LoopbackNode`]s to the coordinator (shards split `data` + `parity`).
+    /// The coordinator then offloads every closed round's mailboxes to the
+    /// fleet as erasure-coded shards, and [`Action::CdnNodeDown`] /
+    /// [`Action::CdnNodeUp`] become meaningful levers. Publishing is
+    /// best-effort: node outages cost offload, never round completion, which
+    /// is exactly the property scenarios assert by comparing against the
+    /// fault-free twin.
+    pub fn attach_cdn_fleet(&mut self, node_count: usize, data: usize, parity: usize) {
+        let handles: Vec<LoopbackNode> = (0..node_count).map(|_| LoopbackNode::new()).collect();
+        let clients: Vec<Box<dyn NodeClient>> = handles
+            .iter()
+            .map(|h| Box::new(h.clone_handle()) as Box<dyn NodeClient>)
+            .collect();
+        self.net
+            .with_cluster(|c| c.connect_cdn_nodes(clients, data, parity));
+        self.cdn_nodes = handles;
     }
 
     /// Registers an invariant checker, evaluated at every step boundary.
@@ -661,11 +683,35 @@ impl ScenarioEngine {
                     c.set_mix_adversary(Protocol::Dialing, None);
                 });
             }
+            Action::MixerCrash { server } => {
+                self.net.with_cluster(|c| c.disconnect_mixer(server));
+            }
+            Action::CdnNodeDown { node } => {
+                self.cdn_node(step, node)?.set_alive(false);
+            }
+            Action::CdnNodeUp { node } => {
+                self.cdn_node(step, node)?.set_alive(true);
+            }
             Action::AdvanceClock { seconds } => {
                 self.net.service().advance_clock(seconds);
             }
         }
         Ok(())
+    }
+
+    fn cdn_node(&self, step: u64, node: usize) -> Result<&LoopbackNode, EngineError> {
+        if self.cdn_nodes.is_empty() {
+            return Err(EngineError::BadScenario(format!(
+                "step {step} scripts a CDN node event but no fleet is attached \
+                 (call attach_cdn_fleet before running)"
+            )));
+        }
+        self.cdn_nodes.get(node).ok_or_else(|| {
+            EngineError::BadScenario(format!(
+                "step {step} addresses CDN node {node}, but the fleet has {} nodes",
+                self.cdn_nodes.len()
+            ))
+        })
     }
 
     fn add_friend(&mut self, initiator: usize, target: usize) -> Result<(), EngineError> {
@@ -845,6 +891,47 @@ mod tests {
             rounds[1]
         );
         assert!(rounds[2].violations.is_empty(), "honest again");
+    }
+
+    #[test]
+    fn cdn_node_outage_never_disturbs_the_round_stream() {
+        // A fleet node dying mid-run (and a mixer transport blip) must be
+        // invisible to clients: shard offload is best-effort and the origin
+        // CDN keeps the authoritative copy, so the event streams match the
+        // fault-free twin's byte for byte.
+        let scenario = ScenarioBuilder::new("cdn-outage", 78)
+            .population(4)
+            .steps(4)
+            .register(1, 0..4)
+            .befriend(1, 0, 1)
+            .call(3, 0, 1, 2)
+            .cdn_node_outage(2, 4, 3)
+            .mixer_crash(3, 1)
+            .build();
+        let mut engine = ScenarioEngine::new(scenario.clone()).unwrap();
+        engine.attach_cdn_fleet(4, 3, 1);
+        standard_checkers(&mut engine);
+        engine.run().unwrap();
+        let faulty = engine.into_report();
+        assert!(faulty.violations().is_empty(), "{:?}", faulty.violations());
+
+        let mut twin = ScenarioEngine::new(scenario.fault_free_twin()).unwrap();
+        twin.attach_cdn_fleet(4, 3, 1);
+        twin.run().unwrap();
+        assert_eq!(faulty.client_events, twin.into_report().client_events);
+    }
+
+    #[test]
+    fn cdn_node_event_without_fleet_is_a_bad_scenario() {
+        let scenario = ScenarioBuilder::new("no-fleet", 79)
+            .population(2)
+            .steps(2)
+            .register(1, 0..2)
+            .at(2, Action::CdnNodeDown { node: 0 })
+            .build();
+        let mut engine = ScenarioEngine::new(scenario).unwrap();
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::BadScenario(_)), "{err}");
     }
 
     #[test]

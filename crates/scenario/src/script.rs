@@ -164,6 +164,28 @@ pub enum Action {
     },
     /// Restore every mix server to honest operation.
     HonestMixer,
+    /// Sever the coordinator's transport to mix server `server` on both
+    /// chains (a `mixd` daemon restarting, a network blip). Remote chains
+    /// reconnect and retry on the next round; because mix rounds are derived
+    /// statelessly from (seed, round id), recovery must be invisible in the
+    /// round's output. A no-op on in-process chains.
+    MixerCrash {
+        /// Chain position of the crashed mixer.
+        server: usize,
+    },
+    /// Take CDN node `node` down: every shard put or get against it fails
+    /// like a dead TCP peer until the matching [`Action::CdnNodeUp`].
+    /// Requires a fleet attached with
+    /// [`ScenarioEngine::attach_cdn_fleet`](crate::ScenarioEngine::attach_cdn_fleet).
+    CdnNodeDown {
+        /// Fleet index of the node going down.
+        node: usize,
+    },
+    /// Bring CDN node `node` back up (its stored shards intact).
+    CdnNodeUp {
+        /// Fleet index of the node coming back.
+        node: usize,
+    },
     /// Advance the deployment's simulated clock (e.g. across a rate-limit
     /// budget day boundary).
     AdvanceClock {
@@ -244,6 +266,9 @@ impl Scenario {
                     | Action::EndFlaky { .. }
                     | Action::MaliciousMixer { .. }
                     | Action::HonestMixer
+                    | Action::MixerCrash { .. }
+                    | Action::CdnNodeDown { .. }
+                    | Action::CdnNodeUp { .. }
             )
         });
         twin
@@ -382,6 +407,9 @@ fn render_action(action: &Action) -> String {
             MixMisbehavior::ReorderOnions => format!("malicious-mixer {server} reorder"),
         },
         Action::HonestMixer => "honest-mixer".into(),
+        Action::MixerCrash { server } => format!("mixer-crash {server}"),
+        Action::CdnNodeDown { node } => format!("cdn-node-down {node}"),
+        Action::CdnNodeUp { node } => format!("cdn-node-up {node}"),
         Action::AdvanceClock { seconds } => format!("advance-clock {seconds}"),
     }
 }
@@ -554,6 +582,24 @@ fn parse_action(rest: &[&str], line: usize) -> Result<Action, ParseError> {
             want(0)?;
             Action::HonestMixer
         }
+        "mixer-crash" => {
+            want(1)?;
+            Action::MixerCrash {
+                server: parse_num(args[0], line, "server index")?,
+            }
+        }
+        "cdn-node-down" => {
+            want(1)?;
+            Action::CdnNodeDown {
+                node: parse_num(args[0], line, "node index")?,
+            }
+        }
+        "cdn-node-up" => {
+            want(1)?;
+            Action::CdnNodeUp {
+                node: parse_num(args[0], line, "node index")?,
+            }
+        }
         "advance-clock" => {
             want(1)?;
             Action::AdvanceClock {
@@ -696,6 +742,18 @@ impl ScenarioBuilder {
         self.at(step, Action::CrashRestart)
     }
 
+    /// Severs the transport to mix server `server` at `step`.
+    pub fn mixer_crash(self, step: u64, server: usize) -> Self {
+        self.at(step, Action::MixerCrash { server })
+    }
+
+    /// Takes CDN node `node` down from step `from` (inclusive) to `until`
+    /// (exclusive): emits the down/up event pair.
+    pub fn cdn_node_outage(self, from: u64, until: u64, node: usize) -> Self {
+        self.at(from, Action::CdnNodeDown { node })
+            .at(until, Action::CdnNodeUp { node })
+    }
+
     /// Finishes the build.
     pub fn build(self) -> Scenario {
         self.scenario
@@ -744,6 +802,8 @@ mod tests {
                 },
             )
             .at(7, Action::HonestMixer)
+            .mixer_crash(6, 2)
+            .cdn_node_outage(5, 7, 3)
             .at(8, Action::AdvanceClock { seconds: 86_400 })
             .deregister(8, ClientRange { start: 0, end: 5 })
             .build()
@@ -806,6 +866,9 @@ steps 3
                 | Action::EndFlaky { .. }
                 | Action::MaliciousMixer { .. }
                 | Action::HonestMixer
+                | Action::MixerCrash { .. }
+                | Action::CdnNodeDown { .. }
+                | Action::CdnNodeUp { .. }
         )));
         // Workload survives: churn, befriending, calls, sleeps, clock.
         assert!(twin

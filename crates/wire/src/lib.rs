@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cdn;
 pub mod codec;
 pub mod constants;
 pub mod dial;
@@ -28,10 +29,12 @@ pub mod error;
 pub mod friend_request;
 pub mod identity;
 pub mod mailbox;
+pub mod mixer;
 pub mod onion;
 pub mod round;
 pub mod rpc;
 
+pub use cdn::{CdnRequest, CdnResponse, ShardHeader};
 pub use codec::{Decoder, Encoder, Frame, FrameIoError};
 pub use constants::*;
 pub use dial::{DialRequest, DialToken};
@@ -39,6 +42,7 @@ pub use error::WireError;
 pub use friend_request::{AddFriendEnvelope, FriendRequest};
 pub use identity::Identity;
 pub use mailbox::MailboxId;
+pub use mixer::{MixerRequest, MixerResponse};
 pub use onion::{OnionEnvelope, OnionEnvelopeRef};
 pub use round::{Round, RoundKind};
-pub use rpc::{RateLimitReason, RateLimitToken, Request, Response, RpcError};
+pub use rpc::{CdnStatsWire, RateLimitReason, RateLimitToken, Request, Response, RpcError};

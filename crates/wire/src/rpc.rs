@@ -233,6 +233,10 @@ pub enum Request {
         /// The round number to close.
         round: Round,
     },
+    /// Fetch the CDN's bandwidth counters (the evaluation's bandwidth
+    /// figures; parity traffic is accounted separately from data so the
+    /// erasure-coded deployment stays comparable to the origin-only one).
+    GetCdnStats,
 }
 
 /// Why a submission or issuance was rate limited.
@@ -419,8 +423,26 @@ pub enum Response {
     },
     /// A round was closed; summary statistics.
     RoundClosed(RoundStatsWire),
+    /// The CDN's bandwidth counters.
+    CdnStats(CdnStatsWire),
     /// The request failed with a typed error.
     Error(RpcError),
+}
+
+/// CDN serving counters, in wire form. Data bytes are mailbox payload bytes
+/// delivered to clients; parity bytes are the extra erasure-shard bytes
+/// fetched to reconstruct them, kept separate so bandwidth figures remain
+/// comparable to an origin-only deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CdnStatsWire {
+    /// Mailbox payload bytes served to clients.
+    pub bytes_served: u64,
+    /// Mailbox downloads served.
+    pub downloads: u64,
+    /// Extra parity-shard bytes fetched during erasure reconstruction.
+    pub parity_bytes_served: u64,
+    /// Individual shard fetches issued to CDN nodes.
+    pub shard_fetches: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -487,7 +509,7 @@ fn get_token(d: &mut Decoder<'_>) -> Result<Option<RateLimitToken>, WireError> {
     }
 }
 
-fn put_detail(e: &mut Encoder, detail: &str) {
+pub(crate) fn put_detail(e: &mut Encoder, detail: &str) {
     let bytes = detail.as_bytes();
     let take = bytes.len().min(MAX_DETAIL_LEN);
     // Truncate on a char boundary so decoding back to UTF-8 cannot fail.
@@ -498,7 +520,7 @@ fn put_detail(e: &mut Encoder, detail: &str) {
     e.put_var_bytes(&bytes[..end]);
 }
 
-fn get_detail(d: &mut Decoder<'_>, context: &'static str) -> Result<String, WireError> {
+pub(crate) fn get_detail(d: &mut Decoder<'_>, context: &'static str) -> Result<String, WireError> {
     let raw = d.get_var_bytes(context)?;
     if raw.len() > MAX_DETAIL_LEN {
         return Err(WireError::InvalidValue { context });
@@ -543,6 +565,7 @@ const REQ_BEGIN_ADD_FRIEND_ROUND: u8 = 13;
 const REQ_CLOSE_ADD_FRIEND_ROUND: u8 = 14;
 const REQ_BEGIN_DIALING_ROUND: u8 = 15;
 const REQ_CLOSE_DIALING_ROUND: u8 = 16;
+const REQ_GET_CDN_STATS: u8 = 17;
 
 impl Request {
     /// Encodes the request into its wire form (without framing).
@@ -652,6 +675,9 @@ impl Request {
                 e.put_u8(REQ_CLOSE_DIALING_ROUND);
                 e.put_u64(round.0);
             }
+            Request::GetCdnStats => {
+                e.put_u8(REQ_GET_CDN_STATS);
+            }
         }
         e.finish()
     }
@@ -718,6 +744,7 @@ impl Request {
             REQ_CLOSE_DIALING_ROUND => Request::CloseDialingRound {
                 round: Round(d.get_u64("close round")?),
             },
+            REQ_GET_CDN_STATS => Request::GetCdnStats,
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "request tag",
@@ -743,6 +770,7 @@ const RESP_ADD_FRIEND_MAILBOX: u8 = 7;
 const RESP_DIALING_MAILBOX: u8 = 8;
 const RESP_ROUND_CLOSED: u8 = 9;
 const RESP_ERROR: u8 = 10;
+const RESP_CDN_STATS: u8 = 11;
 
 const ERR_ROUND_NOT_OPEN: u8 = 1;
 const ERR_NO_OPEN_ROUND: u8 = 2;
@@ -932,6 +960,13 @@ impl Response {
                 e.put_u64(stats.total_noise);
                 e.put_u64(stats.final_messages);
             }
+            Response::CdnStats(stats) => {
+                e.put_u8(RESP_CDN_STATS);
+                e.put_u64(stats.bytes_served);
+                e.put_u64(stats.downloads);
+                e.put_u64(stats.parity_bytes_served);
+                e.put_u64(stats.shard_fetches);
+            }
             Response::Error(err) => {
                 e.put_u8(RESP_ERROR);
                 err.encode_into(&mut e);
@@ -1022,6 +1057,12 @@ impl Response {
                 final_messages: d.get_u64("final messages")?,
             }),
             RESP_ERROR => Response::Error(RpcError::decode_from(&mut d)?),
+            RESP_CDN_STATS => Response::CdnStats(CdnStatsWire {
+                bytes_served: d.get_u64("cdn bytes served")?,
+                downloads: d.get_u64("cdn downloads")?,
+                parity_bytes_served: d.get_u64("cdn parity bytes served")?,
+                shard_fetches: d.get_u64("cdn shard fetches")?,
+            }),
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "response tag",

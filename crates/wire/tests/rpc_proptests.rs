@@ -12,8 +12,9 @@ use alpenhorn_wire::rpc::{
     RATE_LIMIT_SERIAL_LEN,
 };
 use alpenhorn_wire::{
-    AddFriendEnvelope, Frame, Identity, MailboxId, RateLimitReason, RateLimitToken, Request,
-    Response, Round, RoundKind, RpcError, WireError, G1_LEN, G2_LEN, SIGNATURE_LEN, SIGNING_PK_LEN,
+    AddFriendEnvelope, CdnStatsWire, Frame, Identity, MailboxId, RateLimitReason, RateLimitToken,
+    Request, Response, Round, RoundKind, RpcError, WireError, G1_LEN, G2_LEN, SIGNATURE_LEN,
+    SIGNING_PK_LEN,
 };
 
 fn arb_identity() -> impl Strategy<Value = Identity> {
@@ -91,6 +92,7 @@ fn all_requests(
         Request::CloseDialingRound {
             round: Round(round),
         },
+        Request::GetCdnStats,
     ]
 }
 
@@ -135,6 +137,12 @@ fn all_responses(round: u64, fill: u8, counts: (usize, usize), detail: String) -
             client_messages: round,
             total_noise: round.wrapping_mul(7),
             final_messages: round.wrapping_add(99),
+        }),
+        Response::CdnStats(CdnStatsWire {
+            bytes_served: round,
+            downloads: round.wrapping_mul(3),
+            parity_bytes_served: round.wrapping_mul(5),
+            shard_fetches: round.wrapping_add(1),
         }),
     ];
     let errors = vec![

@@ -51,6 +51,19 @@ stage "concurrent equivalence (sharded intake determinism + racing clients vs lo
 cargo test -q --test shard_determinism
 cargo test -q --test transport_equivalence concurrent
 
+# Distributed-deployment gate (PR 9): a coordinator driving 3 networked mixd
+# daemons over MixerRpc, with mailboxes offloaded to a 4-node cdnd fleet as
+# 3+1 erasure shards, must yield client-event streams byte-identical to the
+# in-process fault-free run — including one cdnd killed mid-run, with the
+# surviving fetches reconstructed by XOR-only parity decode. The per-crate
+# property suites (shift-XOR loss patterns, remote-chain ≡ in-process chain
+# over every mixer count and pipeline depth) run inside `cargo test -q` too;
+# this named stage makes a distribution regression point at itself.
+stage "distributed equivalence (3 mixd + 4 cdnd, one killed mid-run, vs in-process)"
+cargo test -q --test distributed_equivalence
+cargo test -q -p alpenhorn-erasure --test shift_xor_proptests
+cargo test -q -p alpenhorn-mixd --test loopback_equivalence
+
 # Full sampling budget, not BENCH_SMOKE: this stage's output IS the recorded
 # perf trajectory (≈3 s total), and overwriting the committed baseline with
 # noisy smoke numbers would make bench_compare.sh diffs meaningless.
@@ -78,6 +91,10 @@ stage "bench snapshot: coordinator concurrency (writes BENCH_pr8.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr8.json" \
     cargo bench -p alpenhorn-bench --bench coordinator_concurrency
 
+stage "bench snapshot: distributed round (writes BENCH_pr9.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr9.json" \
+    cargo bench -p alpenhorn-bench --bench distributed_round
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
@@ -88,6 +105,10 @@ fi
 if [[ -n "${BENCH_BASELINE_PR8:-}" ]]; then
     stage "bench compare: coordinator concurrency (vs $BENCH_BASELINE_PR8)"
     scripts/bench_compare.sh "$BENCH_BASELINE_PR8" "$PWD/BENCH_pr8.json"
+fi
+if [[ -n "${BENCH_BASELINE_PR9:-}" ]]; then
+    stage "bench compare: distributed round (vs $BENCH_BASELINE_PR9)"
+    scripts/bench_compare.sh "$BENCH_BASELINE_PR9" "$PWD/BENCH_pr9.json"
 fi
 
 # Crash-recovery smoke: start a durable alpenhornd, run a full seeded

@@ -7,21 +7,32 @@
 //! reconstruct from any `k` of the `k + m` shards on the surviving fleet.
 //!
 //! ```text
-//! cdnd [--listen ADDR] [--data-dir DIR]
+//! cdnd [--listen ADDR] [--data-dir DIR] [--log-level LEVEL]
+//!      [--metrics-dump-secs N]
 //! ```
 
 use alpenhorn_cdn::{serve, CdnNodeState};
+use alpenhorn_obs::log::Level;
+use alpenhorn_obs::{log_error, log_info};
+
+/// The log/metrics target tag for this daemon.
+const TARGET: &str = "cdnd";
 
 struct Options {
     listen: String,
     data_dir: Option<String>,
+    log_level: Level,
+    metrics_dump_secs: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cdnd [--listen ADDR] [--data-dir DIR]\n\
+         \x20           [--log-level off|error|warn|info|debug] [--metrics-dump-secs N]\n\
          \x20      --listen ADDR listen address (default 127.0.0.1:7307; port 0 for ephemeral)\n\
-         \x20      --data-dir D  persist shards under DIR and reload them on restart"
+         \x20      --data-dir D  persist shards under DIR and reload them on restart\n\
+         \x20      --log-level L log verbosity (default info)\n\
+         \x20      --metrics-dump-secs N  dump the metrics exposition every N seconds"
     );
     std::process::exit(2)
 }
@@ -30,6 +41,8 @@ fn parse_options() -> Options {
     let mut options = Options {
         listen: "127.0.0.1:7307".to_string(),
         data_dir: None,
+        log_level: Level::Info,
+        metrics_dump_secs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -42,6 +55,16 @@ fn parse_options() -> Options {
         match flag.as_str() {
             "--listen" => options.listen = value("--listen"),
             "--data-dir" => options.data_dir = Some(value("--data-dir")),
+            "--log-level" => {
+                options.log_level = Level::parse(&value("--log-level")).unwrap_or_else(|| usage())
+            }
+            "--metrics-dump-secs" => {
+                options.metrics_dump_secs = Some(
+                    value("--metrics-dump-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("cdnd: unknown flag {other}");
@@ -54,13 +77,18 @@ fn parse_options() -> Options {
 
 fn main() {
     let options = parse_options();
+    alpenhorn_obs::log::set_level(options.log_level);
+    if let Some(secs) = options.metrics_dump_secs {
+        alpenhorn_obs::spawn_metrics_dump(TARGET, std::time::Duration::from_secs(secs.max(1)));
+    }
     // Recovery happens here, before the listener binds: a durable node
     // never serves until its previous life's shards are back.
     let state = match &options.data_dir {
         None => CdnNodeState::new(),
         Some(dir) => match CdnNodeState::with_data_dir(dir) {
             Ok(state) => {
-                println!(
+                log_info!(
+                    TARGET,
                     "recovered {} shards ({} bytes) from {dir}",
                     state.shards_stored(),
                     state.bytes_stored()
@@ -68,7 +96,7 @@ fn main() {
                 state
             }
             Err(e) => {
-                eprintln!("cdnd: cannot open data dir {dir}: {e}");
+                log_error!(TARGET, "cannot open data dir {dir}: {e}");
                 std::process::exit(1);
             }
         },
@@ -76,12 +104,13 @@ fn main() {
     let handle = match serve(state, options.listen.as_str()) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("cdnd: cannot listen on {}: {e}", options.listen);
+            log_error!(TARGET, "cannot listen on {}: {e}", options.listen);
             std::process::exit(1);
         }
     };
-    println!(
-        "cdnd listening on {} (durability {})",
+    log_info!(
+        TARGET,
+        "listening on {} (durability {})",
         handle.local_addr(),
         if options.data_dir.is_some() {
             "on"

@@ -133,8 +133,13 @@ impl NodeClient for TcpNode {
             self.stream = Some(connect(&self.addr, self.connect_timeout)?);
         }
         let stream = self.stream.as_mut().expect("connected above");
+        // Round-scoped requests carry the round's correlation id in the
+        // frame's telemetry field so the node's span joins the round trace.
+        let correlation = request
+            .round_scope()
+            .map(|(kind, round)| alpenhorn_obs::correlation_id(kind.code(), round.0));
         let result: Result<CdnResponse, CdnError> = (|| {
-            Frame::write_to(stream, &request.encode())?;
+            Frame::write_to_with_telemetry(stream, &request.encode(), correlation)?;
             let response = Frame::read_from(stream)?;
             Ok(CdnResponse::decode(&response)?)
         })();

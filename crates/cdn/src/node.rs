@@ -7,8 +7,55 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use alpenhorn_obs::SpanGuard;
 use alpenhorn_wire::cdn::MAX_SHARDS;
+use alpenhorn_wire::rpc::{SpanWire, TelemetryWire};
 use alpenhorn_wire::{CdnRequest, CdnResponse, Frame, Round, RoundKind, ShardHeader};
+
+/// The span component tag for code running inside a CDN node. In a real
+/// deployment each `cdnd` process only ever records spans with this tag; in
+/// single-process tests the tag is what separates node-side spans from
+/// coordinator- and mixer-side ones.
+pub const SPAN_COMPONENT: &str = "cdn";
+
+/// Node-side serving counters mirrored into the shared registry, so fleet
+/// accounting can be reconciled against the coordinator's `CdnStats`-style
+/// totals without polling every node's `GetStats`.
+struct NodeMetrics {
+    shard_puts: Arc<alpenhorn_obs::Counter>,
+    shard_fetches: Arc<alpenhorn_obs::Counter>,
+    bytes_served: Arc<alpenhorn_obs::Counter>,
+}
+
+fn node_metrics() -> &'static NodeMetrics {
+    static METRICS: std::sync::OnceLock<NodeMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        NodeMetrics {
+            shard_puts: r.counter("cdn_node_shard_puts_total", &[]),
+            shard_fetches: r.counter("cdn_node_shard_fetches_total", &[]),
+            bytes_served: r.counter("cdn_node_bytes_served_total", &[]),
+        }
+    })
+}
+
+/// Builds the node's [`CdnResponse::Telemetry`] payload: the global metrics
+/// exposition plus every recent span recorded under [`SPAN_COMPONENT`].
+pub fn telemetry_wire() -> TelemetryWire {
+    TelemetryWire {
+        exposition: alpenhorn_obs::global().expose(),
+        spans: alpenhorn_obs::spans_for(SPAN_COMPONENT)
+            .into_iter()
+            .map(|s| SpanWire {
+                component: s.component.to_string(),
+                name: s.name.to_string(),
+                correlation: s.correlation,
+                start_us: s.start_us,
+                duration_us: s.duration_us,
+            })
+            .collect(),
+    }
+}
 
 /// A stored-shard key, ordered round-first so expiry is a range delete.
 pub(crate) type ShardKey = (u64, u8, u32, u16);
@@ -129,6 +176,7 @@ impl CdnNodeState {
                         bytes: shard,
                     },
                 );
+                node_metrics().shard_puts.inc();
                 CdnResponse::Ack
             }
             CdnRequest::GetShard {
@@ -140,6 +188,9 @@ impl CdnNodeState {
                 Some(stored) => {
                     self.shard_fetches += 1;
                     self.bytes_served += stored.bytes.len() as u64;
+                    let m = node_metrics();
+                    m.shard_fetches.inc();
+                    m.bytes_served.add(stored.bytes.len() as u64);
                     CdnResponse::Shard {
                         header: stored.header,
                         shard: stored.bytes.clone(),
@@ -163,6 +214,7 @@ impl CdnNodeState {
                 shard_fetches: self.shard_fetches,
                 bytes_served: self.bytes_served,
             },
+            CdnRequest::GetTelemetry => CdnResponse::Telemetry(telemetry_wire()),
         }
     }
 
@@ -170,8 +222,30 @@ impl CdnNodeState {
     /// Undecodable payloads come back as encoded [`CdnResponse::Error`]s,
     /// keeping the connection alive and aligned.
     pub fn handle_request_bytes(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.handle_request_bytes_with_correlation(payload, None)
+    }
+
+    /// Like [`CdnNodeState::handle_request_bytes`], with the correlation id
+    /// the peer attached to the request frame (if any): round-scoped
+    /// requests record a node-side span under it, so one add-friend round
+    /// can be traced from the coordinator into every node that stored or
+    /// served its shards.
+    pub fn handle_request_bytes_with_correlation(
+        &mut self,
+        payload: &[u8],
+        correlation: Option<u64>,
+    ) -> Vec<u8> {
         let response = match CdnRequest::decode(payload) {
-            Ok(request) => self.handle(request),
+            Ok(request) => {
+                let correlation = correlation.or_else(|| {
+                    request
+                        .round_scope()
+                        .map(|(kind, round)| alpenhorn_obs::correlation_id(kind.code(), round.0))
+                });
+                let _span =
+                    correlation.map(|corr| SpanGuard::begin(SPAN_COMPONENT, request.name(), corr));
+                self.handle(request)
+            }
             Err(e) => CdnResponse::Error(format!("undecodable cdn request: {e}")),
         };
         let bytes = response.encode();
@@ -298,8 +372,8 @@ fn serve_connection(
     let _ = stream.set_read_timeout(Some(CONNECTION_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(CONNECTION_IO_TIMEOUT));
     loop {
-        let payload = match Frame::read_from(&mut stream) {
-            Ok(payload) => payload,
+        let (payload, correlation) = match Frame::read_from_with_telemetry(&mut stream) {
+            Ok(read) => read,
             Err(_) => return,
         };
         if shutdown.load(std::sync::atomic::Ordering::SeqCst) {
@@ -309,7 +383,7 @@ fn serve_connection(
         }
         let response = {
             let mut state = state.lock().expect("cdn node state mutex");
-            state.handle_request_bytes(&payload)
+            state.handle_request_bytes_with_correlation(&payload, correlation)
         };
         if Frame::write_to(&mut stream, &response).is_err() {
             let _ = stream.shutdown(std::net::Shutdown::Both);

@@ -1,13 +1,43 @@
 //! The any-k-of-n layer: publish mailbox blobs as erasure shards across a
 //! node fleet, read them back from whichever nodes answer.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use alpenhorn_erasure::{encode, reconstruct, CodeParams};
+use alpenhorn_obs::{Counter, SpanGuard};
 use alpenhorn_wire::{CdnRequest, CdnResponse, MailboxId, Round, RoundKind, ShardHeader};
 
 use crate::client::NodeClient;
 use crate::error::CdnError;
+
+/// Reader/publisher-side counters for the sharded layer, kept in the shared
+/// registry so the erasure-coded deployment's accounting is visible next to
+/// the coordinator's origin-serving counters.
+struct ShardedMetrics {
+    publishes: Arc<Counter>,
+    publish_failures: Arc<Counter>,
+    fetches: Arc<Counter>,
+    shard_fetches: Arc<Counter>,
+    data_bytes: Arc<Counter>,
+    parity_bytes: Arc<Counter>,
+    parity_decodes: Arc<Counter>,
+}
+
+fn sharded_metrics() -> &'static ShardedMetrics {
+    static METRICS: OnceLock<ShardedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        ShardedMetrics {
+            publishes: r.counter("cdn_publishes_total", &[]),
+            publish_failures: r.counter("cdn_publish_shard_failures_total", &[]),
+            fetches: r.counter("cdn_fetches_total", &[]),
+            shard_fetches: r.counter("cdn_shard_fetches_total", &[]),
+            data_bytes: r.counter("cdn_fetch_data_bytes_total", &[]),
+            parity_bytes: r.counter("cdn_fetch_parity_bytes_total", &[]),
+            parity_decodes: r.counter("cdn_parity_decodes_total", &[]),
+        }
+    })
+}
 
 /// What a publish actually landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +134,11 @@ impl ShardedCdn {
         mailbox: MailboxId,
         blob: &[u8],
     ) -> Result<PublishOutcome, CdnError> {
+        let _span = SpanGuard::begin(
+            "coordinator",
+            "cdn_publish",
+            alpenhorn_obs::correlation_id(kind.code(), round.0),
+        );
         let shards = encode(&self.params, blob);
         let header = ShardHeader {
             data_shards: self.params.data as u16,
@@ -128,6 +163,9 @@ impl ShardedCdn {
                 Ok(_) | Err(_) => outcome.failed += 1,
             }
         }
+        let m = sharded_metrics();
+        m.publishes.inc();
+        m.publish_failures.add(outcome.failed as u64);
         if outcome.failed > self.params.parity {
             return Err(CdnError::PublishDegraded {
                 stored: outcome.stored,
@@ -147,6 +185,11 @@ impl ShardedCdn {
         round: Round,
         mailbox: MailboxId,
     ) -> Result<FetchOutcome, CdnError> {
+        let _span = SpanGuard::begin(
+            "client",
+            "cdn_fetch",
+            alpenhorn_obs::correlation_id(kind.code(), round.0),
+        );
         let k = self.params.data;
         let total = self.params.total();
         let mut slots: Vec<Option<Vec<u8>>> = vec![None; total];
@@ -220,6 +263,12 @@ impl ShardedCdn {
             parity_index += 1;
         }
 
+        let m = sharded_metrics();
+        m.fetches.inc();
+        m.shard_fetches.add(outcome.shard_fetches);
+        m.data_bytes.add(outcome.data_bytes);
+        m.parity_bytes.add(outcome.parity_bytes);
+
         let Some(header) = header else {
             if any_answered {
                 // Nodes are up but hold nothing: expired or never published.
@@ -233,6 +282,9 @@ impl ShardedCdn {
         // Trust the stored geometry over our own config: readers must
         // decode blobs published under a different shape.
         let params = CodeParams::new(header.data_shards as usize, header.parity_shards as usize);
+        if outcome.parity_bytes > 0 {
+            m.parity_decodes.inc();
+        }
         let mut stored_slots = slots;
         stored_slots.resize(params.total(), None);
         let blob = reconstruct(&params, header.blob_len as usize, &stored_slots)

@@ -13,6 +13,7 @@
 //!            [--data-dir DIR] [--sync-every N]
 //!            [--read-timeout-ms MS] [--write-timeout-ms MS]
 //!            [--max-connections N] [--workers N] [--shards N]
+//!            [--log-level LEVEL] [--metrics-dump-secs N]
 //! ```
 //!
 //! With `--mixers` the in-process mix chains are replaced by remote `mixd`
@@ -45,8 +46,13 @@ use std::time::Duration;
 use alpenhorn_coordinator::server::{serve_with_config, ServerConfig};
 use alpenhorn_coordinator::service::{CoordinatorService, RateLimitPolicy, ServiceConfig};
 use alpenhorn_coordinator::{Cluster, ClusterConfig, SharedCoordinator};
+use alpenhorn_obs::log::Level;
+use alpenhorn_obs::{log_error, log_info};
 use alpenhorn_storage::StorageConfig;
 use alpenhorn_wire::{Request, Response};
+
+/// The log/metrics target tag for this daemon.
+const TARGET: &str = "alpenhornd";
 
 /// The fixed erasure-code geometry of a flag-configured CDN fleet: every
 /// mailbox blob becomes 3 data + 1 parity shards, so reads survive one lost
@@ -71,6 +77,8 @@ struct Options {
     max_connections: Option<usize>,
     workers: Option<usize>,
     shards: Option<usize>,
+    log_level: Level,
+    metrics_dump_secs: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -81,6 +89,8 @@ fn usage() -> ! {
          \x20                 [--data-dir DIR] [--sync-every N]\n\
          \x20                 [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
          \x20                 [--max-connections N] [--workers N] [--shards N]\n\
+         \x20                 [--log-level off|error|warn|info|debug]\n\
+         \x20                 [--metrics-dump-secs N]\n\
          \x20      --mixers     comma-separated mixd addresses, one per chain\n\
          \x20                   position (count must equal --mix-servers)\n\
          \x20      --cdn-nodes  comma-separated cdnd addresses; mailboxes are\n\
@@ -106,6 +116,8 @@ fn parse_options() -> Options {
         max_connections: None,
         workers: None,
         shards: None,
+        log_level: Level::Info,
+        metrics_dump_secs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -181,6 +193,16 @@ fn parse_options() -> Options {
             "--shards" => {
                 options.shards = Some(value("--shards").parse().unwrap_or_else(|_| usage()))
             }
+            "--log-level" => {
+                options.log_level = Level::parse(&value("--log-level")).unwrap_or_else(|| usage())
+            }
+            "--metrics-dump-secs" => {
+                options.metrics_dump_secs = Some(
+                    value("--metrics-dump-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("alpenhornd: unknown flag {other}");
@@ -197,7 +219,7 @@ fn parse_options() -> Options {
 fn admin(shared: &SharedCoordinator, what: &str, request: Request) -> Option<Response> {
     match shared.handle(request) {
         Response::Error(e) => {
-            eprintln!("alpenhornd: {what}: {e}");
+            log_error!(TARGET, "{what}: {e}");
             None
         }
         response => Some(response),
@@ -206,6 +228,10 @@ fn admin(shared: &SharedCoordinator, what: &str, request: Request) -> Option<Res
 
 fn main() {
     let options = parse_options();
+    alpenhorn_obs::log::set_level(options.log_level);
+    if let Some(secs) = options.metrics_dump_secs {
+        alpenhorn_obs::spawn_metrics_dump(TARGET, Duration::from_secs(secs.max(1)));
+    }
     let config = ClusterConfig {
         num_pkgs: options.num_pkgs,
         num_mix_servers: options.num_mix_servers,
@@ -226,8 +252,9 @@ fn main() {
     let mut cluster = Cluster::new(config);
     if !options.mixers.is_empty() {
         if options.mixers.len() != options.num_mix_servers {
-            eprintln!(
-                "alpenhornd: --mixers lists {} addresses but --mix-servers is {}",
+            log_error!(
+                TARGET,
+                "--mixers lists {} addresses but --mix-servers is {}",
                 options.mixers.len(),
                 options.num_mix_servers
             );
@@ -242,7 +269,8 @@ fn main() {
                 .collect()
         };
         cluster.connect_remote_mixers(fleet(&options.mixers), fleet(&options.mixers));
-        println!(
+        log_info!(
+            TARGET,
             "mixing via remote mixd fleet: {}",
             options.mixers.join(", ")
         );
@@ -254,7 +282,8 @@ fn main() {
             .map(|addr| Box::new(alpenhorn_cdn::TcpNode::new(addr.clone())) as _)
             .collect();
         cluster.connect_cdn_nodes(nodes, CDN_DATA_SHARDS, CDN_PARITY_SHARDS);
-        println!(
+        log_info!(
+            TARGET,
             "publishing mailboxes as {CDN_DATA_SHARDS}+{CDN_PARITY_SHARDS} erasure-coded shards \
              across {} cdn nodes: {}",
             options.cdn_nodes.len(),
@@ -271,7 +300,8 @@ fn main() {
             match CoordinatorService::with_storage(cluster, service_config, dir, storage) {
                 Ok((service, report)) => {
                     if report.recovered {
-                        println!(
+                        log_info!(
+                            TARGET,
                             "recovered state from {dir}: generation {}, snapshot {}, \
                              {} log records replayed, {} torn bytes discarded; \
                              next round {}",
@@ -286,12 +316,12 @@ fn main() {
                             service.next_round().as_u64(),
                         );
                     } else {
-                        println!("initialized empty data dir {dir}");
+                        log_info!(TARGET, "initialized empty data dir {dir}");
                     }
                     service
                 }
                 Err(e) => {
-                    eprintln!("alpenhornd: cannot open data dir {dir}: {e}");
+                    log_error!(TARGET, "cannot open data dir {dir}: {e}");
                     std::process::exit(1);
                 }
             }
@@ -319,10 +349,14 @@ fn main() {
     let handle = match serve_with_config(service, options.listen.as_str(), server_config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("alpenhornd: cannot listen on {}: {e}", options.listen);
+            log_error!(TARGET, "cannot listen on {}: {e}", options.listen);
             std::process::exit(1);
         }
     };
+    // The listen announcement stays a bare stdout line, emitted regardless
+    // of --log-level: deployment harnesses (crash_recovery, chaos, the ci.sh
+    // telemetry smoke) parse `alpenhornd listening on ADDR` to learn the
+    // ephemeral port.
     println!(
         "alpenhornd listening on {} ({} PKGs, {} mixnet servers, rate limiting {}, durability {})",
         handle.local_addr(),
@@ -338,7 +372,10 @@ fn main() {
 
     match options.round_interval {
         None => {
-            println!("rounds are admin-driven; send BeginAddFriendRound/BeginDialingRound RPCs");
+            log_info!(
+                TARGET,
+                "rounds are admin-driven; send BeginAddFriendRound/BeginDialingRound RPCs"
+            );
             // Serve until killed.
             loop {
                 std::thread::sleep(Duration::from_secs(3600));
@@ -349,7 +386,8 @@ fn main() {
             // Rounds go through the same `handle` dispatch as remote admin
             // RPCs, so the durable journal sees them and a restarted daemon
             // resumes from the recovered round counter.
-            println!(
+            log_info!(
+                TARGET,
                 "auto-driving rounds every {} ms starting at round {}",
                 interval.as_millis(),
                 first_round.as_u64()
@@ -379,7 +417,8 @@ fn main() {
                     "closing add-friend round",
                     Request::CloseAddFriendRound { round },
                 ) {
-                    println!(
+                    log_info!(
+                        TARGET,
                         "add-friend round {} closed: {} client messages, {} noise",
                         round.as_u64(),
                         stats.client_messages,
@@ -391,7 +430,8 @@ fn main() {
                     "closing dialing round",
                     Request::CloseDialingRound { round },
                 ) {
-                    println!(
+                    log_info!(
+                        TARGET,
                         "dialing round {} closed: {} client messages",
                         round.as_u64(),
                         stats.client_messages

@@ -8,11 +8,36 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use alpenhorn_bloom::BloomFilter;
 use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes};
+use alpenhorn_obs::Counter;
 use alpenhorn_wire::{CdnStatsWire, MailboxId, Round};
+
+/// Registry mirrors of the whole-mailbox accounting, shared by every
+/// [`CdnStats`] instance in the process.
+///
+/// Only `bytes_served`/`downloads` are mirrored here: the per-shard counters
+/// (`cdn_shard_fetches_total`, `cdn_fetch_parity_bytes_total`, …) are owned
+/// by the `alpenhorn-cdn` fetch/publish path and counted exactly once there,
+/// so distributing mailboxes over a shard fleet never double-accounts a
+/// download in the registry.
+struct MailboxMetrics {
+    bytes_served: Arc<Counter>,
+    downloads: Arc<Counter>,
+}
+
+fn mailbox_metrics() -> &'static MailboxMetrics {
+    static METRICS: OnceLock<MailboxMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = alpenhorn_obs::global();
+        MailboxMetrics {
+            bytes_served: registry.counter("coordinator_mailbox_bytes_served_total", &[]),
+            downloads: registry.counter("coordinator_mailbox_downloads_total", &[]),
+        }
+    })
+}
 
 /// Download accounting shared between the CDN and every read-path snapshot
 /// serving fetches from it, so concurrent lock-free downloads still show up
@@ -36,6 +61,9 @@ impl CdnStats {
     fn serve(&self, bytes: u64) {
         self.bytes_served.fetch_add(bytes, Ordering::Relaxed);
         self.downloads.fetch_add(1, Ordering::Relaxed);
+        let m = mailbox_metrics();
+        m.bytes_served.add(bytes);
+        m.downloads.inc();
     }
 
     /// Charges one mailbox download reassembled from the shard fleet:
@@ -51,6 +79,13 @@ impl CdnStats {
             .fetch_add(parity_bytes, Ordering::Relaxed);
         self.shard_fetches
             .fetch_add(shard_fetches, Ordering::Relaxed);
+        // Mirror only the whole-mailbox view into the registry; the shard
+        // and parity traffic was already counted by the fetch path itself
+        // (`cdn_shard_fetches_total` et al.), and mirroring it again here
+        // would double-account every distributed download.
+        let m = mailbox_metrics();
+        m.bytes_served.add(data_bytes);
+        m.downloads.inc();
     }
 
     /// A point-in-time snapshot in the wire representation.
@@ -256,6 +291,33 @@ mod tests {
         assert!(cdn.bytes_served() > 0);
         assert!(cdn.fetch_dialing_mailbox(Round(5), MailboxId(3)).is_none());
         assert!(cdn.dialing_mailbox_size(Round(5), MailboxId(0)).unwrap() > 0);
+    }
+
+    #[test]
+    fn sharded_download_accounting_matches_undistributed() {
+        let m = mailbox_metrics();
+        let (bytes_before, downloads_before) = (m.bytes_served.get(), m.downloads.get());
+
+        // The same logical mailbox download, served whole from the origin
+        // and reassembled from a shard fleet (5 shard fetches, 1 KiB of
+        // parity overhead): the whole-mailbox figures must be identical.
+        let whole = CdnStats::default();
+        let sharded = CdnStats::default();
+        whole.serve(4096);
+        sharded.serve_sharded_download(4096, 1024, 5);
+
+        let w = whole.wire();
+        let s = sharded.wire();
+        assert_eq!(w.bytes_served, s.bytes_served);
+        assert_eq!(w.downloads, s.downloads);
+        assert_eq!((w.parity_bytes_served, w.shard_fetches), (0, 0));
+        assert_eq!((s.parity_bytes_served, s.shard_fetches), (1024, 5));
+
+        // The registry mirror counts each logical download exactly once —
+        // never the shard fan-out. Other tests may serve downloads
+        // concurrently, so the deltas are lower bounds.
+        assert!(m.bytes_served.get() >= bytes_before + 2 * 4096);
+        assert!(m.downloads.get() >= downloads_before + 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod server;
 pub mod service;
 pub mod shard;
 pub mod shared;
+pub mod telemetry;
 
 pub use cdn::{Cdn, CdnStats};
 pub use cluster::{AddFriendRoundInfo, Cluster, ClusterConfig, DialingRoundInfo};

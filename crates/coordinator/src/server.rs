@@ -28,15 +28,39 @@ use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use alpenhorn_obs::{Counter, Gauge};
 use alpenhorn_wire::codec::FrameIoError;
 use alpenhorn_wire::Frame;
 
 use crate::service::CoordinatorService;
 use crate::shared::SharedCoordinator;
+
+/// Server-level load metrics: dispatch-queue depth, worker-pool utilization,
+/// and connection accounting. Process-wide (every server in the process
+/// shares them, matching the one-daemon-per-process deployment).
+struct ServerMetrics {
+    queue_depth: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+    connections_active: Arc<Gauge>,
+    connections_shed: Arc<Counter>,
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = alpenhorn_obs::global();
+        ServerMetrics {
+            queue_depth: registry.gauge("coordinator_dispatch_queue_depth", &[]),
+            workers_busy: registry.gauge("coordinator_workers_busy", &[]),
+            connections_active: registry.gauge("coordinator_connections_active", &[]),
+            connections_shed: registry.counter("coordinator_connections_shed_total", &[]),
+        }
+    })
+}
 
 /// Tuning knobs for [`serve_with_config`]: per-connection I/O timeouts, the
 /// accept-loop overload policy, and the dispatch pool shape.
@@ -85,6 +109,9 @@ impl Default for ServerConfig {
 /// the encoded response back to the connection's reader thread.
 struct Job {
     payload: Vec<u8>,
+    /// Correlation id carried by the request frame's telemetry field, if the
+    /// client sent one; threaded through to the dispatch span.
+    correlation: Option<u64>,
     reply: SyncSender<Vec<u8>>,
 }
 
@@ -127,6 +154,7 @@ impl DispatchQueue {
             }
             if state.jobs.len() < state.depth {
                 state.jobs.push_back(job);
+                server_metrics().queue_depth.set(state.jobs.len() as u64);
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -140,6 +168,7 @@ impl DispatchQueue {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(job) = state.jobs.pop_front() {
+                server_metrics().queue_depth.set(state.jobs.len() as u64);
                 self.not_full.notify_one();
                 return Some(job);
             }
@@ -243,7 +272,11 @@ pub fn serve_shared(
             let shared = shared.clone();
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
-                    let response = shared.handle_request_bytes(&job.payload);
+                    let busy = &server_metrics().workers_busy;
+                    busy.add(1);
+                    let response =
+                        shared.handle_request_bytes_with_correlation(&job.payload, job.correlation);
+                    busy.sub(1);
                     // A dead receiver means the connection is gone; the
                     // response has nowhere to go, which is fine.
                     let _ = job.reply.send(response);
@@ -265,16 +298,19 @@ pub fn serve_shared(
             // the daemon's intake pressure is answered with a typed
             // retryable error, never with an unbounded backlog.
             if active.load(Ordering::SeqCst) >= config.max_connections {
+                server_metrics().connections_shed.inc();
                 shed_connection(stream, config.shed_retry_after_ms);
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
+            server_metrics().connections_active.add(1);
             let queue = Arc::clone(&accept_queue);
             let active = Arc::clone(&active);
             let config = config.clone();
             std::thread::spawn(move || {
                 serve_connection(stream, &queue, &config);
                 active.fetch_sub(1, Ordering::SeqCst);
+                server_metrics().connections_active.sub(1);
             });
         }
     });
@@ -311,13 +347,20 @@ fn serve_connection(mut stream: TcpStream, queue: &DispatchQueue, config: &Serve
     let _ = stream.set_read_timeout(config.read_timeout);
     let _ = stream.set_write_timeout(config.write_timeout);
     loop {
-        match Frame::read_from(&mut stream) {
-            Ok(payload) => {
+        match Frame::read_from_with_telemetry(&mut stream) {
+            Ok((payload, correlation)) => {
                 // One in-flight request per connection: hand the payload to
                 // the pool and wait for its response before reading the next
                 // frame, preserving per-connection ordering.
                 let (reply, response) = std::sync::mpsc::sync_channel(1);
-                if queue.push(Job { payload, reply }).is_err() {
+                if queue
+                    .push(Job {
+                        payload,
+                        correlation,
+                        reply,
+                    })
+                    .is_err()
+                {
                     // Server shutting down.
                     return;
                 }

@@ -448,7 +448,10 @@ impl CoordinatorService {
             }
             Request::CloseAddFriendRound { round } => {
                 match self.cluster_mut().close_add_friend_round(round) {
-                    Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
+                    Ok(stats) => {
+                        count_round_close(RoundKind::AddFriend, &stats);
+                        Response::RoundClosed(round_stats_wire(&stats))
+                    }
                     Err(e) => Response::Error(e.into()),
                 }
             }
@@ -472,11 +475,15 @@ impl CoordinatorService {
             }
             Request::CloseDialingRound { round } => {
                 match self.cluster_mut().close_dialing_round(round) {
-                    Ok(stats) => Response::RoundClosed(round_stats_wire(&stats)),
+                    Ok(stats) => {
+                        count_round_close(RoundKind::Dialing, &stats);
+                        Response::RoundClosed(round_stats_wire(&stats))
+                    }
                     Err(e) => Response::Error(e.into()),
                 }
             }
             Request::GetCdnStats => Response::CdnStats(self.cluster().cdn_stats()),
+            Request::GetTelemetry => Response::Telemetry(crate::telemetry::telemetry_wire()),
         }
     }
 
@@ -724,6 +731,29 @@ pub(crate) fn validate_submission(
         });
     }
     Ok(())
+}
+
+/// Feeds one closed round's message accounting into the shared registry, so
+/// telemetry consumers can reconcile intake against mixnet output
+/// (`final == submissions + noise - dropped` on the healthy path).
+fn count_round_close(protocol: RoundKind, stats: &RoundStats) {
+    let registry = alpenhorn_obs::global();
+    let labels = &[("protocol", protocol.label())];
+    registry
+        .counter("coordinator_round_submissions_total", labels)
+        .add(stats.client_messages as u64);
+    registry
+        .counter("coordinator_round_noise_total", labels)
+        .add(stats.total_noise());
+    registry
+        .counter("coordinator_round_dropped_total", labels)
+        .add(stats.dropped_per_server.iter().sum());
+    registry
+        .counter("coordinator_round_final_messages_total", labels)
+        .add(stats.final_messages as u64);
+    registry
+        .counter("coordinator_rounds_closed_total", labels)
+        .inc();
 }
 
 fn round_stats_wire(stats: &RoundStats) -> RoundStatsWire {

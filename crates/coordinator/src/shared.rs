@@ -280,6 +280,9 @@ impl SharedCoordinator {
             // The counters are shared atomics, so the snapshot always reads
             // current totals — no lock needed.
             Request::GetCdnStats => Response::CdnStats(self.snapshot().cdn_stats.wire()),
+            // Telemetry reads only the global registry and span ring — no
+            // coordinator state, so no reason to serialize on the write lock.
+            Request::GetTelemetry => Response::Telemetry(crate::telemetry::telemetry_wire()),
             exclusive => self.write().handle(exclusive),
         }
     }
@@ -288,8 +291,26 @@ impl SharedCoordinator {
     /// [`CoordinatorService::handle_request_bytes`] but dispatching through
     /// the concurrent paths.
     pub fn handle_request_bytes(&self, payload: &[u8]) -> Vec<u8> {
+        self.handle_request_bytes_with_correlation(payload, None)
+    }
+
+    /// [`Self::handle_request_bytes`] with the correlation id carried by the
+    /// request's telemetry frame field (if any): every dispatched RPC is
+    /// timed into `coordinator_rpc_latency_us`, counted by outcome in
+    /// `coordinator_rpc_total`, and — when round-scoped — recorded as a
+    /// coordinator span under that correlation id.
+    pub fn handle_request_bytes_with_correlation(
+        &self,
+        payload: &[u8],
+        correlation: Option<u64>,
+    ) -> Vec<u8> {
         let response = match Request::decode(payload) {
-            Ok(request) => self.handle(request),
+            Ok(request) => {
+                let observation = crate::telemetry::begin_rpc(&request, correlation);
+                let response = self.handle(request);
+                crate::telemetry::finish_rpc(observation, &response);
+                response
+            }
             Err(e) => Response::Error(RpcError::BadRequest {
                 detail: format!("undecodable request: {e}"),
             }),

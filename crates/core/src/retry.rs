@@ -26,13 +26,38 @@
 //! contract — every mutating Alpenhorn RPC is replay-idempotent; see
 //! "Fault model & retry semantics" in `docs/ARCHITECTURE.md`.
 
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use alpenhorn_crypto::ChaChaRng;
+use alpenhorn_obs::Counter;
 use alpenhorn_wire::{Request, Response, RpcError};
 
 use crate::error::ClientError;
 use crate::transport::Transport;
+
+/// Client retry telemetry. Counters only — never timings — so the values are
+/// deterministic for a given fault schedule, and never read back by the
+/// protocol.
+struct RetryMetrics {
+    retries_total: Arc<Counter>,
+    unavailable_total: Arc<Counter>,
+    exhausted_total: Arc<Counter>,
+    deadline_total: Arc<Counter>,
+}
+
+fn retry_metrics() -> &'static RetryMetrics {
+    static METRICS: OnceLock<RetryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        RetryMetrics {
+            retries_total: r.counter("client_retries_total", &[]),
+            unavailable_total: r.counter("client_unavailable_total", &[]),
+            exhausted_total: r.counter("client_retries_exhausted_total", &[]),
+            deadline_total: r.counter("client_deadline_expired_total", &[]),
+        }
+    })
+}
 
 /// When (and how often) a [`crate::Client`] retries a failed RPC.
 ///
@@ -178,19 +203,25 @@ pub fn execute<T: Transport + ?Sized>(
             Ok(response) => return Ok(response),
             Err(Classified::Terminal(e)) => return Err(e),
             Err(Classified::ResetAndRetry(e)) => (e, true, 0),
-            Err(Classified::RetryAfter(e, hint)) => (e, false, hint),
+            Err(Classified::RetryAfter(e, hint)) => {
+                retry_metrics().unavailable_total.inc();
+                (e, false, hint)
+            }
         };
         if attempts >= policy.max_attempts {
+            retry_metrics().exhausted_total.inc();
             return Err(ClientError::RetriesExhausted {
                 attempts,
                 last: Box::new(error),
             });
         }
+        retry_metrics().retries_total.inc();
         let wait = policy
             .backoff(attempts, rng)
             .max(Duration::from_millis(u64::from(hint_ms)));
         if let Some(deadline) = policy.deadline {
             if started.elapsed() + wait >= deadline {
+                retry_metrics().deadline_total.inc();
                 return Err(ClientError::Deadline {
                     attempts,
                     last: Box::new(error),

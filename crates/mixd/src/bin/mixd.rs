@@ -10,28 +10,39 @@
 //!
 //! ```text
 //! mixd --index N [--listen ADDR] [--seed N] [--workers N] [--data-dir DIR]
+//!      [--log-level LEVEL] [--metrics-dump-secs N]
 //! ```
 //!
 //! `--data-dir` is accepted for deployment-script symmetry with the other
 //! daemons but unused: `mixd` keeps no durable state, by design.
 
 use alpenhorn_mixd::{serve, MixdServer};
+use alpenhorn_obs::log::Level;
+use alpenhorn_obs::{log_error, log_info};
+
+/// The log/metrics target tag for this daemon.
+const TARGET: &str = "mixd";
 
 struct Options {
     listen: String,
     seed: u8,
     index: Option<usize>,
     workers: Option<usize>,
+    log_level: Level,
+    metrics_dump_secs: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mixd --index N [--listen ADDR] [--seed N] [--workers N] [--data-dir DIR]\n\
+         \x20           [--log-level off|error|warn|info|debug] [--metrics-dump-secs N]\n\
          \x20      --index N     chain position of this mix server (required)\n\
          \x20      --listen ADDR listen address (default 127.0.0.1:7207; port 0 for ephemeral)\n\
          \x20      --seed N      cluster seed byte, must match the coordinator's (default 0)\n\
          \x20      --workers N   worker threads per round (default: available parallelism)\n\
-         \x20      --data-dir D  accepted and ignored: mixd is stateless by design"
+         \x20      --data-dir D  accepted and ignored: mixd is stateless by design\n\
+         \x20      --log-level L log verbosity (default info)\n\
+         \x20      --metrics-dump-secs N  dump the metrics exposition every N seconds"
     );
     std::process::exit(2)
 }
@@ -42,6 +53,8 @@ fn parse_options() -> Options {
         seed: 0,
         index: None,
         workers: None,
+        log_level: Level::Info,
+        metrics_dump_secs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -61,6 +74,16 @@ fn parse_options() -> Options {
             "--data-dir" => {
                 let _ = value("--data-dir");
             }
+            "--log-level" => {
+                options.log_level = Level::parse(&value("--log-level")).unwrap_or_else(|| usage())
+            }
+            "--metrics-dump-secs" => {
+                options.metrics_dump_secs = Some(
+                    value("--metrics-dump-secs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("mixd: unknown flag {other}");
@@ -73,6 +96,10 @@ fn parse_options() -> Options {
 
 fn main() {
     let options = parse_options();
+    alpenhorn_obs::log::set_level(options.log_level);
+    if let Some(secs) = options.metrics_dump_secs {
+        alpenhorn_obs::spawn_metrics_dump(TARGET, std::time::Duration::from_secs(secs.max(1)));
+    }
     let Some(index) = options.index else {
         eprintln!("mixd: --index is required (which chain position am I?)");
         usage()
@@ -84,12 +111,13 @@ fn main() {
     let handle = match serve(server, options.listen.as_str()) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("mixd: cannot listen on {}: {e}", options.listen);
+            log_error!(TARGET, "cannot listen on {}: {e}", options.listen);
             std::process::exit(1);
         }
     };
-    println!(
-        "mixd listening on {} (chain position {}, seed {})",
+    log_info!(
+        TARGET,
+        "listening on {} (chain position {}, seed {})",
         handle.local_addr(),
         index,
         options.seed

@@ -18,13 +18,27 @@
 //! [`mix_rounds`]: RemoteMixChain::mix_rounds
 
 use std::sync::mpsc;
+use std::time::Instant;
 
 use alpenhorn_ibe::dh::DhPublic;
 use alpenhorn_mixnet::{AddFriendMailboxes, DialingMailboxes, NoiseConfig, RoundStats};
+use alpenhorn_obs::SpanGuard;
 use alpenhorn_wire::{Round, RoundKind};
 
 use crate::error::MixdError;
 use crate::mixer::{LoopbackMixer, Mixer};
+
+/// Chain-driving phase timing, recorded from the coordinator's side of the
+/// mixer boundary (the daemons time their own side under `mixd_*`).
+fn phase_histogram(
+    protocol: RoundKind,
+    phase: &'static str,
+) -> std::sync::Arc<alpenhorn_obs::Histogram> {
+    alpenhorn_obs::global().histogram(
+        "coordinator_mix_phase_us",
+        &[("protocol", protocol.label()), ("phase", phase)],
+    )
+}
 
 /// One round's result from [`RemoteMixChain::mix_rounds`]: the fully mixed
 /// batch plus the same [`RoundStats`] the in-process chain would report.
@@ -142,10 +156,19 @@ impl RemoteMixChain {
     /// a failure returns the identical keys.
     pub fn begin_round_for(&mut self, round: Round) -> Result<Vec<DhPublic>, MixdError> {
         let protocol = self.protocol;
-        self.mixers
+        let _span = SpanGuard::begin(
+            "coordinator",
+            "mix_begin",
+            alpenhorn_obs::correlation_id(protocol.code(), round.0),
+        );
+        let started = Instant::now();
+        let keys = self
+            .mixers
             .iter_mut()
             .map(|m| m.begin_round(protocol, round))
-            .collect()
+            .collect();
+        phase_histogram(protocol, "begin").observe_since(started);
+        keys
     }
 
     /// Ends the current auto-numbered round on every mixer.
@@ -159,9 +182,16 @@ impl RemoteMixChain {
     /// Ends an explicit round id on every mixer (idempotent).
     pub fn end_round_for(&mut self, round: Round) -> Result<(), MixdError> {
         let protocol = self.protocol;
+        let _span = SpanGuard::begin(
+            "coordinator",
+            "mix_end",
+            alpenhorn_obs::correlation_id(protocol.code(), round.0),
+        );
+        let started = Instant::now();
         for mixer in &mut self.mixers {
             mixer.end_round(protocol, round)?;
         }
+        phase_histogram(protocol, "end").observe_since(started);
         Ok(())
     }
 
@@ -234,6 +264,24 @@ impl RemoteMixChain {
         let depth = self.pipeline_depth.max(1);
         let stages = self.mixers.len();
 
+        // One coordinator-side span per round in the call, all covering the
+        // pipelined traversal (per-daemon timing lives in the mixd spans).
+        let _round_spans: Vec<SpanGuard> = inputs
+            .iter()
+            .map(|input| {
+                SpanGuard::begin(
+                    "coordinator",
+                    "mix_process",
+                    alpenhorn_obs::correlation_id(protocol.code(), input.round.0),
+                )
+            })
+            .collect();
+        let process_started = Instant::now();
+        let stall_histogram = alpenhorn_obs::global().histogram(
+            "coordinator_mix_pipeline_stall_us",
+            &[("protocol", protocol.label())],
+        );
+
         let client_counts: Vec<usize> = inputs.iter().map(|i| i.batch.len()).collect();
         let mut meta = Vec::with_capacity(rounds);
         let mut batches = Vec::with_capacity(rounds);
@@ -254,9 +302,19 @@ impl RemoteMixChain {
                 let (tx, rx) = mpsc::sync_channel::<Item>(depth);
                 let rx_in = prev_rx;
                 prev_rx = rx;
+                let stage_stall = std::sync::Arc::clone(&stall_histogram);
                 handles.push(scope.spawn(move || -> Result<StageStats, MixdError> {
                     let mut stats = StageStats::new();
-                    for (idx, batch) in rx_in.iter() {
+                    // Time this stage spends starved for upstream input or
+                    // blocked on downstream backpressure — the pipeline's
+                    // wasted wall-clock, one observation per stage per call.
+                    let mut stall_us = 0u64;
+                    loop {
+                        let waiting = Instant::now();
+                        let Ok((idx, batch)) = rx_in.recv() else {
+                            break;
+                        };
+                        stall_us += waiting.elapsed().as_micros() as u64;
                         let (round, num_mailboxes, publics) = &meta[idx];
                         // Tolerate short key lists (e.g. a round that was
                         // never opened): the daemon answers with its own
@@ -271,12 +329,15 @@ impl RemoteMixChain {
                             batch,
                         )?;
                         stats.push((idx, processed.noise_added, processed.dropped));
+                        let blocked = Instant::now();
                         if tx.send((idx, processed.batch)).is_err() {
                             // The downstream stage died; its error is the
                             // interesting one, reported at join time.
                             break;
                         }
+                        stall_us += blocked.elapsed().as_micros() as u64;
                     }
+                    stage_stall.observe(stall_us);
                     Ok(stats)
                 }));
             }
@@ -325,6 +386,7 @@ impl RemoteMixChain {
             }
             out.push((finals, stats));
         }
+        phase_histogram(protocol, "process").observe_since(process_started);
         Ok(out)
     }
 }

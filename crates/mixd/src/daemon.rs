@@ -7,9 +7,53 @@ use std::time::Duration;
 
 use alpenhorn_ibe::dh::DhPublic;
 use alpenhorn_mixnet::{server_seed, MixServer, NoiseConfig, Protocol};
+use alpenhorn_obs::SpanGuard;
+use alpenhorn_wire::rpc::{SpanWire, TelemetryWire};
 use alpenhorn_wire::{Frame, MixerRequest, MixerResponse, RoundKind};
 
 use crate::seeds::chain_seed;
+
+/// The span component tag for code running inside a mix daemon. One tag per
+/// process type: in single-process tests it is what separates mixer-side
+/// spans from coordinator- and CDN-side ones.
+pub const SPAN_COMPONENT: &str = "mixd";
+
+/// Daemon-side mixing counters (noise injected, malformed onions dropped),
+/// mirrored into the shared registry for round reconciliation.
+struct DaemonMetrics {
+    noise_added: Arc<alpenhorn_obs::Counter>,
+    dropped: Arc<alpenhorn_obs::Counter>,
+}
+
+fn daemon_metrics() -> &'static DaemonMetrics {
+    static METRICS: std::sync::OnceLock<DaemonMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        DaemonMetrics {
+            noise_added: r.counter("mixd_noise_added_total", &[]),
+            dropped: r.counter("mixd_malformed_dropped_total", &[]),
+        }
+    })
+}
+
+/// Builds the daemon's [`MixerResponse::Telemetry`] payload: the global
+/// metrics exposition plus every recent span recorded under
+/// [`SPAN_COMPONENT`].
+pub fn telemetry_wire() -> TelemetryWire {
+    TelemetryWire {
+        exposition: alpenhorn_obs::global().expose(),
+        spans: alpenhorn_obs::spans_for(SPAN_COMPONENT)
+            .into_iter()
+            .map(|s| SpanWire {
+                component: s.component.to_string(),
+                name: s.name.to_string(),
+                correlation: s.correlation,
+                start_us: s.start_us,
+                duration_us: s.duration_us,
+            })
+            .collect(),
+    }
+}
 
 /// One mix daemon's state: the add-friend and dialing chain servers for a
 /// single chain position, both derived from (cluster seed, index) exactly as
@@ -65,7 +109,34 @@ impl MixdServer {
     /// [`MixerResponse::Error`], never a panic: a hostile or confused
     /// coordinator must not kill the daemon.
     pub fn handle(&mut self, request: MixerRequest) -> MixerResponse {
-        match request {
+        self.handle_with_correlation(request, None)
+    }
+
+    /// Like [`MixdServer::handle`], preferring the correlation id the
+    /// coordinator attached to the request frame (when talking to an
+    /// up-to-date peer) over the locally derived one. Both are the same pure
+    /// function of (protocol, round), so a PR 9-era coordinator that sends
+    /// plain frames still produces correctly linked spans.
+    fn handle_with_correlation(
+        &mut self,
+        request: MixerRequest,
+        wire_correlation: Option<u64>,
+    ) -> MixerResponse {
+        let metrics = daemon_metrics();
+        let phase_timer = request.round_scope().map(|(protocol, round)| {
+            let phase = request.name();
+            let correlation = wire_correlation
+                .unwrap_or_else(|| alpenhorn_obs::correlation_id(protocol.code(), round.0));
+            (
+                alpenhorn_obs::global().histogram(
+                    "mixd_round_phase_us",
+                    &[("protocol", protocol.label()), ("phase", phase)],
+                ),
+                SpanGuard::begin(SPAN_COMPONENT, phase, correlation),
+                std::time::Instant::now(),
+            )
+        });
+        let response = match request {
             MixerRequest::BeginRound { protocol, round } => {
                 let public = self.server_mut(protocol).begin_round_for(round.0);
                 MixerResponse::RoundKey(public.to_bytes())
@@ -113,6 +184,8 @@ impl MixdServer {
                     &noise,
                     num_mailboxes,
                 );
+                metrics.noise_added.add(server.last_noise_added());
+                metrics.dropped.add(server.last_malformed_dropped());
                 MixerResponse::Processed {
                     batch,
                     noise_added: server.last_noise_added(),
@@ -123,15 +196,30 @@ impl MixdServer {
                 self.server_mut(protocol).end_round_for(round.0);
                 MixerResponse::Ack
             }
+            MixerRequest::GetTelemetry => MixerResponse::Telemetry(telemetry_wire()),
+        };
+        if let Some((histogram, _span, started)) = phase_timer {
+            histogram.observe_since(started);
         }
+        response
     }
 
     /// Handles one framed request payload, returning the encoded response.
     /// Undecodable payloads and oversized responses come back as encoded
     /// [`MixerResponse::Error`]s, keeping the connection alive and aligned.
     pub fn handle_request_bytes(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.handle_request_bytes_with_correlation(payload, None)
+    }
+
+    /// Like [`MixdServer::handle_request_bytes`], with the correlation id the
+    /// peer attached to the request frame (if any).
+    pub fn handle_request_bytes_with_correlation(
+        &mut self,
+        payload: &[u8],
+        correlation: Option<u64>,
+    ) -> Vec<u8> {
         let response = match MixerRequest::decode(payload) {
-            Ok(request) => self.handle(request),
+            Ok(request) => self.handle_with_correlation(request, correlation),
             Err(e) => MixerResponse::Error(format!("undecodable mixer request: {e}")),
         };
         let bytes = response.encode();
@@ -193,15 +281,15 @@ fn serve_connection(mut stream: TcpStream, server: Arc<Mutex<MixdServer>>) {
     let _ = stream.set_read_timeout(Some(CONNECTION_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(CONNECTION_IO_TIMEOUT));
     loop {
-        let payload = match Frame::read_from(&mut stream) {
-            Ok(payload) => payload,
+        let (payload, correlation) = match Frame::read_from_with_telemetry(&mut stream) {
+            Ok(read) => read,
             // EOF or any framing/IO failure ends the connection; the
             // coordinator reconnects and retries (identical answers).
             Err(_) => return,
         };
         let response = {
             let mut server = server.lock().expect("mixd state mutex");
-            server.handle_request_bytes(&payload)
+            server.handle_request_bytes_with_correlation(&payload, correlation)
         };
         match Frame::write_to(&mut stream, &response) {
             Ok(()) => {}

@@ -182,13 +182,17 @@ impl RemoteMixer {
         &self.addr
     }
 
-    fn exchange_once(&mut self, payload: &[u8]) -> Result<MixerResponse, MixdError> {
+    fn exchange_once(
+        &mut self,
+        payload: &[u8],
+        correlation: Option<u64>,
+    ) -> Result<MixerResponse, MixdError> {
         if self.stream.is_none() {
             self.stream = Some(connect(&self.addr, self.connect_timeout)?);
         }
         let stream = self.stream.as_mut().expect("connected above");
         let result: Result<MixerResponse, MixdError> = (|| {
-            Frame::write_to(stream, payload)?;
+            Frame::write_to_with_telemetry(stream, payload, correlation)?;
             let response = Frame::read_from(stream)?;
             Ok(MixerResponse::decode(&response)?)
         })();
@@ -199,14 +203,29 @@ impl RemoteMixer {
         result
     }
 
+    /// Fetches the daemon's telemetry: its metrics exposition and its
+    /// `mixd`-component spans.
+    pub fn get_telemetry(&mut self) -> Result<alpenhorn_wire::rpc::TelemetryWire, MixdError> {
+        match self.call(MixerRequest::GetTelemetry)? {
+            MixerResponse::Telemetry(telemetry) => Ok(telemetry),
+            MixerResponse::Error(detail) => Err(MixdError::Mixer(detail)),
+            _ => Err(MixdError::UnexpectedResponse),
+        }
+    }
+
     fn call(&mut self, request: MixerRequest) -> Result<MixerResponse, MixdError> {
+        // Round-scoped requests carry the round's correlation id in the
+        // frame's telemetry field so daemon-side spans join the round trace.
+        let correlation = request
+            .round_scope()
+            .map(|(protocol, round)| alpenhorn_obs::correlation_id(protocol.code(), round.0));
         let payload = request.encode();
         let mut last = None;
         for attempt in 1..=self.retry.max_attempts.max(1) {
             if attempt > 1 {
                 std::thread::sleep(self.retry.backoff(attempt - 1));
             }
-            match self.exchange_once(&payload) {
+            match self.exchange_once(&payload, correlation) {
                 Ok(response) => return Ok(response),
                 Err(e) if e.is_retryable() => last = Some(e),
                 Err(e) => return Err(e),

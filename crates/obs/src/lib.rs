@@ -1,0 +1,30 @@
+//! Observability core for the Alpenhorn workspace.
+//!
+//! Everything here is built on the standard library only (no crates.io
+//! dependencies) and is **strictly outside the deterministic core**: metrics
+//! and spans observe the system, they never feed protocol RNG, round bytes,
+//! or client event streams. The equivalence suites (transport, shard,
+//! distributed, chaos, scenario replay) run with this instrumentation
+//! compiled in and enabled, and still demand byte-identical outputs — that
+//! is the determinism contract, documented in `docs/OBSERVABILITY.md`.
+//!
+//! Three layers:
+//!
+//! * [`metrics`] — lock-free [`Counter`]/[`Gauge`] on atomics and a
+//!   fixed-bucket log-scale [`Histogram`], grouped in a [`Registry`] with a
+//!   stable Prometheus-style text exposition.
+//! * [`span`] — a bounded ring of lightweight spans tagged with a
+//!   correlation id derived from `(protocol, round)`, so one add-friend
+//!   round can be traced coordinator → mixd chain → CDN publish → client
+//!   fetch across process boundaries.
+//! * [`log`] — leveled, timestamped, target-tagged logging macros for the
+//!   daemon binaries; quiet by default so tests stay silent.
+
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{global, spawn_metrics_dump, MetricsSnapshot, Registry};
+pub use span::{clear_spans, correlation_id, spans, spans_for, SpanGuard, SpanRecord};

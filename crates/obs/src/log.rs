@@ -1,0 +1,182 @@
+//! Leveled, timestamped, target-tagged logging for the daemon binaries.
+//!
+//! The global level defaults to [`Level::Warn`], so library code and test
+//! processes stay quiet unless something is actually wrong; daemons raise it
+//! from their `--log-level` flag. Output goes to stderr as
+//!
+//! ```text
+//! 2026-08-08T12:34:56.789Z INFO  [alpenhornd] listening on 127.0.0.1:7107
+//! ```
+//!
+//! Use the [`log_error!`](crate::log_error), [`log_warn!`](crate::log_warn),
+//! [`log_info!`](crate::log_info), and [`log_debug!`](crate::log_debug)
+//! macros; each takes a target tag and then `format!` arguments, and
+//! evaluates its arguments only when the level is enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first. [`Level::Off`] silences everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Unrecoverable or data-affecting failures.
+    Error = 1,
+    /// Degraded but continuing.
+    Warn = 2,
+    /// Normal operational milestones.
+    Info = 3,
+    /// Per-operation chatter.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses a `--log-level` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "off" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" | "trace" => Level::Debug,
+            _ => return None,
+        })
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a record at `at` would be emitted.
+pub fn enabled(at: Level) -> bool {
+    at != Level::Off && at <= level()
+}
+
+/// Emits one record (macro plumbing; call through the macros instead).
+pub fn write(at: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(at) {
+        return;
+    }
+    eprintln!("{} {:5} [{target}] {args}", timestamp(), at.tag());
+}
+
+/// Wall-clock UTC timestamp `YYYY-MM-DDTHH:MM:SS.mmmZ`, computed from the
+/// Unix epoch by hand (no crates.io time dependency). Log timestamps are for
+/// humans only — never read back by anything deterministic.
+fn timestamp() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let secs = now.as_secs();
+    let millis = now.subsec_millis();
+    let days = secs / 86_400;
+    let (year, month, day) = civil_from_days(days as i64);
+    let rem = secs % 86_400;
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day), Howard Hinnant's civil algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Logs at [`Level::Error`]: `log_error!("target", "...", args)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`]: `log_warn!("target", "...", args)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`]: `log_info!("target", "...", args)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`]: `log_debug!("target", "...", args)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_flag_vocabulary() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_is_quiet_below_warn() {
+        // The default level is Warn: info/debug are suppressed, so test
+        // binaries that never call set_level stay silent.
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Debug));
+    }
+
+    #[test]
+    fn civil_dates_are_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // 2024-01-01
+        assert_eq!(civil_from_days(20_678), (2026, 8, 13));
+    }
+}

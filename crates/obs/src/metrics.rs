@@ -1,0 +1,197 @@
+//! Lock-free metric primitives: counters, gauges, and a log-scale histogram.
+//!
+//! Every primitive is a thin wrapper over [`AtomicU64`] with relaxed
+//! ordering — observation sites pay one atomic RMW, never a lock, so
+//! instrumentation can sit on hot paths (RPC dispatch, WAL appends, shard
+//! fetches) without perturbing timing-sensitive code. Values are monotone
+//! (counters, histogram cells) or last-write-wins (gauges); exact cross-cell
+//! consistency under concurrent snapshots is explicitly not promised.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, open connections, busy workers).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`, saturating at zero (a racing decrement past
+    /// zero must not wrap to 2^64).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts observations with
+/// `value < 2^i` (cumulatively exposed), the last bucket is `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket log-scale (powers of two) histogram.
+///
+/// Values land in the bucket whose upper bound `2^i` first exceeds them:
+/// 0 → bucket 0 (`le="1"`), 1 → bucket 1 (`le="2"`), 1500 → bucket 11
+/// (`le="2048"`), anything at or beyond `2^31` → the `+Inf` bucket. The
+/// canonical unit for durations is microseconds, giving useful resolution
+/// from 1 µs to ~35 minutes in 32 cells.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh zeroed histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // floor(log2(value)) + 1, clamped: the first bucket with 2^i > value.
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time since `start`, in microseconds.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe(start.elapsed().as_micros() as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, lowest bound first.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The exposition upper bound for bucket `i` (`None` = `+Inf`).
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i + 1 < HISTOGRAM_BUCKETS).then(|| 1u64 << i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.set(9);
+        g.sub(2);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // 0 < 1
+        assert_eq!(buckets[1], 1); // 1 < 2
+        assert_eq!(buckets[2], 2); // 2, 3 < 4
+        assert_eq!(buckets[11], 1); // 1024 < 2048
+        assert_eq!(buckets[HISTOGRAM_BUCKETS - 1], 1); // +Inf
+    }
+
+    #[test]
+    fn bucket_bounds_end_in_inf() {
+        assert_eq!(Histogram::bucket_bound(0), Some(1));
+        assert_eq!(Histogram::bucket_bound(11), Some(2048));
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+}

@@ -113,6 +113,12 @@ pub struct RoundReport {
     pub restarts: u64,
     /// Invariant violations the checkers reported for this step.
     pub violations: Vec<Violation>,
+    /// Registry metrics that grew during this step (`metric{labels}` →
+    /// increase), from the process-wide observability registry. Timing
+    /// metrics (`_us` histograms) are excluded: wall-clock durations are
+    /// non-deterministic, and the report should diff cleanly between two
+    /// runs of the same scenario.
+    pub metrics_delta: Vec<(String, u64)>,
 }
 
 impl RoundReport {
@@ -362,6 +368,7 @@ impl ScenarioEngine {
         }
         self.next_step += 1;
         let round = Round(step);
+        let metrics_before = alpenhorn_obs::global().snapshot();
 
         // 1. Wake sleepers whose time has come: fast-forward their keywheels
         // to the current round so forward secrecy holds over the gap.
@@ -462,6 +469,7 @@ impl ScenarioEngine {
             next_round,
             restarts: self.controller.as_ref().map_or(0, |c| c.restarts()),
             violations: Vec::new(),
+            metrics_delta: metrics_delta_since(&metrics_before),
         };
         let ctx = RoundContext {
             step,
@@ -725,6 +733,22 @@ impl ScenarioEngine {
         client.add_friend(target_identity, None);
         Ok(())
     }
+}
+
+/// The registry activity since `before`, with wall-clock timing excluded: a
+/// histogram named `*_us` snapshots as `*_us_count`/`*_us_sum` keys, and both
+/// carry (or count) non-deterministic durations, so they are dropped from
+/// the report while event counters pass through.
+fn metrics_delta_since(before: &alpenhorn_obs::MetricsSnapshot) -> Vec<(String, u64)> {
+    alpenhorn_obs::global()
+        .snapshot()
+        .delta_since(before)
+        .into_iter()
+        .filter(|(key, _)| {
+            let name = key.split('{').next().unwrap_or(key);
+            !(name.ends_with("_us") || name.ends_with("_us_count") || name.ends_with("_us_sum"))
+        })
+        .collect()
 }
 
 fn push_events(

@@ -39,10 +39,35 @@
 //! the snapshot that superseded their record is already durable.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use alpenhorn_obs::{Counter, Histogram};
 
 use crate::wal::Wal;
 use crate::StorageError;
+
+/// Group-commit telemetry: how big the batches are and how long the leader's
+/// fsync takes. Cached so the append path never hits the registry lock.
+struct GroupMetrics {
+    fsync_us: Arc<Histogram>,
+    batch_records: Arc<Histogram>,
+    fsyncs_total: Arc<Counter>,
+    rollbacks_total: Arc<Counter>,
+}
+
+fn group_metrics() -> &'static GroupMetrics {
+    static METRICS: OnceLock<GroupMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        GroupMetrics {
+            fsync_us: r.histogram("storage_group_fsync_us", &[]),
+            batch_records: r.histogram("storage_group_commit_batch_records", &[]),
+            fsyncs_total: r.counter("storage_group_fsyncs_total", &[]),
+            rollbacks_total: r.counter("storage_group_rollbacks_total", &[]),
+        }
+    })
+}
 
 struct Inner {
     wal: Wal,
@@ -137,7 +162,9 @@ impl GroupWal {
                 match g.wal.try_clone_file() {
                     Ok(file) => {
                         drop(g);
+                        let started = Instant::now();
                         let result = file.sync_data();
+                        group_metrics().fsync_us.observe_since(started);
                         g = self.lock();
                         g.leader = false;
                         Self::finish_sync(&mut g, target, result.map_err(StorageError::from));
@@ -145,7 +172,9 @@ impl GroupWal {
                     Err(_) => {
                         // Cannot fsync outside the lock; do it inline. Still
                         // one fsync for the whole pending batch.
+                        let started = Instant::now();
                         let result = g.wal.sync();
+                        group_metrics().fsync_us.observe_since(started);
                         let target = g.wal.len_bytes();
                         g.leader = false;
                         Self::finish_sync(&mut g, target, result);
@@ -167,17 +196,23 @@ impl GroupWal {
                 if target > g.durable_len {
                     g.durable_len = target;
                 }
+                let mut covered = 0u64;
                 while matches!(g.pending.front(), Some(&end) if end <= target) {
                     g.pending.pop_front();
+                    covered += 1;
                 }
                 if g.wal.len_bytes() == target {
                     g.wal.mark_synced();
                 }
+                let m = group_metrics();
+                m.fsyncs_total.inc();
+                m.batch_records.observe(covered);
             }
             Err(_) => {
                 let durable = g.durable_len;
                 g.wal.truncate_to(durable);
                 g.pending.clear();
+                group_metrics().rollbacks_total.inc();
             }
         }
     }

@@ -18,9 +18,38 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use alpenhorn_obs::{Counter, Histogram};
 
 use crate::record::{self, LogRecord, RecordError};
 use crate::StorageError;
+
+/// Cached handles into the global registry so the append hot path never
+/// touches the registry lock. Durations observed here are wall-clock side
+/// channels only — nothing deterministic reads them back.
+struct WalMetrics {
+    append_us: Arc<Histogram>,
+    fsync_us: Arc<Histogram>,
+    appends_total: Arc<Counter>,
+    append_errors_total: Arc<Counter>,
+    fsyncs_total: Arc<Counter>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: OnceLock<WalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = alpenhorn_obs::global();
+        WalMetrics {
+            append_us: r.histogram("storage_wal_append_us", &[]),
+            fsync_us: r.histogram("storage_wal_fsync_us", &[]),
+            appends_total: r.counter("storage_wal_appends_total", &[]),
+            append_errors_total: r.counter("storage_wal_append_errors_total", &[]),
+            fsyncs_total: r.counter("storage_wal_fsyncs_total", &[]),
+        }
+    })
+}
 
 /// What `Wal::open` found on disk.
 #[derive(Debug)]
@@ -135,15 +164,18 @@ impl Wal {
     /// appends (reopening revalidates and truncates).
     pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
         if self.poisoned {
+            wal_metrics().append_errors_total.inc();
             return Err(StorageError::Io(std::io::Error::other(
                 "WAL poisoned by an earlier failed append; reopen to recover",
             )));
         }
+        let started = Instant::now();
         let encoded = record::encode(kind, payload);
         if let Err(e) = self.file.write_all(&encoded) {
             if self.file.set_len(self.len).is_err() {
                 self.poisoned = true;
             }
+            wal_metrics().append_errors_total.inc();
             return Err(e.into());
         }
         self.len += encoded.len() as u64;
@@ -162,17 +194,25 @@ impl Wal {
                 } else {
                     self.poisoned = true;
                 }
+                wal_metrics().append_errors_total.inc();
                 return Err(e);
             }
         }
+        let m = wal_metrics();
+        m.appends_total.inc();
+        m.append_us.observe_since(started);
         Ok(())
     }
 
     /// Forces all appended records to stable storage.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         if self.unsynced > 0 {
+            let started = Instant::now();
             self.file.sync_data()?;
             self.unsynced = 0;
+            let m = wal_metrics();
+            m.fsyncs_total.inc();
+            m.fsync_us.observe_since(started);
         }
         Ok(())
     }

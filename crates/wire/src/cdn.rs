@@ -74,6 +74,9 @@ pub enum CdnRequest {
     },
     /// Fetch the node's serving counters.
     GetStats,
+    /// Admin: fetch the node's metrics exposition and recent spans
+    /// (see `docs/OBSERVABILITY.md`).
+    GetTelemetry,
 }
 
 /// A response from a `cdnd` node.
@@ -101,6 +104,8 @@ pub enum CdnResponse {
         /// Shard bytes served.
         bytes_served: u64,
     },
+    /// The node's telemetry: metrics exposition text and recent spans.
+    Telemetry(crate::rpc::TelemetryWire),
     /// The request failed.
     Error(
         /// Human-readable description.
@@ -112,12 +117,14 @@ const CREQ_PUT_SHARD: u8 = 1;
 const CREQ_GET_SHARD: u8 = 2;
 const CREQ_EXPIRE: u8 = 3;
 const CREQ_GET_STATS: u8 = 4;
+const CREQ_GET_TELEMETRY: u8 = 5;
 
 const CRESP_ACK: u8 = 1;
 const CRESP_SHARD: u8 = 2;
 const CRESP_NOT_FOUND: u8 = 3;
 const CRESP_STATS: u8 = 4;
 const CRESP_ERROR: u8 = 5;
+const CRESP_TELEMETRY: u8 = 6;
 
 fn put_kind(e: &mut Encoder, kind: RoundKind) {
     e.put_u8(match kind {
@@ -159,6 +166,29 @@ fn get_header(d: &mut Decoder<'_>) -> Result<ShardHeader, WireError> {
 }
 
 impl CdnRequest {
+    /// A stable, lowercase name for this request kind, suitable as a metric
+    /// label value.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CdnRequest::PutShard { .. } => "put_shard",
+            CdnRequest::GetShard { .. } => "get_shard",
+            CdnRequest::Expire { .. } => "expire",
+            CdnRequest::GetStats => "get_stats",
+            CdnRequest::GetTelemetry => "get_telemetry",
+        }
+    }
+
+    /// The (protocol, round) this request addresses, when it is round-scoped.
+    /// Drives span correlation ids at the CDN boundary.
+    pub fn round_scope(&self) -> Option<(RoundKind, Round)> {
+        match self {
+            CdnRequest::PutShard { kind, round, .. } | CdnRequest::GetShard { kind, round, .. } => {
+                Some((*kind, *round))
+            }
+            CdnRequest::Expire { .. } | CdnRequest::GetStats | CdnRequest::GetTelemetry => None,
+        }
+    }
+
     /// Encodes the request into its wire form (without framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::with_capacity(64);
@@ -198,6 +228,9 @@ impl CdnRequest {
             CdnRequest::GetStats => {
                 e.put_u8(CREQ_GET_STATS);
             }
+            CdnRequest::GetTelemetry => {
+                e.put_u8(CREQ_GET_TELEMETRY);
+            }
         }
         e.finish()
     }
@@ -225,6 +258,7 @@ impl CdnRequest {
                 keep_from: Round(d.get_u64("cdn keep-from round")?),
             },
             CREQ_GET_STATS => CdnRequest::GetStats,
+            CREQ_GET_TELEMETRY => CdnRequest::GetTelemetry,
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "cdn request tag",
@@ -264,6 +298,10 @@ impl CdnResponse {
                 e.put_u64(*shard_fetches);
                 e.put_u64(*bytes_served);
             }
+            CdnResponse::Telemetry(telemetry) => {
+                e.put_u8(CRESP_TELEMETRY);
+                crate::rpc::put_telemetry(&mut e, telemetry);
+            }
             CdnResponse::Error(detail) => {
                 e.put_u8(CRESP_ERROR);
                 put_detail(&mut e, detail);
@@ -290,6 +328,7 @@ impl CdnResponse {
                 bytes_served: d.get_u64("cdn bytes served")?,
             },
             CRESP_ERROR => CdnResponse::Error(get_detail(&mut d, "cdn error detail")?),
+            CRESP_TELEMETRY => CdnResponse::Telemetry(crate::rpc::get_telemetry(&mut d)?),
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "cdn response tag",

@@ -45,4 +45,7 @@ pub use mailbox::MailboxId;
 pub use mixer::{MixerRequest, MixerResponse};
 pub use onion::{OnionEnvelope, OnionEnvelopeRef};
 pub use round::{Round, RoundKind};
-pub use rpc::{CdnStatsWire, RateLimitReason, RateLimitToken, Request, Response, RpcError};
+pub use rpc::{
+    CdnStatsWire, RateLimitReason, RateLimitToken, Request, Response, RpcError, SpanWire,
+    TelemetryWire,
+};

@@ -67,6 +67,9 @@ pub enum MixerRequest {
         /// The round number.
         round: Round,
     },
+    /// Admin: fetch the daemon's metrics exposition and recent spans
+    /// (see `docs/OBSERVABILITY.md`).
+    GetTelemetry,
 }
 
 /// A response from a `mixd` daemon.
@@ -88,6 +91,8 @@ pub enum MixerResponse {
     },
     /// `EndRound` succeeded.
     Ack,
+    /// The daemon's telemetry: metrics exposition text and recent spans.
+    Telemetry(crate::rpc::TelemetryWire),
     /// The request failed (wrong round, decode failure, ...). The
     /// coordinator treats this as fatal for the round: mixers cannot be
     /// asked to redo work without desynchronizing their rng streams.
@@ -100,11 +105,13 @@ pub enum MixerResponse {
 const MREQ_BEGIN_ROUND: u8 = 1;
 const MREQ_PROCESS: u8 = 2;
 const MREQ_END_ROUND: u8 = 3;
+const MREQ_GET_TELEMETRY: u8 = 4;
 
 const MRESP_ROUND_KEY: u8 = 1;
 const MRESP_PROCESSED: u8 = 2;
 const MRESP_ACK: u8 = 3;
 const MRESP_ERROR: u8 = 4;
+const MRESP_TELEMETRY: u8 = 5;
 
 fn put_protocol(e: &mut Encoder, protocol: RoundKind) {
     e.put_u8(match protocol {
@@ -145,6 +152,30 @@ fn get_batch(d: &mut Decoder<'_>) -> Result<Vec<Vec<u8>>, WireError> {
 }
 
 impl MixerRequest {
+    /// A stable, lowercase name for this request kind, suitable as a metric
+    /// label value.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixerRequest::BeginRound { .. } => "begin_round",
+            MixerRequest::Process { .. } => "process",
+            MixerRequest::EndRound { .. } => "end_round",
+            MixerRequest::GetTelemetry => "get_telemetry",
+        }
+    }
+
+    /// The (protocol, round) this request addresses, when it is round-scoped
+    /// (everything except `GetTelemetry`). Drives span correlation ids.
+    pub fn round_scope(&self) -> Option<(RoundKind, Round)> {
+        match self {
+            MixerRequest::BeginRound { protocol, round }
+            | MixerRequest::Process {
+                protocol, round, ..
+            }
+            | MixerRequest::EndRound { protocol, round } => Some((*protocol, *round)),
+            MixerRequest::GetTelemetry => None,
+        }
+    }
+
     /// Encodes the request into its wire form (without framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::with_capacity(64);
@@ -179,6 +210,9 @@ impl MixerRequest {
                 e.put_u8(MREQ_END_ROUND);
                 put_protocol(&mut e, *protocol);
                 e.put_u64(round.0);
+            }
+            MixerRequest::GetTelemetry => {
+                e.put_u8(MREQ_GET_TELEMETRY);
             }
         }
         e.finish()
@@ -223,6 +257,7 @@ impl MixerRequest {
                 protocol: get_protocol(&mut d)?,
                 round: Round(d.get_u64("mixer round")?),
             },
+            MREQ_GET_TELEMETRY => MixerRequest::GetTelemetry,
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "mixer request tag",
@@ -256,6 +291,10 @@ impl MixerResponse {
             MixerResponse::Ack => {
                 e.put_u8(MRESP_ACK);
             }
+            MixerResponse::Telemetry(telemetry) => {
+                e.put_u8(MRESP_TELEMETRY);
+                crate::rpc::put_telemetry(&mut e, telemetry);
+            }
             MixerResponse::Error(detail) => {
                 e.put_u8(MRESP_ERROR);
                 put_detail(&mut e, detail);
@@ -281,6 +320,7 @@ impl MixerResponse {
             }
             MRESP_ACK => MixerResponse::Ack,
             MRESP_ERROR => MixerResponse::Error(get_detail(&mut d, "mixer error detail")?),
+            MRESP_TELEMETRY => MixerResponse::Telemetry(crate::rpc::get_telemetry(&mut d)?),
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "mixer response tag",

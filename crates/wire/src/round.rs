@@ -22,6 +22,15 @@ impl RoundKind {
             RoundKind::Dialing => "dialing",
         }
     }
+
+    /// The protocol code used on the wire and in telemetry correlation ids
+    /// (0 = add-friend, 1 = dialing).
+    pub fn code(&self) -> u8 {
+        match self {
+            RoundKind::AddFriend => 0,
+            RoundKind::Dialing => 1,
+        }
+    }
 }
 
 impl core::fmt::Display for RoundKind {

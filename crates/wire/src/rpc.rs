@@ -237,6 +237,9 @@ pub enum Request {
     /// figures; parity traffic is accounted separately from data so the
     /// erasure-coded deployment stays comparable to the origin-only one).
     GetCdnStats,
+    /// Admin: fetch the process's metrics exposition and recent spans
+    /// (see `docs/OBSERVABILITY.md`).
+    GetTelemetry,
 }
 
 /// Why a submission or issuance was rate limited.
@@ -425,8 +428,42 @@ pub enum Response {
     RoundClosed(RoundStatsWire),
     /// The CDN's bandwidth counters.
     CdnStats(CdnStatsWire),
+    /// The process's telemetry: metrics exposition text and recent spans.
+    Telemetry(TelemetryWire),
     /// The request failed with a typed error.
     Error(RpcError),
+}
+
+/// Upper bound on the metrics exposition text in a telemetry response
+/// (1 MiB; a full registry is a few tens of KiB).
+pub const MAX_TELEMETRY_TEXT_LEN: usize = 1 << 20;
+
+/// Upper bound on the spans in a telemetry response (matches the span ring
+/// capacity in `alpenhorn-obs`).
+pub const MAX_TELEMETRY_SPANS: usize = 4096;
+
+/// One process's telemetry, in wire form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryWire {
+    /// The metric registry's text exposition (`name{label="v"} value` lines).
+    pub exposition: String,
+    /// Recently finished spans, oldest first.
+    pub spans: Vec<SpanWire>,
+}
+
+/// One finished span, in wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanWire {
+    /// The component that recorded it (`"coordinator"`, `"mixd"`, `"cdn"`, ...).
+    pub component: String,
+    /// What the interval covered (`"mix.round"`, `"cdn.put_shard"`, ...).
+    pub name: String,
+    /// Round correlation id (0 = not round-scoped).
+    pub correlation: u64,
+    /// Start, microseconds since the recording process started.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub duration_us: u64,
 }
 
 /// CDN serving counters, in wire form. Data bytes are mailbox payload bytes
@@ -528,6 +565,55 @@ pub(crate) fn get_detail(d: &mut Decoder<'_>, context: &'static str) -> Result<S
     String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidValue { context })
 }
 
+pub(crate) fn put_telemetry(e: &mut Encoder, telemetry: &TelemetryWire) {
+    let text = telemetry.exposition.as_bytes();
+    let mut end = text.len().min(MAX_TELEMETRY_TEXT_LEN);
+    while end > 0 && !telemetry.exposition.is_char_boundary(end) {
+        end -= 1;
+    }
+    e.put_var_bytes(&text[..end]);
+    let spans = &telemetry.spans[..telemetry.spans.len().min(MAX_TELEMETRY_SPANS)];
+    e.put_u32(spans.len() as u32);
+    for span in spans {
+        put_detail(e, &span.component);
+        put_detail(e, &span.name);
+        e.put_u64(span.correlation);
+        e.put_u64(span.start_us);
+        e.put_u64(span.duration_us);
+    }
+}
+
+pub(crate) fn get_telemetry(d: &mut Decoder<'_>) -> Result<TelemetryWire, WireError> {
+    let raw = d.get_var_bytes("telemetry exposition")?;
+    if raw.len() > MAX_TELEMETRY_TEXT_LEN {
+        return Err(WireError::InvalidValue {
+            context: "telemetry exposition",
+        });
+    }
+    let exposition = String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidValue {
+        context: "telemetry exposition",
+    })?;
+    let count = d.get_u32("telemetry span count")? as usize;
+    // Every span costs at least its three u64 fields on the wire, so the
+    // count is bounded by the remaining bytes before any allocation.
+    if count > MAX_TELEMETRY_SPANS || count * 24 > d.remaining() {
+        return Err(WireError::InvalidValue {
+            context: "telemetry span count",
+        });
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        spans.push(SpanWire {
+            component: get_detail(d, "telemetry span component")?,
+            name: get_detail(d, "telemetry span name")?,
+            correlation: d.get_u64("telemetry span correlation")?,
+            start_us: d.get_u64("telemetry span start")?,
+            duration_us: d.get_u64("telemetry span duration")?,
+        });
+    }
+    Ok(TelemetryWire { exposition, spans })
+}
+
 fn round_kind_code(kind: RoundKind) -> u8 {
     match kind {
         RoundKind::AddFriend => 0,
@@ -566,8 +652,53 @@ const REQ_CLOSE_ADD_FRIEND_ROUND: u8 = 14;
 const REQ_BEGIN_DIALING_ROUND: u8 = 15;
 const REQ_CLOSE_DIALING_ROUND: u8 = 16;
 const REQ_GET_CDN_STATS: u8 = 17;
+const REQ_GET_TELEMETRY: u8 = 18;
 
 impl Request {
+    /// A stable, lowercase name for this request kind, suitable as a metric
+    /// label value (`coordinator_rpc_total{rpc="submit_add_friend"}`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::CompleteRegistration { .. } => "complete_registration",
+            Request::Deregister { .. } => "deregister",
+            Request::GetPkgKeys => "get_pkg_keys",
+            Request::GetAddFriendRoundInfo => "get_add_friend_round_info",
+            Request::GetDialingRoundInfo => "get_dialing_round_info",
+            Request::ExtractIdentityKeys { .. } => "extract_identity_keys",
+            Request::IssueRateLimitToken { .. } => "issue_rate_limit_token",
+            Request::SubmitAddFriend { .. } => "submit_add_friend",
+            Request::SubmitDialing { .. } => "submit_dialing",
+            Request::FetchAddFriendMailbox { .. } => "fetch_add_friend_mailbox",
+            Request::FetchDialingMailbox { .. } => "fetch_dialing_mailbox",
+            Request::BeginAddFriendRound { .. } => "begin_add_friend_round",
+            Request::CloseAddFriendRound { .. } => "close_add_friend_round",
+            Request::BeginDialingRound { .. } => "begin_dialing_round",
+            Request::CloseDialingRound { .. } => "close_dialing_round",
+            Request::GetCdnStats => "get_cdn_stats",
+            Request::GetTelemetry => "get_telemetry",
+        }
+    }
+
+    /// The `(protocol, round)` a round-scoped request operates on, used to
+    /// derive its telemetry correlation id. `None` for requests that are not
+    /// tied to a specific round (registration, key fetches, telemetry).
+    pub fn round_scope(&self) -> Option<(crate::RoundKind, crate::Round)> {
+        use crate::RoundKind;
+        match self {
+            Request::ExtractIdentityKeys { round, .. }
+            | Request::SubmitAddFriend { round, .. }
+            | Request::FetchAddFriendMailbox { round, .. }
+            | Request::BeginAddFriendRound { round, .. }
+            | Request::CloseAddFriendRound { round } => Some((RoundKind::AddFriend, *round)),
+            Request::SubmitDialing { round, .. }
+            | Request::FetchDialingMailbox { round, .. }
+            | Request::BeginDialingRound { round, .. }
+            | Request::CloseDialingRound { round } => Some((RoundKind::Dialing, *round)),
+            _ => None,
+        }
+    }
+
     /// Encodes the request into its wire form (without framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::with_capacity(128);
@@ -678,6 +809,9 @@ impl Request {
             Request::GetCdnStats => {
                 e.put_u8(REQ_GET_CDN_STATS);
             }
+            Request::GetTelemetry => {
+                e.put_u8(REQ_GET_TELEMETRY);
+            }
         }
         e.finish()
     }
@@ -745,6 +879,7 @@ impl Request {
                 round: Round(d.get_u64("close round")?),
             },
             REQ_GET_CDN_STATS => Request::GetCdnStats,
+            REQ_GET_TELEMETRY => Request::GetTelemetry,
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "request tag",
@@ -771,6 +906,7 @@ const RESP_DIALING_MAILBOX: u8 = 8;
 const RESP_ROUND_CLOSED: u8 = 9;
 const RESP_ERROR: u8 = 10;
 const RESP_CDN_STATS: u8 = 11;
+const RESP_TELEMETRY: u8 = 12;
 
 const ERR_ROUND_NOT_OPEN: u8 = 1;
 const ERR_NO_OPEN_ROUND: u8 = 2;
@@ -967,6 +1103,10 @@ impl Response {
                 e.put_u64(stats.parity_bytes_served);
                 e.put_u64(stats.shard_fetches);
             }
+            Response::Telemetry(telemetry) => {
+                e.put_u8(RESP_TELEMETRY);
+                put_telemetry(&mut e, telemetry);
+            }
             Response::Error(err) => {
                 e.put_u8(RESP_ERROR);
                 err.encode_into(&mut e);
@@ -1063,6 +1203,7 @@ impl Response {
                 parity_bytes_served: d.get_u64("cdn parity bytes served")?,
                 shard_fetches: d.get_u64("cdn shard fetches")?,
             }),
+            RESP_TELEMETRY => Response::Telemetry(get_telemetry(&mut d)?),
             _ => {
                 return Err(WireError::InvalidValue {
                     context: "response tag",

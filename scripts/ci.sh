@@ -64,6 +64,18 @@ cargo test -q --test distributed_equivalence
 cargo test -q -p alpenhorn-erasure --test shift_xor_proptests
 cargo test -q -p alpenhorn-mixd --test loopback_equivalence
 
+# Observability gate (PR 10): metrics, spans, and logs must be invisible to
+# the protocol. The e2e re-runs the seeded distributed scenario with the
+# always-on instrumentation and asserts the client event stream stays
+# byte-identical, one correlation id links the round's spans across
+# coordinator, mixd, and cdnd, and the round/shard counters reconcile.
+# The --ignored variant fetches GetTelemetry from a live alpenhornd over TCP.
+# The frame-telemetry proptests pin v4 <-> v3 wire compatibility.
+stage "observability (telemetry e2e + GetTelemetry smoke vs live alpenhornd)"
+cargo test -q --test observability_e2e
+cargo test -q --release --test observability_e2e -- --ignored
+cargo test -q -p alpenhorn-wire --test rpc_proptests telemetry
+
 # Full sampling budget, not BENCH_SMOKE: this stage's output IS the recorded
 # perf trajectory (≈3 s total), and overwriting the committed baseline with
 # noisy smoke numbers would make bench_compare.sh diffs meaningless.
@@ -95,6 +107,10 @@ stage "bench snapshot: distributed round (writes BENCH_pr9.json)"
 BENCH_JSON_OUT="$PWD/BENCH_pr9.json" \
     cargo bench -p alpenhorn-bench --bench distributed_round
 
+stage "bench snapshot: telemetry overhead (writes BENCH_pr10.json)"
+BENCH_JSON_OUT="$PWD/BENCH_pr10.json" \
+    cargo bench -p alpenhorn-bench --bench telemetry_overhead
+
 # Perf numbers are hardware-specific, so the committed snapshot is only a
 # valid baseline on comparable hardware; opt into the regression gate by
 # pointing BENCH_BASELINE at a snapshot recorded on this machine.
@@ -109,6 +125,10 @@ fi
 if [[ -n "${BENCH_BASELINE_PR9:-}" ]]; then
     stage "bench compare: distributed round (vs $BENCH_BASELINE_PR9)"
     scripts/bench_compare.sh "$BENCH_BASELINE_PR9" "$PWD/BENCH_pr9.json"
+fi
+if [[ -n "${BENCH_BASELINE_PR10:-}" ]]; then
+    stage "bench compare: telemetry overhead (vs $BENCH_BASELINE_PR10)"
+    scripts/bench_compare.sh "$BENCH_BASELINE_PR10" "$PWD/BENCH_pr10.json"
 fi
 
 # Crash-recovery smoke: start a durable alpenhornd, run a full seeded
